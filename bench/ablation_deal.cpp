@@ -1,0 +1,109 @@
+// Extension experiment (paper Section 7, "nest a farm or deal skeleton"):
+// how much does replicating the bottleneck interval buy over pure interval
+// splitting? Per workload regime, reports the mean ratio of
+//
+//   * H1's splitting-only exhaustion period, and
+//   * the deal-aware heuristic's exhaustion period (splits + replication),
+//
+// to the splitting-only value (so 1.000 = no gain), plus how many instances
+// actually replicated, the mean replica count, and a DES cross-check that
+// the replicated mapping really achieves its predicted period.
+//
+// Usage: ablation_deal [--instances N] [--stages N] [--processors P]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipesched/exp/aggregate.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/deal.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/sim/replicated_sim.hpp"
+#include "pipesched/workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pipesched;
+  std::size_t instances = 25;
+  std::size_t stages = 8;
+  std::size_t processors = 6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--instances") instances = std::stoul(next());
+    else if (arg == "--stages") stages = std::stoul(next());
+    else if (arg == "--processors") processors = std::stoul(next());
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--instances N] [--stages N] [--processors P]\n";
+      return 2;
+    }
+  }
+
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  std::cout << "Deal-skeleton ablation (" << instances << " instances, n=" << stages
+            << ", p=" << processors << "; period ratios to splitting-only H1)\n\n";
+
+  exp::TextTable table;
+  table.setHeader({"experiment", "deal/H1 period (mean)", "deal/H1 (min)", "replicated",
+                   "mean replicas", "DES ordered/model", "DES substreams/model"});
+  for (workload::ExperimentKind kind :
+       {workload::ExperimentKind::kE1BalancedHomComm,
+        workload::ExperimentKind::kE2BalancedHetComm,
+        workload::ExperimentKind::kE3LargeComputations,
+        workload::ExperimentKind::kE4SmallComputations}) {
+    std::vector<Real> ratios, replicaCounts, desOrdered, desSubstreams;
+    std::size_t replicated = 0;
+    for (std::size_t i = 0; i < instances; ++i) {
+      workload::Rng rng(0xDEA1 ^ (static_cast<std::uint64_t>(kind) << 32) ^ i);
+      const auto inst = workload::randomInstance(kind, stages, processors, rng);
+      const core::Evaluator eval(inst.pipeline, inst.platform);
+
+      const Real splitOnly = h1->failureThreshold(eval);
+      const Real withDeal = heuristics::dealExhaustionPeriod(eval);
+      ratios.push_back(withDeal / splitOnly);
+
+      const auto deal = heuristics::spMonoPWithDeal(eval, withDeal);
+      if (deal.replications > 0) {
+        ++replicated;
+        std::size_t replicas = 0;
+        for (const auto& a : deal.mapping.assignments()) replicas += a.processors.size();
+        replicaCounts.push_back(static_cast<Real>(replicas) /
+                                static_cast<Real>(deal.mapping.intervalCount()));
+
+        // DES cross-check on the replicated mapping, under both dealing
+        // disciplines.
+        sim::SimConfig config;
+        config.datasetCount = 601;
+        config.warmup = 200;
+        const sim::SimReport ordered = sim::simulateReplicated(
+            eval, deal.mapping, config, sim::DealDiscipline::kStreamOrdered);
+        desOrdered.push_back(ordered.steadyStatePeriod / deal.metrics.period);
+        const sim::SimReport substreams = sim::simulateReplicated(
+            eval, deal.mapping, config, sim::DealDiscipline::kIndependentSubstreams);
+        desSubstreams.push_back(substreams.steadyStatePeriod / deal.metrics.period);
+      }
+    }
+    const exp::Summary r = exp::summarize(ratios);
+    const exp::Summary reps = exp::summarize(replicaCounts);
+    const exp::Summary desO = exp::summarize(desOrdered);
+    const exp::Summary desS = exp::summarize(desSubstreams);
+    table.addRow({workload::experimentName(kind), exp::formatReal(r.mean, 3),
+                  exp::formatReal(r.min, 3),
+                  std::to_string(replicated) + "/" + std::to_string(instances),
+                  reps.count ? exp::formatReal(reps.mean, 2) : "—",
+                  desO.count ? exp::formatReal(desO.mean, 4) : "—",
+                  desS.count ? exp::formatReal(desS.mean, 4) : "—"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: ratios < 1 mean replication pushed the period below the\n"
+               "splitting-only floor. The cost model is a *lower bound* under rendezvous\n"
+               "semantics: 'DES substreams/model' reaches 1.0 when replicas have compute\n"
+               "slack and exceeds it by head-of-line blocking on communication-bound\n"
+               "regimes; 'DES ordered/model' additionally pays strict stream ordering.\n"
+               "Both observations are beyond the paper (its follow-up models assume\n"
+               "buffered dealing).\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Extension experiment (the paper's "future work", Section 7): fully
+// heterogeneous platforms with per-link bandwidths. The paper's heuristics
+// were designed for Communication-Homogeneous platforms; our implementation
+// evaluates candidate splits through the neighbor-aware cost model, so they
+// *run* on heterogeneous links — but their processor ordering (fastest
+// first) ignores link quality. This bench measures how much link-aware
+// refinement recovers:
+//
+//   * H1 as published, run directly on the heterogeneous platform;
+//   * H1 + local search (moves can exploit link structure);
+//   * local search from the Lemma-1 seed;
+//   * simulated annealing.
+//
+// Reported as ratios to the best period found by any method on the instance
+// (no exact solver is practical here: the mapping cost depends on processor
+// *placement*, which explodes the search space).
+//
+// Usage: ablation_hetero_links [--instances N] [--stages N] [--processors P]
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipesched/exp/aggregate.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/annealing.hpp"
+#include "pipesched/heuristics/local_search.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+using heuristics::Objective;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t instances = 30;
+  std::size_t stages = 12;
+  std::size_t processors = 6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--instances") instances = std::stoul(next());
+    else if (arg == "--stages") stages = std::stoul(next());
+    else if (arg == "--processors") processors = std::stoul(next());
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--instances N] [--stages N] [--processors P]\n";
+      return 2;
+    }
+  }
+
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+
+  struct Method {
+    std::string name;
+    std::function<Real(const core::Evaluator&)> minPeriod;
+  };
+  const std::vector<Method> methods = {
+      {"H1-SpMonoP (link-blind order)",
+       [&](const core::Evaluator& eval) { return h1->failureThreshold(eval); }},
+      {"H1 + link-aware local search",
+       [&](const core::Evaluator& eval) {
+         const auto seeded = h1->run(eval, h1->failureThreshold(eval));
+         return heuristics::localSearch(eval, seeded.mapping, Objective::kMinPeriodForLatency,
+                                        kInfinity)
+             .metrics.period;
+       }},
+      {"local search (Lemma-1 seed)",
+       [&](const core::Evaluator& eval) {
+         return heuristics::localSearch(eval, eval.optimalLatencyMapping(),
+                                        Objective::kMinPeriodForLatency, kInfinity)
+             .metrics.period;
+       }},
+      {"simulated annealing",
+       [&](const core::Evaluator& eval) {
+         heuristics::AnnealingOptions options;
+         options.seed = 777;
+         options.moves = 30'000;
+         return heuristics::anneal(eval, eval.optimalLatencyMapping(),
+                                   Objective::kMinPeriodForLatency, kInfinity, options)
+             .metrics.period;
+       }},
+  };
+
+  std::cout << "Fully-heterogeneous links extension (" << instances << " instances, n="
+            << stages << ", p=" << processors
+            << ", link bandwidths U[1,20]; ratios to the best method per instance)\n\n";
+
+  std::vector<std::vector<Real>> gaps(methods.size());
+  std::vector<std::size_t> wins(methods.size(), 0);
+  for (std::size_t i = 0; i < instances; ++i) {
+    workload::Rng rng(0x4E7E60 ^ i);
+    const core::Pipeline pipe =
+        workload::randomPipeline(workload::ExperimentKind::kE2BalancedHetComm, stages, rng);
+    const core::Platform plat = workload::randomHeterogeneousPlatform(processors, rng);
+    const core::Evaluator eval(pipe, plat);
+
+    std::vector<Real> periods(methods.size());
+    for (std::size_t m = 0; m < methods.size(); ++m) periods[m] = methods[m].minPeriod(eval);
+    const Real best = *std::min_element(periods.begin(), periods.end());
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      gaps[m].push_back(periods[m] / best);
+      if (nearlyEqual(periods[m], best, 1e-6)) ++wins[m];
+    }
+  }
+
+  exp::TextTable table;
+  table.setHeader({"method", "gap to best (mean)", "gap to best (max)", "wins"});
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const exp::Summary s = exp::summarize(gaps[m]);
+    table.addRow({methods[m].name, exp::formatReal(s.mean, 3), exp::formatReal(s.max, 3),
+                  std::to_string(wins[m]) + "/" + std::to_string(instances)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the spread between row 1 and rows 2-4 is the cost of ignoring\n"
+               "link heterogeneity in the paper's fastest-first processor order — the\n"
+               "motivation the paper gives for its 'fully heterogeneous platforms' future\n"
+               "work. On Communication-Homogeneous platforms all methods collapse to the\n"
+               "ablation_localsearch numbers.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Ablation (beyond the paper): how much headroom do the paper's splitting
+// heuristics leave on the table? Compares, per workload regime:
+//   * H1 / H4 as published,
+//   * H1 + steepest-descent local-search refinement,
+//   * local search alone (from the Lemma-1 seed),
+//   * simulated annealing (randomized global baseline),
+//   * the greedy binary-search probe baseline,
+// against the exact branch-and-bound optimum on small instances. All numbers
+// are ratios to the optimal period (or to the optimal latency at a fixed
+// period bound); 1.000 means optimal.
+//
+// Usage: ablation_localsearch [--instances N] [--stages N] [--processors P]
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipesched/exact/bnb.hpp"
+#include "pipesched/exp/aggregate.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/annealing.hpp"
+#include "pipesched/heuristics/greedy_probe.hpp"
+#include "pipesched/heuristics/local_search.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+using heuristics::Objective;
+
+/// A named period-minimizing method: returns the smallest period it reaches
+/// on the instance (run-to-exhaustion semantics, latency unconstrained).
+struct Method {
+  std::string name;
+  std::function<Real(const core::Evaluator&)> minPeriod;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t instances = 20;
+  std::size_t stages = 8;
+  std::size_t processors = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--instances") instances = std::stoul(next());
+    else if (arg == "--stages") stages = std::stoul(next());
+    else if (arg == "--processors") processors = std::stoul(next());
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--instances N] [--stages N] [--processors P]\n";
+      return 2;
+    }
+  }
+
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  const auto h4 = heuristics::makeHeuristic(heuristics::HeuristicId::kH4SpBiP);
+
+  const std::vector<Method> methods = {
+      {"H1-SpMonoP", [&](const core::Evaluator& eval) { return h1->failureThreshold(eval); }},
+      {"H1 + local search",
+       [&](const core::Evaluator& eval) {
+         const auto seeded = h1->run(eval, h1->failureThreshold(eval));
+         return heuristics::localSearch(eval, seeded.mapping, Objective::kMinPeriodForLatency,
+                                        kInfinity)
+             .metrics.period;
+       }},
+      {"local search (Lemma-1 seed)",
+       [&](const core::Evaluator& eval) {
+         return heuristics::localSearch(eval, eval.optimalLatencyMapping(),
+                                        Objective::kMinPeriodForLatency, kInfinity)
+             .metrics.period;
+       }},
+      {"simulated annealing",
+       [&](const core::Evaluator& eval) {
+         heuristics::AnnealingOptions options;
+         options.seed = 12345;
+         return heuristics::anneal(eval, eval.optimalLatencyMapping(),
+                                   Objective::kMinPeriodForLatency, kInfinity, options)
+             .metrics.period;
+       }},
+      {"greedy probe (binary search)",
+       [&](const core::Evaluator& eval) { return heuristics::greedyProbeMinPeriod(eval); }},
+  };
+
+  std::cout << "Local-search / metaheuristic ablation (" << instances << " instances, n="
+            << stages << ", p=" << processors
+            << "; ratios to the exact optimum, 1.000 = optimal)\n\n";
+
+  for (workload::ExperimentKind kind :
+       {workload::ExperimentKind::kE1BalancedHomComm,
+        workload::ExperimentKind::kE2BalancedHetComm,
+        workload::ExperimentKind::kE3LargeComputations,
+        workload::ExperimentKind::kE4SmallComputations}) {
+    std::vector<std::vector<Real>> periodGaps(methods.size());
+    std::vector<Real> h4LatencyGaps, h4RefinedLatencyGaps;
+
+    for (std::size_t i = 0; i < instances; ++i) {
+      workload::Rng rng(0x10CA15 ^ (static_cast<std::uint64_t>(kind) << 32) ^ i);
+      const auto inst = workload::randomInstance(kind, stages, processors, rng);
+      const core::Evaluator eval(inst.pipeline, inst.platform);
+      const Real exactMinPeriod = exact::bnbMinPeriod(eval).metrics.period;
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        periodGaps[m].push_back(methods[m].minPeriod(eval) / exactMinPeriod);
+      }
+      // Latency side: at 1.2x the optimal period, how close is H4 to the
+      // exact latency optimum, and does refinement close the gap?
+      const Real bound = exactMinPeriod * 1.2;
+      if (const auto exactLat = exact::bnbMinLatencyForPeriod(eval, bound)) {
+        const auto plain = h4->run(eval, bound);
+        if (plain.success) {
+          h4LatencyGaps.push_back(plain.metrics.latency / exactLat->metrics.latency);
+        }
+        const auto refined = heuristics::refineWithLocalSearch(eval, *h4, bound);
+        if (refined.success) {
+          h4RefinedLatencyGaps.push_back(refined.metrics.latency /
+                                         exactLat->metrics.latency);
+        }
+      }
+    }
+
+    std::cout << "== " << workload::experimentName(kind) << " ("
+              << workload::experimentDescription(kind) << ") ==\n";
+    exp::TextTable table;
+    table.setHeader({"method", "period gap (mean)", "period gap (max)"});
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const exp::Summary s = exp::summarize(periodGaps[m]);
+      table.addRow({methods[m].name, exp::formatReal(s.mean, 3), exp::formatReal(s.max, 3)});
+    }
+    table.print(std::cout);
+    const exp::Summary plain = exp::summarize(h4LatencyGaps);
+    const exp::Summary refined = exp::summarize(h4RefinedLatencyGaps);
+    std::cout << "latency @ 1.2x optimal period: H4 " << exp::formatReal(plain.mean, 3)
+              << " -> H4+LS " << exp::formatReal(refined.mean, 3) << " (mean ratio, "
+              << plain.count << " samples)\n\n";
+  }
+  std::cout << "Reading: 'H1 + local search' vs 'H1' isolates the refinement benefit;\n"
+               "'local search (Lemma-1 seed)' shows what the neighborhood achieves without\n"
+               "the paper's splitting order; annealing estimates the global optimum's\n"
+               "reachability; the greedy probe is the classical chains-to-chains baseline.\n";
+  return 0;
+}

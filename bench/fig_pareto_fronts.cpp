@@ -1,0 +1,72 @@
+// Per-instance Pareto fronts (the paper's Section-2 tradeoff, instance by
+// instance rather than averaged as in Figures 2-7): merges the six
+// heuristics' threshold sweeps into one non-dominated front and, on small
+// instances, prints the exact front and the gap between the two.
+//
+// Usage: fig_pareto_fronts [--seed S] [--points N]
+#include <iostream>
+#include <string>
+
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pipesched;
+  std::uint64_t seed = 20070628;
+  std::size_t points = 24;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--points") points = std::stoul(next());
+    else {
+      std::cerr << "usage: " << argv[0] << " [--seed S] [--points N]\n";
+      return 2;
+    }
+  }
+
+  struct Case {
+    workload::ExperimentKind kind;
+    std::size_t n, p;
+    bool exact;  ///< small enough for the exhaustive front
+  };
+  const Case cases[] = {
+      {workload::ExperimentKind::kE1BalancedHomComm, 8, 4, true},
+      {workload::ExperimentKind::kE2BalancedHetComm, 9, 4, true},
+      {workload::ExperimentKind::kE3LargeComputations, 8, 4, true},
+      {workload::ExperimentKind::kE4SmallComputations, 9, 4, true},
+      {workload::ExperimentKind::kE2BalancedHetComm, 40, 10, false},
+  };
+
+  exp::ParetoStudyConfig config;
+  config.pointsPerHeuristic = points;
+
+  for (const Case& c : cases) {
+    workload::Rng rng(seed ^ (static_cast<std::uint64_t>(c.kind) << 24) ^ c.n);
+    const auto inst = workload::randomInstance(c.kind, c.n, c.p, rng);
+    const core::Evaluator eval(inst.pipeline, inst.platform);
+
+    std::cout << "== " << workload::experimentName(c.kind) << ", n=" << c.n << ", p=" << c.p
+              << " ==\n";
+    const exp::ParetoStudy study = exp::runParetoStudy(eval, config);
+    exp::printParetoStudy(std::cout, study);
+
+    if (c.exact) {
+      const auto exactFront = exact::exhaustiveParetoFront(eval);
+      std::cout << "\nExact front: " << exactFront.size() << " points; ";
+      const exp::FrontGap gap = exp::frontGap(exactFront, study.merged);
+      std::cout << "heuristic gap: mean +" << exp::formatReal(gap.meanRelativeExcess * 100, 2)
+                << "% latency, max +" << exp::formatReal(gap.maxRelativeExcess * 100, 2)
+                << "%, " << gap.uncovered << " period(s) unreachable\n";
+    } else {
+      std::cout << "\n(exact front skipped: instance too large for exhaustive search)\n";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Regenerates one of the paper's latency-vs-period figures (Figures 2-7).
+// The figure number is baked in at compile time via PIPESCHED_FIG; each
+// binary prints the two panels of its figure as text tables and, with
+// --csv DIR, writes machine-readable series next to them.
+//
+// Usage: figN_... [--pairs N] [--points N] [--seed S] [--csv DIR]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipesched/exp/sweep.hpp"
+
+namespace {
+
+using pipesched::exp::SweepConfig;
+using pipesched::workload::ExperimentKind;
+
+struct Panel {
+  SweepConfig config;
+  std::string title;
+};
+
+std::vector<Panel> panelsForFigure(int figure) {
+  using K = ExperimentKind;
+  const auto panel = [](K kind, std::size_t n, std::size_t p, std::string title) {
+    SweepConfig c;
+    c.kind = kind;
+    c.stages = n;
+    c.processors = p;
+    Panel out{c, std::move(title)};
+    return out;
+  };
+  switch (figure) {
+    case 2:
+      return {panel(K::kE1BalancedHomComm, 10, 10, "Figure 2(a): E1, 10 stages, p=10"),
+              panel(K::kE1BalancedHomComm, 40, 10, "Figure 2(b): E1, 40 stages, p=10")};
+    case 3:
+      return {panel(K::kE2BalancedHetComm, 10, 10, "Figure 3(a): E2, 10 stages, p=10"),
+              panel(K::kE2BalancedHetComm, 40, 10, "Figure 3(b): E2, 40 stages, p=10")};
+    case 4:
+      return {panel(K::kE3LargeComputations, 5, 10, "Figure 4(a): E3, 5 stages, p=10"),
+              panel(K::kE3LargeComputations, 20, 10, "Figure 4(b): E3, 20 stages, p=10")};
+    case 5:
+      return {panel(K::kE4SmallComputations, 5, 10, "Figure 5(a): E4, 5 stages, p=10"),
+              panel(K::kE4SmallComputations, 20, 10, "Figure 5(b): E4, 20 stages, p=10")};
+    case 6:
+      return {panel(K::kE1BalancedHomComm, 40, 100, "Figure 6(a): E1, 40 stages, p=100"),
+              panel(K::kE2BalancedHetComm, 40, 100, "Figure 6(b): E2, 40 stages, p=100")};
+    case 7:
+      return {panel(K::kE3LargeComputations, 10, 100, "Figure 7(a): E3, 10 stages, p=100"),
+              panel(K::kE4SmallComputations, 40, 100, "Figure 7(b): E4, 40 stages, p=100")};
+    default:
+      throw std::runtime_error("unknown figure number");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t pairs = 50;
+  std::size_t points = 12;
+  std::uint64_t seed = 20070628;
+  std::string csvDir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--pairs") pairs = std::stoul(next());
+    else if (arg == "--points") points = std::stoul(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--csv") csvDir = next();
+    else {
+      std::cerr << "usage: " << argv[0] << " [--pairs N] [--points N] [--seed S] [--csv DIR]\n";
+      return 2;
+    }
+  }
+
+  for (const Panel& panel : panelsForFigure(PIPESCHED_FIG)) {
+    SweepConfig config = panel.config;
+    config.pairs = pairs;
+    config.points = points;
+    config.seed = seed;
+    const auto result = pipesched::exp::runBiCriteriaSweep(config);
+    pipesched::exp::printSweep(std::cout, result, panel.title);
+    if (!csvDir.empty()) {
+      const std::string base = "fig" + std::to_string(PIPESCHED_FIG) + "_" +
+                               pipesched::workload::experimentName(config.kind) + "_n" +
+                               std::to_string(config.stages) + "_p" +
+                               std::to_string(config.processors);
+      const std::string file = csvDir + "/" + base + ".csv";
+      std::ofstream os(file);
+      if (!os) {
+        std::cerr << "cannot write " << file << "\n";
+        return 1;
+      }
+      pipesched::exp::writeSweepCsv(os, result);
+      std::cout << "wrote " << file << "\n";
+      const std::string gpFile = csvDir + "/" + base + ".csv.gp";
+      std::ofstream gp(gpFile);
+      if (!gp) {
+        std::cerr << "cannot write " << gpFile << "\n";
+        return 1;
+      }
+      pipesched::exp::writeSweepGnuplot(gp, result, base + ".csv", panel.title);
+      std::cout << "wrote " << gpFile << "\n";
+    }
+  }
+  return 0;
+}

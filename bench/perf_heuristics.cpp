@@ -1,0 +1,74 @@
+// Google-benchmark microbenchmarks: runtime scaling of the six heuristics in
+// the pipeline size n and the processor count p. All heuristics are
+// polynomial (the paper's requirement); these benches document the constants.
+#include <benchmark/benchmark.h>
+
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+workload::InstancePair makeInstance(std::size_t n, std::size_t p) {
+  workload::Rng rng(0xBE4C4 ^ (n * 131) ^ (p * 31337));
+  return workload::randomInstance(workload::ExperimentKind::kE2BalancedHetComm, n, p, rng);
+}
+
+void runHeuristic(benchmark::State& state, heuristics::HeuristicId id) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto inst = makeInstance(n, p);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  const auto h = heuristics::makeHeuristic(id);
+  // A mid-range threshold forces real splitting work.
+  const Real threshold = h->failureThreshold(eval) * 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->run(eval, threshold));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n * p));
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->Args({5, 10})->Args({10, 10})->Args({20, 10})->Args({40, 10})
+      ->Args({40, 100})->Args({10, 100});
+}
+
+void BM_H1_SpMonoP(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH1SpMonoP);
+}
+void BM_H2_ExploThreeMono(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH2ExploThreeMono);
+}
+void BM_H3_ExploThreeBi(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH3ExploThreeBi);
+}
+void BM_H4_SpBiP(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH4SpBiP);
+}
+void BM_H5_SpMonoL(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH5SpMonoL);
+}
+void BM_H6_SpBiL(benchmark::State& state) {
+  runHeuristic(state, heuristics::HeuristicId::kH6SpBiL);
+}
+
+BENCHMARK(BM_H1_SpMonoP)->Apply(args);
+BENCHMARK(BM_H2_ExploThreeMono)->Apply(args);
+BENCHMARK(BM_H3_ExploThreeBi)->Apply(args);
+BENCHMARK(BM_H4_SpBiP)->Apply(args);
+BENCHMARK(BM_H5_SpMonoL)->Apply(args);
+BENCHMARK(BM_H6_SpBiL)->Apply(args);
+
+void BM_FailureThreshold_H1(benchmark::State& state) {
+  const auto inst = makeInstance(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)));
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  const auto h = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->failureThreshold(eval));
+  }
+}
+BENCHMARK(BM_FailureThreshold_H1)->Args({40, 10})->Args({40, 100});
+
+}  // namespace

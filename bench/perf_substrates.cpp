@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks of the substrate libraries: the
+// chains-to-chains solvers, the mapping evaluator, and the two simulators.
+#include <benchmark/benchmark.h>
+
+#include "pipesched/c2c/heterogeneous.hpp"
+#include "pipesched/c2c/homogeneous.hpp"
+#include "pipesched/heuristics/heuristics.hpp"
+#include "pipesched/sim/pipeline_sim.hpp"
+#include "pipesched/sim/recurrence.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+std::vector<Real> randomWeights(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  std::vector<Real> w(n);
+  for (auto& x : w) x = rng.uniform(1, 100);
+  return w;
+}
+
+void BM_C2C_DpPartition(benchmark::State& state) {
+  const auto w = randomWeights(static_cast<std::size_t>(state.range(0)), 1);
+  const std::size_t parts = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c2c::dpPartition(w, parts));
+  }
+}
+BENCHMARK(BM_C2C_DpPartition)->Args({64, 8})->Args({256, 16})->Args({512, 16});
+
+void BM_C2C_ParametricPartition(benchmark::State& state) {
+  const auto w = randomWeights(static_cast<std::size_t>(state.range(0)), 2);
+  const std::size_t parts = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c2c::parametricPartition(w, parts));
+  }
+}
+BENCHMARK(BM_C2C_ParametricPartition)->Args({64, 8})->Args({256, 16})->Args({2048, 32});
+
+void BM_C2C_HeteroSortedDp(benchmark::State& state) {
+  const auto w = randomWeights(static_cast<std::size_t>(state.range(0)), 3);
+  workload::Rng rng(4);
+  std::vector<Real> speeds(static_cast<std::size_t>(state.range(1)));
+  for (auto& s : speeds) s = static_cast<Real>(rng.uniformInt(1, 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c2c::heteroSortedDp(w, speeds));
+  }
+}
+BENCHMARK(BM_C2C_HeteroSortedDp)->Args({64, 8})->Args({256, 16});
+
+void BM_Evaluator_Evaluate(benchmark::State& state) {
+  workload::Rng rng(5);
+  const auto inst = workload::randomInstance(workload::ExperimentKind::kE2BalancedHetComm,
+                                             static_cast<std::size_t>(state.range(0)),
+                                             static_cast<std::size_t>(state.range(0)), rng);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  std::vector<std::size_t> procs(inst.pipeline.stageCount());
+  for (std::size_t k = 0; k < procs.size(); ++k) procs[k] = k;
+  const auto mapping = core::IntervalMapping::oneToOne(procs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(mapping));
+  }
+}
+BENCHMARK(BM_Evaluator_Evaluate)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_DES_Saturated(benchmark::State& state) {
+  workload::Rng rng(6);
+  const auto inst = workload::randomInstance(workload::ExperimentKind::kE1BalancedHomComm, 20,
+                                             10, rng);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  const auto mapping = heuristics::spMonoP(eval, 0).mapping;  // exhaustion mapping
+  sim::SimConfig config;
+  config.datasetCount = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulatePipeline(eval, mapping, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DES_Saturated)->Arg(100)->Arg(1000);
+
+void BM_Recurrence_Saturated(benchmark::State& state) {
+  workload::Rng rng(6);
+  const auto inst = workload::randomInstance(workload::ExperimentKind::kE1BalancedHomComm, 20,
+                                             10, rng);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  const auto mapping = heuristics::spMonoP(eval, 0).mapping;
+  const std::vector<sim::Time> releases(static_cast<std::size_t>(state.range(0)), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::recurrenceCompletionTimes(eval, mapping, releases));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Recurrence_Saturated)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Regenerates paper Table 1: the mean failure threshold of each heuristic
+// (largest fixed period/latency for which it finds no solution) across
+// experiments E1-E4 and n in {5, 10, 20, 40}, p = 10.
+//
+// Usage: table1_failure_thresholds [--pairs N] [--seed S] [--processors P]
+#include <iostream>
+#include <string>
+
+#include "pipesched/exp/sweep.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t pairs = 50;
+  std::size_t processors = 10;
+  std::uint64_t seed = 20070628;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--pairs") pairs = std::stoul(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--processors") processors = std::stoul(next());
+    else {
+      std::cerr << "usage: " << argv[0] << " [--pairs N] [--seed S] [--processors P]\n";
+      return 2;
+    }
+  }
+
+  using pipesched::workload::ExperimentKind;
+  const std::vector<std::size_t> stageCounts = {5, 10, 20, 40};
+  for (ExperimentKind kind :
+       {ExperimentKind::kE1BalancedHomComm, ExperimentKind::kE2BalancedHetComm,
+        ExperimentKind::kE3LargeComputations, ExperimentKind::kE4SmallComputations}) {
+    const auto report =
+        pipesched::exp::failureThresholds(kind, stageCounts, processors, pairs, seed);
+    pipesched::exp::printFailureThresholds(std::cout, report);
+    std::cout << '\n';
+  }
+  std::cout << "Shape checks vs paper Table 1:\n"
+               "  * H5-SpMonoL and H6-SpBiL rows must be identical (both fail exactly\n"
+               "    when L < optimal latency).\n"
+               "  * H1-SpMonoP should have the smallest (best) thresholds overall.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension demo (the paper's "future work"): the evaluator and the splitting
+// heuristics also run on *fully heterogeneous* platforms, where every link
+// has its own bandwidth. This example compares a mapping chosen while
+// ignoring link heterogeneity (comm-homogeneous approximation) against the
+// heuristic run with full link awareness.
+//
+// Build & run:  ./build/examples/heterogeneous_links
+#include <iostream>
+
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/heuristics.hpp"
+#include "pipesched/workload/generator.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+int main() {
+  using namespace pipesched;
+
+  const workload::Scenario scenario = workload::imageProcessingScenario();
+  workload::Rng rng(0xF0E77);
+  const core::Platform het = workload::randomHeterogeneousPlatform(10, rng, 2, 18);
+
+  // Comm-homogeneous approximation of the same machines: identical links at
+  // the average bandwidth.
+  Real sum = 0;
+  std::size_t links = 0;
+  for (std::size_t u = 0; u < 10; ++u) {
+    for (std::size_t v = 0; v < 10; ++v) {
+      if (u == v) continue;
+      sum += het.bandwidth(u, v);
+      ++links;
+    }
+  }
+  const core::Platform approx(het.speeds(), sum / static_cast<Real>(links));
+
+  const core::Evaluator evalHet(scenario.pipeline, het);
+  const core::Evaluator evalApprox(scenario.pipeline, approx);
+
+  std::cout << "Application: " << scenario.description << "\n"
+            << "Platform:    10 processors, per-link bandwidths U[2,18] (mean "
+            << exp::formatReal(sum / static_cast<Real>(links)) << ")\n\n";
+
+  const Real bound = 0.7 * evalHet.period(evalHet.optimalLatencyMapping());
+
+  // (a) plan on the approximation, evaluate on reality;
+  const auto planned = heuristics::spMonoP(evalApprox, bound);
+  const core::Metrics actualOfPlanned = evalHet.evaluate(planned.mapping);
+  // (b) plan with full link awareness.
+  const auto aware = heuristics::spMonoP(evalHet, bound);
+
+  exp::TextTable table;
+  table.setHeader({"planning model", "mapping", "real period", "real latency"});
+  table.addRow({"comm-homogeneous approx", planned.mapping.describe(),
+                exp::formatReal(actualOfPlanned.period),
+                exp::formatReal(actualOfPlanned.latency)});
+  table.addRow({"link-aware (extension)", aware.mapping.describe(),
+                exp::formatReal(aware.metrics.period),
+                exp::formatReal(aware.metrics.latency)});
+  table.print(std::cout);
+
+  std::cout << "\nBoth rows are evaluated on the true heterogeneous platform. The\n"
+               "link-aware run can only be equal or better on the period it was\n"
+               "optimizing — the gap is the price of assuming homogeneous links.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The Theorem-1 NP-completeness gadget, end to end: build the reduction from
+// a NUMERICAL MATCHING WITH TARGET SUMS instance to Hetero-1D-Partition, and
+// demonstrate both directions of the equivalence on a YES- and a NO-instance.
+//
+// Build & run:  ./build/examples/np_hardness_gadget
+#include <iostream>
+
+#include "pipesched/c2c/nmwts.hpp"
+#include "pipesched/exp/report.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+void demonstrate(const c2c::NmwtsInstance& inst, const std::string& label) {
+  std::cout << "== " << label << " ==\n  x = {";
+  for (std::size_t i = 0; i < inst.m(); ++i) std::cout << (i ? "," : "") << inst.x[i];
+  std::cout << "}, y = {";
+  for (std::size_t i = 0; i < inst.m(); ++i) std::cout << (i ? "," : "") << inst.y[i];
+  std::cout << "}, z = {";
+  for (std::size_t i = 0; i < inst.m(); ++i) std::cout << (i ? "," : "") << inst.z[i];
+  std::cout << "}\n";
+
+  const auto cert = c2c::solveNmwts(inst);
+  std::cout << "  NMWTS: " << (cert ? "YES-instance" : "NO-instance") << "\n";
+
+  const c2c::ReductionInstance red = c2c::buildReduction(inst);
+  std::cout << "  Reduction: " << red.weights.size() << " tasks, " << red.speeds.size()
+            << " processors, bound K = " << red.bound << "\n";
+
+  const c2c::HeteroSolution best = c2c::heteroExhaustive(red.weights, red.speeds, 6);
+  std::cout << "  Exhaustive Hetero-1D-Partition optimum: " << best.bottleneck << "\n";
+
+  if (cert) {
+    const c2c::HeteroSolution forward = c2c::reductionSolution(inst, *cert);
+    std::cout << "  Forward direction: certificate -> partition with bottleneck "
+              << forward.bottleneck << "\n";
+    const auto back = c2c::extractCertificate(inst, forward);
+    std::cout << "  Backward direction: partition -> certificate "
+              << (back && c2c::verifyNmwts(inst, *back) ? "recovered and verified"
+                                                        : "FAILED")
+              << "\n";
+  } else {
+    std::cout << "  Theorem 1 predicts optimum > K = 1: "
+              << (best.bottleneck > 1.0 + 1e-9 ? "confirmed" : "VIOLATED") << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Theorem 1 (paper): Hetero-1D-Partition is NP-complete, by reduction\n"
+               "from NUMERICAL MATCHING WITH TARGET SUMS. This demo executes the\n"
+               "reduction both ways on concrete instances.\n\n";
+  // m = 2 keeps the exhaustive search over 3m = 6 processors instantaneous.
+  demonstrate(c2c::NmwtsInstance{{1, 2}, {2, 1}, {3, 3}}, "YES-instance, m=2");
+  demonstrate(c2c::NmwtsInstance{{1, 2}, {1, 2}, {1, 5}},
+              "NO-instance with balanced sums, m=2");
+  return 0;
+}

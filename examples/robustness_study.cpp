@@ -1,0 +1,63 @@
+// Robustness study: the paper's cost model assumes exact stage durations;
+// real clusters jitter. This example maps a genomics pipeline with every
+// heuristic and measures how each mapping's throughput and latency degrade
+// as per-data-set duration noise grows — the experiment behind the
+// "robustness" rows of EXPERIMENTS.md.
+//
+// Build & run:  ./build/examples/robustness_study
+#include <iostream>
+
+#include "pipesched/exp/robustness_study.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/sim/perturbation.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+int main() {
+  using namespace pipesched;
+
+  const workload::Scenario scenario = workload::genomicsScenario();
+  const core::Platform platform = workload::labCluster();
+  const core::Evaluator eval(scenario.pipeline, platform);
+
+  std::cout << "Application: " << scenario.description << "\n"
+            << "Platform:    " << platform.describe() << "\n\n";
+
+  // Full study: all six heuristics across noise amplitudes. Data sets arrive
+  // at exactly the nominal rate, so every degradation factor > 1 is queueing
+  // caused purely by variance.
+  exp::RobustnessStudyConfig config;
+  config.amplitudes = {0.0, 0.1, 0.25, 0.5};
+  config.trials = 8;
+  config.datasetCount = 400;
+  config.warmup = 120;
+  const exp::RobustnessStudy study = exp::runRobustnessStudy(eval, config);
+  printRobustnessStudy(std::cout, study);
+
+  // Zoom in: one mapping, one strong-noise run, dataset-level detail.
+  const auto& h1 = study.rows.front();
+  std::cout << "\nDetail: " << h1.heuristic << " under amplitude 0.5 — single run\n";
+
+  const auto heuristic = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  const auto mapped = heuristic->run(eval, heuristic->failureThreshold(eval) * 1.1);
+
+  sim::SimConfig simConfig;
+  simConfig.datasetCount = 50;
+  simConfig.releaseInterval = mapped.metrics.period;
+  sim::JitterModel jitter;
+  jitter.computeAmplitude = 0.5;
+  jitter.transferAmplitude = 0.5;
+  jitter.seed = 42;
+  const sim::SimReport run = sim::simulatePipelineJittered(eval, mapped.mapping, simConfig,
+                                                           jitter);
+  std::cout << "  predicted latency (Eq. 2): " << mapped.metrics.latency << "\n"
+            << "  per-data-set latencies (first 10):";
+  for (std::size_t k = 0; k < 10 && k < run.latencies.size(); ++k) {
+    std::cout << ' ' << static_cast<int>(run.latencies[k] + 0.5);
+  }
+  std::cout << "\n  worst latency over the stream: " << run.maxLatency << "\n";
+  std::cout << "\nReading: mono-criterion mappings with many intervals amplify jitter\n"
+               "(more rendezvous points -> more waiting); the single-interval Lemma-1\n"
+               "mapping is immune but has the worst nominal period. Robust deployments\n"
+               "should budget the gap shown in the amplitude columns above.\n";
+  return 0;
+}

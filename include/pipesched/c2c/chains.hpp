@@ -1,0 +1,56 @@
+// The chains-to-chains (1-D partitioning) problem (paper Sections 1 and 3).
+//
+// Given an array a_1..a_n of non-negative weights, partition it into at most
+// p consecutive intervals minimizing the largest interval sum (homogeneous
+// version), or — heterogeneous generalization, proved NP-hard by the paper —
+// the largest interval sum divided by the speed of the processor the interval
+// is assigned to, over all partitions *and* processor permutations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::c2c {
+
+using pipesched::Real;
+
+/// A partition of [0, n) into consecutive non-empty intervals, encoded by the
+/// inclusive end index of each interval; ends.back() == n-1.
+struct Partition {
+  std::vector<std::size_t> ends;
+
+  [[nodiscard]] std::size_t intervalCount() const noexcept { return ends.size(); }
+
+  /// First stage of interval k.
+  [[nodiscard]] std::size_t first(std::size_t k) const {
+    return k == 0 ? 0 : ends.at(k - 1) + 1;
+  }
+  /// Last stage of interval k (inclusive).
+  [[nodiscard]] std::size_t last(std::size_t k) const { return ends.at(k); }
+
+  [[nodiscard]] bool operator==(const Partition&) const noexcept = default;
+};
+
+/// Throws ModelError unless `p` is a structurally valid partition of
+/// [0, weights.size()).
+void validatePartition(const std::vector<Real>& weights, const Partition& p);
+
+/// Sum of weights within interval k of the partition.
+[[nodiscard]] Real intervalSum(const std::vector<Real>& weights, const Partition& p,
+                               std::size_t k);
+
+/// Homogeneous objective: max interval sum.
+[[nodiscard]] Real bottleneck(const std::vector<Real>& weights, const Partition& p);
+
+/// Heterogeneous objective: max_k intervalSum(k) / speeds[k], where speeds
+/// are listed in interval order (speeds.size() == p.intervalCount()).
+[[nodiscard]] Real weightedBottleneck(const std::vector<Real>& weights, const Partition& p,
+                                      const std::vector<Real>& speeds);
+
+/// Inclusive-prefix-sum helper shared by the solvers: out[k] = sum of
+/// weights[0..k). out.size() == weights.size()+1.
+[[nodiscard]] std::vector<Real> prefixSums(const std::vector<Real>& weights);
+
+}  // namespace pipesched::c2c

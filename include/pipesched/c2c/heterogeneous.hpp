@@ -1,0 +1,60 @@
+// Solvers for the *heterogeneous* 1-D partitioning problem
+// (Hetero-1D-Partition, paper Definition 1): partition a_1..a_n into
+// intervals and pick a permutation of the processor speeds so the largest
+// interval-sum/speed ratio is minimized. Theorem 1 proves this NP-complete;
+// we provide an exact fixed-order DP (polynomial once the processor order is
+// chosen), exhaustive search over orders (exponential, small p only), and two
+// polynomial heuristics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pipesched/c2c/chains.hpp"
+
+namespace pipesched::c2c {
+
+/// A heterogeneous solution: the partition plus the processor (speed-index)
+/// ordered along the chain; processorOrder[k] is the index into the original
+/// speeds array serving interval k.
+struct HeteroSolution {
+  Partition partition;
+  std::vector<std::size_t> processorOrder;
+  Real bottleneck = kInfinity;
+};
+
+/// Exact DP for a *fixed* processor order: intervals may be empty (an empty
+/// interval simply skips its processor), so the at-most semantics of the
+/// mapping problem is preserved. `speedOrder` lists processor indices in
+/// chain order; speeds[speedOrder[k]] serves interval k.
+/// Returns the solution restricted to the non-empty intervals. O(n^2 p).
+[[nodiscard]] HeteroSolution dpWithFixedOrder(const std::vector<Real>& weights,
+                                              const std::vector<Real>& speeds,
+                                              const std::vector<std::size_t>& speedOrder);
+
+/// Exact solver: enumerates every permutation of the speeds (deduplicating
+/// equal-speed processors) and runs the fixed-order DP. Throws ModelError
+/// when speeds.size() > maxProcessorsForExhaustive (guard against blow-up).
+[[nodiscard]] HeteroSolution heteroExhaustive(const std::vector<Real>& weights,
+                                              const std::vector<Real>& speeds,
+                                              std::size_t maxProcessorsForExhaustive = 9);
+
+/// Polynomial heuristic: processors sorted by non-increasing speed along the
+/// chain, then the fixed-order DP. (A natural order: the paper's mapping
+/// heuristics likewise consume processors fastest-first.)
+[[nodiscard]] HeteroSolution heteroSortedDp(const std::vector<Real>& weights,
+                                            const std::vector<Real>& speeds);
+
+/// Local-search heuristic: starts from heteroSortedDp and hill-climbs by
+/// swapping adjacent processors in the order, re-running the DP, until no
+/// swap improves or `maxIterations` sweeps are done. Deterministic.
+[[nodiscard]] HeteroSolution heteroLocalSearch(const std::vector<Real>& weights,
+                                               const std::vector<Real>& speeds,
+                                               std::size_t maxIterations = 64);
+
+/// Lower bound on the heterogeneous bottleneck: total weight / total speed.
+[[nodiscard]] Real heteroLowerBound(const std::vector<Real>& weights,
+                                    const std::vector<Real>& speeds);
+
+}  // namespace pipesched::c2c

@@ -1,0 +1,42 @@
+// Exact and heuristic solvers for the *homogeneous* chains-to-chains problem
+// (identical processors). These are the classic algorithms the paper cites
+// ([6] Bokhari, [10] Hansen-Lih, [13] Olstad-Manne, survey [14] Pinar-Aykanat)
+// and serve as baselines and building blocks for the heterogeneous case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pipesched/c2c/chains.hpp"
+
+namespace pipesched::c2c {
+
+/// Exact O(n^2 p) dynamic program: minimal bottleneck partition of `weights`
+/// into at most `parts` intervals. Returns a partition with at most `parts`
+/// intervals realizing the optimum.
+[[nodiscard]] Partition dpPartition(const std::vector<Real>& weights, std::size_t parts);
+
+/// Greedy feasibility probe: can the array be split into at most `parts`
+/// intervals of sum <= limit? When feasible and `out` is non-null, a witness
+/// partition is stored there. O(n).
+[[nodiscard]] bool probe(const std::vector<Real>& weights, std::size_t parts, Real limit,
+                         Partition* out = nullptr);
+
+/// Exact solver via parametric search on the candidate bottleneck values
+/// (Nicol-style: binary search over interval sums using probe()).
+/// O(n log(n) log(sum/min)) style complexity in practice; exact for
+/// non-negative weights.
+[[nodiscard]] Partition parametricPartition(const std::vector<Real>& weights, std::size_t parts);
+
+/// Greedy heuristic: walk the chain closing an interval as soon as its sum
+/// reaches total/parts. Not optimal — kept as a baseline.
+[[nodiscard]] Partition greedyPartition(const std::vector<Real>& weights, std::size_t parts);
+
+/// Recursive bisection heuristic: split the chain at the weighted midpoint,
+/// recursing with parts/2 on each side. Not optimal — kept as a baseline.
+[[nodiscard]] Partition recursiveBisection(const std::vector<Real>& weights, std::size_t parts);
+
+/// Minimal bottleneck value of an optimal partition (convenience wrapper).
+[[nodiscard]] Real optimalBottleneck(const std::vector<Real>& weights, std::size_t parts);
+
+}  // namespace pipesched::c2c

@@ -1,0 +1,77 @@
+// The NP-completeness gadget of Theorem 1.
+//
+// The paper reduces NUMERICAL MATCHING WITH TARGET SUMS (NMWTS, Garey &
+// Johnson) to Hetero-1D-Partition: given 3m numbers x_i, y_i, z_i, do two
+// permutations sigma1, sigma2 exist with x_i + y_{sigma1(i)} = z_{sigma2(i)}?
+//
+// The constructed instance uses M = max{x_i, y_i, z_i}, B = 2M, C = 5M,
+// D = 7M, and per block i the task weights  [A_i = B + x_i, 1 x M, C, D],
+// with 3m processor speeds  s_i = B + z_i, s_{m+i} = C + M - y_i,
+// s_{2m+i} = D, and asks whether bottleneck K = 1 is achievable.
+//
+// This module builds the gadget, solves small NMWTS instances exactly, and
+// converts solutions in both directions — a mechanical check of the paper's
+// Theorem 1 arguments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pipesched/c2c/heterogeneous.hpp"
+
+namespace pipesched::c2c {
+
+/// An NMWTS instance: three lists of m non-negative integers. The problem is
+/// trivially infeasible unless sum(x) + sum(y) == sum(z) (the reduction
+/// assumes this normalization, as does the paper).
+struct NmwtsInstance {
+  std::vector<std::int64_t> x;
+  std::vector<std::int64_t> y;
+  std::vector<std::int64_t> z;
+
+  [[nodiscard]] std::size_t m() const noexcept { return x.size(); }
+  /// M = max over all 3m numbers.
+  [[nodiscard]] std::int64_t maxValue() const;
+  /// Throws ModelError when sizes mismatch, values are negative, or m == 0.
+  void validate() const;
+  /// sum(x) + sum(y) == sum(z)?
+  [[nodiscard]] bool sumsBalanced() const;
+};
+
+/// A YES-certificate: x_i + y[sigma1[i]] == z[sigma2[i]] for all i.
+struct NmwtsSolution {
+  std::vector<std::size_t> sigma1;
+  std::vector<std::size_t> sigma2;
+};
+
+/// True when `sol` certifies `inst`.
+[[nodiscard]] bool verifyNmwts(const NmwtsInstance& inst, const NmwtsSolution& sol);
+
+/// Exact backtracking solver; practical for m up to ~10. Returns nullopt on
+/// NO-instances.
+[[nodiscard]] std::optional<NmwtsSolution> solveNmwts(const NmwtsInstance& inst);
+
+/// The Hetero-1D-Partition instance produced by the Theorem-1 reduction.
+struct ReductionInstance {
+  std::vector<Real> weights;  ///< n = (M+3) * m task weights
+  std::vector<Real> speeds;   ///< p = 3m processor speeds
+  Real bound = 1;             ///< K
+};
+
+/// Builds the reduction. Requires a validated instance with M >= 1.
+[[nodiscard]] ReductionInstance buildReduction(const NmwtsInstance& inst);
+
+/// Forward direction of the proof: converts an NMWTS certificate into a
+/// partition + processor order achieving bottleneck exactly K = 1.
+[[nodiscard]] HeteroSolution reductionSolution(const NmwtsInstance& inst,
+                                               const NmwtsSolution& sol);
+
+/// Backward direction: extracts an NMWTS certificate from any heterogeneous
+/// solution of the reduction instance with bottleneck <= 1. Returns nullopt
+/// when the solution does not have the structure the proof guarantees (which,
+/// per Theorem 1, cannot happen for a genuine K<=1 solution).
+[[nodiscard]] std::optional<NmwtsSolution> extractCertificate(const NmwtsInstance& inst,
+                                                              const HeteroSolution& sol);
+
+}  // namespace pipesched::c2c

@@ -1,0 +1,70 @@
+// Tiny declarative argument parser for the `pipesched` command-line tool.
+// Supports `--key value`, `--flag`, and positional arguments; every lookup is
+// typed and validated with a usage-style error on failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::cli {
+
+/// Raised on malformed command lines (unknown option, bad value, missing
+/// required option). The CLI driver turns it into an error message + exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ArgList {
+ public:
+  /// Splits `args` into positionals and `--key[=value]` options. `flagNames`
+  /// lists the options that take no value; every other `--key` consumes the
+  /// next argument as its value. Unknown options are detected at access time
+  /// via assertConsumed().
+  ArgList(std::vector<std::string> args, const std::vector<std::string>& flagNames);
+
+  /// Positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// True when `--name` was present (flag or valued).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name`, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of `--name`, or `fallback`.
+  [[nodiscard]] std::string getOr(const std::string& name, const std::string& fallback) const;
+
+  /// Value of `--name`; throws UsageError when absent.
+  [[nodiscard]] std::string require(const std::string& name) const;
+
+  /// Typed getters; throw UsageError on malformed numbers.
+  [[nodiscard]] Real getReal(const std::string& name, Real fallback) const;
+  [[nodiscard]] Real requireReal(const std::string& name) const;
+  [[nodiscard]] std::size_t getSize(const std::string& name, std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t getU64(const std::string& name, std::uint64_t fallback) const;
+
+  /// Throws UsageError when any provided option was never read (catches
+  /// typos like --trehshold).
+  void assertConsumed() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::optional<std::string> value;
+    mutable bool consumed = false;
+  };
+
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::vector<std::string> positionals_;
+  std::vector<Option> options_;
+};
+
+}  // namespace pipesched::cli

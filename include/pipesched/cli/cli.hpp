@@ -1,0 +1,33 @@
+// The `pipesched` command-line tool, exposed as a library so the whole
+// surface is unit-testable with in-memory streams.
+//
+//   pipesched generate --kind E2 --stages 10 --processors 5 -o app.psi
+//   pipesched solve    --instance app.psi --threshold 12 [--heuristic H1]
+//   pipesched eval     --instance app.psi --mapping map.psm
+//   pipesched simulate --instance app.psi --mapping map.psm --gantt
+//   pipesched pareto   --instance app.psi [--exact]
+//   pipesched sweep    --kind E1 --stages 10 --processors 10
+//   pipesched table1   --kind E1
+//
+// Every command reads/writes the text formats of pipesched/io/format.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipesched::cli {
+
+/// Runs one command. `args` excludes the program name (so argv[1..]).
+/// Output goes to `out`, diagnostics to `err`. Returns the process exit
+/// code: 0 success, 1 runtime failure (bad file, infeasible threshold...),
+/// 2 usage error.
+int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// argv-style convenience used by tools/pipesched.
+int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+/// The usage text printed by `pipesched help` and on usage errors.
+[[nodiscard]] std::string usageText();
+
+}  // namespace pipesched::cli

@@ -1,0 +1,110 @@
+// Cost model for interval mappings (paper Section 2, equations (1) and (2)).
+//
+// For an interval I_j = [d_j, e_j] mapped onto processor u = alloc(j):
+//
+//   cycle(j)  = delta_{d_j-1}/b_in + (sum_{i in I_j} w_i)/s_u + delta_{e_j}/b_out
+//   T_period  = max_j cycle(j)                                          (Eq. 1)
+//   T_latency = sum_j ( delta_{d_j-1}/b_in + (sum w_i)/s_u ) + delta_n/b (Eq. 2)
+//
+// On Communication-Homogeneous platforms b_in = b_out = b for every link.
+// The evaluator also supports the fully-heterogeneous extension (per-link
+// bandwidths looked up from the mapping context) and an *overlapped* ablation
+// model in which a processor's cycle-time is max(in, compute, out) instead of
+// their sum (communication fully overlapped with computation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pipesched/core/mapping.hpp"
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::core {
+
+/// Which cycle-time composition rule to use.
+enum class CommModel {
+  /// The paper's model: in, compute and out are serialized (one-port, no
+  /// overlap), cycle = in + compute + out.
+  kSequential,
+  /// Ablation: full overlap of communication and computation,
+  /// cycle = max(in, compute, out). Latency is unaffected (a single data set
+  /// still traverses every phase serially).
+  kOverlapped,
+};
+
+/// The three phases of one processor's cycle.
+struct CycleBreakdown {
+  Real input = 0;    ///< delta_{d_j-1} / b_in
+  Real compute = 0;  ///< sum of w_i / s_u
+  Real output = 0;   ///< delta_{e_j} / b_out
+
+  [[nodiscard]] Real sequential() const noexcept { return input + compute + output; }
+  [[nodiscard]] Real overlapped() const noexcept {
+    return std::max({input, compute, output});
+  }
+};
+
+/// Aggregate metrics of a mapping.
+struct Metrics {
+  Real period = 0;
+  Real latency = 0;
+  std::size_t bottleneckInterval = 0;  ///< argmax_j cycle(j)
+
+  [[nodiscard]] bool operator==(const Metrics&) const noexcept = default;
+};
+
+/// Evaluates mappings of one pipeline on one platform. Holds non-owning
+/// references; both objects must outlive the evaluator.
+class Evaluator {
+ public:
+  Evaluator(const Pipeline& pipeline, const Platform& platform,
+            CommModel model = CommModel::kSequential);
+
+  [[nodiscard]] const Pipeline& pipeline() const noexcept { return *pipe_; }
+  [[nodiscard]] const Platform& platform() const noexcept { return *plat_; }
+  [[nodiscard]] CommModel model() const noexcept { return model_; }
+
+  /// Phase breakdown of interval j of `mapping` (general: looks up the
+  /// incoming/outgoing link bandwidths from the neighbouring assignments).
+  [[nodiscard]] CycleBreakdown breakdown(const IntervalMapping& mapping, std::size_t j) const;
+
+  /// Cycle-time of interval j of `mapping` under the active model.
+  [[nodiscard]] Real intervalCycle(const IntervalMapping& mapping, std::size_t j) const;
+
+  /// Communication-homogeneous shortcut: cycle-time of `iv` on processor
+  /// `proc`, independent of the neighbours (all links have bandwidth b).
+  /// Throws ModelError on fully-heterogeneous platforms.
+  [[nodiscard]] Real cycleTime(Interval iv, std::size_t proc) const;
+
+  /// Compute-phase duration of `iv` on `proc`.
+  [[nodiscard]] Real computeTime(Interval iv, std::size_t proc) const;
+
+  /// T_period of the mapping (Eq. 1, or its overlapped variant).
+  [[nodiscard]] Real period(const IntervalMapping& mapping) const;
+
+  /// T_latency of the mapping (Eq. 2 — identical for both models).
+  [[nodiscard]] Real latency(const IntervalMapping& mapping) const;
+
+  /// Both metrics plus the bottleneck interval in one pass.
+  [[nodiscard]] Metrics evaluate(const IntervalMapping& mapping) const;
+
+  /// Per-interval cycle-times (same order as the mapping's intervals).
+  [[nodiscard]] std::vector<Real> cycles(const IntervalMapping& mapping) const;
+
+  /// Lemma 1: the optimal latency over *all* mappings — everything on the
+  /// fastest processor. On fully-heterogeneous platforms the world links of
+  /// each candidate processor are taken into account.
+  [[nodiscard]] Real optimalLatency() const;
+
+  /// The mapping realizing optimalLatency().
+  [[nodiscard]] IntervalMapping optimalLatencyMapping() const;
+
+ private:
+  const Pipeline* pipe_;
+  const Platform* plat_;
+  CommModel model_;
+};
+
+}  // namespace pipesched::core

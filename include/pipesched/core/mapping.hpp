@@ -1,0 +1,99 @@
+// Interval mappings (paper Section 2, "Bi-criteria mapping problem").
+//
+// A mapping partitions the stages [0, n) into m <= p intervals of consecutive
+// stages; interval j is assigned to a distinct processor alloc(j). The paper
+// requires d_1 = 1, d_{j+1} = e_j + 1 and e_m = n (1-based); we keep the same
+// invariants 0-based.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::core {
+
+/// A contiguous, inclusive range of stage indices [first, last].
+struct Interval {
+  std::size_t first = 0;
+  std::size_t last = 0;
+
+  [[nodiscard]] std::size_t length() const noexcept { return last - first + 1; }
+  [[nodiscard]] bool contains(std::size_t k) const noexcept { return first <= k && k <= last; }
+  [[nodiscard]] bool operator==(const Interval&) const noexcept = default;
+};
+
+/// One interval together with the processor executing it.
+struct Assignment {
+  Interval interval;
+  std::size_t processor = 0;
+
+  [[nodiscard]] bool operator==(const Assignment&) const noexcept = default;
+};
+
+/// An ordered partition of all stages into processor-assigned intervals.
+///
+/// The structural invariants (checked by validate(), and by construction in
+/// the factory functions) are exactly the paper's:
+///  * intervals are non-empty, consecutive and cover [0, stageCount);
+///  * every interval is mapped to a distinct processor;
+///  * processor indices are within the platform.
+class IntervalMapping {
+ public:
+  IntervalMapping() = default;
+
+  /// Builds a mapping from an explicit assignment list (validated lazily via
+  /// validate(); the cheap ordering invariant is checked immediately).
+  explicit IntervalMapping(std::vector<Assignment> assignments);
+
+  /// The Lemma-1 initial solution: all n stages on a single processor.
+  [[nodiscard]] static IntervalMapping singleInterval(std::size_t n, std::size_t processor);
+
+  /// One-to-one mapping: stage k on processors[k].
+  [[nodiscard]] static IntervalMapping oneToOne(const std::vector<std::size_t>& processors);
+
+  /// Builds from interval end points (inclusive, strictly increasing, last
+  /// one == n-1) and a parallel processor list.
+  [[nodiscard]] static IntervalMapping fromCuts(std::size_t n,
+                                                const std::vector<std::size_t>& ends,
+                                                const std::vector<std::size_t>& processors);
+
+  [[nodiscard]] std::size_t intervalCount() const noexcept { return parts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return parts_.empty(); }
+
+  [[nodiscard]] const Assignment& assignment(std::size_t j) const { return parts_.at(j); }
+  [[nodiscard]] const Interval& interval(std::size_t j) const { return parts_.at(j).interval; }
+  [[nodiscard]] std::size_t processor(std::size_t j) const { return parts_.at(j).processor; }
+  [[nodiscard]] const std::vector<Assignment>& assignments() const noexcept { return parts_; }
+
+  /// Total number of stages covered (0 for an empty mapping).
+  [[nodiscard]] std::size_t stageCount() const noexcept;
+
+  /// Index of the interval containing stage k. Throws MappingError if k is
+  /// outside the covered range.
+  [[nodiscard]] std::size_t intervalOf(std::size_t k) const;
+
+  /// Replaces interval j by the given replacement assignments (used by the
+  /// splitting heuristics). The replacements must tile interval j exactly;
+  /// this is checked.
+  void replaceInterval(std::size_t j, const std::vector<Assignment>& replacement);
+
+  /// Throws MappingError unless the mapping is a valid interval mapping of a
+  /// pipeline with `stageCount` stages onto a platform with `processorCount`
+  /// processors.
+  void validate(std::size_t stageCount, std::size_t processorCount) const;
+
+  /// Non-throwing variant of validate().
+  [[nodiscard]] bool isValid(std::size_t stageCount, std::size_t processorCount) const;
+
+  /// e.g. "[0,2]->P3 | [3,3]->P0 | [4,7]->P5".
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const IntervalMapping&) const noexcept = default;
+
+ private:
+  std::vector<Assignment> parts_;
+};
+
+}  // namespace pipesched::core

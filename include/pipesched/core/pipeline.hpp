@@ -1,0 +1,75 @@
+// Application model: a linear pipeline of n stages (paper Section 2, Figure 1).
+//
+// Stage S_k (k = 1..n in the paper, 0-based here) receives an input of size
+// delta_{k-1} from the previous stage, performs w_k units of computation, and
+// sends an output of size delta_k to the next stage. delta_0 is the size of
+// the initial input read from the outside world and delta_n the size of the
+// final result written back to it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::core {
+
+/// Immutable description of a pipeline application.
+///
+/// Invariants (checked at construction):
+///  * at least one stage;
+///  * comm sizes vector has exactly stageCount()+1 entries;
+///  * all work amounts are strictly positive and all comm sizes non-negative
+///    (zero communications are legal and used by the NP-hardness gadget).
+class Pipeline {
+ public:
+  /// Builds a pipeline from per-stage work `w` (size n) and communication
+  /// sizes `delta` (size n+1, delta[k] is the data flowing *out of* stage
+  /// k-1 / into stage k; delta[0] is the outside-world input).
+  Pipeline(std::vector<Real> work, std::vector<Real> comm);
+
+  /// Convenience factory: n identical stages of work `w`, all comm sizes `d`.
+  [[nodiscard]] static Pipeline uniform(std::size_t n, Real w, Real d);
+
+  /// Number of stages n.
+  [[nodiscard]] std::size_t stageCount() const noexcept { return work_.size(); }
+
+  /// Work w_k of stage k (0-based, k < stageCount()).
+  [[nodiscard]] Real work(std::size_t k) const { return work_.at(k); }
+
+  /// Communication size delta_k, k in [0, stageCount()].
+  [[nodiscard]] Real comm(std::size_t k) const { return comm_.at(k); }
+
+  /// Input size of stage k: delta_k in paper indices = comm(k) here.
+  [[nodiscard]] Real inputSize(std::size_t k) const { return comm_.at(k); }
+
+  /// Output size of stage k: comm(k+1).
+  [[nodiscard]] Real outputSize(std::size_t k) const { return comm_.at(k + 1); }
+
+  /// Total work of the whole pipeline (used by the Lemma-1 latency optimum).
+  [[nodiscard]] Real totalWork() const noexcept { return prefix_.back(); }
+
+  /// Sum of work over the inclusive stage range [first, last].
+  [[nodiscard]] Real workSum(std::size_t first, std::size_t last) const;
+
+  /// All stage works (size n).
+  [[nodiscard]] const std::vector<Real>& works() const noexcept { return work_; }
+
+  /// All communication sizes (size n+1).
+  [[nodiscard]] const std::vector<Real>& comms() const noexcept { return comm_; }
+
+  /// Human-readable one-line summary, e.g. "Pipeline(n=5, W=37.0)".
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const Pipeline& other) const noexcept {
+    return work_ == other.work_ && comm_ == other.comm_;
+  }
+
+ private:
+  std::vector<Real> work_;    // w_k, size n
+  std::vector<Real> comm_;    // delta_k, size n+1
+  std::vector<Real> prefix_;  // prefix_[k] = sum of work_[0..k), size n+1
+};
+
+}  // namespace pipesched::core

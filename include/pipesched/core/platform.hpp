@@ -1,0 +1,91 @@
+// Target platform model (paper Section 2).
+//
+// The paper's evaluation targets *Communication Homogeneous* platforms:
+// p processors of different speeds s_u, fully interconnected by links of a
+// single bandwidth b (one-port model). As an extension (the paper's "future
+// work"), this class can also describe *Fully Heterogeneous* platforms with a
+// per-pair bandwidth matrix plus dedicated input/output links to the outside
+// world.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::core {
+
+/// Immutable description of a target platform.
+class Platform {
+ public:
+  /// Communication-homogeneous platform: `speeds[u]` is s_u, all links
+  /// (including the world input/output links) have bandwidth `bandwidth`.
+  Platform(std::vector<Real> speeds, Real bandwidth);
+
+  /// Fully homogeneous: p identical processors of speed `speed`.
+  [[nodiscard]] static Platform homogeneous(std::size_t p, Real speed, Real bandwidth);
+
+  /// Fully heterogeneous platform. `linkBandwidth` is a p*p row-major matrix
+  /// of pairwise bandwidths b_{u,v} (the diagonal is ignored — intra-processor
+  /// communication is free); `inputBandwidth[u]` / `outputBandwidth[u]` are
+  /// the bandwidths of the world->P_u and P_u->world links.
+  [[nodiscard]] static Platform fullyHeterogeneous(std::vector<Real> speeds,
+                                                   std::vector<Real> linkBandwidth,
+                                                   std::vector<Real> inputBandwidth,
+                                                   std::vector<Real> outputBandwidth);
+
+  /// Number of processors p.
+  [[nodiscard]] std::size_t processorCount() const noexcept { return speeds_.size(); }
+
+  /// Speed s_u of processor u.
+  [[nodiscard]] Real speed(std::size_t u) const { return speeds_.at(u); }
+
+  /// All speeds.
+  [[nodiscard]] const std::vector<Real>& speeds() const noexcept { return speeds_; }
+
+  /// True when every link has the same bandwidth (the paper's setting).
+  [[nodiscard]] bool isCommHomogeneous() const noexcept { return linkBw_.empty(); }
+
+  /// True when additionally all processor speeds are equal.
+  [[nodiscard]] bool isFullyHomogeneous() const noexcept;
+
+  /// The single link bandwidth b. Throws ModelError on a fully-heterogeneous
+  /// platform, where no such scalar exists.
+  [[nodiscard]] Real bandwidth() const;
+
+  /// Bandwidth of the link P_u -> P_v (u != v).
+  [[nodiscard]] Real bandwidth(std::size_t u, std::size_t v) const;
+
+  /// Bandwidth of the world -> P_u input link.
+  [[nodiscard]] Real inputBandwidth(std::size_t u) const;
+
+  /// Bandwidth of the P_u -> world output link.
+  [[nodiscard]] Real outputBandwidth(std::size_t u) const;
+
+  /// Index of (one of) the fastest processors (smallest index on ties).
+  [[nodiscard]] std::size_t fastestProcessor() const;
+
+  /// Processor indices ordered by non-increasing speed; ties broken by index
+  /// so the ordering — and hence every heuristic built on it — is
+  /// deterministic.
+  [[nodiscard]] std::vector<std::size_t> processorsBySpeed() const;
+
+  /// Largest processor speed.
+  [[nodiscard]] Real maxSpeed() const { return speeds_.at(fastestProcessor()); }
+
+  /// Human-readable one-line summary.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Platform() = default;
+
+  std::vector<Real> speeds_;
+  Real uniformBw_ = Real(0);   // valid when linkBw_ is empty
+  std::vector<Real> linkBw_;   // p*p row-major, empty => comm-homogeneous
+  std::vector<Real> inBw_;     // world -> P_u, empty => uniformBw_
+  std::vector<Real> outBw_;    // P_u -> world, empty => uniformBw_
+};
+
+}  // namespace pipesched::core

@@ -1,0 +1,81 @@
+// Replicated ("deal" skeleton) mappings — the extension sketched in the
+// paper's conclusion: when a stage is computationally dominant and has no
+// internal inter-task dependencies, its interval can be *replicated* over a
+// set of processors that serve data sets round-robin.
+//
+// Cost model (documented in DESIGN.md; follows the interval-mapping-with-
+// replication model of the authors' follow-up work):
+//   For interval j with replica set S (data set k -> replica k mod |S|):
+//     cycle_u   = delta_in/b + W_j/s_u + delta_out/b      (per replica u)
+//     period_j  = max_{u in S} cycle_u / |S|
+//   A replica only sees every |S|-th data set, so its cycle may be up to
+//   |S| times the global period. The latency of a data set is determined by
+//   whichever replica served it; the paper's latency is the max over data
+//   sets, hence the *slowest* replica counts:
+//     latency_j = delta_in/b + W_j/min_{u in S} s_u  (+ delta_n/b at the end)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+
+namespace pipesched::core {
+
+/// One interval executed by one or more replica processors.
+struct ReplicatedAssignment {
+  Interval interval;
+  std::vector<std::size_t> processors;  ///< non-empty; round-robin over these
+
+  [[nodiscard]] bool operator==(const ReplicatedAssignment&) const noexcept = default;
+};
+
+/// An interval mapping in which every interval may be replicated.
+/// Structural invariants mirror IntervalMapping, plus: every replica set is
+/// non-empty and all processors are distinct across the whole mapping.
+class ReplicatedMapping {
+ public:
+  ReplicatedMapping() = default;
+  explicit ReplicatedMapping(std::vector<ReplicatedAssignment> assignments);
+
+  /// Lifts a plain interval mapping (all replica sets are singletons).
+  [[nodiscard]] static ReplicatedMapping fromIntervalMapping(const IntervalMapping& mapping);
+
+  [[nodiscard]] std::size_t intervalCount() const noexcept { return parts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return parts_.empty(); }
+  [[nodiscard]] const ReplicatedAssignment& assignment(std::size_t j) const {
+    return parts_.at(j);
+  }
+  [[nodiscard]] const std::vector<ReplicatedAssignment>& assignments() const noexcept {
+    return parts_;
+  }
+
+  /// Adds a replica processor to interval j (caller guarantees distinctness
+  /// platform-wide; validate() re-checks).
+  void addReplica(std::size_t j, std::size_t processor);
+
+  /// Replaces interval j by a tiling of singleton-replica assignments (used
+  /// by the deal-aware splitting heuristic).
+  void replaceInterval(std::size_t j, const std::vector<ReplicatedAssignment>& replacement);
+
+  void validate(std::size_t stageCount, std::size_t processorCount) const;
+
+  /// e.g. "[0,2]->{P3} | [3,5]->{P0,P5}".
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const ReplicatedMapping&) const noexcept = default;
+
+ private:
+  std::vector<ReplicatedAssignment> parts_;
+};
+
+/// Per-interval period contribution of interval j (max replica cycle / |S|).
+/// Communication-homogeneous platforms only (throws ModelError otherwise).
+[[nodiscard]] Real replicatedIntervalPeriod(const Evaluator& eval,
+                                            const ReplicatedMapping& mapping, std::size_t j);
+
+/// Full metrics of a replicated mapping under the model above.
+[[nodiscard]] Metrics evaluateReplicated(const Evaluator& eval,
+                                         const ReplicatedMapping& mapping);
+
+}  // namespace pipesched::core

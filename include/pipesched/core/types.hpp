@@ -1,0 +1,53 @@
+// pipesched — reproduction of "Multi-criteria scheduling of pipeline workflows"
+// (Benoit, Rehn-Sonigo, Robert; INRIA RR-6232 / CLUSTER 2007).
+//
+// Fundamental scalar types and numeric helpers shared by every library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace pipesched {
+
+/// All work, data-size, speed, bandwidth and time quantities in the model.
+using Real = double;
+
+/// Tolerance used when comparing derived time quantities (periods, latencies).
+inline constexpr Real kTimeEps = 1e-9;
+
+/// Value used for "no constraint" thresholds.
+inline constexpr Real kInfinity = std::numeric_limits<Real>::infinity();
+
+/// Returns true when |a - b| <= eps * max(1, |a|, |b|) (relative-absolute mix).
+[[nodiscard]] inline bool nearlyEqual(Real a, Real b, Real eps = kTimeEps) {
+  const Real scale = std::max({Real(1), std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= eps * scale;
+}
+
+/// Returns true when a is strictly smaller than b beyond tolerance.
+[[nodiscard]] inline bool definitelyLess(Real a, Real b, Real eps = kTimeEps) {
+  return a < b && !nearlyEqual(a, b, eps);
+}
+
+/// Returns true when a <= b up to tolerance.
+[[nodiscard]] inline bool lessOrNearlyEqual(Real a, Real b, Real eps = kTimeEps) {
+  return a <= b || nearlyEqual(a, b, eps);
+}
+
+/// Exception thrown on malformed model inputs (negative weights, bad sizes...).
+class ModelError : public std::invalid_argument {
+ public:
+  explicit ModelError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Exception thrown when a mapping violates a structural invariant.
+class MappingError : public std::logic_error {
+ public:
+  explicit MappingError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace pipesched

@@ -1,0 +1,34 @@
+// Branch-and-bound exact solvers for the bi-criteria mapping problem.
+//
+// The search assigns intervals left to right. Two exact prunings make it
+// practical well beyond the exhaustive enumerator:
+//  * equal-speed processors are interchangeable, so only the lowest-index
+//    unused processor of each distinct speed is branched on;
+//  * optimistic completion bounds (remaining work on the globally fastest
+//    processor, no further communications) cut dominated subtrees.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pipesched/exact/solution.hpp"
+
+namespace pipesched::exact {
+
+struct BnbOptions {
+  /// Abort (throw ModelError) after this many search nodes.
+  std::uint64_t nodeLimit = 50'000'000;
+};
+
+/// Minimum latency subject to period <= periodBound. nullopt when infeasible.
+[[nodiscard]] std::optional<ExactSolution> bnbMinLatencyForPeriod(
+    const Evaluator& eval, Real periodBound, const BnbOptions& options = {});
+
+/// Minimum period subject to latency <= latencyBound. nullopt when infeasible.
+[[nodiscard]] std::optional<ExactSolution> bnbMinPeriodForLatency(
+    const Evaluator& eval, Real latencyBound, const BnbOptions& options = {});
+
+/// Unconstrained minimum period (the NP-hard problem of paper Theorem 2).
+[[nodiscard]] ExactSolution bnbMinPeriod(const Evaluator& eval, const BnbOptions& options = {});
+
+}  // namespace pipesched::exact

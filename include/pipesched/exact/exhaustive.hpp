@@ -1,0 +1,46 @@
+// Exhaustive enumeration of every interval mapping (every partition of the
+// stages into consecutive intervals x every ordered choice of distinct
+// processors). Exponential — usable only on small instances, where it
+// provides ground truth for the heuristics and the other exact solvers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pipesched/core/pareto.hpp"
+#include "pipesched/exact/solution.hpp"
+
+namespace pipesched::exact {
+
+struct ExhaustiveOptions {
+  /// Abort (throw ModelError) after visiting this many complete mappings —
+  /// a guard against accidentally calling the enumerator on a large instance.
+  std::uint64_t mappingLimit = 20'000'000;
+
+  /// Only consider mappings with at most this many intervals.
+  std::size_t maxIntervals = SIZE_MAX;
+};
+
+/// Visits every valid interval mapping exactly once. The callback may return
+/// false to stop early.
+void enumerateMappings(const Evaluator& eval,
+                       const std::function<bool(const IntervalMapping&, const Metrics&)>& visit,
+                       const ExhaustiveOptions& options = {});
+
+/// Global minimum period over all mappings, optionally under a latency cap.
+/// Returns nullopt when no mapping satisfies the cap.
+[[nodiscard]] std::optional<ExactSolution> exhaustiveMinPeriod(
+    const Evaluator& eval, Real latencyCap = kInfinity, const ExhaustiveOptions& options = {});
+
+/// Global minimum latency over all mappings, optionally under a period cap.
+[[nodiscard]] std::optional<ExactSolution> exhaustiveMinLatency(
+    const Evaluator& eval, Real periodCap = kInfinity, const ExhaustiveOptions& options = {});
+
+/// The exact Pareto front of (period, latency) over all mappings, sorted by
+/// increasing period. Every point carries a realizing mapping.
+[[nodiscard]] std::vector<core::ParetoPoint> exhaustiveParetoFront(
+    const Evaluator& eval, const ExhaustiveOptions& options = {});
+
+}  // namespace pipesched::exact

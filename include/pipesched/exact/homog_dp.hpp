@@ -1,0 +1,34 @@
+// Polynomial exact solvers for *fully homogeneous* platforms (identical
+// processor speeds, identical links) — the setting of Subhlok & Vondran
+// [19, 20], which the paper extends. Dynamic programming over interval
+// boundaries gives the optimal period, the optimal latency under a period
+// bound, and (by sweeping the O(n^2) candidate periods) the exact Pareto
+// front, all in polynomial time.
+//
+// These serve as optimality baselines: on a homogeneous platform no heuristic
+// may beat them, which the test-suite checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pipesched/core/pareto.hpp"
+#include "pipesched/exact/solution.hpp"
+
+namespace pipesched::exact {
+
+/// Optimal-period mapping on a fully homogeneous platform. O(n^2 p).
+/// Throws ModelError when the platform is not fully homogeneous.
+[[nodiscard]] ExactSolution homogMinPeriod(const Evaluator& eval);
+
+/// Minimum-latency mapping whose every cycle-time is <= periodBound.
+/// Returns nullopt when the bound is infeasible. O(n^2 p).
+[[nodiscard]] std::optional<ExactSolution> homogMinLatencyForPeriod(const Evaluator& eval,
+                                                                    Real periodBound);
+
+/// Exact Pareto front of (period, latency) on a fully homogeneous platform:
+/// every achievable period is an interval cycle-time, so sweeping those
+/// O(n^2) candidates with homogMinLatencyForPeriod is exhaustive.
+[[nodiscard]] std::vector<core::ParetoPoint> homogParetoFront(const Evaluator& eval);
+
+}  // namespace pipesched::exact

@@ -1,0 +1,28 @@
+// Min-cost rectangular assignment (Hungarian algorithm, shortest augmenting
+// path / Jonker-Volgenant formulation). Used by the exact one-to-one mapping
+// solver: minimizing the latency of a one-to-one mapping under a period bound
+// is an assignment problem because the communication part of the latency is
+// mapping-independent.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::exact {
+
+/// Result of an assignment: column chosen for each row, plus the total cost.
+struct AssignmentResult {
+  std::vector<std::size_t> columnOfRow;
+  Real totalCost = 0;
+};
+
+/// Solves min sum_i cost[i][columnOfRow[i]] over injective row->column maps.
+/// `cost` is row-major with rows <= columns; entries may be kInfinity to
+/// forbid a pairing. Returns nullopt when no finite-cost assignment exists.
+/// O(rows^2 * cols).
+[[nodiscard]] std::optional<AssignmentResult> solveAssignment(
+    const std::vector<std::vector<Real>>& cost);
+
+}  // namespace pipesched::exact

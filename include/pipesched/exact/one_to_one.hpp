@@ -1,0 +1,33 @@
+// Exact solvers for *one-to-one* mappings (each stage on its own processor;
+// requires n <= p), the restricted mapping class the paper introduces before
+// generalizing to intervals. On Communication-Homogeneous platforms both
+// one-to-one problems are polynomial:
+//  * minimum period — binary search over the O(np) candidate cycle-times with
+//    a greedy threshold-matching feasibility test;
+//  * minimum latency under a period bound — an assignment problem (the
+//    communication part of a one-to-one latency is mapping-independent),
+//    solved with the Hungarian algorithm.
+#pragma once
+
+#include <optional>
+
+#include "pipesched/exact/solution.hpp"
+
+namespace pipesched::exact {
+
+/// Minimum-period one-to-one mapping. Returns nullopt when n > p.
+/// Throws ModelError on fully-heterogeneous platforms.
+[[nodiscard]] std::optional<ExactSolution> oneToOneMinPeriod(const Evaluator& eval);
+
+/// Minimum-latency one-to-one mapping with every cycle <= periodBound.
+/// Returns nullopt when n > p or the bound is infeasible.
+[[nodiscard]] std::optional<ExactSolution> oneToOneMinLatencyForPeriod(const Evaluator& eval,
+                                                                       Real periodBound);
+
+/// Feasibility probe: does a one-to-one mapping with period <= bound exist?
+/// When feasible and `out` is non-null, stores a witness processor list
+/// (out[k] = processor of stage k).
+[[nodiscard]] bool oneToOneFeasible(const Evaluator& eval, Real periodBound,
+                                    std::vector<std::size_t>* out = nullptr);
+
+}  // namespace pipesched::exact

@@ -1,0 +1,18 @@
+// Common result type of the exact solvers.
+#pragma once
+
+#include "pipesched/core/evaluation.hpp"
+
+namespace pipesched::exact {
+
+using core::Evaluator;
+using core::IntervalMapping;
+using core::Metrics;
+
+/// An optimal (for the requested objective) mapping with its metrics.
+struct ExactSolution {
+  IntervalMapping mapping;
+  Metrics metrics;
+};
+
+}  // namespace pipesched::exact

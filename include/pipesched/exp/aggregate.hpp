@@ -1,0 +1,25 @@
+// Small statistics helpers for experiment aggregation.
+#pragma once
+
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::exp {
+
+struct Summary {
+  std::size_t count = 0;
+  Real mean = 0;
+  Real stddev = 0;  ///< population standard deviation
+  Real min = 0;
+  Real max = 0;
+  Real median = 0;
+};
+
+/// Summarizes a sample; returns a zeroed Summary for an empty input.
+[[nodiscard]] Summary summarize(std::vector<Real> values);
+
+/// Arithmetic mean (0 for an empty input).
+[[nodiscard]] Real mean(const std::vector<Real>& values);
+
+}  // namespace pipesched::exp

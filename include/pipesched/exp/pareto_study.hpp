@@ -1,0 +1,65 @@
+// Pareto-front studies: sweep every heuristic across its feasible threshold
+// range on one instance, merge the outcomes into a non-dominated front, and
+// (on small instances) measure its gap to the exact front. This quantifies
+// the paper's "antagonistic criteria" claim instance by instance, beyond the
+// averaged plots of Figures 2-7.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/core/pareto.hpp"
+
+namespace pipesched::exp {
+
+struct ParetoStudyConfig {
+  /// Threshold grid resolution per heuristic.
+  std::size_t pointsPerHeuristic = 24;
+
+  /// Thresholds sweep from the heuristic's failure threshold up to
+  /// failureThreshold * range (period family) / optimum * range (latency
+  /// family).
+  Real range = 3;
+};
+
+struct HeuristicFront {
+  std::string heuristic;  ///< short name, e.g. "H1-SpMonoP"
+  std::vector<core::ParetoPoint> front;
+};
+
+struct ParetoStudy {
+  /// Non-dominated union over all heuristics (mappings retained).
+  std::vector<core::ParetoPoint> merged;
+
+  /// Per-heuristic non-dominated fronts, Table-1 order.
+  std::vector<HeuristicFront> perHeuristic;
+};
+
+/// Sweeps all six heuristics on `eval`'s instance.
+[[nodiscard]] ParetoStudy runParetoStudy(const core::Evaluator& eval,
+                                         const ParetoStudyConfig& config = {});
+
+/// Best latency achievable on `front` under a period bound; infinity when no
+/// front point satisfies the bound. `front` must be non-dominated and sorted
+/// by increasing period (the invariant of core::paretoFront).
+[[nodiscard]] Real frontLatencyAt(const std::vector<core::ParetoPoint>& front, Real period);
+
+/// Gap of `candidate` relative to `reference` (typically the exact front):
+/// for each reference point, the relative excess latency of the candidate
+/// front at that period.
+struct FrontGap {
+  Real meanRelativeExcess = 0;  ///< mean over reference points
+  Real maxRelativeExcess = 0;
+  std::size_t uncovered = 0;  ///< reference periods the candidate cannot meet
+};
+
+[[nodiscard]] FrontGap frontGap(const std::vector<core::ParetoPoint>& reference,
+                                const std::vector<core::ParetoPoint>& candidate);
+
+/// Table rendering of a study (one line per merged front point, plus which
+/// heuristic contributed it when known).
+void printParetoStudy(std::ostream& os, const ParetoStudy& study);
+
+}  // namespace pipesched::exp

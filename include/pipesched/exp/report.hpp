@@ -1,0 +1,39 @@
+// Plain-text/CSV table rendering used by the benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::exp {
+
+/// Formats a Real with fixed precision, or "n/a" for NaN.
+[[nodiscard]] std::string formatReal(Real value, int precision = 2);
+
+/// Column-aligned text table with an optional header row.
+class TextTable {
+ public:
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns, a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  void printCsv(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavored Markdown table. Pipe characters inside
+  /// cells are escaped; a table without a header gets an empty header row
+  /// (Markdown requires one).
+  void printMarkdown(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pipesched::exp

@@ -1,0 +1,63 @@
+// Robustness experiment driver: how do the mappings produced by the six
+// heuristics degrade when stage/transfer durations jitter? The paper's cost
+// model is deterministic; this study (an ablation of ours, announced in
+// DESIGN.md) feeds each heuristic's mapping through the jittered DES at
+// increasing noise amplitudes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/sim/perturbation.hpp"
+
+namespace pipesched::exp {
+
+struct RobustnessStudyConfig {
+  /// Jitter amplitudes applied to both compute and transfer durations.
+  std::vector<Real> amplitudes = {0.0, 0.1, 0.2, 0.4};
+
+  /// Trials per (heuristic, amplitude) cell.
+  std::size_t trials = 6;
+
+  /// DES stream length and warmup for the steady-state period estimate.
+  std::size_t datasetCount = 300;
+  std::size_t warmup = 100;
+
+  /// Each heuristic runs at threshold = failureThreshold * (1 + slack).
+  Real thresholdSlack = 0.1;
+
+  /// Data sets are released every `releaseFactor * nominal period` time
+  /// units (0 = saturated source). At the default 1.0 the stream arrives at
+  /// exactly the predicted throughput: with zero jitter every data set then
+  /// achieves the Eq.-2 latency, and any latency degradation measured at
+  /// positive amplitudes is pure jitter-induced queue buildup.
+  Real releaseFactor = 1.0;
+
+  std::uint64_t seed = 20070628;
+};
+
+struct RobustnessRow {
+  std::string heuristic;
+  Real nominalPeriod = 0;
+  Real nominalLatency = 0;
+  /// meanPeriod / nominalPeriod per amplitude (1.0 = no degradation).
+  std::vector<Real> periodDegradation;
+  /// meanMaxLatency / nominalLatency per amplitude.
+  std::vector<Real> latencyDegradation;
+};
+
+struct RobustnessStudy {
+  RobustnessStudyConfig config;
+  std::vector<RobustnessRow> rows;  ///< six heuristics, Table-1 order
+};
+
+/// Runs the study on one instance.
+[[nodiscard]] RobustnessStudy runRobustnessStudy(const core::Evaluator& eval,
+                                                 const RobustnessStudyConfig& config = {});
+
+/// Table rendering (one row per heuristic, one column per amplitude).
+void printRobustnessStudy(std::ostream& os, const RobustnessStudy& study);
+
+}  // namespace pipesched::exp

@@ -1,0 +1,88 @@
+// Experiment drivers reproducing paper Section 5.
+//
+// A *sweep* regenerates one panel of Figures 2-7: for a batch of random
+// application/platform pairs it traces, per heuristic, the latency-vs-period
+// curve obtained by varying the fixed threshold. Period-constrained
+// heuristics (H1-H4) are plotted at (threshold period, mean achieved
+// latency); latency-constrained heuristics (H5-H6) at (mean achieved period,
+// threshold latency) — both families therefore live in the same plane, as in
+// the paper's plots.
+//
+// A *failure-threshold report* regenerates paper Table 1: the mean largest
+// threshold for which each heuristic finds no solution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exp {
+
+struct SweepConfig {
+  workload::ExperimentKind kind = workload::ExperimentKind::kE1BalancedHomComm;
+  std::size_t stages = 10;
+  std::size_t processors = 10;
+  std::size_t pairs = 50;        ///< random pairs averaged per point (paper: 50)
+  std::size_t points = 12;       ///< threshold-grid resolution
+  std::uint64_t seed = 20070628; ///< base RNG seed
+  core::CommModel model = core::CommModel::kSequential;
+};
+
+struct SeriesPoint {
+  Real x = 0;                 ///< period coordinate
+  Real y = 0;                 ///< latency coordinate
+  std::size_t successes = 0;  ///< pairs for which the heuristic found a solution
+  std::size_t attempts = 0;
+};
+
+struct HeuristicSeries {
+  std::string heuristic;  ///< short name, e.g. "H1-SpMonoP"
+  std::string paperName;  ///< plot label, e.g. "Sp mono, P fix"
+  heuristics::Objective objective{};
+  std::vector<SeriesPoint> points;
+};
+
+struct SweepResult {
+  SweepConfig config;
+  std::vector<HeuristicSeries> series;  ///< six entries, Table-1 order
+};
+
+/// Runs one sweep (one panel of a paper figure).
+[[nodiscard]] SweepResult runBiCriteriaSweep(const SweepConfig& config);
+
+/// Paper Table 1: mean failure thresholds per heuristic and stage count.
+struct FailureThresholdReport {
+  workload::ExperimentKind kind{};
+  std::size_t processors = 0;
+  std::size_t pairs = 0;
+  std::vector<std::size_t> stageCounts;
+  std::vector<std::string> heuristics;             ///< six short names
+  std::vector<std::vector<Real>> meanThresholds;   ///< [heuristic][stageIdx]
+};
+
+[[nodiscard]] FailureThresholdReport failureThresholds(
+    workload::ExperimentKind kind, const std::vector<std::size_t>& stageCounts,
+    std::size_t processors, std::size_t pairs = 50, std::uint64_t seed = 20070628);
+
+/// Human-readable rendering of a sweep (one block per heuristic).
+void printSweep(std::ostream& os, const SweepResult& result, const std::string& title);
+
+/// Machine-readable rendering: CSV with columns
+/// heuristic,objective,x_period,y_latency,successes,attempts.
+void writeSweepCsv(std::ostream& os, const SweepResult& result);
+
+/// Gnuplot script reproducing the paper's plot style (latency vs period, one
+/// linespoints series per heuristic) from the CSV written by writeSweepCsv.
+/// `csvFileName` is the file name the script will read (relative paths are
+/// resolved from the gnuplot working directory).
+void writeSweepGnuplot(std::ostream& os, const SweepResult& result,
+                       const std::string& csvFileName, const std::string& title);
+
+/// Human-readable rendering of a failure-threshold report (Table-1 layout).
+void printFailureThresholds(std::ostream& os, const FailureThresholdReport& report);
+
+}  // namespace pipesched::exp

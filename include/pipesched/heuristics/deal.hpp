@@ -1,0 +1,44 @@
+// Deal-aware splitting heuristic — the paper's conclusion extension made
+// concrete: run the H1 greedy splitting, and whenever the bottleneck interval
+// can no longer be split profitably (e.g. it is a single dominant stage),
+// *replicate* it by adding the fastest unused processor to its replica set.
+//
+// This unlocks periods below the splitting-only floor exactly in the
+// situation the paper describes: "a bottleneck in the pipeline operation due
+// to a stage which is both computationally-demanding and not constrained by
+// internal dependencies".
+#pragma once
+
+#include "pipesched/core/replication.hpp"
+#include "pipesched/heuristics/heuristics.hpp"
+
+namespace pipesched::heuristics {
+
+struct DealResult {
+  bool success = false;
+  core::ReplicatedMapping mapping;
+  core::Metrics metrics;
+  std::size_t splits = 0;
+  std::size_t replications = 0;
+};
+
+struct DealOptions {
+  /// When false, replication is only attempted once no split improves the
+  /// bottleneck (the default, matching the "nest a deal skeleton as a last
+  /// resort" reading); when true, replication competes with splits on equal
+  /// footing in every step.
+  bool replicationCompetesWithSplits = false;
+};
+
+/// Minimize latency subject to period <= periodBound with splits and
+/// replication. Always succeeds structurally; `success` reports whether the
+/// bound was met.
+[[nodiscard]] DealResult spMonoPWithDeal(const core::Evaluator& eval, Real periodBound,
+                                         const DealOptions& options = {});
+
+/// The minimum period reachable with splits + replication (run to
+/// exhaustion); the deal analogue of a failure threshold.
+[[nodiscard]] Real dealExhaustionPeriod(const core::Evaluator& eval,
+                                        const DealOptions& options = {});
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,45 @@
+// Greedy feasibility-probe baseline — the natural heterogeneous extension of
+// the chains-to-chains probe (Section 1 of the paper connects the two
+// problems): processors are consumed fastest-first, each taking the longest
+// prefix of the remaining stages whose cycle-time stays within the target
+// period. A binary search over the target turns the probe into a
+// period-minimizing baseline.
+//
+// Unlike the paper's splitting heuristics this builds the mapping left to
+// right in one pass, so it serves as an independent baseline in the ablation
+// benches (it is *not* one of the paper's six).
+#pragma once
+
+#include <optional>
+
+#include "pipesched/heuristics/heuristics.hpp"
+
+namespace pipesched::heuristics {
+
+/// Greedy probe: tries to build a mapping with period <= `periodTarget` using
+/// processors fastest-first, each taking a maximal-prefix interval. Returns
+/// nullopt when some stage cannot be placed (including single stages whose
+/// cycle exceeds the target on the fastest remaining processor).
+/// Communication-homogeneous platforms only (the prefix rule needs
+/// neighbor-independent cycle-times).
+[[nodiscard]] std::optional<IntervalMapping> greedyProbe(const Evaluator& eval,
+                                                         Real periodTarget);
+
+struct GreedyProbeOptions {
+  int bisectionIterations = 60;
+};
+
+/// The smallest period for which greedyProbe succeeds (binary search between
+/// the instance lower bound and the single-interval Lemma-1 period).
+[[nodiscard]] Real greedyProbeMinPeriod(const Evaluator& eval,
+                                        const GreedyProbeOptions& options = {});
+
+/// Baseline heuristic with the same contract as the paper's six:
+///  * kMinLatencyForPeriod — one probe at the threshold;
+///  * kMinPeriodForLatency — binary search for the smallest period whose
+///    probe mapping also satisfies the latency bound.
+[[nodiscard]] Result greedyProbeHeuristic(const Evaluator& eval, Objective objective,
+                                          Real threshold,
+                                          const GreedyProbeOptions& options = {});
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,61 @@
+// The six bi-criteria mapping heuristics of paper Section 4.
+//
+// Period-constrained family (minimize latency subject to T_period <= P):
+//   H1  "Sp mono P"    — 2-way splitting, mono-criterion rule.
+//   H2  "3-Explo mono" — 3-way splitting, mono-criterion rule.   (paper H2a)
+//   H3  "3-Explo bi"   — 3-way splitting, bi-criteria ratio rule. (paper H2b)
+//   H4  "Sp bi P"      — binary search over the authorized latency increase,
+//                        2-way splitting with the bi-criteria rule inside.
+// Latency-constrained family (minimize period subject to T_latency <= L):
+//   H5  "Sp mono L"    — 2-way splitting, mono-criterion rule.
+//   H6  "Sp bi L"      — 2-way splitting, bi-criteria ratio rule.
+//
+// (H1..H6 follow the paper's Table-1 numbering.)
+#pragma once
+
+#include <string>
+
+#include "pipesched/heuristics/splitting_engine.hpp"
+
+namespace pipesched::heuristics {
+
+/// Which criterion the caller bounds.
+enum class Objective {
+  kMinLatencyForPeriod,  ///< threshold is a period bound
+  kMinPeriodForLatency,  ///< threshold is a latency bound
+};
+
+/// Outcome of one heuristic run.
+struct Result {
+  bool success = false;    ///< threshold satisfied by `mapping`
+  IntervalMapping mapping; ///< best mapping found (valid even on failure)
+  Metrics metrics;         ///< its period and latency
+  std::size_t splits = 0;  ///< accepted splits
+};
+
+/// Options for the H4 binary search.
+struct SpBiPOptions {
+  int bisectionIterations = 40;
+};
+
+/// H1 — Sp mono P: minimize latency under `periodBound`.
+[[nodiscard]] Result spMonoP(const Evaluator& eval, Real periodBound);
+
+/// H2 — 3-Explo mono: minimize latency under `periodBound` with 3-way splits.
+[[nodiscard]] Result exploThreeMono(const Evaluator& eval, Real periodBound);
+
+/// H3 — 3-Explo bi: 3-way splits selected by the dLatency/dPeriod ratio.
+[[nodiscard]] Result exploThreeBi(const Evaluator& eval, Real periodBound);
+
+/// H4 — Sp bi P: binary search over the authorized latency increase; returns
+/// the feasible solution with the smallest latency found.
+[[nodiscard]] Result spBiP(const Evaluator& eval, Real periodBound,
+                           const SpBiPOptions& options = {});
+
+/// H5 — Sp mono L: minimize period under `latencyBound`.
+[[nodiscard]] Result spMonoL(const Evaluator& eval, Real latencyBound);
+
+/// H6 — Sp bi L: as H5 with the bi-criteria selection rule.
+[[nodiscard]] Result spBiL(const Evaluator& eval, Real latencyBound);
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,59 @@
+// Uniform runtime interface over the six heuristics, used by the experiment
+// harness, the benches and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipesched/heuristics/heuristics.hpp"
+
+namespace pipesched::heuristics {
+
+/// Stable identifiers following the paper's Table-1 numbering.
+enum class HeuristicId {
+  kH1SpMonoP,
+  kH2ExploThreeMono,
+  kH3ExploThreeBi,
+  kH4SpBiP,
+  kH5SpMonoL,
+  kH6SpBiL,
+};
+
+/// Polymorphic handle on one heuristic.
+class MappingHeuristic {
+ public:
+  virtual ~MappingHeuristic() = default;
+
+  [[nodiscard]] virtual HeuristicId id() const = 0;
+
+  /// Short stable name, e.g. "H1-SpMonoP".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The name used in the paper's plots, e.g. "Sp mono, P fix".
+  [[nodiscard]] virtual std::string paperName() const = 0;
+
+  [[nodiscard]] virtual Objective objective() const = 0;
+
+  /// Runs with `threshold` interpreted according to objective(): a period
+  /// bound for the period-constrained family, a latency bound otherwise.
+  [[nodiscard]] virtual Result run(const Evaluator& eval, Real threshold) const = 0;
+
+  /// The heuristic's *failure threshold* on this instance: thresholds below
+  /// this value are infeasible for the heuristic, values at/above succeed.
+  /// For the period-constrained family this is the period reached by the
+  /// run-to-exhaustion variant; for the latency-constrained family it is the
+  /// Lemma-1 optimal latency (see DESIGN.md).
+  [[nodiscard]] virtual Real failureThreshold(const Evaluator& eval) const = 0;
+};
+
+/// Factory for a single heuristic.
+[[nodiscard]] std::unique_ptr<MappingHeuristic> makeHeuristic(HeuristicId id);
+
+/// All six paper heuristics in Table-1 order.
+[[nodiscard]] std::vector<std::unique_ptr<MappingHeuristic>> makeAllHeuristics();
+
+/// All Table-1 ids in order.
+[[nodiscard]] std::vector<HeuristicId> allHeuristicIds();
+
+}  // namespace pipesched::heuristics

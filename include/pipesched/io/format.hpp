@@ -1,0 +1,124 @@
+// Plain-text serialization of instances (pipeline + platform) and interval
+// mappings — the interchange format used by the `pipesched` command-line tool
+// and the examples.
+//
+// Instance format (whitespace-separated tokens, `#` starts a comment, values
+// may wrap across lines):
+//
+//   pipesched-instance v1
+//   name <rest of line>            # optional, at most once
+//   stages <n>
+//   work <n reals>                 # w_0 .. w_{n-1}, all > 0
+//   comm <n+1 reals>               # delta_0 .. delta_n, all >= 0
+//   processors <p>
+//   speeds <p reals>               # s_0 .. s_{p-1}, all > 0
+//   bandwidth <b>                  # communication-homogeneous ...
+//   links <p*p reals>              # ... or fully heterogeneous (row-major,
+//   input-bandwidth <p reals>      #     diagonal ignored) with world links
+//   output-bandwidth <p reals>
+//
+// Exactly one of `bandwidth` / (`links` + `input-bandwidth` +
+// `output-bandwidth`) must be present.
+//
+// Mapping format:
+//
+//   pipesched-mapping v1
+//   stages <n>
+//   intervals <m>
+//   interval <first> <last> <processor>     # m times, 0-based inclusive
+//
+// Replicated ("deal") mapping format — same shape, but each interval carries
+// a comma-separated replica list:
+//
+//   pipesched-deal-mapping v1
+//   stages <n>
+//   intervals <m>
+//   interval <first> <last> <p1,p2,...>     # round-robin replica set
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "pipesched/core/mapping.hpp"
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+#include "pipesched/core/replication.hpp"
+
+namespace pipesched::io {
+
+/// Raised on malformed input; the message contains the 1-based line number
+/// of the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  /// 1-based line of the offending token (0 when end-of-input).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A deserialized instance: the application, the platform, and the optional
+/// `name` line from the file.
+struct Instance {
+  core::Pipeline pipeline;
+  core::Platform platform;
+  std::string name;  ///< empty when the file carries no name
+};
+
+/// Parses an instance from `in`. Throws ParseError on malformed input and
+/// ModelError when the values violate model invariants (e.g. negative work).
+[[nodiscard]] Instance readInstance(std::istream& in);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Instance readInstanceFromString(const std::string& text);
+
+/// Reads an instance from the file at `path`. Throws ParseError (line numbers
+/// relative to the file) or std::runtime_error when the file cannot be opened.
+[[nodiscard]] Instance readInstanceFromFile(const std::string& path);
+
+/// Writes `instance` in canonical form (round-trips through readInstance).
+void writeInstance(std::ostream& out, const Instance& instance);
+
+/// Writes to the file at `path`, overwriting. Throws std::runtime_error when
+/// the file cannot be opened.
+void writeInstanceToFile(const std::string& path, const Instance& instance);
+
+/// Parses a mapping. The declared stage count must match `expectedStages`
+/// when provided. Structural validity (tiling, distinct processors) is NOT
+/// fully checked here — call IntervalMapping::validate against the target
+/// instance for that.
+[[nodiscard]] core::IntervalMapping readMapping(
+    std::istream& in, std::optional<std::size_t> expectedStages = std::nullopt);
+
+[[nodiscard]] core::IntervalMapping readMappingFromString(
+    const std::string& text, std::optional<std::size_t> expectedStages = std::nullopt);
+
+[[nodiscard]] core::IntervalMapping readMappingFromFile(
+    const std::string& path, std::optional<std::size_t> expectedStages = std::nullopt);
+
+/// Writes `mapping` in canonical form (round-trips through readMapping).
+void writeMapping(std::ostream& out, const core::IntervalMapping& mapping);
+
+void writeMappingToFile(const std::string& path, const core::IntervalMapping& mapping);
+
+/// Parses a replicated (deal) mapping; same contract as readMapping.
+[[nodiscard]] core::ReplicatedMapping readReplicatedMapping(
+    std::istream& in, std::optional<std::size_t> expectedStages = std::nullopt);
+
+[[nodiscard]] core::ReplicatedMapping readReplicatedMappingFromString(
+    const std::string& text, std::optional<std::size_t> expectedStages = std::nullopt);
+
+[[nodiscard]] core::ReplicatedMapping readReplicatedMappingFromFile(
+    const std::string& path, std::optional<std::size_t> expectedStages = std::nullopt);
+
+/// Writes a replicated mapping (round-trips through readReplicatedMapping).
+void writeReplicatedMapping(std::ostream& out, const core::ReplicatedMapping& mapping);
+
+void writeReplicatedMappingToFile(const std::string& path,
+                                  const core::ReplicatedMapping& mapping);
+
+}  // namespace pipesched::io

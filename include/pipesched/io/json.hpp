@@ -1,0 +1,93 @@
+// Minimal streaming JSON writer plus emitters for the core model types.
+// Output-only by design: the text format in format.hpp is the ingestion
+// path; JSON serves dashboards, plotting scripts and log pipelines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/core/mapping.hpp"
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+
+namespace pipesched::io {
+
+/// Streaming JSON writer with automatic comma placement and optional
+/// pretty-printing. Usage:
+///
+///   JsonWriter w(out, /*pretty=*/true);
+///   w.beginObject();
+///   w.key("n").value(3);
+///   w.key("work").beginArray().value(1.5).value(2.0).endArray();
+///   w.endObject();
+///
+/// Structural misuse (value without key inside an object, unbalanced
+/// begin/end) throws std::logic_error — the writer is meant to make emitter
+/// bugs loud in tests, not to silently produce invalid JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = false);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Emits an object key; must be followed by exactly one value/container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);  ///< non-finite values are emitted as null
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Convenience: key + numeric array.
+  JsonWriter& kvArray(const std::string& name, const std::vector<double>& values);
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool complete() const noexcept;
+
+ private:
+  enum class Frame { kObjectExpectKey, kObjectExpectValue, kArray };
+
+  void beforeValue();
+  void newlineIndent();
+  void writeEscaped(const std::string& text);
+
+  std::ostream* out_;
+  bool pretty_;
+  bool rootWritten_ = false;
+  std::vector<Frame> stack_;
+  std::vector<bool> hasItems_;
+};
+
+/// {"name": ..., "pipeline": {...}, "platform": {...}}
+void writeInstanceJson(std::ostream& out, const core::Pipeline& pipeline,
+                       const core::Platform& platform, const std::string& name = "",
+                       bool pretty = true);
+
+/// {"stages": n, "intervals": [{"first":..,"last":..,"processor":..}, ...],
+///  "metrics": {"period":..,"latency":..}}  (metrics omitted when null)
+void writeMappingJson(std::ostream& out, const core::IntervalMapping& mapping,
+                      const core::Metrics* metrics = nullptr, bool pretty = true);
+
+/// JSON string escaping (exposed for tests and other emitters).
+[[nodiscard]] std::string jsonEscape(const std::string& text);
+
+}  // namespace pipesched::io

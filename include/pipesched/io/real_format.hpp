@@ -1,0 +1,15 @@
+// Shortest-round-trip formatting of Real values, shared by the text and JSON
+// writers: the printed form parses back to exactly the same double.
+#pragma once
+
+#include <string>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::io {
+
+/// Shortest decimal string that parses back (via strtod) to exactly `value`.
+/// Non-finite values format as "inf"/"-inf"/"nan".
+[[nodiscard]] std::string formatReal(Real value);
+
+}  // namespace pipesched::io

@@ -1,0 +1,60 @@
+// Bounded multi-producer/multi-consumer FIFO used between the skeleton
+// executor's interval workers. Blocking push/pop with close semantics;
+// mutex-and-condvar based (the executor is a demonstration substrate, not a
+// throughput record-setter — clarity wins).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw ModelError("BoundedQueue: capacity must be >= 1");
+  }
+
+  /// Blocks while full; throws ModelError when pushing into a closed queue.
+  void push(T value) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) throw ModelError("BoundedQueue: push after close");
+    items_.push_back(std::move(value));
+    notEmpty_.notify_one();
+  }
+
+  /// Blocks while empty; returns nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pops drain then return nullopt.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace pipesched::runtime

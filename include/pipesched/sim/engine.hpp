@@ -1,0 +1,58 @@
+// Minimal deterministic discrete-event simulation engine.
+//
+// Events are (time, callback) pairs processed in non-decreasing time order;
+// ties are broken by insertion sequence so every run is reproducible.
+// Callbacks may schedule further events at or after the current time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::sim {
+
+using Time = pipesched::Real;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at` (>= now(), checked).
+  void schedule(Time at, Callback cb);
+
+  /// Convenience: schedule `cb` after `delay` (>= 0).
+  void scheduleAfter(Time delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+  /// Runs until the event queue drains. Returns the final simulation time.
+  Time run();
+
+  /// Runs at most `maxEvents` additional events (guard for tests).
+  Time run(std::uint64_t maxEvents);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept { return processed_; }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = Time(0);
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pipesched::sim

@@ -1,0 +1,66 @@
+// Failure-injection / jitter extension of the DES: per-data-set multiplicative
+// noise on compute and transfer durations. The paper's model assumes exact,
+// stationary stage costs; this module measures how much a mapping's achieved
+// period and latency degrade when that assumption is broken — the robustness
+// ablation of DESIGN.md.
+//
+// Noise model: every (phase, data set) duration is scaled by an independent
+// factor 1 + a·u with u ~ Uniform(-1, 1), truncated below at `minFactor`.
+// Expected durations equal the nominal ones (before truncation), so any
+// systematic period degradation observed is a *queueing* effect of variance,
+// not a mean shift.
+#pragma once
+
+#include <cstdint>
+
+#include "pipesched/sim/pipeline_sim.hpp"
+
+namespace pipesched::sim {
+
+struct JitterModel {
+  std::uint64_t seed = 1;
+
+  /// Amplitude `a` of the compute-duration noise (0 = exact).
+  Real computeAmplitude = 0;
+
+  /// Amplitude of the transfer-duration noise.
+  Real transferAmplitude = 0;
+
+  /// Truncation floor for the multiplicative factor.
+  Real minFactor = 0.05;
+};
+
+/// One jittered run. Identical to simulatePipeline when both amplitudes are
+/// zero. Throws ModelError for amplitudes outside [0, 1) or minFactor <= 0.
+[[nodiscard]] SimReport simulatePipelineJittered(const core::Evaluator& eval,
+                                                 const core::IntervalMapping& mapping,
+                                                 const SimConfig& config,
+                                                 const JitterModel& jitter);
+
+/// Aggregate of `trials` independent jittered runs against the nominal model.
+struct RobustnessReport {
+  Real nominalPeriod = 0;       ///< Eq. (1) prediction
+  Real nominalLatency = 0;      ///< Eq. (2) prediction
+  Real meanPeriod = 0;          ///< mean achieved steady-state period
+  Real worstPeriod = 0;
+  Real meanMaxLatency = 0;      ///< mean over trials of the per-run max latency
+  Real worstMaxLatency = 0;
+  std::size_t trials = 0;
+
+  /// meanPeriod / nominalPeriod — 1.0 means jitter-free behaviour.
+  [[nodiscard]] Real periodDegradation() const {
+    return nominalPeriod > 0 ? meanPeriod / nominalPeriod : Real(1);
+  }
+  [[nodiscard]] Real latencyDegradation() const {
+    return nominalLatency > 0 ? meanMaxLatency / nominalLatency : Real(1);
+  }
+};
+
+/// Runs `trials` jittered simulations (seeds seed, seed+1, ...) and aggregates.
+[[nodiscard]] RobustnessReport measureRobustness(const core::Evaluator& eval,
+                                                 const core::IntervalMapping& mapping,
+                                                 const SimConfig& config,
+                                                 const JitterModel& jitter,
+                                                 std::size_t trials = 10);
+
+}  // namespace pipesched::sim

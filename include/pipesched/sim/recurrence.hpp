@@ -1,0 +1,34 @@
+// Max-plus recurrence simulator — an independent, loop-based implementation
+// of exactly the same execution semantics as the discrete-event simulator:
+//
+//   end(t, k) = max(senderReady, receiverReady) + dur(t)
+//   senderReady   = release_k            (t == 0)
+//                 | end(t-1, k) + comp(t-1)
+//   receiverReady = 0                    (t == m or k == 0)
+//                 | end(t+1, k-1)
+//
+// where transfer t in [0, m] links interval t-1 to interval t (world at the
+// ends). The DES and this recurrence must agree to the last bit; the tests
+// enforce that, which guards both implementations.
+#pragma once
+
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/sim/engine.hpp"
+
+namespace pipesched::sim {
+
+/// Completion times of every data set under the one-port rendezvous model.
+/// `releases[k]` is data set k's availability time at the source.
+[[nodiscard]] std::vector<Time> recurrenceCompletionTimes(const core::Evaluator& eval,
+                                                          const core::IntervalMapping& mapping,
+                                                          const std::vector<Time>& releases);
+
+/// Steady-state period estimated from a saturated run of `datasets` data
+/// sets (tail slope of the completion times, ignoring `warmup` of them).
+[[nodiscard]] Time recurrenceSteadyPeriod(const core::Evaluator& eval,
+                                          const core::IntervalMapping& mapping,
+                                          std::size_t datasets = 200, std::size_t warmup = 50);
+
+}  // namespace pipesched::sim

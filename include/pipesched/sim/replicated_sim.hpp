@@ -1,0 +1,48 @@
+// Discrete-event simulation of *replicated* (deal-skeleton) mappings — the
+// validation substrate for the replication cost model of
+// core/replication.hpp.
+//
+// Semantics: interval j's replica set S_j serves data sets round-robin
+// (data set k on replica k mod |S_j|). Two dealing disciplines are offered:
+//
+//  * kStreamOrdered — a data set cannot cross a pipeline boundary before its
+//    predecessor has crossed it. A busy slow replica back-pressures the
+//    whole stream; completions leave in order. This is the conservative,
+//    zero-buffer rendezvous reading of a deal skeleton. It meets the model
+//    period whenever boundaries are not communication-bound, and otherwise
+//    pays max_t delta_t/b per boundary — quantifying exactly where the cost
+//    model's concurrency assumption lives (see bench/ablation_deal).
+//
+//  * kIndependentSubstreams — boundary transfers to distinct replicas may
+//    overlap (one-port allows concurrent transfers between distinct
+//    processor pairs). This is the closest rendezvous reading of the cost
+//    model's assumption period_j = max_u cycle_u / |S_j|; it achieves the
+//    model period when replicas have compute slack, and exceeds it only by
+//    rendezvous head-of-line blocking on communication-bound boundaries
+//    (the model effectively assumes buffered dealing). Completions may
+//    leave out of order when the *last* interval is replicated (the model's
+//    follow-up papers make the same remark about deal skeletons).
+//
+// With all-singleton replica sets both disciplines reduce bit-for-bit to
+// simulatePipeline.
+#pragma once
+
+#include "pipesched/core/replication.hpp"
+#include "pipesched/sim/pipeline_sim.hpp"
+
+namespace pipesched::sim {
+
+enum class DealDiscipline {
+  kStreamOrdered,
+  kIndependentSubstreams,
+};
+
+/// Runs the one-port rendezvous simulation of the replicated `mapping`.
+/// Communication-homogeneous platforms only (like the replication cost
+/// model); throws ModelError otherwise.
+[[nodiscard]] SimReport simulateReplicated(
+    const core::Evaluator& eval, const core::ReplicatedMapping& mapping,
+    const SimConfig& config = {},
+    DealDiscipline discipline = DealDiscipline::kStreamOrdered);
+
+}  // namespace pipesched::sim

@@ -1,0 +1,38 @@
+// Trace rendering for DES runs: CSV export for external plotting and an
+// ASCII Gantt chart for the examples and quick terminal inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pipesched/core/mapping.hpp"
+#include "pipesched/sim/pipeline_sim.hpp"
+
+namespace pipesched::sim {
+
+/// Writes the recorded trace as CSV with header
+/// `kind,time,index,dataset` where kind is one of transfer_start,
+/// transfer_end, compute_start, compute_end. Throws ModelError when the
+/// report carries no trace (SimConfig::recordTrace was false).
+void writeTraceCsv(std::ostream& out, const SimReport& report);
+
+struct GanttOptions {
+  /// Character columns used for the time axis.
+  std::size_t width = 100;
+
+  /// Only the first `maxDatasets` data sets are drawn (0 = all).
+  std::size_t maxDatasets = 10;
+};
+
+/// Renders the compute phases of a traced run as an ASCII Gantt chart: one
+/// row per interval (labelled with its processor), data set k drawn with the
+/// digit k mod 10, '.' for idle. Throws ModelError when the report carries
+/// no trace.
+///
+///   P3  [000111222...
+///   P1  [...000111222
+[[nodiscard]] std::string renderGantt(const core::IntervalMapping& mapping,
+                                      const SimReport& report,
+                                      const GanttOptions& options = {});
+
+}  // namespace pipesched::sim

@@ -1,0 +1,65 @@
+// Random application/platform generators reproducing the paper's
+// experimental setting (Section 5.1):
+//
+//   * platforms: p processors, integer speeds uniform in [1, 20], link
+//     bandwidth b = 10 (Communication Homogeneous);
+//   * applications: four regimes E1-E4 controlling the delta and w ranges.
+//
+// | Exp | delta_i            | w_i               | regime                    |
+// |-----|--------------------|-------------------|---------------------------|
+// | E1  | 10 (fixed)         | U[1, 20]          | balanced, hom. comms      |
+// | E2  | U[1, 100]          | U[1, 20]          | balanced, het. comms      |
+// | E3  | U[1, 20]           | U[10, 1000]       | compute-dominated         |
+// | E4  | U[1, 20]           | U[0.01, 10]       | communication-dominated   |
+#pragma once
+
+#include <string>
+
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::workload {
+
+enum class ExperimentKind {
+  kE1BalancedHomComm,
+  kE2BalancedHetComm,
+  kE3LargeComputations,
+  kE4SmallComputations,
+};
+
+/// "E1" .. "E4".
+[[nodiscard]] std::string experimentName(ExperimentKind kind);
+
+/// Long description, e.g. "balanced comm/comp, homogeneous communications".
+[[nodiscard]] std::string experimentDescription(ExperimentKind kind);
+
+/// Paper defaults for the platform distribution.
+struct PlatformParams {
+  Real bandwidth = 10;
+  std::int64_t speedMin = 1;
+  std::int64_t speedMax = 20;
+};
+
+/// A random application with n stages following the experiment's regime.
+[[nodiscard]] core::Pipeline randomPipeline(ExperimentKind kind, std::size_t n, Rng& rng);
+
+/// A random Communication-Homogeneous platform with p processors.
+[[nodiscard]] core::Platform randomPlatform(std::size_t p, Rng& rng,
+                                            const PlatformParams& params = {});
+
+/// A random fully-heterogeneous platform (extension experiments): same speed
+/// distribution, per-link bandwidths uniform in [bwMin, bwMax].
+[[nodiscard]] core::Platform randomHeterogeneousPlatform(std::size_t p, Rng& rng,
+                                                         Real bwMin = 1, Real bwMax = 20);
+
+/// One application/platform pair, as averaged over in the paper's plots.
+struct InstancePair {
+  core::Pipeline pipeline;
+  core::Platform platform;
+};
+
+[[nodiscard]] InstancePair randomInstance(ExperimentKind kind, std::size_t n, std::size_t p,
+                                          Rng& rng);
+
+}  // namespace pipesched::workload

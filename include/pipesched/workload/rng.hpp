@@ -1,0 +1,39 @@
+// Deterministic random-number generation for reproducible experiments:
+// xoshiro256** seeded through splitmix64. Every experiment in this repo is
+// a pure function of its seed, so paper-figure regeneration is bit-stable
+// across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::workload {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t nextU64();
+
+  /// Uniform double in [0, 1).
+  Real nextReal();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  Real uniform(Real lo, Real hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Independent child stream: deterministic function of this generator's
+  /// seed and `stream`, without advancing this generator. Used to give every
+  /// (experiment, pair index) its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace pipesched::workload

@@ -1,0 +1,46 @@
+// Named, realistic pipeline applications for the examples and docs — the
+// kinds of workflow the paper's introduction motivates (skeleton-based
+// streaming applications on lab clusters). Weights are in arbitrary
+// "operation" units, data sizes in arbitrary "MB-like" units; only the
+// ratios delta/b and w/s matter to the model (paper Section 5.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+
+namespace pipesched::workload {
+
+/// One named scenario: pipeline plus per-stage labels (for pretty printing).
+struct Scenario {
+  std::string name;
+  std::string description;
+  core::Pipeline pipeline;
+  std::vector<std::string> stageNames;
+};
+
+/// 8-stage video/image processing chain: decode is cheap, denoise and the
+/// neural upscaler dominate, encode is mid-weight; frames shrink after crop.
+[[nodiscard]] Scenario imageProcessingScenario();
+
+/// 6-stage genomics variant-calling chain: alignment dominates, with large
+/// intermediate files (compute-heavy, E3-like regime).
+[[nodiscard]] Scenario genomicsScenario();
+
+/// 10-stage streaming ETL chain: many cheap transforms over fat records
+/// (communication-heavy, E4-like regime).
+[[nodiscard]] Scenario etlScenario();
+
+/// All scenarios above.
+[[nodiscard]] std::vector<Scenario> allScenarios();
+
+/// A 10-node "department lab" cluster: mixed-generation workstations
+/// (speeds 4..20), 10 units/s LAN — the platform class the paper targets.
+[[nodiscard]] core::Platform labCluster();
+
+/// A 100-node cluster with the paper's speed distribution, fixed seed.
+[[nodiscard]] core::Platform largeCluster();
+
+}  // namespace pipesched::workload

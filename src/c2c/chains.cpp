@@ -1,0 +1,63 @@
+#include "pipesched/c2c/chains.hpp"
+
+#include <numeric>
+#include <string>
+
+namespace pipesched::c2c {
+
+void validatePartition(const std::vector<Real>& weights, const Partition& p) {
+  if (weights.empty()) throw ModelError("c2c: empty weight array");
+  if (p.ends.empty()) throw ModelError("c2c: empty partition");
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k < p.ends.size(); ++k) {
+    if (p.ends[k] >= weights.size()) {
+      throw ModelError("c2c: partition end out of range");
+    }
+    if (k > 0 && p.ends[k] <= prev) {
+      throw ModelError("c2c: partition ends must be strictly increasing");
+    }
+    prev = p.ends[k];
+  }
+  if (p.ends.back() != weights.size() - 1) {
+    throw ModelError("c2c: partition must cover the whole array");
+  }
+}
+
+Real intervalSum(const std::vector<Real>& weights, const Partition& p, std::size_t k) {
+  Real sum = 0;
+  for (std::size_t i = p.first(k); i <= p.last(k); ++i) sum += weights[i];
+  return sum;
+}
+
+Real bottleneck(const std::vector<Real>& weights, const Partition& p) {
+  validatePartition(weights, p);
+  Real worst = 0;
+  for (std::size_t k = 0; k < p.intervalCount(); ++k) {
+    worst = std::max(worst, intervalSum(weights, p, k));
+  }
+  return worst;
+}
+
+Real weightedBottleneck(const std::vector<Real>& weights, const Partition& p,
+                        const std::vector<Real>& speeds) {
+  validatePartition(weights, p);
+  if (speeds.size() != p.intervalCount()) {
+    throw ModelError("c2c: speeds must match the interval count, got " +
+                     std::to_string(speeds.size()) + " for " +
+                     std::to_string(p.intervalCount()) + " intervals");
+  }
+  Real worst = 0;
+  for (std::size_t k = 0; k < p.intervalCount(); ++k) {
+    if (!(speeds[k] > Real(0))) throw ModelError("c2c: speeds must be > 0");
+    worst = std::max(worst, intervalSum(weights, p, k) / speeds[k]);
+  }
+  return worst;
+}
+
+std::vector<Real> prefixSums(const std::vector<Real>& weights) {
+  std::vector<Real> out(weights.size() + 1, Real(0));
+  std::partial_sum(weights.begin(), weights.end(), out.begin() + 1);
+  return out;
+}
+
+}  // namespace pipesched::c2c

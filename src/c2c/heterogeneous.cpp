@@ -1,0 +1,167 @@
+#include "pipesched/c2c/heterogeneous.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pipesched::c2c {
+
+namespace {
+
+void checkHeteroInputs(const std::vector<Real>& weights, const std::vector<Real>& speeds) {
+  if (weights.empty()) throw ModelError("c2c: empty weight array");
+  if (speeds.empty()) throw ModelError("c2c: empty speed list");
+  for (Real w : weights) {
+    if (w < Real(0) || !std::isfinite(w)) {
+      throw ModelError("c2c: weights must be finite and >= 0");
+    }
+  }
+  for (Real s : speeds) {
+    if (!(s > Real(0)) || !std::isfinite(s)) {
+      throw ModelError("c2c: speeds must be finite and > 0");
+    }
+  }
+}
+
+}  // namespace
+
+HeteroSolution dpWithFixedOrder(const std::vector<Real>& weights, const std::vector<Real>& speeds,
+                                const std::vector<std::size_t>& speedOrder) {
+  checkHeteroInputs(weights, speeds);
+  if (speedOrder.size() != speeds.size()) {
+    throw ModelError("c2c::dpWithFixedOrder: order must list every processor exactly once");
+  }
+  const std::size_t n = weights.size();
+  const std::size_t p = speeds.size();
+  const std::vector<Real> pre = prefixSums(weights);
+
+  // best[k][i]: minimal bottleneck covering the first i elements with the
+  // first k processors of the order (empty intervals allowed).
+  // cut[k][i]: start of processor k-1's interval (== i when it is empty).
+  std::vector<std::vector<Real>> best(p + 1, std::vector<Real>(n + 1, kInfinity));
+  std::vector<std::vector<std::size_t>> cut(p + 1, std::vector<std::size_t>(n + 1, 0));
+  best[0][0] = Real(0);
+  for (std::size_t k = 1; k <= p; ++k) {
+    const Real s = speeds[speedOrder[k - 1]];
+    for (std::size_t i = 0; i <= n; ++i) {
+      Real bestVal = kInfinity;
+      std::size_t bestStart = i;
+      // Processor k-1 takes elements [j, i); j == i means it takes nothing.
+      for (std::size_t j = 0; j <= i; ++j) {
+        if (best[k - 1][j] == kInfinity) continue;
+        const Real load = (pre[i] - pre[j]) / s;
+        const Real candidate = std::max(best[k - 1][j], load);
+        if (candidate < bestVal) {
+          bestVal = candidate;
+          bestStart = j;
+        }
+      }
+      best[k][i] = bestVal;
+      cut[k][i] = bestStart;
+    }
+  }
+
+  HeteroSolution out;
+  out.bottleneck = best[p][n];
+  // Reconstruct, dropping empty intervals.
+  std::vector<std::pair<std::size_t, std::size_t>> reversed;  // (endExclusive, procIdx)
+  std::size_t boundary = n;
+  for (std::size_t k = p; k >= 1; --k) {
+    const std::size_t start = cut[k][boundary];
+    if (start != boundary) {
+      reversed.emplace_back(boundary, speedOrder[k - 1]);
+    }
+    boundary = start;
+  }
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    out.partition.ends.push_back(it->first - 1);
+    out.processorOrder.push_back(it->second);
+  }
+  validatePartition(weights, out.partition);
+  return out;
+}
+
+HeteroSolution heteroExhaustive(const std::vector<Real>& weights, const std::vector<Real>& speeds,
+                                std::size_t maxProcessorsForExhaustive) {
+  checkHeteroInputs(weights, speeds);
+  if (speeds.size() > maxProcessorsForExhaustive) {
+    throw ModelError("c2c::heteroExhaustive: too many processors (" +
+                     std::to_string(speeds.size()) + " > " +
+                     std::to_string(maxProcessorsForExhaustive) +
+                     "); the problem is NP-hard — use a heuristic");
+  }
+  // Enumerate all index permutations (starting from the lexicographically
+  // smallest, so std::next_permutation visits every one). Permutations that
+  // merely exchange equal-speed processors yield the same speed sequence; we
+  // keep only the canonical representative where, for each speed value, the
+  // processor indices appear in increasing order.
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  HeteroSolution best;
+  do {
+    bool canonical = true;
+    for (std::size_t k = 0; canonical && k < order.size(); ++k) {
+      for (std::size_t l = k + 1; l < order.size(); ++l) {
+        if (speeds[order[k]] == speeds[order[l]] && order[k] > order[l]) {
+          canonical = false;
+          break;
+        }
+      }
+    }
+    if (!canonical) continue;
+    HeteroSolution candidate = dpWithFixedOrder(weights, speeds, order);
+    if (candidate.bottleneck < best.bottleneck) {
+      best = std::move(candidate);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+HeteroSolution heteroSortedDp(const std::vector<Real>& weights, const std::vector<Real>& speeds) {
+  checkHeteroInputs(weights, speeds);
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return speeds[a] > speeds[b]; });
+  return dpWithFixedOrder(weights, speeds, order);
+}
+
+HeteroSolution heteroLocalSearch(const std::vector<Real>& weights, const std::vector<Real>& speeds,
+                                 std::size_t maxIterations) {
+  checkHeteroInputs(weights, speeds);
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return speeds[a] > speeds[b]; });
+
+  HeteroSolution best = dpWithFixedOrder(weights, speeds, order);
+  for (std::size_t sweep = 0; sweep < maxIterations; ++sweep) {
+    bool improved = false;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      if (speeds[order[k]] == speeds[order[k + 1]]) continue;  // no-op swap
+      std::swap(order[k], order[k + 1]);
+      HeteroSolution candidate = dpWithFixedOrder(weights, speeds, order);
+      if (candidate.bottleneck + kTimeEps < best.bottleneck) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        std::swap(order[k], order[k + 1]);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+Real heteroLowerBound(const std::vector<Real>& weights, const std::vector<Real>& speeds) {
+  checkHeteroInputs(weights, speeds);
+  const Real totalWeight = std::accumulate(weights.begin(), weights.end(), Real(0));
+  const Real totalSpeed = std::accumulate(speeds.begin(), speeds.end(), Real(0));
+  const Real maxSpeed = *std::max_element(speeds.begin(), speeds.end());
+  // Perfect load balance across all processors, and the heaviest single
+  // element must fit somewhere (best case: on the fastest processor).
+  const Real maxElem = *std::max_element(weights.begin(), weights.end());
+  return std::max(totalWeight / totalSpeed, maxElem / maxSpeed);
+}
+
+}  // namespace pipesched::c2c

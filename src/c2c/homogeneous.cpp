@@ -1,0 +1,187 @@
+#include "pipesched/c2c/homogeneous.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pipesched::c2c {
+
+namespace {
+
+void checkInputs(const std::vector<Real>& weights, std::size_t parts) {
+  if (weights.empty()) throw ModelError("c2c: empty weight array");
+  if (parts == 0) throw ModelError("c2c: need at least one part");
+  for (Real w : weights) {
+    if (w < Real(0) || !std::isfinite(w)) {
+      throw ModelError("c2c: weights must be finite and >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+Partition dpPartition(const std::vector<Real>& weights, std::size_t parts) {
+  checkInputs(weights, parts);
+  const std::size_t n = weights.size();
+  // With non-negative weights, splitting an interval never increases the
+  // bottleneck, so the at-most-p optimum is attained with exactly
+  // m = min(p, n) non-empty intervals.
+  const std::size_t m = std::min(parts, n);
+  const std::vector<Real> pre = prefixSums(weights);
+
+  // best[k][i]: minimal bottleneck splitting the first i elements into
+  // exactly k non-empty intervals (i >= k). cut[k][i]: start index of the
+  // last interval in an optimal split.
+  std::vector<std::vector<Real>> best(m + 1, std::vector<Real>(n + 1, kInfinity));
+  std::vector<std::vector<std::size_t>> cut(m + 1, std::vector<std::size_t>(n + 1, 0));
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    best[1][i] = pre[i];
+    cut[1][i] = 0;
+  }
+  for (std::size_t k = 2; k <= m; ++k) {
+    for (std::size_t i = k; i <= n; ++i) {
+      Real bestVal = kInfinity;
+      std::size_t bestStart = k - 1;
+      // Last interval covers elements [j, i); the first j use k-1 intervals.
+      for (std::size_t j = k - 1; j < i; ++j) {
+        const Real candidate = std::max(best[k - 1][j], pre[i] - pre[j]);
+        if (candidate < bestVal) {
+          bestVal = candidate;
+          bestStart = j;
+        }
+      }
+      best[k][i] = bestVal;
+      cut[k][i] = bestStart;
+    }
+  }
+
+  Partition out;
+  out.ends.resize(m);
+  std::size_t boundary = n;
+  for (std::size_t k = m; k >= 1; --k) {
+    out.ends[k - 1] = boundary - 1;
+    boundary = cut[k][boundary];
+  }
+  validatePartition(weights, out);
+  return out;
+}
+
+bool probe(const std::vector<Real>& weights, std::size_t parts, Real limit, Partition* out) {
+  checkInputs(weights, parts);
+  if (out) out->ends.clear();
+  Real current = 0;
+  std::size_t used = 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > limit + kTimeEps) return false;  // a single element exceeds the limit
+    if (current + weights[i] > limit + kTimeEps) {
+      if (out) out->ends.push_back(i - 1);
+      ++used;
+      if (used > parts) return false;
+      current = 0;
+    }
+    current += weights[i];
+  }
+  if (out) out->ends.push_back(weights.size() - 1);
+  return true;
+}
+
+Partition parametricPartition(const std::vector<Real>& weights, std::size_t parts) {
+  checkInputs(weights, parts);
+  const std::vector<Real> pre = prefixSums(weights);
+  const Real total = pre.back();
+  const Real maxElem = *std::max_element(weights.begin(), weights.end());
+
+  // Binary search on the bottleneck value between the trivial lower bound
+  // max(max element, total/p) and the trivial upper bound (everything in one
+  // interval). The witness partition probed at the final upper bound has an
+  // *achievable* bottleneck within kTimeEps of the optimum.
+  Real lo = std::max(maxElem, total / static_cast<Real>(parts));
+  Real hi = total;
+  Partition witness;
+  if (probe(weights, parts, lo, &witness)) {
+    return witness;
+  }
+  for (int iter = 0; iter < 80 && hi - lo > kTimeEps * std::max(Real(1), hi); ++iter) {
+    const Real mid = Real(0.5) * (lo + hi);
+    if (probe(weights, parts, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (!probe(weights, parts, hi, &witness)) {
+    throw ModelError("c2c::parametricPartition: internal feasibility failure");
+  }
+  // Tighten: re-probe at the witness's own bottleneck, which is achievable
+  // and no larger than hi.
+  Partition tightened;
+  if (probe(weights, parts, bottleneck(weights, witness), &tightened)) {
+    witness = tightened;
+  }
+  validatePartition(weights, witness);
+  return witness;
+}
+
+Partition greedyPartition(const std::vector<Real>& weights, std::size_t parts) {
+  checkInputs(weights, parts);
+  const std::size_t n = weights.size();
+  const std::size_t m = std::min(parts, n);
+  const std::vector<Real> pre = prefixSums(weights);
+  const Real target = pre.back() / static_cast<Real>(m);
+  Partition out;
+  Real current = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    current += weights[i];
+    const std::size_t remainingStages = n - i - 1;
+    const std::size_t intervalsLeft = m - out.ends.size();  // including the open one
+    if (remainingStages == 0) break;
+    const bool mustCut = intervalsLeft > remainingStages;  // keep intervals non-empty-able
+    if (out.ends.size() + 1 < m && (current >= target || mustCut)) {
+      out.ends.push_back(i);
+      current = 0;
+    }
+  }
+  out.ends.push_back(n - 1);
+  validatePartition(weights, out);
+  return out;
+}
+
+Partition recursiveBisection(const std::vector<Real>& weights, std::size_t parts) {
+  checkInputs(weights, parts);
+  const std::size_t n = weights.size();
+  const std::vector<Real> pre = prefixSums(weights);
+  Partition out;
+
+  const auto bisect = [&](auto&& self, std::size_t first, std::size_t last,
+                          std::size_t k) -> void {
+    const std::size_t len = last - first + 1;
+    if (k <= 1 || len == 1) {
+      out.ends.push_back(last);
+      return;
+    }
+    const std::size_t kl = k / 2;
+    const std::size_t kr = k - kl;
+    const Real segTotal = pre[last + 1] - pre[first];
+    const Real want = pre[first] + segTotal * static_cast<Real>(kl) / static_cast<Real>(k);
+    std::size_t bestCut = first;
+    Real bestDist = kInfinity;
+    for (std::size_t c = first; c < last; ++c) {
+      const Real dist = std::abs(pre[c + 1] - want);
+      if (dist < bestDist) {
+        bestDist = dist;
+        bestCut = c;
+      }
+    }
+    self(self, first, bestCut, std::min(kl, bestCut - first + 1));
+    self(self, bestCut + 1, last, std::min(kr, last - bestCut));
+  };
+  bisect(bisect, 0, n - 1, std::min(parts, n));
+  validatePartition(weights, out);
+  return out;
+}
+
+Real optimalBottleneck(const std::vector<Real>& weights, std::size_t parts) {
+  return bottleneck(weights, dpPartition(weights, parts));
+}
+
+}  // namespace pipesched::c2c

@@ -1,0 +1,185 @@
+#include "pipesched/c2c/nmwts.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pipesched::c2c {
+
+std::int64_t NmwtsInstance::maxValue() const {
+  std::int64_t best = 0;
+  for (auto v : x) best = std::max(best, v);
+  for (auto v : y) best = std::max(best, v);
+  for (auto v : z) best = std::max(best, v);
+  return best;
+}
+
+void NmwtsInstance::validate() const {
+  if (x.empty()) throw ModelError("NMWTS: m must be >= 1");
+  if (y.size() != x.size() || z.size() != x.size()) {
+    throw ModelError("NMWTS: x, y, z must all have m entries");
+  }
+  for (const auto* list : {&x, &y, &z}) {
+    for (auto v : *list) {
+      if (v < 0) throw ModelError("NMWTS: values must be non-negative");
+    }
+  }
+}
+
+bool NmwtsInstance::sumsBalanced() const {
+  const auto sum = [](const std::vector<std::int64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  };
+  return sum(x) + sum(y) == sum(z);
+}
+
+bool verifyNmwts(const NmwtsInstance& inst, const NmwtsSolution& sol) {
+  const std::size_t m = inst.m();
+  if (sol.sigma1.size() != m || sol.sigma2.size() != m) return false;
+  std::vector<bool> seen1(m, false);
+  std::vector<bool> seen2(m, false);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = sol.sigma1[i];
+    const std::size_t k = sol.sigma2[i];
+    if (j >= m || k >= m || seen1[j] || seen2[k]) return false;
+    seen1[j] = true;
+    seen2[k] = true;
+    if (inst.x[i] + inst.y[j] != inst.z[k]) return false;
+  }
+  return true;
+}
+
+std::optional<NmwtsSolution> solveNmwts(const NmwtsInstance& inst) {
+  inst.validate();
+  if (!inst.sumsBalanced()) return std::nullopt;
+  const std::size_t m = inst.m();
+  NmwtsSolution sol;
+  sol.sigma1.assign(m, 0);
+  sol.sigma2.assign(m, 0);
+  std::vector<bool> usedY(m, false);
+  std::vector<bool> usedZ(m, false);
+
+  const auto backtrack = [&](auto&& self, std::size_t i) -> bool {
+    if (i == m) return true;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (usedY[j]) continue;
+      // Skip duplicate y values already tried at this depth.
+      bool duplicate = false;
+      for (std::size_t j2 = 0; j2 < j; ++j2) {
+        if (!usedY[j2] && inst.y[j2] == inst.y[j]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      const std::int64_t want = inst.x[i] + inst.y[j];
+      for (std::size_t k = 0; k < m; ++k) {
+        if (usedZ[k] || inst.z[k] != want) continue;
+        usedY[j] = usedZ[k] = true;
+        sol.sigma1[i] = j;
+        sol.sigma2[i] = k;
+        if (self(self, i + 1)) return true;
+        usedY[j] = usedZ[k] = false;
+        break;  // any z slot with the same value is equivalent
+      }
+    }
+    return false;
+  };
+  if (backtrack(backtrack, 0)) return sol;
+  return std::nullopt;
+}
+
+ReductionInstance buildReduction(const NmwtsInstance& inst) {
+  inst.validate();
+  const std::int64_t M = inst.maxValue();
+  if (M < 1) {
+    throw ModelError("NMWTS reduction: requires M >= 1 (all-zero instances are degenerate)");
+  }
+  const std::int64_t B = 2 * M;
+  const std::int64_t C = 5 * M;
+  const std::int64_t D = 7 * M;
+  const std::size_t m = inst.m();
+
+  ReductionInstance out;
+  out.bound = Real(1);
+  out.weights.reserve(static_cast<std::size_t>(M + 3) * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.weights.push_back(static_cast<Real>(B + inst.x[i]));  // A_i
+    for (std::int64_t one = 0; one < M; ++one) out.weights.push_back(Real(1));
+    out.weights.push_back(static_cast<Real>(C));
+    out.weights.push_back(static_cast<Real>(D));
+  }
+  out.speeds.reserve(3 * m);
+  for (std::size_t i = 0; i < m; ++i) out.speeds.push_back(static_cast<Real>(B + inst.z[i]));
+  for (std::size_t i = 0; i < m; ++i) {
+    out.speeds.push_back(static_cast<Real>(C + M - inst.y[i]));
+  }
+  for (std::size_t i = 0; i < m; ++i) out.speeds.push_back(static_cast<Real>(D));
+  return out;
+}
+
+HeteroSolution reductionSolution(const NmwtsInstance& inst, const NmwtsSolution& sol) {
+  inst.validate();
+  if (!verifyNmwts(inst, sol)) {
+    throw ModelError("NMWTS reduction: solution does not certify the instance");
+  }
+  const std::size_t m = inst.m();
+  const std::size_t M = static_cast<std::size_t>(inst.maxValue());
+  const std::size_t blockLen = M + 3;
+
+  HeteroSolution out;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t base = i * blockLen;
+    const std::size_t h = static_cast<std::size_t>(inst.y[sol.sigma1[i]]);
+    // Interval 1: A_i plus h unit tasks -> processor sigma2(i) (speed B+z).
+    out.partition.ends.push_back(base + h);
+    out.processorOrder.push_back(sol.sigma2[i]);
+    // Interval 2: remaining M-h unit tasks plus C -> processor m + sigma1(i).
+    out.partition.ends.push_back(base + M + 1);
+    out.processorOrder.push_back(m + sol.sigma1[i]);
+    // Interval 3: the D task alone -> processor 2m + i.
+    out.partition.ends.push_back(base + M + 2);
+    out.processorOrder.push_back(2 * m + i);
+  }
+  const ReductionInstance red = buildReduction(inst);
+  std::vector<Real> speedsInOrder;
+  speedsInOrder.reserve(out.processorOrder.size());
+  for (std::size_t proc : out.processorOrder) speedsInOrder.push_back(red.speeds[proc]);
+  out.bottleneck = weightedBottleneck(red.weights, out.partition, speedsInOrder);
+  return out;
+}
+
+std::optional<NmwtsSolution> extractCertificate(const NmwtsInstance& inst,
+                                                const HeteroSolution& sol) {
+  inst.validate();
+  const std::size_t m = inst.m();
+  const std::size_t M = static_cast<std::size_t>(inst.maxValue());
+  const std::size_t blockLen = M + 3;
+  if (sol.partition.intervalCount() != 3 * m) return std::nullopt;
+
+  NmwtsSolution cert;
+  cert.sigma1.assign(m, 0);
+  cert.sigma2.assign(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t base = i * blockLen;
+    const std::size_t j = 3 * i;
+    // Interval 1 holds A_i and h unit tasks on a B-speed processor.
+    if (sol.partition.first(j) != base) return std::nullopt;
+    const std::size_t end1 = sol.partition.last(j);
+    if (end1 < base || end1 > base + M) return std::nullopt;
+    const std::size_t proc1 = sol.processorOrder[j];
+    if (proc1 >= m) return std::nullopt;
+    cert.sigma2[i] = proc1;
+    // Interval 2 holds the remaining unit tasks and C on a C-speed processor.
+    if (sol.partition.last(j + 1) != base + M + 1) return std::nullopt;
+    const std::size_t proc2 = sol.processorOrder[j + 1];
+    if (proc2 < m || proc2 >= 2 * m) return std::nullopt;
+    cert.sigma1[i] = proc2 - m;
+    // Interval 3 holds D alone on a D-speed processor.
+    if (sol.partition.last(j + 2) != base + M + 2) return std::nullopt;
+    if (sol.processorOrder[j + 2] < 2 * m) return std::nullopt;
+  }
+  if (!verifyNmwts(inst, cert)) return std::nullopt;
+  return cert;
+}
+
+}  // namespace pipesched::c2c

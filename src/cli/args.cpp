@@ -1,0 +1,115 @@
+#include "pipesched/cli/args.hpp"
+
+#include <algorithm>
+
+namespace pipesched::cli {
+
+ArgList::ArgList(std::vector<std::string> args, const std::vector<std::string>& flagNames) {
+  const auto isFlag = [&](const std::string& name) {
+    return std::find(flagNames.begin(), flagNames.end(), name) != flagNames.end();
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    if (name.empty()) throw UsageError("stray '--'");
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      options_.push_back(Option{name.substr(0, eq), name.substr(eq + 1)});
+      continue;
+    }
+    if (isFlag(name)) {
+      options_.push_back(Option{std::move(name), std::nullopt});
+      continue;
+    }
+    if (i + 1 >= args.size()) throw UsageError("option --" + name + " needs a value");
+    options_.push_back(Option{std::move(name), args[++i]});
+  }
+}
+
+const ArgList::Option* ArgList::find(const std::string& name) const {
+  for (const Option& o : options_) {
+    if (o.name == name) {
+      o.consumed = true;
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+bool ArgList::has(const std::string& name) const { return find(name) != nullptr; }
+
+std::optional<std::string> ArgList::get(const std::string& name) const {
+  const Option* o = find(name);
+  if (o == nullptr) return std::nullopt;
+  if (!o->value) throw UsageError("option --" + name + " needs a value");
+  return o->value;
+}
+
+std::string ArgList::getOr(const std::string& name, const std::string& fallback) const {
+  const auto v = get(name);
+  return v ? *v : fallback;
+}
+
+std::string ArgList::require(const std::string& name) const {
+  const auto v = get(name);
+  if (!v) throw UsageError("missing required option --" + name);
+  return *v;
+}
+
+namespace {
+
+Real parseRealOrThrow(const std::string& name, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const Real value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("option --" + name + ": '" + text + "' is not a number");
+  }
+}
+
+}  // namespace
+
+Real ArgList::getReal(const std::string& name, Real fallback) const {
+  const auto v = get(name);
+  return v ? parseRealOrThrow(name, *v) : fallback;
+}
+
+Real ArgList::requireReal(const std::string& name) const {
+  return parseRealOrThrow(name, require(name));
+}
+
+std::size_t ArgList::getSize(const std::string& name, std::size_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const Real value = parseRealOrThrow(name, *v);
+  if (value < 0 || value != static_cast<Real>(static_cast<std::size_t>(value))) {
+    throw UsageError("option --" + name + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::uint64_t ArgList::getU64(const std::string& name, std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(*v, &used);
+    if (used != v->size()) throw std::invalid_argument(*v);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("option --" + name + ": '" + *v + "' is not an unsigned integer");
+  }
+}
+
+void ArgList::assertConsumed() const {
+  for (const Option& o : options_) {
+    if (!o.consumed) throw UsageError("unknown option --" + o.name);
+  }
+}
+
+}  // namespace pipesched::cli

@@ -1,0 +1,160 @@
+#include "pipesched/cli/cli.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "cli_internal.hpp"
+
+namespace pipesched::cli {
+
+namespace detail {
+
+workload::ExperimentKind parseKind(const std::string& text) {
+  std::string upper = text;
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (upper == "E1") return workload::ExperimentKind::kE1BalancedHomComm;
+  if (upper == "E2") return workload::ExperimentKind::kE2BalancedHetComm;
+  if (upper == "E3") return workload::ExperimentKind::kE3LargeComputations;
+  if (upper == "E4") return workload::ExperimentKind::kE4SmallComputations;
+  throw UsageError("unknown experiment kind '" + text + "' (expected E1..E4)");
+}
+
+std::vector<std::unique_ptr<heuristics::MappingHeuristic>> parseHeuristics(
+    const std::string& spec) {
+  if (spec == "all") return heuristics::makeAllHeuristics();
+  static const std::map<std::string, heuristics::HeuristicId> byName = {
+      {"H1", heuristics::HeuristicId::kH1SpMonoP},
+      {"H2", heuristics::HeuristicId::kH2ExploThreeMono},
+      {"H3", heuristics::HeuristicId::kH3ExploThreeBi},
+      {"H4", heuristics::HeuristicId::kH4SpBiP},
+      {"H5", heuristics::HeuristicId::kH5SpMonoL},
+      {"H6", heuristics::HeuristicId::kH6SpBiL},
+  };
+  std::vector<std::unique_ptr<heuristics::MappingHeuristic>> result;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    const auto it = byName.find(token);
+    if (it == byName.end()) {
+      throw UsageError("unknown heuristic '" + token + "' (expected H1..H6 or all)");
+    }
+    result.push_back(heuristics::makeHeuristic(it->second));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return result;
+}
+
+io::Instance loadInstance(const ArgList& args) {
+  return io::readInstanceFromFile(args.require("instance"));
+}
+
+core::IntervalMapping loadMapping(const ArgList& args, const io::Instance& instance) {
+  core::IntervalMapping mapping = io::readMappingFromFile(
+      args.require("mapping"), instance.pipeline.stageCount());
+  mapping.validate(instance.pipeline.stageCount(), instance.platform.processorCount());
+  return mapping;
+}
+
+void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& fallback,
+                   const std::function<void(std::ostream&)>& body) {
+  if (const auto path = args.get(name)) {
+    std::ofstream file(*path);
+    if (!file) throw std::runtime_error("cannot open for writing: " + *path);
+    body(file);
+  } else {
+    body(fallback);
+  }
+}
+
+}  // namespace detail
+
+std::string usageText() {
+  return R"(pipesched — bi-criteria mapping of pipeline workflows (CLUSTER'07 reproduction)
+
+usage: pipesched <command> [options]
+
+commands:
+  generate   make a random instance file
+             --kind E1..E4 --stages N --processors P [--seed S] [--name TEXT]
+             [--hetero] [--bw-min X --bw-max Y] [--output FILE]
+  solve      run mapping heuristics on an instance
+             --instance FILE (--period X | --latency X) [--heuristic H1..H6|all]
+             [--refine] [--baselines] [--deal] [--mapping-out FILE] [--json]
+  eval       evaluate a mapping file against an instance
+             --instance FILE --mapping FILE [--overlap] [--json]
+  simulate   discrete-event simulation of a mapping
+             --instance FILE --mapping FILE [--datasets N] [--warmup N]
+             [--release X] [--jitter A] [--jitter-transfer A] [--seed S]
+             [--trials N] [--gantt] [--gantt-width N] [--trace-csv FILE]
+             [--deal [--discipline ordered|substreams]]  # replicated mapping
+  pareto     heuristic Pareto front of one instance
+             --instance FILE [--points N] [--range X] [--exact]
+  sweep      regenerate one panel of paper Figures 2-7
+             --kind E1..E4 --stages N --processors P [--pairs N] [--points N]
+             [--seed S] [--overlap] [--csv]
+  table1     regenerate one experiment column block of paper Table 1
+             --kind E1..E4 [--processors P] [--pairs N] [--stages N,N,...]
+  help       print this text
+
+files use the pipesched-instance / pipesched-mapping v1 text formats
+(see include/pipesched/io/format.hpp).
+)";
+}
+
+int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << usageText();
+    return 2;
+  }
+  const std::string& command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  using Handler = int (*)(const ArgList&, std::ostream&, std::ostream&);
+  struct Spec {
+    Handler handler;
+    std::vector<std::string> flags;
+  };
+  static const std::map<std::string, Spec> commands = {
+      {"generate", {detail::cmdGenerate, {"hetero"}}},
+      {"solve", {detail::cmdSolve, {"refine", "baselines", "deal", "json"}}},
+      {"eval", {detail::cmdEval, {"overlap", "json"}}},
+      {"simulate", {detail::cmdSimulate, {"gantt", "deal"}}},
+      {"pareto", {detail::cmdPareto, {"exact"}}},
+      {"sweep", {detail::cmdSweep, {"overlap", "csv"}}},
+      {"table1", {detail::cmdTable1, {}}},
+  };
+
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << usageText();
+    return 0;
+  }
+  const auto it = commands.find(command);
+  if (it == commands.end()) {
+    err << "pipesched: unknown command '" << command << "'\n\n" << usageText();
+    return 2;
+  }
+  try {
+    const ArgList parsed(rest, it->second.flags);
+    const int code = it->second.handler(parsed, out, err);
+    parsed.assertConsumed();
+    return code;
+  } catch (const UsageError& e) {
+    err << "pipesched " << command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "pipesched " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int runCli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return runCli(args, out, err);
+}
+
+}  // namespace pipesched::cli

@@ -1,0 +1,45 @@
+// Private helpers shared by the pipesched CLI command implementations.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipesched/cli/args.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/io/format.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::cli::detail {
+
+/// "E1".."E4" (case-insensitive) -> ExperimentKind; UsageError otherwise.
+[[nodiscard]] workload::ExperimentKind parseKind(const std::string& text);
+
+/// "H1".."H6" -> the heuristic; "all" -> all six. UsageError otherwise.
+[[nodiscard]] std::vector<std::unique_ptr<heuristics::MappingHeuristic>> parseHeuristics(
+    const std::string& spec);
+
+/// Loads --instance; UsageError when the option is missing.
+[[nodiscard]] io::Instance loadInstance(const ArgList& args);
+
+/// Loads --mapping and validates it against the instance.
+[[nodiscard]] core::IntervalMapping loadMapping(const ArgList& args,
+                                                const io::Instance& instance);
+
+/// Writes via `body` either to the file named by --output/-o style option
+/// `name` or, when absent, to `fallback`.
+void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& fallback,
+                   const std::function<void(std::ostream&)>& body);
+
+// Command entry points (one per subcommand).
+int cmdGenerate(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdSolve(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdEval(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdSimulate(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdPareto(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdSweep(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdTable1(const ArgList& args, std::ostream& out, std::ostream& err);
+
+}  // namespace pipesched::cli::detail

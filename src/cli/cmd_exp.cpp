@@ -1,0 +1,107 @@
+// `pareto`, `sweep`, `table1` — the experiment drivers behind the paper's
+// evaluation artifacts, exposed on the command line.
+#include <ostream>
+#include <sstream>
+
+#include "cli_internal.hpp"
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/exp/sweep.hpp"
+
+namespace pipesched::cli::detail {
+
+int cmdPareto(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  const io::Instance instance = loadInstance(args);
+  exp::ParetoStudyConfig config;
+  config.pointsPerHeuristic = args.getSize("points", config.pointsPerHeuristic);
+  config.range = args.getReal("range", config.range);
+  const bool exact = args.has("exact");
+  args.assertConsumed();
+
+  const core::Evaluator eval(instance.pipeline, instance.platform);
+  const exp::ParetoStudy study = exp::runParetoStudy(eval, config);
+  exp::printParetoStudy(out, study);
+
+  if (exact) {
+    const std::size_t n = instance.pipeline.stageCount();
+    const std::size_t p = instance.platform.processorCount();
+    if (n > 12 || p > 6) {
+      throw UsageError("--exact needs a small instance (n <= 12, p <= 6); this one is n=" +
+                       std::to_string(n) + ", p=" + std::to_string(p));
+    }
+    const auto exactFront = exact::exhaustiveParetoFront(eval);
+    out << "\nExact Pareto front (" << exactFront.size() << " points)\n";
+    exp::TextTable table;
+    table.setHeader({"period", "latency"});
+    for (const core::ParetoPoint& point : exactFront) {
+      table.addRow({exp::formatReal(point.period, 3), exp::formatReal(point.latency, 3)});
+    }
+    table.print(out);
+    const exp::FrontGap gap = exp::frontGap(exactFront, study.merged);
+    out << "\nheuristic-front gap: mean +" << exp::formatReal(gap.meanRelativeExcess * 100, 2)
+        << "% latency, max +" << exp::formatReal(gap.maxRelativeExcess * 100, 2) << "%, "
+        << gap.uncovered << " exact period(s) unreachable\n";
+  }
+  return 0;
+}
+
+int cmdSweep(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  exp::SweepConfig config;
+  config.kind = parseKind(args.require("kind"));
+  config.stages = args.getSize("stages", config.stages);
+  config.processors = args.getSize("processors", config.processors);
+  config.pairs = args.getSize("pairs", config.pairs);
+  config.points = args.getSize("points", config.points);
+  config.seed = args.getU64("seed", config.seed);
+  if (args.has("overlap")) config.model = core::CommModel::kOverlapped;
+  const bool csv = args.has("csv");
+  args.assertConsumed();
+
+  const exp::SweepResult result = exp::runBiCriteriaSweep(config);
+  if (csv) {
+    exp::writeSweepCsv(out, result);
+  } else {
+    std::ostringstream title;
+    title << workload::experimentName(config.kind) << ", n=" << config.stages
+          << ", p=" << config.processors;
+    exp::printSweep(out, result, title.str());
+  }
+  return 0;
+}
+
+int cmdTable1(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  const workload::ExperimentKind kind = parseKind(args.require("kind"));
+  const std::size_t processors = args.getSize("processors", 10);
+  const std::size_t pairs = args.getSize("pairs", 50);
+  const std::uint64_t seed = args.getU64("seed", 20070628);
+
+  std::vector<std::size_t> stageCounts = {5, 10, 20, 40};
+  if (const auto spec = args.get("stages")) {
+    stageCounts.clear();
+    std::size_t start = 0;
+    while (start <= spec->size()) {
+      const std::size_t comma = spec->find(',', start);
+      const std::string token =
+          spec->substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+      try {
+        std::size_t used = 0;
+        const unsigned long value = std::stoul(token, &used);
+        if (used != token.size() || value == 0) throw std::invalid_argument(token);
+        stageCounts.push_back(value);
+      } catch (const std::exception&) {
+        throw UsageError("--stages expects a comma-separated list of positive integers");
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  args.assertConsumed();
+
+  const exp::FailureThresholdReport report =
+      exp::failureThresholds(kind, stageCounts, processors, pairs, seed);
+  exp::printFailureThresholds(out, report);
+  return 0;
+}
+
+}  // namespace pipesched::cli::detail

@@ -1,0 +1,137 @@
+// `simulate` — DES validation of a mapping, with optional jitter, robustness
+// trials, Gantt rendering and trace export.
+#include <fstream>
+#include <ostream>
+
+#include "cli_internal.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/sim/perturbation.hpp"
+#include "pipesched/sim/replicated_sim.hpp"
+#include "pipesched/sim/trace.hpp"
+
+namespace pipesched::cli::detail {
+
+namespace {
+
+/// `simulate --deal`: the mapping file holds a replicated (deal) mapping;
+/// run the replicated DES and compare against the replication cost model.
+int simulateDeal(const ArgList& args, const io::Instance& instance, std::ostream& out) {
+  const core::ReplicatedMapping mapping = io::readReplicatedMappingFromFile(
+      args.require("mapping"), instance.pipeline.stageCount());
+
+  sim::SimConfig config;
+  config.datasetCount = args.getSize("datasets", 601);
+  config.warmup = args.getSize("warmup", config.datasetCount / 3);
+  config.releaseInterval = args.getReal("release", 0);
+  const std::string disciplineName = args.getOr("discipline", "ordered");
+  sim::DealDiscipline discipline;
+  if (disciplineName == "ordered") {
+    discipline = sim::DealDiscipline::kStreamOrdered;
+  } else if (disciplineName == "substreams") {
+    discipline = sim::DealDiscipline::kIndependentSubstreams;
+  } else {
+    throw UsageError("--discipline must be 'ordered' or 'substreams'");
+  }
+  args.assertConsumed();
+
+  const core::Evaluator eval(instance.pipeline, instance.platform);
+  const core::Metrics predicted = core::evaluateReplicated(eval, mapping);
+  const sim::SimReport report = sim::simulateReplicated(eval, mapping, config, discipline);
+
+  out << "deal mapping: " << mapping.describe() << "\n"
+      << "discipline:   " << disciplineName << ", datasets " << config.datasetCount << "\n\n";
+  exp::TextTable table;
+  table.setHeader({"metric", "replication model", "simulated"});
+  table.addRow({"period", exp::formatReal(predicted.period, 6),
+                exp::formatReal(report.steadyStatePeriod, 6)});
+  table.addRow({"max latency", exp::formatReal(predicted.latency, 6),
+                exp::formatReal(report.maxLatency, 6)});
+  table.print(out);
+  out << "(the model is a lower bound under rendezvous semantics; see DESIGN.md §5)\n";
+  return 0;
+}
+
+}  // namespace
+
+int cmdSimulate(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  const io::Instance instance = loadInstance(args);
+  if (args.has("deal")) return simulateDeal(args, instance, out);
+  const core::IntervalMapping mapping = loadMapping(args, instance);
+
+  sim::SimConfig config;
+  config.datasetCount = args.getSize("datasets", 200);
+  config.warmup = args.getSize("warmup", config.datasetCount / 4);
+  config.releaseInterval = args.getReal("release", 0);
+
+  sim::JitterModel jitter;
+  jitter.computeAmplitude = args.getReal("jitter", 0);
+  jitter.transferAmplitude = args.getReal("jitter-transfer", jitter.computeAmplitude);
+  jitter.seed = args.getU64("seed", 1);
+
+  const std::size_t trials = args.getSize("trials", 1);
+  const bool gantt = args.has("gantt");
+  const std::size_t ganttWidth = args.getSize("gantt-width", 100);
+  const std::size_t ganttDatasets = args.getSize("gantt-datasets", 8);
+  const auto traceCsv = args.get("trace-csv");
+  args.assertConsumed();
+
+  const core::Evaluator eval(instance.pipeline, instance.platform);
+  const core::Metrics predicted = eval.evaluate(mapping);
+
+  if (trials > 1) {
+    const sim::RobustnessReport report =
+        sim::measureRobustness(eval, mapping, config, jitter, trials);
+    out << "robustness over " << trials << " jittered trials (amplitude compute="
+        << exp::formatReal(jitter.computeAmplitude, 2)
+        << ", transfer=" << exp::formatReal(jitter.transferAmplitude, 2) << ")\n";
+    exp::TextTable table;
+    table.setHeader({"metric", "predicted", "mean", "worst", "degradation"});
+    table.addRow({"period", exp::formatReal(report.nominalPeriod, 4),
+                  exp::formatReal(report.meanPeriod, 4), exp::formatReal(report.worstPeriod, 4),
+                  exp::formatReal(report.periodDegradation(), 3)});
+    table.addRow({"max latency", exp::formatReal(report.nominalLatency, 4),
+                  exp::formatReal(report.meanMaxLatency, 4),
+                  exp::formatReal(report.worstMaxLatency, 4),
+                  exp::formatReal(report.latencyDegradation(), 3)});
+    table.print(out);
+    return 0;
+  }
+
+  config.recordTrace = gantt || traceCsv.has_value();
+  const sim::SimReport report =
+      jitter.computeAmplitude > 0 || jitter.transferAmplitude > 0
+          ? sim::simulatePipelineJittered(eval, mapping, config, jitter)
+          : sim::simulatePipeline(eval, mapping, config);
+
+  out << "datasets: " << config.datasetCount
+      << ", release interval: " << exp::formatReal(config.releaseInterval, 4)
+      << (config.releaseInterval == 0 ? " (saturated)" : "") << ", events: "
+      << report.eventCount << "\n\n";
+  exp::TextTable table;
+  table.setHeader({"metric", "model (Eq. 1/2)", "simulated"});
+  table.addRow({"period", exp::formatReal(predicted.period, 6),
+                exp::formatReal(report.steadyStatePeriod, 6)});
+  table.addRow({"latency", exp::formatReal(predicted.latency, 6),
+                exp::formatReal(config.releaseInterval == 0 && config.datasetCount > 1
+                                    ? report.latencies.front()
+                                    : report.maxLatency,
+                                6)});
+  table.addRow({"makespan", "-", exp::formatReal(report.makespan, 6)});
+  table.print(out);
+
+  if (gantt) {
+    sim::GanttOptions options;
+    options.width = ganttWidth;
+    options.maxDatasets = ganttDatasets;
+    out << "\n" << sim::renderGantt(mapping, report, options);
+  }
+  if (traceCsv) {
+    std::ofstream file(*traceCsv);
+    if (!file) throw std::runtime_error("cannot open for writing: " + *traceCsv);
+    sim::writeTraceCsv(file, report);
+    out << "\ntrace written to " << *traceCsv << " (" << report.trace.size() << " events)\n";
+  }
+  return 0;
+}
+
+}  // namespace pipesched::cli::detail

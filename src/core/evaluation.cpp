@@ -1,0 +1,114 @@
+#include "pipesched/core/evaluation.hpp"
+
+#include <algorithm>
+
+namespace pipesched::core {
+
+Evaluator::Evaluator(const Pipeline& pipeline, const Platform& platform, CommModel model)
+    : pipe_(&pipeline), plat_(&platform), model_(model) {}
+
+CycleBreakdown Evaluator::breakdown(const IntervalMapping& mapping, std::size_t j) const {
+  const Assignment& a = mapping.assignment(j);
+  const std::size_t u = a.processor;
+  CycleBreakdown out;
+  out.compute = computeTime(a.interval, u);
+
+  const Real deltaIn = pipe_->comm(a.interval.first);
+  const Real deltaOut = pipe_->comm(a.interval.last + 1);
+
+  // Incoming link: from the previous interval's processor, or the outside
+  // world for the first interval. Zero-size transfers cost nothing even on
+  // a heterogeneous platform.
+  if (deltaIn > Real(0)) {
+    const Real bIn = (j == 0) ? plat_->inputBandwidth(u)
+                              : plat_->bandwidth(mapping.processor(j - 1), u);
+    out.input = deltaIn / bIn;
+  }
+  if (deltaOut > Real(0)) {
+    const Real bOut = (j + 1 == mapping.intervalCount())
+                          ? plat_->outputBandwidth(u)
+                          : plat_->bandwidth(u, mapping.processor(j + 1));
+    out.output = deltaOut / bOut;
+  }
+  return out;
+}
+
+Real Evaluator::intervalCycle(const IntervalMapping& mapping, std::size_t j) const {
+  const CycleBreakdown b = breakdown(mapping, j);
+  return model_ == CommModel::kSequential ? b.sequential() : b.overlapped();
+}
+
+Real Evaluator::cycleTime(Interval iv, std::size_t proc) const {
+  const Real b = plat_->bandwidth();  // throws on fully-heterogeneous platforms
+  CycleBreakdown bd;
+  bd.input = pipe_->comm(iv.first) / b;
+  bd.compute = computeTime(iv, proc);
+  bd.output = pipe_->comm(iv.last + 1) / b;
+  return model_ == CommModel::kSequential ? bd.sequential() : bd.overlapped();
+}
+
+Real Evaluator::computeTime(Interval iv, std::size_t proc) const {
+  return pipe_->workSum(iv.first, iv.last) / plat_->speed(proc);
+}
+
+Real Evaluator::period(const IntervalMapping& mapping) const {
+  return evaluate(mapping).period;
+}
+
+Real Evaluator::latency(const IntervalMapping& mapping) const {
+  return evaluate(mapping).latency;
+}
+
+Metrics Evaluator::evaluate(const IntervalMapping& mapping) const {
+  if (mapping.empty()) throw MappingError("Evaluator::evaluate: empty mapping");
+  Metrics m;
+  m.period = Real(0);
+  m.latency = Real(0);
+  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
+    const CycleBreakdown b = breakdown(mapping, j);
+    const Real cycle = model_ == CommModel::kSequential ? b.sequential() : b.overlapped();
+    if (cycle > m.period) {
+      m.period = cycle;
+      m.bottleneckInterval = j;
+    }
+    // Eq. (2): every interval pays its input communication and its compute
+    // phase; the very last output (delta_n) is added once below.
+    m.latency += b.input + b.compute;
+    if (j + 1 == mapping.intervalCount()) m.latency += b.output;
+  }
+  return m;
+}
+
+std::vector<Real> Evaluator::cycles(const IntervalMapping& mapping) const {
+  std::vector<Real> out(mapping.intervalCount());
+  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
+    out[j] = intervalCycle(mapping, j);
+  }
+  return out;
+}
+
+Real Evaluator::optimalLatency() const {
+  return latency(optimalLatencyMapping());
+}
+
+IntervalMapping Evaluator::optimalLatencyMapping() const {
+  const std::size_t n = pipe_->stageCount();
+  if (plat_->isCommHomogeneous()) {
+    return IntervalMapping::singleInterval(n, plat_->fastestProcessor());
+  }
+  // Fully-heterogeneous extension: the best single processor accounts for its
+  // world links, so scan all of them.
+  std::size_t best = 0;
+  Real bestLatency = kInfinity;
+  for (std::size_t u = 0; u < plat_->processorCount(); ++u) {
+    const IntervalMapping candidate = IntervalMapping::singleInterval(n, u);
+    const Real l = latency(candidate);
+    if (l < bestLatency) {
+      bestLatency = l;
+      best = u;
+    }
+  }
+  return IntervalMapping::singleInterval(n, best);
+}
+
+}  // namespace pipesched::core

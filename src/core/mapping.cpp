@@ -1,0 +1,155 @@
+#include "pipesched/core/mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace pipesched::core {
+
+namespace {
+
+void checkOrdering(const std::vector<Assignment>& parts) {
+  for (std::size_t j = 0; j < parts.size(); ++j) {
+    const Interval& iv = parts[j].interval;
+    if (iv.last < iv.first) {
+      throw MappingError("IntervalMapping: interval " + std::to_string(j) + " is empty");
+    }
+    if (j > 0 && iv.first != parts[j - 1].interval.last + 1) {
+      throw MappingError("IntervalMapping: interval " + std::to_string(j) +
+                         " does not start right after its predecessor");
+    }
+  }
+}
+
+}  // namespace
+
+IntervalMapping::IntervalMapping(std::vector<Assignment> assignments)
+    : parts_(std::move(assignments)) {
+  checkOrdering(parts_);
+}
+
+IntervalMapping IntervalMapping::singleInterval(std::size_t n, std::size_t processor) {
+  if (n == 0) throw MappingError("IntervalMapping::singleInterval: empty pipeline");
+  return IntervalMapping({Assignment{Interval{0, n - 1}, processor}});
+}
+
+IntervalMapping IntervalMapping::oneToOne(const std::vector<std::size_t>& processors) {
+  if (processors.empty()) throw MappingError("IntervalMapping::oneToOne: empty pipeline");
+  std::vector<Assignment> parts;
+  parts.reserve(processors.size());
+  for (std::size_t k = 0; k < processors.size(); ++k) {
+    parts.push_back(Assignment{Interval{k, k}, processors[k]});
+  }
+  return IntervalMapping(std::move(parts));
+}
+
+IntervalMapping IntervalMapping::fromCuts(std::size_t n, const std::vector<std::size_t>& ends,
+                                          const std::vector<std::size_t>& processors) {
+  if (ends.size() != processors.size()) {
+    throw MappingError("IntervalMapping::fromCuts: ends/processors size mismatch");
+  }
+  if (ends.empty() || ends.back() != n - 1) {
+    throw MappingError("IntervalMapping::fromCuts: last end must be n-1");
+  }
+  std::vector<Assignment> parts;
+  parts.reserve(ends.size());
+  std::size_t first = 0;
+  for (std::size_t j = 0; j < ends.size(); ++j) {
+    if (ends[j] < first || ends[j] >= n) {
+      throw MappingError("IntervalMapping::fromCuts: ends must be strictly increasing and < n");
+    }
+    parts.push_back(Assignment{Interval{first, ends[j]}, processors[j]});
+    first = ends[j] + 1;
+  }
+  return IntervalMapping(std::move(parts));
+}
+
+std::size_t IntervalMapping::stageCount() const noexcept {
+  return parts_.empty() ? 0 : parts_.back().interval.last + 1;
+}
+
+std::size_t IntervalMapping::intervalOf(std::size_t k) const {
+  // Binary search over interval starts.
+  auto it = std::upper_bound(parts_.begin(), parts_.end(), k,
+                             [](std::size_t key, const Assignment& a) {
+                               return key < a.interval.first;
+                             });
+  if (it == parts_.begin()) {
+    throw MappingError("IntervalMapping::intervalOf: stage before first interval");
+  }
+  --it;
+  if (!it->interval.contains(k)) {
+    throw MappingError("IntervalMapping::intervalOf: stage " + std::to_string(k) +
+                       " not covered");
+  }
+  return static_cast<std::size_t>(it - parts_.begin());
+}
+
+void IntervalMapping::replaceInterval(std::size_t j, const std::vector<Assignment>& replacement) {
+  if (j >= parts_.size()) {
+    throw MappingError("IntervalMapping::replaceInterval: interval index out of range");
+  }
+  if (replacement.empty()) {
+    throw MappingError("IntervalMapping::replaceInterval: empty replacement");
+  }
+  const Interval victim = parts_[j].interval;
+  if (replacement.front().interval.first != victim.first ||
+      replacement.back().interval.last != victim.last) {
+    throw MappingError("IntervalMapping::replaceInterval: replacement does not tile the victim");
+  }
+  for (std::size_t r = 1; r < replacement.size(); ++r) {
+    if (replacement[r].interval.first != replacement[r - 1].interval.last + 1) {
+      throw MappingError("IntervalMapping::replaceInterval: replacement intervals not contiguous");
+    }
+  }
+  parts_.erase(parts_.begin() + static_cast<std::ptrdiff_t>(j));
+  parts_.insert(parts_.begin() + static_cast<std::ptrdiff_t>(j), replacement.begin(),
+                replacement.end());
+  checkOrdering(parts_);
+}
+
+void IntervalMapping::validate(std::size_t stages, std::size_t processorCount) const {
+  if (parts_.empty()) throw MappingError("IntervalMapping: empty mapping");
+  if (parts_.front().interval.first != 0) {
+    throw MappingError("IntervalMapping: first interval must start at stage 0");
+  }
+  checkOrdering(parts_);
+  if (parts_.back().interval.last != stages - 1) {
+    throw MappingError("IntervalMapping: last interval must end at stage n-1");
+  }
+  if (parts_.size() > processorCount) {
+    throw MappingError("IntervalMapping: more intervals than processors");
+  }
+  std::unordered_set<std::size_t> used;
+  for (const Assignment& a : parts_) {
+    if (a.processor >= processorCount) {
+      throw MappingError("IntervalMapping: processor index " + std::to_string(a.processor) +
+                         " out of range");
+    }
+    if (!used.insert(a.processor).second) {
+      throw MappingError("IntervalMapping: processor " + std::to_string(a.processor) +
+                         " assigned to two intervals");
+    }
+  }
+}
+
+bool IntervalMapping::isValid(std::size_t stages, std::size_t processorCount) const {
+  try {
+    validate(stages, processorCount);
+    return true;
+  } catch (const MappingError&) {
+    return false;
+  }
+}
+
+std::string IntervalMapping::describe() const {
+  std::ostringstream os;
+  for (std::size_t j = 0; j < parts_.size(); ++j) {
+    if (j > 0) os << " | ";
+    os << "[" << parts_[j].interval.first << "," << parts_[j].interval.last << "]->P"
+       << parts_[j].processor;
+  }
+  return os.str();
+}
+
+}  // namespace pipesched::core

@@ -1,0 +1,40 @@
+#include "pipesched/core/pareto.hpp"
+
+#include <algorithm>
+
+namespace pipesched::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool noWorse = a.period <= b.period + kTimeEps && a.latency <= b.latency + kTimeEps;
+  const bool strictlyBetter =
+      definitelyLess(a.period, b.period) || definitelyLess(a.latency, b.latency);
+  return noWorse && strictlyBetter;
+}
+
+std::vector<ParetoPoint> paretoFront(std::vector<ParetoPoint> points) {
+  ParetoFrontBuilder builder;
+  for (ParetoPoint& p : points) builder.offer(std::move(p));
+  return builder.take();
+}
+
+bool ParetoFrontBuilder::offer(ParetoPoint point) {
+  for (const ParetoPoint& existing : points_) {
+    if (dominates(existing, point)) return false;
+    if (nearlyEqual(existing.period, point.period) &&
+        nearlyEqual(existing.latency, point.latency)) {
+      return false;  // duplicate coordinates: keep the first representative
+    }
+  }
+  std::erase_if(points_, [&](const ParetoPoint& existing) { return dominates(point, existing); });
+  points_.push_back(std::move(point));
+  return true;
+}
+
+std::vector<ParetoPoint> ParetoFrontBuilder::take() {
+  std::sort(points_.begin(), points_.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    return a.period < b.period || (a.period == b.period && a.latency < b.latency);
+  });
+  return std::move(points_);
+}
+
+}  // namespace pipesched::core

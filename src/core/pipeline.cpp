@@ -1,0 +1,52 @@
+#include "pipesched/core/pipeline.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace pipesched::core {
+
+Pipeline::Pipeline(std::vector<Real> work, std::vector<Real> comm)
+    : work_(std::move(work)), comm_(std::move(comm)) {
+  if (work_.empty()) {
+    throw ModelError("Pipeline: needs at least one stage");
+  }
+  if (comm_.size() != work_.size() + 1) {
+    throw ModelError("Pipeline: comm vector must have stageCount()+1 entries, got " +
+                     std::to_string(comm_.size()) + " for " + std::to_string(work_.size()) +
+                     " stages");
+  }
+  for (std::size_t k = 0; k < work_.size(); ++k) {
+    if (!(work_[k] > Real(0)) || !std::isfinite(work_[k])) {
+      throw ModelError("Pipeline: stage work must be finite and > 0 (stage " +
+                       std::to_string(k) + ")");
+    }
+  }
+  for (std::size_t k = 0; k < comm_.size(); ++k) {
+    if (comm_[k] < Real(0) || !std::isfinite(comm_[k])) {
+      throw ModelError("Pipeline: comm size must be finite and >= 0 (delta_" +
+                       std::to_string(k) + ")");
+    }
+  }
+  prefix_.resize(work_.size() + 1, Real(0));
+  std::partial_sum(work_.begin(), work_.end(), prefix_.begin() + 1);
+}
+
+Pipeline Pipeline::uniform(std::size_t n, Real w, Real d) {
+  return Pipeline(std::vector<Real>(n, w), std::vector<Real>(n + 1, d));
+}
+
+Real Pipeline::workSum(std::size_t first, std::size_t last) const {
+  if (first > last || last >= work_.size()) {
+    throw ModelError("Pipeline::workSum: bad stage range [" + std::to_string(first) + ", " +
+                     std::to_string(last) + "] for n=" + std::to_string(work_.size()));
+  }
+  return prefix_[last + 1] - prefix_[first];
+}
+
+std::string Pipeline::describe() const {
+  std::ostringstream os;
+  os << "Pipeline(n=" << stageCount() << ", W=" << totalWork() << ")";
+  return os.str();
+}
+
+}  // namespace pipesched::core

@@ -1,0 +1,132 @@
+#include "pipesched/core/platform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace pipesched::core {
+
+namespace {
+
+void checkSpeeds(const std::vector<Real>& speeds) {
+  if (speeds.empty()) {
+    throw ModelError("Platform: needs at least one processor");
+  }
+  for (std::size_t u = 0; u < speeds.size(); ++u) {
+    if (!(speeds[u] > Real(0)) || !std::isfinite(speeds[u])) {
+      throw ModelError("Platform: processor speed must be finite and > 0 (P_" +
+                       std::to_string(u) + ")");
+    }
+  }
+}
+
+void checkBandwidth(Real b, const char* what) {
+  if (!(b > Real(0)) || !std::isfinite(b)) {
+    throw ModelError(std::string("Platform: ") + what + " must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+Platform::Platform(std::vector<Real> speeds, Real bandwidth)
+    : speeds_(std::move(speeds)), uniformBw_(bandwidth) {
+  checkSpeeds(speeds_);
+  checkBandwidth(uniformBw_, "link bandwidth");
+}
+
+Platform Platform::homogeneous(std::size_t p, Real speed, Real bandwidth) {
+  return Platform(std::vector<Real>(p, speed), bandwidth);
+}
+
+Platform Platform::fullyHeterogeneous(std::vector<Real> speeds, std::vector<Real> linkBandwidth,
+                                      std::vector<Real> inputBandwidth,
+                                      std::vector<Real> outputBandwidth) {
+  checkSpeeds(speeds);
+  const std::size_t p = speeds.size();
+  if (linkBandwidth.size() != p * p) {
+    throw ModelError("Platform: link bandwidth matrix must be p*p");
+  }
+  if (inputBandwidth.size() != p || outputBandwidth.size() != p) {
+    throw ModelError("Platform: world link bandwidth vectors must have p entries");
+  }
+  for (std::size_t u = 0; u < p; ++u) {
+    for (std::size_t v = 0; v < p; ++v) {
+      if (u != v) checkBandwidth(linkBandwidth[u * p + v], "link bandwidth");
+    }
+    checkBandwidth(inputBandwidth[u], "input bandwidth");
+    checkBandwidth(outputBandwidth[u], "output bandwidth");
+  }
+  Platform pf;
+  pf.speeds_ = std::move(speeds);
+  pf.linkBw_ = std::move(linkBandwidth);
+  pf.inBw_ = std::move(inputBandwidth);
+  pf.outBw_ = std::move(outputBandwidth);
+  return pf;
+}
+
+bool Platform::isFullyHomogeneous() const noexcept {
+  if (!isCommHomogeneous()) return false;
+  return std::all_of(speeds_.begin(), speeds_.end(),
+                     [&](Real s) { return nearlyEqual(s, speeds_.front()); });
+}
+
+Real Platform::bandwidth() const {
+  if (!isCommHomogeneous()) {
+    throw ModelError("Platform::bandwidth(): platform is fully heterogeneous; "
+                     "use bandwidth(u, v)");
+  }
+  return uniformBw_;
+}
+
+Real Platform::bandwidth(std::size_t u, std::size_t v) const {
+  if (u >= processorCount() || v >= processorCount()) {
+    throw ModelError("Platform::bandwidth(u,v): processor index out of range");
+  }
+  if (u == v) {
+    throw ModelError("Platform::bandwidth(u,v): intra-processor communication is free; "
+                     "no link exists");
+  }
+  if (isCommHomogeneous()) return uniformBw_;
+  return linkBw_[u * processorCount() + v];
+}
+
+Real Platform::inputBandwidth(std::size_t u) const {
+  if (u >= processorCount()) {
+    throw ModelError("Platform::inputBandwidth: processor index out of range");
+  }
+  return isCommHomogeneous() ? uniformBw_ : inBw_[u];
+}
+
+Real Platform::outputBandwidth(std::size_t u) const {
+  if (u >= processorCount()) {
+    throw ModelError("Platform::outputBandwidth: processor index out of range");
+  }
+  return isCommHomogeneous() ? uniformBw_ : outBw_[u];
+}
+
+std::size_t Platform::fastestProcessor() const {
+  std::size_t best = 0;
+  for (std::size_t u = 1; u < speeds_.size(); ++u) {
+    if (speeds_[u] > speeds_[best]) best = u;
+  }
+  return best;
+}
+
+std::vector<std::size_t> Platform::processorsBySpeed() const {
+  std::vector<std::size_t> order(processorCount());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return speeds_[a] > speeds_[b]; });
+  return order;
+}
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  os << "Platform(p=" << processorCount()
+     << (isCommHomogeneous() ? ", comm-homogeneous b=" : ", fully heterogeneous");
+  if (isCommHomogeneous()) os << uniformBw_;
+  os << ", s_max=" << maxSpeed() << ")";
+  return os.str();
+}
+
+}  // namespace pipesched::core

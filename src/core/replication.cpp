@@ -1,0 +1,144 @@
+#include "pipesched/core/replication.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace pipesched::core {
+
+namespace {
+
+void checkOrdering(const std::vector<ReplicatedAssignment>& parts) {
+  for (std::size_t j = 0; j < parts.size(); ++j) {
+    if (parts[j].processors.empty()) {
+      throw MappingError("ReplicatedMapping: empty replica set at interval " +
+                         std::to_string(j));
+    }
+    const Interval& iv = parts[j].interval;
+    if (iv.last < iv.first) {
+      throw MappingError("ReplicatedMapping: interval " + std::to_string(j) + " is empty");
+    }
+    if (j > 0 && iv.first != parts[j - 1].interval.last + 1) {
+      throw MappingError("ReplicatedMapping: interval " + std::to_string(j) +
+                         " does not start right after its predecessor");
+    }
+  }
+}
+
+}  // namespace
+
+ReplicatedMapping::ReplicatedMapping(std::vector<ReplicatedAssignment> assignments)
+    : parts_(std::move(assignments)) {
+  checkOrdering(parts_);
+}
+
+ReplicatedMapping ReplicatedMapping::fromIntervalMapping(const IntervalMapping& mapping) {
+  std::vector<ReplicatedAssignment> parts;
+  parts.reserve(mapping.intervalCount());
+  for (const Assignment& a : mapping.assignments()) {
+    parts.push_back(ReplicatedAssignment{a.interval, {a.processor}});
+  }
+  return ReplicatedMapping(std::move(parts));
+}
+
+void ReplicatedMapping::addReplica(std::size_t j, std::size_t processor) {
+  if (j >= parts_.size()) {
+    throw MappingError("ReplicatedMapping::addReplica: interval index out of range");
+  }
+  parts_[j].processors.push_back(processor);
+}
+
+void ReplicatedMapping::replaceInterval(std::size_t j,
+                                        const std::vector<ReplicatedAssignment>& replacement) {
+  if (j >= parts_.size()) {
+    throw MappingError("ReplicatedMapping::replaceInterval: interval index out of range");
+  }
+  if (replacement.empty()) {
+    throw MappingError("ReplicatedMapping::replaceInterval: empty replacement");
+  }
+  const Interval victim = parts_[j].interval;
+  if (replacement.front().interval.first != victim.first ||
+      replacement.back().interval.last != victim.last) {
+    throw MappingError("ReplicatedMapping::replaceInterval: replacement does not tile");
+  }
+  parts_.erase(parts_.begin() + static_cast<std::ptrdiff_t>(j));
+  parts_.insert(parts_.begin() + static_cast<std::ptrdiff_t>(j), replacement.begin(),
+                replacement.end());
+  checkOrdering(parts_);
+}
+
+void ReplicatedMapping::validate(std::size_t stageCount, std::size_t processorCount) const {
+  if (parts_.empty()) throw MappingError("ReplicatedMapping: empty mapping");
+  if (parts_.front().interval.first != 0) {
+    throw MappingError("ReplicatedMapping: first interval must start at stage 0");
+  }
+  checkOrdering(parts_);
+  if (parts_.back().interval.last != stageCount - 1) {
+    throw MappingError("ReplicatedMapping: last interval must end at stage n-1");
+  }
+  std::unordered_set<std::size_t> used;
+  std::size_t total = 0;
+  for (const ReplicatedAssignment& a : parts_) {
+    for (std::size_t u : a.processors) {
+      if (u >= processorCount) {
+        throw MappingError("ReplicatedMapping: processor index out of range");
+      }
+      if (!used.insert(u).second) {
+        throw MappingError("ReplicatedMapping: processor " + std::to_string(u) +
+                           " used twice");
+      }
+      ++total;
+    }
+  }
+  if (total > processorCount) {
+    throw MappingError("ReplicatedMapping: more replicas than processors");
+  }
+}
+
+std::string ReplicatedMapping::describe() const {
+  std::ostringstream os;
+  for (std::size_t j = 0; j < parts_.size(); ++j) {
+    if (j > 0) os << " | ";
+    os << "[" << parts_[j].interval.first << "," << parts_[j].interval.last << "]->{";
+    for (std::size_t r = 0; r < parts_[j].processors.size(); ++r) {
+      os << (r ? "," : "") << "P" << parts_[j].processors[r];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+Real replicatedIntervalPeriod(const Evaluator& eval, const ReplicatedMapping& mapping,
+                              std::size_t j) {
+  const ReplicatedAssignment& a = mapping.assignment(j);
+  Real worstCycle = 0;
+  for (std::size_t u : a.processors) {
+    worstCycle = std::max(worstCycle, eval.cycleTime(a.interval, u));
+  }
+  return worstCycle / static_cast<Real>(a.processors.size());
+}
+
+Metrics evaluateReplicated(const Evaluator& eval, const ReplicatedMapping& mapping) {
+  if (mapping.empty()) throw MappingError("evaluateReplicated: empty mapping");
+  const Real b = eval.platform().bandwidth();  // comm-homogeneous only
+  Metrics m;
+  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
+    const ReplicatedAssignment& a = mapping.assignment(j);
+    const Real periodJ = replicatedIntervalPeriod(eval, mapping, j);
+    if (periodJ > m.period) {
+      m.period = periodJ;
+      m.bottleneckInterval = j;
+    }
+    // Latency: the worst data set is served by the slowest replica.
+    Real slowest = kInfinity;
+    for (std::size_t u : a.processors) {
+      slowest = std::min(slowest, eval.platform().speed(u));
+    }
+    m.latency += eval.pipeline().comm(a.interval.first) / b +
+                 eval.pipeline().workSum(a.interval.first, a.interval.last) / slowest;
+  }
+  m.latency += eval.pipeline().comm(eval.pipeline().stageCount()) / b;
+  return m;
+}
+
+}  // namespace pipesched::core

@@ -1,0 +1,147 @@
+#include "pipesched/exact/bnb.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pipesched::exact {
+
+namespace {
+
+using core::Assignment;
+using core::Interval;
+
+enum class Mode { kMinLatency, kMinPeriod };
+
+class BnbSolver {
+ public:
+  BnbSolver(const Evaluator& eval, Mode mode, Real bound, const BnbOptions& options)
+      : eval_(eval), mode_(mode), bound_(bound), options_(options),
+        n_(eval.pipeline().stageCount()), order_(eval.platform().processorsBySpeed()),
+        used_(eval.platform().processorCount(), false),
+        bandwidth_(eval.platform().bandwidth()),  // throws on fully-het: unsupported here
+        maxSpeed_(eval.platform().maxSpeed()) {}
+
+  std::optional<ExactSolution> solve() {
+    recurse(0, /*latencySoFar=*/Real(0), /*maxCycleSoFar=*/Real(0));
+    if (!best_) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  /// Optimistic completion of the latency: remaining work on the globally
+  /// fastest processor, no inter-processor communications except the final
+  /// output delta_n (always paid).
+  [[nodiscard]] Real latencyLowerBound(std::size_t start, Real latencySoFar) const {
+    Real lb = latencySoFar + eval_.pipeline().comm(n_) / bandwidth_;
+    if (start < n_) lb += eval_.pipeline().workSum(start, n_ - 1) / maxSpeed_;
+    return lb;
+  }
+
+  /// Optimistic completion of the period: the interval opening at `start`
+  /// pays at least its input communication plus its first stage's work on
+  /// the fastest processor.
+  [[nodiscard]] Real periodLowerBound(std::size_t start) const {
+    if (start >= n_) return Real(0);
+    return eval_.pipeline().comm(start) / bandwidth_ +
+           eval_.pipeline().work(start) / maxSpeed_;
+  }
+
+  void recurse(std::size_t start, Real latencySoFar, Real maxCycleSoFar) {
+    if (++nodes_ > options_.nodeLimit) {
+      throw ModelError("branch-and-bound exceeded its node limit");
+    }
+    if (start == n_) {
+      const Real latency = latencySoFar + eval_.pipeline().comm(n_) / bandwidth_;
+      finishCandidate(latency, maxCycleSoFar);
+      return;
+    }
+    // Objective-based pruning.
+    if (mode_ == Mode::kMinLatency) {
+      if (best_ && latencyLowerBound(start, latencySoFar) >= best_->metrics.latency) return;
+    } else {
+      if (latencyLowerBound(start, latencySoFar) > bound_ + kTimeEps) return;
+      const Real optimistic = std::max(maxCycleSoFar, periodLowerBound(start));
+      if (best_ && optimistic >= best_->metrics.period) return;
+    }
+    const std::size_t intervalsLeft =
+        eval_.platform().processorCount() - parts_.size();
+    if (intervalsLeft == 0) return;
+
+    for (std::size_t end = start; end < n_; ++end) {
+      if (end < n_ - 1 && intervalsLeft == 1) continue;  // must close the mapping
+      const Interval iv{start, end};
+      Real lastSpeedTried = -1;
+      for (std::size_t u : order_) {
+        if (used_[u]) continue;
+        if (eval_.platform().speed(u) == lastSpeedTried) continue;  // interchangeable
+        lastSpeedTried = eval_.platform().speed(u);
+
+        const Real cycle = eval_.cycleTime(iv, u);
+        const Real inPlusCompute =
+            eval_.pipeline().comm(start) / bandwidth_ + eval_.computeTime(iv, u);
+        const Real newLatency = latencySoFar + inPlusCompute;
+        const Real newMaxCycle = std::max(maxCycleSoFar, cycle);
+
+        // Constraint-based pruning on the partial mapping.
+        if (mode_ == Mode::kMinLatency) {
+          if (cycle > bound_ + kTimeEps) continue;
+        } else {
+          if (best_ && newMaxCycle >= best_->metrics.period) continue;
+        }
+
+        used_[u] = true;
+        parts_.push_back(Assignment{iv, u});
+        recurse(end + 1, newLatency, newMaxCycle);
+        parts_.pop_back();
+        used_[u] = false;
+      }
+    }
+  }
+
+  void finishCandidate(Real latency, Real period) {
+    if (mode_ == Mode::kMinLatency) {
+      if (period > bound_ + kTimeEps) return;
+      if (best_ && latency >= best_->metrics.latency) return;
+    } else {
+      if (latency > bound_ + kTimeEps) return;
+      if (best_ && period >= best_->metrics.period) return;
+    }
+    const IntervalMapping mapping(parts_);
+    best_ = ExactSolution{mapping, eval_.evaluate(mapping)};
+  }
+
+  const Evaluator& eval_;
+  Mode mode_;
+  Real bound_;
+  BnbOptions options_;
+  std::size_t n_;
+  std::vector<std::size_t> order_;
+  std::vector<bool> used_;
+  Real bandwidth_;
+  Real maxSpeed_;
+  std::vector<Assignment> parts_;
+  std::optional<ExactSolution> best_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<ExactSolution> bnbMinLatencyForPeriod(const Evaluator& eval, Real periodBound,
+                                                    const BnbOptions& options) {
+  return BnbSolver(eval, Mode::kMinLatency, periodBound, options).solve();
+}
+
+std::optional<ExactSolution> bnbMinPeriodForLatency(const Evaluator& eval, Real latencyBound,
+                                                    const BnbOptions& options) {
+  return BnbSolver(eval, Mode::kMinPeriod, latencyBound, options).solve();
+}
+
+ExactSolution bnbMinPeriod(const Evaluator& eval, const BnbOptions& options) {
+  auto solution = bnbMinPeriodForLatency(eval, kInfinity, options);
+  if (!solution) {
+    throw ModelError("bnbMinPeriod: no mapping exists (cannot happen for valid inputs)");
+  }
+  return *solution;
+}
+
+}  // namespace pipesched::exact

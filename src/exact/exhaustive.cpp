@@ -1,0 +1,126 @@
+#include "pipesched/exact/exhaustive.hpp"
+
+#include <algorithm>
+
+namespace pipesched::exact {
+
+namespace {
+
+using core::Assignment;
+using core::Interval;
+
+class Enumerator {
+ public:
+  Enumerator(const Evaluator& eval, const ExhaustiveOptions& options,
+             const std::function<bool(const IntervalMapping&, const Metrics&)>& visit)
+      : eval_(eval), options_(options), visit_(visit), n_(eval.pipeline().stageCount()),
+        p_(eval.platform().processorCount()), used_(p_, false) {}
+
+  void run() {
+    if (n_ == 0) return;
+    parts_.clear();
+    recurse(0);
+  }
+
+ private:
+  /// Extends the partial mapping covering stages [0, start) with one more
+  /// interval starting at `start`.
+  bool recurse(std::size_t start) {
+    const std::size_t intervalsSoFar = parts_.size();
+    for (std::size_t end = start; end < n_; ++end) {
+      // Feasibility: the remaining n-1-end stages need at least 1 interval
+      // if non-empty, and we may not exceed min(p, maxIntervals) intervals.
+      const bool lastInterval = (end == n_ - 1);
+      const std::size_t intervalsAfter = intervalsSoFar + 1;
+      if (!lastInterval &&
+          (intervalsAfter >= std::min<std::size_t>(p_, options_.maxIntervals))) {
+        // No room for another interval after this one: only `end == n-1`
+        // can close the mapping; keep scanning larger ends.
+        continue;
+      }
+      for (std::size_t u = 0; u < p_; ++u) {
+        if (used_[u]) continue;
+        used_[u] = true;
+        parts_.push_back(Assignment{Interval{start, end}, u});
+        bool keepGoing = true;
+        if (lastInterval) {
+          if (++visited_ > options_.mappingLimit) {
+            throw ModelError("exhaustive enumeration exceeded its mapping limit");
+          }
+          const IntervalMapping mapping(parts_);
+          keepGoing = visit_(mapping, eval_.evaluate(mapping));
+        } else {
+          keepGoing = recurse(end + 1);
+        }
+        parts_.pop_back();
+        used_[u] = false;
+        if (!keepGoing) return false;
+      }
+    }
+    return true;
+  }
+
+  const Evaluator& eval_;
+  ExhaustiveOptions options_;
+  const std::function<bool(const IntervalMapping&, const Metrics&)>& visit_;
+  std::size_t n_;
+  std::size_t p_;
+  std::vector<bool> used_;
+  std::vector<Assignment> parts_;
+  std::uint64_t visited_ = 0;
+};
+
+}  // namespace
+
+void enumerateMappings(const Evaluator& eval,
+                       const std::function<bool(const IntervalMapping&, const Metrics&)>& visit,
+                       const ExhaustiveOptions& options) {
+  Enumerator(eval, options, visit).run();
+}
+
+std::optional<ExactSolution> exhaustiveMinPeriod(const Evaluator& eval, Real latencyCap,
+                                                 const ExhaustiveOptions& options) {
+  std::optional<ExactSolution> best;
+  enumerateMappings(
+      eval,
+      [&](const IntervalMapping& mapping, const Metrics& metrics) {
+        if (lessOrNearlyEqual(metrics.latency, latencyCap) &&
+            (!best || metrics.period < best->metrics.period)) {
+          best = ExactSolution{mapping, metrics};
+        }
+        return true;
+      },
+      options);
+  return best;
+}
+
+std::optional<ExactSolution> exhaustiveMinLatency(const Evaluator& eval, Real periodCap,
+                                                  const ExhaustiveOptions& options) {
+  std::optional<ExactSolution> best;
+  enumerateMappings(
+      eval,
+      [&](const IntervalMapping& mapping, const Metrics& metrics) {
+        if (lessOrNearlyEqual(metrics.period, periodCap) &&
+            (!best || metrics.latency < best->metrics.latency)) {
+          best = ExactSolution{mapping, metrics};
+        }
+        return true;
+      },
+      options);
+  return best;
+}
+
+std::vector<core::ParetoPoint> exhaustiveParetoFront(const Evaluator& eval,
+                                                     const ExhaustiveOptions& options) {
+  core::ParetoFrontBuilder builder;
+  enumerateMappings(
+      eval,
+      [&](const IntervalMapping& mapping, const Metrics& metrics) {
+        builder.offer(core::ParetoPoint{metrics.period, metrics.latency, mapping});
+        return true;
+      },
+      options);
+  return builder.take();
+}
+
+}  // namespace pipesched::exact

@@ -1,0 +1,141 @@
+#include "pipesched/exact/homog_dp.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pipesched::exact {
+
+namespace {
+
+using core::Assignment;
+using core::Interval;
+
+void requireHomogeneous(const Evaluator& eval) {
+  if (!eval.platform().isFullyHomogeneous()) {
+    throw ModelError("homog DP: platform must be fully homogeneous");
+  }
+}
+
+/// Builds the mapping for interval boundaries `starts` (ascending, first 0),
+/// assigning processors in index order (all processors are identical).
+IntervalMapping buildMapping(std::size_t n, const std::vector<std::size_t>& starts) {
+  std::vector<Assignment> parts;
+  parts.reserve(starts.size());
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    const std::size_t end = (k + 1 < starts.size()) ? starts[k + 1] - 1 : n - 1;
+    parts.push_back(Assignment{Interval{starts[k], end}, k});
+  }
+  return IntervalMapping(std::move(parts));
+}
+
+}  // namespace
+
+ExactSolution homogMinPeriod(const Evaluator& eval) {
+  requireHomogeneous(eval);
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t m = std::min(eval.platform().processorCount(), n);
+
+  // g[k][i]: minimal max-cycle covering the first i stages with exactly k
+  // intervals; cut[k][i]: start of the last interval.
+  const Real inf = kInfinity;
+  std::vector<std::vector<Real>> g(m + 1, std::vector<Real>(n + 1, inf));
+  std::vector<std::vector<std::size_t>> cut(m + 1, std::vector<std::size_t>(n + 1, 0));
+  g[0][0] = Real(0);
+  for (std::size_t k = 1; k <= m; ++k) {
+    for (std::size_t i = k; i <= n; ++i) {
+      for (std::size_t j = k - 1; j < i; ++j) {
+        if (g[k - 1][j] == inf) continue;
+        const Real cycle = eval.cycleTime(Interval{j, i - 1}, 0);
+        const Real candidate = std::max(g[k - 1][j], cycle);
+        if (candidate < g[k][i]) {
+          g[k][i] = candidate;
+          cut[k][i] = j;
+        }
+      }
+    }
+  }
+
+  // Unlike pure chains-to-chains, adding intervals can *increase* the period
+  // (each cut adds communications), so take the best k.
+  std::size_t bestK = 1;
+  for (std::size_t k = 2; k <= m; ++k) {
+    if (g[k][n] < g[bestK][n]) bestK = k;
+  }
+  std::vector<std::size_t> starts(bestK);
+  std::size_t boundary = n;
+  for (std::size_t k = bestK; k >= 1; --k) {
+    starts[k - 1] = cut[k][boundary];
+    boundary = cut[k][boundary];
+  }
+  const IntervalMapping mapping = buildMapping(n, starts);
+  return ExactSolution{mapping, eval.evaluate(mapping)};
+}
+
+std::optional<ExactSolution> homogMinLatencyForPeriod(const Evaluator& eval, Real periodBound) {
+  requireHomogeneous(eval);
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t m = std::min(eval.platform().processorCount(), n);
+  const Real b = eval.platform().bandwidth();
+
+  // f[k][i]: minimal latency prefix (input comms + computes of the first k
+  // intervals covering i stages) with every cycle <= periodBound.
+  const Real inf = kInfinity;
+  std::vector<std::vector<Real>> f(m + 1, std::vector<Real>(n + 1, inf));
+  std::vector<std::vector<std::size_t>> cut(m + 1, std::vector<std::size_t>(n + 1, 0));
+  f[0][0] = Real(0);
+  for (std::size_t k = 1; k <= m; ++k) {
+    for (std::size_t i = k; i <= n; ++i) {
+      for (std::size_t j = k - 1; j < i; ++j) {
+        if (f[k - 1][j] == inf) continue;
+        const Interval iv{j, i - 1};
+        if (!lessOrNearlyEqual(eval.cycleTime(iv, 0), periodBound)) continue;
+        const Real candidate =
+            f[k - 1][j] + eval.pipeline().comm(j) / b + eval.computeTime(iv, 0);
+        if (candidate < f[k][i]) {
+          f[k][i] = candidate;
+          cut[k][i] = j;
+        }
+      }
+    }
+  }
+  std::size_t bestK = 0;
+  Real bestLatency = inf;
+  for (std::size_t k = 1; k <= m; ++k) {
+    if (f[k][n] < bestLatency) {
+      bestLatency = f[k][n];
+      bestK = k;
+    }
+  }
+  if (bestK == 0) return std::nullopt;
+
+  std::vector<std::size_t> starts(bestK);
+  std::size_t boundary = n;
+  for (std::size_t k = bestK; k >= 1; --k) {
+    starts[k - 1] = cut[k][boundary];
+    boundary = cut[k][boundary];
+  }
+  const IntervalMapping mapping = buildMapping(n, starts);
+  return ExactSolution{mapping, eval.evaluate(mapping)};
+}
+
+std::vector<core::ParetoPoint> homogParetoFront(const Evaluator& eval) {
+  requireHomogeneous(eval);
+  const std::size_t n = eval.pipeline().stageCount();
+
+  std::set<Real> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      candidates.insert(eval.cycleTime(Interval{i, j}, 0));
+    }
+  }
+  core::ParetoFrontBuilder builder;
+  for (Real period : candidates) {
+    if (auto solution = homogMinLatencyForPeriod(eval, period)) {
+      builder.offer(core::ParetoPoint{solution->metrics.period, solution->metrics.latency,
+                                      std::move(solution->mapping)});
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace pipesched::exact

@@ -1,0 +1,77 @@
+#include "pipesched/exact/hungarian.hpp"
+
+namespace pipesched::exact {
+
+std::optional<AssignmentResult> solveAssignment(const std::vector<std::vector<Real>>& cost) {
+  const std::size_t rows = cost.size();
+  if (rows == 0) return AssignmentResult{};
+  const std::size_t cols = cost.front().size();
+  if (cols < rows) {
+    throw ModelError("solveAssignment: needs rows <= columns");
+  }
+  for (const auto& row : cost) {
+    if (row.size() != cols) throw ModelError("solveAssignment: ragged cost matrix");
+  }
+
+  // Shortest-augmenting-path Hungarian with potentials (1-based internal
+  // indexing; p[j] = row matched to column j, 0 = free).
+  std::vector<Real> u(rows + 1, 0), v(cols + 1, 0), minv(cols + 1, 0);
+  std::vector<std::size_t> p(cols + 1, 0), way(cols + 1, 0);
+  std::vector<bool> used(cols + 1, false);
+
+  for (std::size_t i = 1; i <= rows; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::fill(minv.begin(), minv.end(), kInfinity);
+    std::fill(used.begin(), used.end(), false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      Real delta = kInfinity;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const Real c = cost[i0 - 1][j - 1];
+        const Real cur = (c == kInfinity) ? kInfinity : c - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      if (delta == kInfinity) return std::nullopt;  // row i cannot be matched
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else if (minv[j] != kInfinity) {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Unwind the augmenting path.
+    while (j0 != 0) {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    }
+  }
+
+  AssignmentResult result;
+  result.columnOfRow.assign(rows, 0);
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (p[j] != 0) result.columnOfRow[p[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Real c = cost[i][result.columnOfRow[i]];
+    if (c == kInfinity) return std::nullopt;  // defensive: forbidden pairing leaked
+    result.totalCost += c;
+  }
+  return result;
+}
+
+}  // namespace pipesched::exact

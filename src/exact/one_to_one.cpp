@@ -1,0 +1,116 @@
+#include "pipesched/exact/one_to_one.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "pipesched/exact/hungarian.hpp"
+
+namespace pipesched::exact {
+
+namespace {
+
+using core::Interval;
+
+/// Communication part of stage k's one-to-one cycle: (delta_k + delta_{k+1})/b.
+Real commTime(const Evaluator& eval, std::size_t k) {
+  const Real b = eval.platform().bandwidth();
+  return (eval.pipeline().comm(k) + eval.pipeline().comm(k + 1)) / b;
+}
+
+}  // namespace
+
+bool oneToOneFeasible(const Evaluator& eval, Real periodBound, std::vector<std::size_t>* out) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  if (n > p) return false;
+
+  // Minimum speed stage k needs: w_k / (bound - commTime(k)).
+  std::vector<Real> needed(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Real slack = periodBound - commTime(eval, k);
+    if (slack <= Real(0)) return false;
+    needed[k] = eval.pipeline().work(k) / slack;
+  }
+  // Greedy threshold matching: most demanding stage gets the fastest
+  // processor; feasible iff every pairing fits. (Exchange argument: any
+  // feasible matching can be reordered into this one.)
+  std::vector<std::size_t> stageOrder(n);
+  std::iota(stageOrder.begin(), stageOrder.end(), std::size_t{0});
+  std::stable_sort(stageOrder.begin(), stageOrder.end(),
+                   [&](std::size_t a, std::size_t b) { return needed[a] > needed[b]; });
+  const std::vector<std::size_t> procOrder = eval.platform().processorsBySpeed();
+
+  std::vector<std::size_t> assignment(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t k = stageOrder[r];
+    const std::size_t u = procOrder[r];
+    const Real cycle = commTime(eval, k) + eval.pipeline().work(k) / eval.platform().speed(u);
+    if (!lessOrNearlyEqual(cycle, periodBound)) return false;
+    assignment[k] = u;
+  }
+  if (out) *out = std::move(assignment);
+  return true;
+}
+
+std::optional<ExactSolution> oneToOneMinPeriod(const Evaluator& eval) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  if (n > p) return std::nullopt;
+
+  // Every achievable one-to-one period is a stage-on-processor cycle-time.
+  std::set<Real> candidateSet;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t u = 0; u < p; ++u) {
+      candidateSet.insert(commTime(eval, k) +
+                          eval.pipeline().work(k) / eval.platform().speed(u));
+    }
+  }
+  const std::vector<Real> candidates(candidateSet.begin(), candidateSet.end());
+
+  // Binary search the smallest feasible candidate.
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;
+  if (!oneToOneFeasible(eval, candidates[hi])) return std::nullopt;  // cannot happen
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (oneToOneFeasible(eval, candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<std::size_t> witness;
+  if (!oneToOneFeasible(eval, candidates[lo], &witness)) {
+    throw ModelError("oneToOneMinPeriod: internal feasibility inconsistency");
+  }
+  const IntervalMapping mapping = IntervalMapping::oneToOne(witness);
+  return ExactSolution{mapping, eval.evaluate(mapping)};
+}
+
+std::optional<ExactSolution> oneToOneMinLatencyForPeriod(const Evaluator& eval,
+                                                         Real periodBound) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  if (n > p) return std::nullopt;
+
+  // The communication part of the latency is the same for every one-to-one
+  // mapping, so minimizing latency = minimizing sum_k w_k / s_alloc(k) over
+  // assignments whose cycles respect the bound: a min-cost assignment with
+  // forbidden pairs.
+  std::vector<std::vector<Real>> cost(n, std::vector<Real>(p, kInfinity));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t u = 0; u < p; ++u) {
+      const Real cycle = commTime(eval, k) + eval.pipeline().work(k) / eval.platform().speed(u);
+      if (lessOrNearlyEqual(cycle, periodBound)) {
+        cost[k][u] = eval.pipeline().work(k) / eval.platform().speed(u);
+      }
+    }
+  }
+  const auto assignment = solveAssignment(cost);
+  if (!assignment) return std::nullopt;
+  const IntervalMapping mapping = IntervalMapping::oneToOne(assignment->columnOfRow);
+  return ExactSolution{mapping, eval.evaluate(mapping)};
+}
+
+}  // namespace pipesched::exact

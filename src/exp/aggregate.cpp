@@ -1,0 +1,32 @@
+#include "pipesched/exp/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pipesched::exp {
+
+Real mean(const std::vector<Real>& values) {
+  if (values.empty()) return Real(0);
+  return std::accumulate(values.begin(), values.end(), Real(0)) /
+         static_cast<Real>(values.size());
+}
+
+Summary summarize(std::vector<Real> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = mean(values);
+  Real var = 0;
+  for (Real v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<Real>(values.size()));
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t mid = values.size() / 2;
+  s.median = (values.size() % 2 == 1) ? values[mid]
+                                      : Real(0.5) * (values[mid - 1] + values[mid]);
+  return s;
+}
+
+}  // namespace pipesched::exp

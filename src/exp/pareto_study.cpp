@@ -1,0 +1,98 @@
+#include "pipesched/exp/pareto_study.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/registry.hpp"
+
+namespace pipesched::exp {
+
+namespace {
+
+using heuristics::Objective;
+
+}  // namespace
+
+ParetoStudy runParetoStudy(const core::Evaluator& eval, const ParetoStudyConfig& config) {
+  if (config.pointsPerHeuristic == 0) {
+    throw ModelError("runParetoStudy: pointsPerHeuristic must be >= 1");
+  }
+  if (config.range <= 1) throw ModelError("runParetoStudy: range must be > 1");
+
+  ParetoStudy study;
+  std::vector<core::ParetoPoint> all;
+  for (const auto& h : heuristics::makeAllHeuristics()) {
+    const Real lo = h->objective() == Objective::kMinLatencyForPeriod
+                        ? h->failureThreshold(eval)
+                        : eval.optimalLatency();
+    const Real hi = lo * config.range;
+    std::vector<core::ParetoPoint> points;
+    for (std::size_t i = 0; i < config.pointsPerHeuristic; ++i) {
+      const Real t = config.pointsPerHeuristic == 1
+                         ? lo
+                         : lo + (hi - lo) * static_cast<Real>(i) /
+                                   static_cast<Real>(config.pointsPerHeuristic - 1);
+      const heuristics::Result r = h->run(eval, t);
+      if (!r.success) continue;
+      core::ParetoPoint p;
+      p.period = r.metrics.period;
+      p.latency = r.metrics.latency;
+      p.mapping = r.mapping;
+      points.push_back(p);
+    }
+    all.insert(all.end(), points.begin(), points.end());
+    study.perHeuristic.push_back(HeuristicFront{h->name(), core::paretoFront(points)});
+  }
+  study.merged = core::paretoFront(std::move(all));
+  return study;
+}
+
+Real frontLatencyAt(const std::vector<core::ParetoPoint>& front, Real period) {
+  // Fronts are sorted by increasing period with decreasing latency, so the
+  // best admissible latency belongs to the largest admissible period.
+  Real best = kInfinity;
+  for (const core::ParetoPoint& p : front) {
+    if (lessOrNearlyEqual(p.period, period)) best = std::min(best, p.latency);
+  }
+  return best;
+}
+
+FrontGap frontGap(const std::vector<core::ParetoPoint>& reference,
+                  const std::vector<core::ParetoPoint>& candidate) {
+  FrontGap gap;
+  std::size_t covered = 0;
+  for (const core::ParetoPoint& ref : reference) {
+    const Real got = frontLatencyAt(candidate, ref.period);
+    if (got == kInfinity) {
+      ++gap.uncovered;
+      continue;
+    }
+    ++covered;
+    const Real excess = ref.latency > 0 ? got / ref.latency - 1 : Real(0);
+    gap.meanRelativeExcess += excess;
+    gap.maxRelativeExcess = std::max(gap.maxRelativeExcess, excess);
+  }
+  if (covered > 0) gap.meanRelativeExcess /= static_cast<Real>(covered);
+  return gap;
+}
+
+void printParetoStudy(std::ostream& os, const ParetoStudy& study) {
+  os << "Merged heuristic Pareto front (" << study.merged.size() << " points)\n";
+  TextTable table;
+  table.setHeader({"period", "latency", "intervals"});
+  for (const core::ParetoPoint& p : study.merged) {
+    table.addRow({formatReal(p.period, 3), formatReal(p.latency, 3),
+                  p.mapping ? std::to_string(p.mapping->intervalCount()) : "?"});
+  }
+  table.print(os);
+  os << "\nPer-heuristic front sizes:\n";
+  TextTable sizes;
+  sizes.setHeader({"heuristic", "front points"});
+  for (const HeuristicFront& f : study.perHeuristic) {
+    sizes.addRow({f.heuristic, std::to_string(f.front.size())});
+  }
+  sizes.print(os);
+}
+
+}  // namespace pipesched::exp

@@ -1,0 +1,89 @@
+#include "pipesched/exp/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pipesched::exp {
+
+std::string formatReal(Real value, int precision) {
+  if (std::isnan(value)) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::print(std::ostream& os) const {
+  // Column widths over header + rows.
+  std::vector<std::size_t> widths;
+  const auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::printMarkdown(std::ostream& os) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return;
+
+  const auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (const char c : cell) {
+      if (c == '|') out += "\\|";
+      else out.push_back(c);
+    }
+    return out;
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << ' ' << (c < cells.size() ? escape(cells[c]) : std::string()) << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < columns; ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::printCsv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace pipesched::exp

@@ -1,0 +1,231 @@
+#include "pipesched/exp/sweep.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "pipesched/exp/aggregate.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/heuristics/splitting_engine.hpp"
+
+namespace pipesched::exp {
+
+namespace {
+
+using core::Evaluator;
+using heuristics::Objective;
+using workload::InstancePair;
+using workload::Rng;
+
+constexpr Real kNaN = std::numeric_limits<Real>::quiet_NaN();
+
+std::uint64_t mixSeed(std::uint64_t seed, workload::ExperimentKind kind, std::size_t n,
+                      std::size_t p) {
+  return seed ^ (static_cast<std::uint64_t>(kind) + 1) * 0x9E3779B97F4A7C15ULL ^
+         static_cast<std::uint64_t>(n) * 0xC2B2AE3D27D4EB4FULL ^
+         static_cast<std::uint64_t>(p) * 0x165667B19E3779F9ULL;
+}
+
+std::vector<InstancePair> makeInstances(workload::ExperimentKind kind, std::size_t n,
+                                        std::size_t p, std::size_t pairs, std::uint64_t seed) {
+  Rng base(mixSeed(seed, kind, n, p));
+  std::vector<InstancePair> out;
+  out.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    Rng pairRng = base.fork(i);
+    out.push_back(workload::randomInstance(kind, n, p, pairRng));
+  }
+  return out;
+}
+
+std::vector<Real> linearGrid(Real lo, Real hi, std::size_t points) {
+  if (points == 0) return {};
+  if (!(hi > lo) || points == 1) return {lo};
+  std::vector<Real> grid(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = lo + (hi - lo) * static_cast<Real>(i) / static_cast<Real>(points - 1);
+  }
+  return grid;
+}
+
+}  // namespace
+
+SweepResult runBiCriteriaSweep(const SweepConfig& config) {
+  SweepResult result;
+  result.config = config;
+
+  const std::vector<InstancePair> instances =
+      makeInstances(config.kind, config.stages, config.processors, config.pairs, config.seed);
+  const auto heuristicSet = heuristics::makeAllHeuristics();
+
+  // Per-pair anchors for the threshold grids.
+  std::vector<Real> initialPeriods;   // period of the Lemma-1 mapping
+  std::vector<Real> optimalLatencies; // Lemma-1 latency
+  std::vector<Real> bestPeriods;      // lowest failure threshold over H1..H4
+  std::vector<Real> exhaustLatencies; // latency of the run-to-exhaustion H1
+  for (const InstancePair& inst : instances) {
+    const Evaluator eval(inst.pipeline, inst.platform, config.model);
+    const core::IntervalMapping initial = eval.optimalLatencyMapping();
+    initialPeriods.push_back(eval.period(initial));
+    optimalLatencies.push_back(eval.latency(initial));
+
+    Real best = kInfinity;
+    for (const auto& h : heuristicSet) {
+      if (h->objective() == Objective::kMinLatencyForPeriod) {
+        best = std::min(best, h->failureThreshold(eval));
+      }
+    }
+    bestPeriods.push_back(best);
+
+    heuristics::EngineConfig exhaust;
+    exhaust.rule = heuristics::SelectionRule::kMonoMax;
+    exhaust.arity = heuristics::SplitArity::kTwo;
+    exhaustLatencies.push_back(runSplittingEngine(eval, exhaust).metrics.latency);
+  }
+
+  const std::vector<Real> periodGrid =
+      linearGrid(mean(bestPeriods), mean(initialPeriods), config.points);
+  const std::vector<Real> latencyGrid =
+      linearGrid(mean(optimalLatencies), mean(exhaustLatencies), config.points);
+
+  for (const auto& h : heuristicSet) {
+    HeuristicSeries series;
+    series.heuristic = h->name();
+    series.paperName = h->paperName();
+    series.objective = h->objective();
+    const bool periodFamily = h->objective() == Objective::kMinLatencyForPeriod;
+    const std::vector<Real>& grid = periodFamily ? periodGrid : latencyGrid;
+    for (Real threshold : grid) {
+      SeriesPoint point;
+      point.attempts = instances.size();
+      std::vector<Real> achieved;
+      for (const InstancePair& inst : instances) {
+        const Evaluator eval(inst.pipeline, inst.platform, config.model);
+        const heuristics::Result r = h->run(eval, threshold);
+        if (!r.success) continue;
+        ++point.successes;
+        achieved.push_back(periodFamily ? r.metrics.latency : r.metrics.period);
+      }
+      if (periodFamily) {
+        point.x = threshold;
+        point.y = point.successes ? mean(achieved) : kNaN;
+      } else {
+        point.x = point.successes ? mean(achieved) : kNaN;
+        point.y = threshold;
+      }
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+FailureThresholdReport failureThresholds(workload::ExperimentKind kind,
+                                         const std::vector<std::size_t>& stageCounts,
+                                         std::size_t processors, std::size_t pairs,
+                                         std::uint64_t seed) {
+  FailureThresholdReport report;
+  report.kind = kind;
+  report.processors = processors;
+  report.pairs = pairs;
+  report.stageCounts = stageCounts;
+
+  const auto heuristicSet = heuristics::makeAllHeuristics();
+  for (const auto& h : heuristicSet) report.heuristics.push_back(h->name());
+  report.meanThresholds.assign(heuristicSet.size(),
+                               std::vector<Real>(stageCounts.size(), Real(0)));
+
+  for (std::size_t ni = 0; ni < stageCounts.size(); ++ni) {
+    const std::vector<InstancePair> instances =
+        makeInstances(kind, stageCounts[ni], processors, pairs, seed);
+    for (std::size_t hi = 0; hi < heuristicSet.size(); ++hi) {
+      std::vector<Real> thresholds;
+      thresholds.reserve(instances.size());
+      for (const InstancePair& inst : instances) {
+        const Evaluator eval(inst.pipeline, inst.platform);
+        thresholds.push_back(heuristicSet[hi]->failureThreshold(eval));
+      }
+      report.meanThresholds[hi][ni] = mean(thresholds);
+    }
+  }
+  return report;
+}
+
+void printSweep(std::ostream& os, const SweepResult& result, const std::string& title) {
+  os << "== " << title << " ==\n";
+  os << "experiment " << workload::experimentName(result.config.kind) << " ("
+     << workload::experimentDescription(result.config.kind) << "), n=" << result.config.stages
+     << ", p=" << result.config.processors << ", " << result.config.pairs
+     << " random pairs per point\n";
+  os << "series: (period, latency) — threshold on the period axis for H1-H4, on the latency "
+        "axis for H5-H6\n\n";
+  for (const HeuristicSeries& s : result.series) {
+    os << "-- " << s.heuristic << "  [\"" << s.paperName << "\"]\n";
+    TextTable table;
+    table.setHeader({"period", "latency", "success"});
+    for (const SeriesPoint& p : s.points) {
+      table.addRow({formatReal(p.x), formatReal(p.y),
+                    std::to_string(p.successes) + "/" + std::to_string(p.attempts)});
+    }
+    table.print(os);
+    os << '\n';
+  }
+}
+
+void writeSweepCsv(std::ostream& os, const SweepResult& result) {
+  TextTable table;
+  table.setHeader({"experiment", "stages", "processors", "heuristic", "objective", "period",
+                   "latency", "successes", "attempts"});
+  for (const HeuristicSeries& s : result.series) {
+    for (const SeriesPoint& p : s.points) {
+      table.addRow({workload::experimentName(result.config.kind),
+                    std::to_string(result.config.stages),
+                    std::to_string(result.config.processors), s.heuristic,
+                    s.objective == Objective::kMinLatencyForPeriod ? "period-fixed"
+                                                                   : "latency-fixed",
+                    formatReal(p.x, 6), formatReal(p.y, 6), std::to_string(p.successes),
+                    std::to_string(p.attempts)});
+    }
+  }
+  table.printCsv(os);
+}
+
+void writeSweepGnuplot(std::ostream& os, const SweepResult& result,
+                       const std::string& csvFileName, const std::string& title) {
+  os << "# Generated by pipesched — reproduces the paper's latency-vs-period plot style.\n";
+  os << "# Render with:  gnuplot -p " << csvFileName << ".gp   (or set a terminal below)\n";
+  os << "set datafile separator ','\n";
+  os << "set key top right\n";
+  os << "set xlabel 'Period'\n";
+  os << "set ylabel 'Latency'\n";
+  os << "set title '" << title << "'\n";
+  os << "file = '" << csvFileName << "'\n";
+  os << "plot \\\n";
+  for (std::size_t s = 0; s < result.series.size(); ++s) {
+    const HeuristicSeries& series = result.series[s];
+    os << "  file using (strcol(4) eq '" << series.heuristic
+       << "' ? column(6) : NaN):(column(7)) with linespoints title '" << series.paperName
+       << "'";
+    os << (s + 1 < result.series.size() ? ", \\\n" : "\n");
+  }
+}
+
+void printFailureThresholds(std::ostream& os, const FailureThresholdReport& report) {
+  os << "Failure thresholds (paper Table 1 layout) — experiment "
+     << workload::experimentName(report.kind) << ", p=" << report.processors << ", "
+     << report.pairs << " pairs\n";
+  TextTable table;
+  std::vector<std::string> header = {"heuristic"};
+  for (std::size_t n : report.stageCounts) header.push_back("n=" + std::to_string(n));
+  table.setHeader(std::move(header));
+  for (std::size_t hi = 0; hi < report.heuristics.size(); ++hi) {
+    std::vector<std::string> row = {report.heuristics[hi]};
+    for (std::size_t ni = 0; ni < report.stageCounts.size(); ++ni) {
+      row.push_back(formatReal(report.meanThresholds[hi][ni], 1));
+    }
+    table.addRow(std::move(row));
+  }
+  table.print(os);
+}
+
+}  // namespace pipesched::exp

@@ -1,0 +1,168 @@
+#include "pipesched/heuristics/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::heuristics {
+
+namespace {
+
+using workload::Rng;
+
+struct EnergyModel {
+  Objective objective;
+  Real threshold;
+  Real penalty;  ///< absolute penalty weight per unit of violation
+
+  [[nodiscard]] Real energy(const Metrics& m) const {
+    const Real primary =
+        objective == Objective::kMinLatencyForPeriod ? m.latency : m.period;
+    const Real constrained =
+        objective == Objective::kMinLatencyForPeriod ? m.period : m.latency;
+    return primary + penalty * std::max(Real(0), constrained - threshold);
+  }
+
+  [[nodiscard]] bool feasible(const Metrics& m) const {
+    const Real constrained =
+        objective == Objective::kMinLatencyForPeriod ? m.period : m.latency;
+    return lessOrNearlyEqual(constrained, threshold);
+  }
+};
+
+/// Proposes one random neighbor, or nullopt when the sampled move does not
+/// apply to the current state (caller just samples again).
+std::optional<IntervalMapping> propose(const IntervalMapping& current, std::size_t p,
+                                       Rng& rng) {
+  const std::size_t m = current.intervalCount();
+  std::vector<core::Assignment> parts = current.assignments();
+
+  std::vector<bool> used(p, false);
+  for (const core::Assignment& a : parts) used[a.processor] = true;
+  std::vector<std::size_t> unused;
+  for (std::size_t u = 0; u < p; ++u) {
+    if (!used[u]) unused.push_back(u);
+  }
+
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // shift a cut
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 2));
+      const bool leftGives = rng.uniformInt(0, 1) == 0;
+      if (leftGives) {
+        if (parts[j].interval.length() < 2) return std::nullopt;
+        --parts[j].interval.last;
+        --parts[j + 1].interval.first;
+      } else {
+        if (parts[j + 1].interval.length() < 2) return std::nullopt;
+        ++parts[j].interval.last;
+        ++parts[j + 1].interval.first;
+      }
+      break;
+    }
+    case 1: {  // swap two processors
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const std::size_t k = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      if (j == k) return std::nullopt;
+      std::swap(parts[j].processor, parts[k].processor);
+      break;
+    }
+    case 2: {  // reassign to an unused processor
+      if (unused.empty()) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const std::size_t u =
+          unused[static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(unused.size()) - 1))];
+      parts[j].processor = u;
+      break;
+    }
+    case 3: {  // merge adjacent intervals
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 2));
+      const bool keepLeft = rng.uniformInt(0, 1) == 0;
+      parts[j].interval.last = parts[j + 1].interval.last;
+      if (!keepLeft) parts[j].processor = parts[j + 1].processor;
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+      break;
+    }
+    default: {  // split an interval
+      if (unused.empty()) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const core::Interval iv = parts[j].interval;
+      if (iv.length() < 2) return std::nullopt;
+      const std::size_t q = static_cast<std::size_t>(
+          rng.uniformInt(static_cast<std::int64_t>(iv.first), static_cast<std::int64_t>(iv.last) - 1));
+      const std::size_t u =
+          unused[static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(unused.size()) - 1))];
+      core::Assignment tail;
+      tail.interval = {q + 1, iv.last};
+      tail.processor = u;
+      parts[j].interval.last = q;
+      parts.insert(parts.begin() + static_cast<std::ptrdiff_t>(j) + 1, tail);
+      break;
+    }
+  }
+  return IntervalMapping(std::move(parts));
+}
+
+}  // namespace
+
+AnnealingResult anneal(const Evaluator& eval, const IntervalMapping& seedMapping,
+                       Objective objective, Real threshold, const AnnealingOptions& options) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  seedMapping.validate(n, p);
+  if (options.moves == 0) throw ModelError("anneal: moves must be >= 1");
+
+  Metrics currentMetrics = eval.evaluate(seedMapping);
+  // Scale both the penalty and the temperature schedule to the seed energy so
+  // the options are instance-size independent.
+  const Real scale = std::max(Real(1), std::max(currentMetrics.period, currentMetrics.latency));
+  const EnergyModel model{objective, threshold, options.penaltyWeight * scale};
+
+  IntervalMapping current = seedMapping;
+  Real currentEnergy = model.energy(currentMetrics);
+
+  AnnealingResult best;
+  best.mapping = current;
+  best.metrics = currentMetrics;
+  best.feasible = model.feasible(currentMetrics);
+  Real bestEnergy = currentEnergy;
+
+  const Real t0 = std::max(kTimeEps, options.initialTemperatureFraction * scale);
+  const Real t1 = std::max(kTimeEps * kTimeEps, t0 * options.finalTemperatureFraction);
+  const Real decay =
+      std::pow(t1 / t0, Real(1) / static_cast<Real>(std::max<std::size_t>(1, options.moves - 1)));
+
+  Rng rng(options.seed);
+  Real temperature = t0;
+  for (std::size_t step = 0; step < options.moves; ++step, temperature *= decay) {
+    std::optional<IntervalMapping> neighbor = propose(current, p, rng);
+    if (!neighbor) continue;
+    const Metrics m = eval.evaluate(*neighbor);
+    const Real e = model.energy(m);
+    const Real delta = e - currentEnergy;
+    if (delta <= 0 || rng.nextReal() < std::exp(-delta / temperature)) {
+      current = std::move(*neighbor);
+      currentMetrics = m;
+      currentEnergy = e;
+      ++best.accepted;
+      const bool feas = model.feasible(m);
+      // Track the best state: a feasible one always beats an infeasible one;
+      // otherwise compare energies.
+      if ((feas && !best.feasible) ||
+          (feas == best.feasible && e < bestEnergy)) {
+        best.mapping = current;
+        best.metrics = m;
+        best.feasible = feas;
+        bestEnergy = e;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pipesched::heuristics

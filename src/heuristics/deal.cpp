@@ -1,0 +1,132 @@
+#include "pipesched/heuristics/deal.hpp"
+
+#include <algorithm>
+
+namespace pipesched::heuristics {
+
+namespace {
+
+using core::Evaluator;
+using core::Interval;
+using core::Metrics;
+using core::ReplicatedAssignment;
+using core::ReplicatedMapping;
+
+struct DealEngine {
+  const Evaluator& eval;
+  DealOptions options;
+  std::optional<Real> target;
+  ReplicatedMapping mapping;
+  std::vector<std::size_t> available;
+  std::size_t splits = 0;
+  std::size_t replications = 0;
+
+  DealEngine(const Evaluator& e, std::optional<Real> periodTarget, const DealOptions& opts)
+      : eval(e), options(opts), target(periodTarget),
+        mapping(ReplicatedMapping::fromIntervalMapping(e.optimalLatencyMapping())) {
+    const std::size_t owner = mapping.assignment(0).processors.front();
+    for (std::size_t u : e.platform().processorsBySpeed()) {
+      if (u != owner) available.push_back(u);
+    }
+  }
+
+  /// Best admissible 2-way split of (singleton-replica) interval j; returns
+  /// the resulting max part-cycle, or nullopt.
+  struct SplitCandidate {
+    std::vector<ReplicatedAssignment> replacement;
+    Real score = kInfinity;
+  };
+
+  std::optional<SplitCandidate> bestSplit(std::size_t j, Real bottleneckPeriod) const {
+    const ReplicatedAssignment& victim = mapping.assignment(j);
+    if (victim.processors.size() != 1 || victim.interval.length() < 2 || available.empty()) {
+      return std::nullopt;
+    }
+    const std::size_t owner = victim.processors.front();
+    const std::size_t fresh = available.front();
+    std::optional<SplitCandidate> best;
+    for (std::size_t q = victim.interval.first; q + 1 <= victim.interval.last; ++q) {
+      const Interval head{victim.interval.first, q};
+      const Interval tail{q + 1, victim.interval.last};
+      for (const auto& [pa, pb] :
+           {std::pair{owner, fresh}, std::pair{fresh, owner}}) {
+        const Real score =
+            std::max(eval.cycleTime(head, pa), eval.cycleTime(tail, pb));
+        if (!definitelyLess(score, bottleneckPeriod)) continue;
+        if (!best || score < best->score) {
+          best = SplitCandidate{{ReplicatedAssignment{head, {pa}},
+                                 ReplicatedAssignment{tail, {pb}}},
+                                score};
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Period contribution of interval j if the fastest unused processor joined
+  /// its replica set; nullopt when inadmissible.
+  std::optional<Real> replicationScore(std::size_t j, Real bottleneckPeriod) const {
+    if (available.empty()) return std::nullopt;
+    const ReplicatedAssignment& victim = mapping.assignment(j);
+    Real worstCycle = eval.cycleTime(victim.interval, available.front());
+    for (std::size_t u : victim.processors) {
+      worstCycle = std::max(worstCycle, eval.cycleTime(victim.interval, u));
+    }
+    const Real score = worstCycle / static_cast<Real>(victim.processors.size() + 1);
+    if (!definitelyLess(score, bottleneckPeriod)) return std::nullopt;
+    return score;
+  }
+
+  DealResult run() {
+    for (;;) {
+      const Metrics metrics = core::evaluateReplicated(eval, mapping);
+      if (target && lessOrNearlyEqual(metrics.period, *target)) break;
+      const std::size_t j = metrics.bottleneckInterval;
+      const Real bottleneck = core::replicatedIntervalPeriod(eval, mapping, j);
+
+      const auto split = bestSplit(j, bottleneck);
+      const auto replicate = replicationScore(j, bottleneck);
+
+      const bool chooseReplication =
+          replicate && (!split || (options.replicationCompetesWithSplits
+                                       ? *replicate < split->score
+                                       : false));
+      if (chooseReplication) {
+        mapping.addReplica(j, available.front());
+        available.erase(available.begin());
+        ++replications;
+      } else if (split) {
+        const std::size_t fresh = available.front();
+        mapping.replaceInterval(j, split->replacement);
+        available.erase(std::find(available.begin(), available.end(), fresh));
+        ++splits;
+      } else if (replicate) {
+        mapping.addReplica(j, available.front());
+        available.erase(available.begin());
+        ++replications;
+      } else {
+        break;  // no admissible move
+      }
+    }
+    DealResult result;
+    result.mapping = mapping;
+    result.metrics = core::evaluateReplicated(eval, mapping);
+    result.splits = splits;
+    result.replications = replications;
+    result.success = !target || lessOrNearlyEqual(result.metrics.period, *target);
+    return result;
+  }
+};
+
+}  // namespace
+
+DealResult spMonoPWithDeal(const core::Evaluator& eval, Real periodBound,
+                           const DealOptions& options) {
+  return DealEngine(eval, periodBound, options).run();
+}
+
+Real dealExhaustionPeriod(const core::Evaluator& eval, const DealOptions& options) {
+  return DealEngine(eval, std::nullopt, options).run().metrics.period;
+}
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,122 @@
+#include "pipesched/heuristics/greedy_probe.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pipesched::heuristics {
+
+std::optional<IntervalMapping> greedyProbe(const Evaluator& eval, Real periodTarget) {
+  if (!eval.platform().isCommHomogeneous()) {
+    throw ModelError("greedyProbe: requires a communication-homogeneous platform");
+  }
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::vector<std::size_t> order = eval.platform().processorsBySpeed();
+
+  std::vector<core::Assignment> parts;
+  std::size_t next = 0;  // first unplaced stage
+  for (std::size_t rank = 0; rank < order.size() && next < n; ++rank) {
+    const std::size_t proc = order[rank];
+    // Longest prefix [next, e] whose cycle stays within the target. The cycle
+    // is not monotone in e (delta_e varies), so we greedily extend while the
+    // *current* end keeps the cycle admissible — the standard first-violation
+    // rule, documented as approximate.
+    if (!lessOrNearlyEqual(eval.cycleTime({next, next}, proc), periodTarget)) {
+      // Even a singleton does not fit on the fastest remaining processor;
+      // slower ones cannot do better (same comms, less speed).
+      return std::nullopt;
+    }
+    std::size_t end = next;
+    while (end + 1 < n && lessOrNearlyEqual(eval.cycleTime({next, end + 1}, proc), periodTarget)) {
+      ++end;
+    }
+    parts.push_back(core::Assignment{{next, end}, proc});
+    next = end + 1;
+  }
+  if (next < n) return std::nullopt;  // ran out of processors
+  return IntervalMapping(std::move(parts));
+}
+
+Real greedyProbeMinPeriod(const Evaluator& eval, const GreedyProbeOptions& options) {
+  // Upper bound: the single-interval mapping on the fastest processor always
+  // exists, so its period is feasible for the probe as well.
+  const IntervalMapping lemma1 = eval.optimalLatencyMapping();
+  Real hi = eval.period(lemma1);
+  if (!greedyProbe(eval, hi).has_value()) {
+    // Defensive: the probe at `hi` places everything on the fastest processor
+    // by construction, but keep a widening loop in case of tolerance trouble.
+    for (int i = 0; i < 8 && !greedyProbe(eval, hi).has_value(); ++i) hi *= 2;
+  }
+  Real lo = 0;
+  for (int iter = 0; iter < options.bisectionIterations && definitelyLess(lo, hi); ++iter) {
+    const Real mid = Real(0.5) * (lo + hi);
+    if (greedyProbe(eval, mid).has_value()) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+Result greedyProbeHeuristic(const Evaluator& eval, Objective objective, Real threshold,
+                            const GreedyProbeOptions& options) {
+  Result result;
+  if (objective == Objective::kMinLatencyForPeriod) {
+    if (auto mapping = greedyProbe(eval, threshold)) {
+      result.mapping = std::move(*mapping);
+      result.metrics = eval.evaluate(result.mapping);
+      result.success = lessOrNearlyEqual(result.metrics.period, threshold);
+    } else {
+      // Report the Lemma-1 solution so callers always get a valid mapping.
+      result.mapping = eval.optimalLatencyMapping();
+      result.metrics = eval.evaluate(result.mapping);
+      result.success = false;
+    }
+    return result;
+  }
+
+  // kMinPeriodForLatency: find the smallest probe period whose mapping also
+  // meets the latency bound. The probe latency is not monotone in the period
+  // target, so after the search double-check the bound and fall back to the
+  // Lemma-1 solution (the latency optimum) when the bound is tight.
+  const IntervalMapping lemma1 = eval.optimalLatencyMapping();
+  const Metrics lemma1Metrics = eval.evaluate(lemma1);
+  Real lo = 0;
+  Real hi = lemma1Metrics.period;
+  std::optional<IntervalMapping> bestFeasible;
+  Metrics bestMetrics;
+  for (int iter = 0; iter < options.bisectionIterations && definitelyLess(lo, hi); ++iter) {
+    const Real mid = Real(0.5) * (lo + hi);
+    const auto mapping = greedyProbe(eval, mid);
+    if (!mapping) {
+      lo = mid;
+      continue;
+    }
+    const Metrics m = eval.evaluate(*mapping);
+    if (lessOrNearlyEqual(m.latency, threshold)) {
+      if (!bestFeasible || m.period < bestMetrics.period) {
+        bestFeasible = *mapping;
+        bestMetrics = m;
+      }
+      hi = mid;
+    } else {
+      lo = mid;  // need a looser period to shorten the latency
+    }
+  }
+  if (!bestFeasible && lessOrNearlyEqual(lemma1Metrics.latency, threshold)) {
+    bestFeasible = lemma1;
+    bestMetrics = lemma1Metrics;
+  }
+  if (bestFeasible) {
+    result.mapping = std::move(*bestFeasible);
+    result.metrics = bestMetrics;
+    result.success = true;
+  } else {
+    result.mapping = lemma1;
+    result.metrics = lemma1Metrics;
+    result.success = false;
+  }
+  return result;
+}
+
+}  // namespace pipesched::heuristics

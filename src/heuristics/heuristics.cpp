@@ -1,0 +1,94 @@
+#include "pipesched/heuristics/heuristics.hpp"
+
+namespace pipesched::heuristics {
+
+namespace {
+
+Result fromEngine(EngineResult engine) {
+  Result r;
+  r.success = engine.reachedTarget;
+  r.mapping = std::move(engine.mapping);
+  r.metrics = engine.metrics;
+  r.splits = engine.splits;
+  return r;
+}
+
+Result runPeriodConstrained(const Evaluator& eval, Real periodBound, SelectionRule rule,
+                            SplitArity arity, Real latencyCap = kInfinity) {
+  EngineConfig config;
+  config.rule = rule;
+  config.arity = arity;
+  config.periodTarget = periodBound;
+  config.latencyCap = latencyCap;
+  return fromEngine(runSplittingEngine(eval, config));
+}
+
+}  // namespace
+
+Result spMonoP(const Evaluator& eval, Real periodBound) {
+  return runPeriodConstrained(eval, periodBound, SelectionRule::kMonoMax, SplitArity::kTwo);
+}
+
+Result exploThreeMono(const Evaluator& eval, Real periodBound) {
+  return runPeriodConstrained(eval, periodBound, SelectionRule::kMonoMax, SplitArity::kThree);
+}
+
+Result exploThreeBi(const Evaluator& eval, Real periodBound) {
+  return runPeriodConstrained(eval, periodBound, SelectionRule::kBiRatio, SplitArity::kThree);
+}
+
+Result spBiP(const Evaluator& eval, Real periodBound, const SpBiPOptions& options) {
+  // Unlimited-latency run: establishes feasibility of the period bound for
+  // this splitting mechanism and an upper bound on the needed latency.
+  Result unlimited = runPeriodConstrained(eval, periodBound, SelectionRule::kBiRatio,
+                                          SplitArity::kTwo);
+  if (!unlimited.success) return unlimited;
+
+  // Binary search on the authorized latency between the Lemma-1 optimum and
+  // the latency the unlimited run needed. Keep the best feasible solution
+  // (smallest achieved latency).
+  Real lo = eval.optimalLatency();
+  Real hi = unlimited.metrics.latency;
+  Result best = std::move(unlimited);
+  for (int iter = 0; iter < options.bisectionIterations && definitelyLess(lo, hi); ++iter) {
+    const Real mid = Real(0.5) * (lo + hi);
+    Result attempt = runPeriodConstrained(eval, periodBound, SelectionRule::kBiRatio,
+                                          SplitArity::kTwo, mid);
+    if (attempt.success) {
+      hi = attempt.metrics.latency;  // achieved latency can undercut the cap
+      if (attempt.metrics.latency < best.metrics.latency) best = std::move(attempt);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Result runLatencyConstrained(const Evaluator& eval, Real latencyBound, SelectionRule rule) {
+  EngineConfig config;
+  config.rule = rule;
+  config.arity = SplitArity::kTwo;
+  config.periodTarget = std::nullopt;  // run to exhaustion
+  config.latencyCap = latencyBound;
+
+  Result r = fromEngine(runSplittingEngine(eval, config));
+  // Feasibility only depends on the initial (Lemma-1) solution: if even that
+  // exceeds the latency bound, the heuristic fails — this is exactly why the
+  // paper's Table 1 reports identical failure thresholds for H5 and H6.
+  r.success = lessOrNearlyEqual(r.metrics.latency, latencyBound);
+  return r;
+}
+
+}  // namespace
+
+Result spMonoL(const Evaluator& eval, Real latencyBound) {
+  return runLatencyConstrained(eval, latencyBound, SelectionRule::kMonoMax);
+}
+
+Result spBiL(const Evaluator& eval, Real latencyBound) {
+  return runLatencyConstrained(eval, latencyBound, SelectionRule::kBiRatio);
+}
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,96 @@
+#include "pipesched/heuristics/registry.hpp"
+
+namespace pipesched::heuristics {
+
+namespace {
+
+/// Shared implementation: all per-heuristic behaviour is table-driven.
+class HeuristicImpl final : public MappingHeuristic {
+ public:
+  struct Spec {
+    HeuristicId id;
+    const char* name;
+    const char* paperName;
+    Objective objective;
+    Result (*runner)(const Evaluator&, Real);
+    // Engine configuration of the run-to-exhaustion variant (period family).
+    SelectionRule exhaustRule;
+    SplitArity exhaustArity;
+  };
+
+  explicit HeuristicImpl(const Spec& spec) : spec_(spec) {}
+
+  [[nodiscard]] HeuristicId id() const override { return spec_.id; }
+  [[nodiscard]] std::string name() const override { return spec_.name; }
+  [[nodiscard]] std::string paperName() const override { return spec_.paperName; }
+  [[nodiscard]] Objective objective() const override { return spec_.objective; }
+
+  [[nodiscard]] Result run(const Evaluator& eval, Real threshold) const override {
+    return spec_.runner(eval, threshold);
+  }
+
+  [[nodiscard]] Real failureThreshold(const Evaluator& eval) const override {
+    if (spec_.objective == Objective::kMinPeriodForLatency) {
+      // H5/H6 fail exactly when the bound is below the Lemma-1 optimum.
+      return eval.optimalLatency();
+    }
+    EngineConfig config;
+    config.rule = spec_.exhaustRule;
+    config.arity = spec_.exhaustArity;
+    config.periodTarget = std::nullopt;  // split until no improvement
+    return runSplittingEngine(eval, config).metrics.period;
+  }
+
+ private:
+  Spec spec_;
+};
+
+Result runSpBiPDefault(const Evaluator& eval, Real threshold) {
+  return spBiP(eval, threshold);
+}
+
+const HeuristicImpl::Spec kSpecs[] = {
+    {HeuristicId::kH1SpMonoP, "H1-SpMonoP", "Sp mono, P fix", Objective::kMinLatencyForPeriod,
+     &spMonoP, SelectionRule::kMonoMax, SplitArity::kTwo},
+    {HeuristicId::kH2ExploThreeMono, "H2-3ExploMono", "3-Explo mono",
+     Objective::kMinLatencyForPeriod, &exploThreeMono, SelectionRule::kMonoMax,
+     SplitArity::kThree},
+    {HeuristicId::kH3ExploThreeBi, "H3-3ExploBi", "3-Explo bi",
+     Objective::kMinLatencyForPeriod, &exploThreeBi, SelectionRule::kBiRatio,
+     SplitArity::kThree},
+    {HeuristicId::kH4SpBiP, "H4-SpBiP", "Sp bi, P fix", Objective::kMinLatencyForPeriod,
+     &runSpBiPDefault, SelectionRule::kBiRatio, SplitArity::kTwo},
+    {HeuristicId::kH5SpMonoL, "H5-SpMonoL", "Sp mono, L fix", Objective::kMinPeriodForLatency,
+     &spMonoL, SelectionRule::kMonoMax, SplitArity::kTwo},
+    {HeuristicId::kH6SpBiL, "H6-SpBiL", "Sp bi, L fix", Objective::kMinPeriodForLatency,
+     &spBiL, SelectionRule::kBiRatio, SplitArity::kTwo},
+};
+
+const HeuristicImpl::Spec& specFor(HeuristicId id) {
+  for (const auto& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  throw ModelError("makeHeuristic: unknown heuristic id");
+}
+
+}  // namespace
+
+std::unique_ptr<MappingHeuristic> makeHeuristic(HeuristicId id) {
+  return std::make_unique<HeuristicImpl>(specFor(id));
+}
+
+std::vector<std::unique_ptr<MappingHeuristic>> makeAllHeuristics() {
+  std::vector<std::unique_ptr<MappingHeuristic>> out;
+  for (const auto& spec : kSpecs) {
+    out.push_back(std::make_unique<HeuristicImpl>(spec));
+  }
+  return out;
+}
+
+std::vector<HeuristicId> allHeuristicIds() {
+  std::vector<HeuristicId> out;
+  for (const auto& spec : kSpecs) out.push_back(spec.id);
+  return out;
+}
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,206 @@
+#include "pipesched/heuristics/splitting_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pipesched::heuristics {
+
+namespace {
+
+using core::Assignment;
+using core::Interval;
+
+struct Candidate {
+  std::vector<Assignment> replacement;
+  Real maxNewCycle = kInfinity;
+  Real latencyAfter = kInfinity;
+  Real score = kInfinity;
+
+  /// Deterministic strict-weak ordering: primary score, then the two
+  /// secondary criteria, so equal-score candidates resolve identically on
+  /// every run.
+  [[nodiscard]] bool betterThan(const Candidate& other) const {
+    if (score != other.score) return score < other.score;
+    if (maxNewCycle != other.maxNewCycle) return maxNewCycle < other.maxNewCycle;
+    return latencyAfter < other.latencyAfter;
+  }
+};
+
+/// Removes `value` from a vector (first occurrence).
+void removeValue(std::vector<std::size_t>& v, std::size_t value) {
+  const auto it = std::find(v.begin(), v.end(), value);
+  if (it != v.end()) v.erase(it);
+}
+
+class Engine {
+ public:
+  Engine(const Evaluator& eval, const EngineConfig& config)
+      : eval_(eval), config_(config), mapping_(eval.optimalLatencyMapping()) {
+    const std::size_t owner = mapping_.processor(0);
+    for (std::size_t u : eval.platform().processorsBySpeed()) {
+      if (u != owner) available_.push_back(u);
+    }
+  }
+
+  EngineResult run() {
+    EngineResult result;
+    for (;;) {
+      const Metrics metrics = eval_.evaluate(mapping_);
+      if (config_.periodTarget &&
+          lessOrNearlyEqual(metrics.period, *config_.periodTarget)) {
+        result.reachedTarget = true;
+        break;
+      }
+      if (result.splits >= config_.maxSplits) break;
+      const std::optional<Candidate> best = bestCandidate(metrics);
+      if (!best) break;
+      applyCandidate(metrics.bottleneckInterval, *best);
+      ++result.splits;
+    }
+    result.mapping = mapping_;
+    result.metrics = eval_.evaluate(mapping_);
+    if (!config_.periodTarget) result.reachedTarget = true;  // exhaustion mode
+    return result;
+  }
+
+ private:
+  /// Enumerates the admissible splits of the bottleneck interval and returns
+  /// the rule-best one, or nullopt when no admissible split exists.
+  std::optional<Candidate> bestCandidate(const Metrics& metrics) {
+    const std::size_t j = metrics.bottleneckInterval;
+    const Interval victim = mapping_.interval(j);
+    const std::size_t owner = mapping_.processor(j);
+    const Real cycleBefore = eval_.intervalCycle(mapping_, j);
+    const Real latencyBefore = metrics.latency;
+
+    if (victim.length() < 2 || available_.empty()) return std::nullopt;
+    const std::size_t a1 = available_[0];
+    const bool haveSecond = available_.size() > 1;
+    const std::size_t a2 = haveSecond ? available_[1] : a1;
+
+    std::optional<Candidate> best;
+    const auto consider = [&](const std::vector<Assignment>& replacement) {
+      Candidate c = evaluateCandidate(j, replacement, cycleBefore, latencyBefore);
+      if (c.score == kInfinity) return;  // inadmissible
+      if (!best || c.betterThan(*best)) best = std::move(c);
+    };
+
+    const bool threeWay = config_.arity == SplitArity::kThree && victim.length() >= 3 &&
+                          haveSecond;
+    if (threeWay) {
+      // All cut pairs, all 6 assignments of the parts to {owner, a1, a2}.
+      const std::size_t procs[3] = {owner, a1, a2};
+      for (std::size_t q1 = victim.first; q1 + 1 <= victim.last; ++q1) {
+        for (std::size_t q2 = q1 + 1; q2 <= victim.last - 1; ++q2) {
+          const Interval parts[3] = {{victim.first, q1}, {q1 + 1, q2}, {q2 + 1, victim.last}};
+          std::size_t perm[3] = {0, 1, 2};
+          do {
+            consider({Assignment{parts[0], procs[perm[0]]},
+                      Assignment{parts[1], procs[perm[1]]},
+                      Assignment{parts[2], procs[perm[2]]}});
+          } while (std::next_permutation(std::begin(perm), std::end(perm)));
+        }
+      }
+      return best;
+    }
+
+    // Two-way splits. For 3-Explo on a 2-stage victim the paper's 3-way
+    // split degenerates; we try every ordered processor pair drawn from
+    // {owner, a1, a2} (documented in DESIGN.md). Plain Sp-* heuristics use
+    // {owner, a1} in both orders.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs = {{owner, a1}, {a1, owner}};
+    if (config_.arity == SplitArity::kThree && haveSecond && victim.length() == 2) {
+      pairs.push_back({owner, a2});
+      pairs.push_back({a2, owner});
+      pairs.push_back({a1, a2});
+      pairs.push_back({a2, a1});
+    }
+    for (std::size_t q = victim.first; q + 1 <= victim.last; ++q) {
+      const Interval head{victim.first, q};
+      const Interval tail{q + 1, victim.last};
+      for (const auto& [pa, pb] : pairs) {
+        consider({Assignment{head, pa}, Assignment{tail, pb}});
+      }
+    }
+    return best;
+  }
+
+  /// Scores one replacement of interval j; returns score == kInfinity when
+  /// the candidate is inadmissible (does not strictly improve the bottleneck
+  /// cycle, or violates the latency cap).
+  Candidate evaluateCandidate(std::size_t j, const std::vector<Assignment>& replacement,
+                              Real cycleBefore, Real latencyBefore) {
+    Candidate c;
+    c.replacement = replacement;
+
+    IntervalMapping after = mapping_;
+    after.replaceInterval(j, replacement);
+    const Metrics m = eval_.evaluate(after);
+    c.latencyAfter = m.latency;
+
+    // New cycle-times of the replaced parts (evaluated in context so the
+    // fully-heterogeneous extension picks up the right link bandwidths).
+    Real maxCycle = 0;
+    Real minGain = kInfinity;
+    Real maxGain = 0;
+    for (std::size_t r = 0; r < replacement.size(); ++r) {
+      const Real cycle = eval_.intervalCycle(after, j + r);
+      maxCycle = std::max(maxCycle, cycle);
+      const Real gain = cycleBefore - cycle;
+      minGain = std::min(minGain, gain);
+      maxGain = std::max(maxGain, gain);
+    }
+    c.maxNewCycle = maxCycle;
+
+    const bool improves = definitelyLess(maxCycle, cycleBefore);
+    const bool fitsLatency = lessOrNearlyEqual(m.latency, config_.latencyCap);
+    if (!improves || !fitsLatency) return c;  // score stays kInfinity
+
+    if (config_.rule == SelectionRule::kMonoMax) {
+      c.score = maxCycle;
+    } else {
+      // max_i dLatency / dPeriod(i); all gains are > 0 thanks to `improves`.
+      const Real dLat = m.latency - latencyBefore;
+      c.score = dLat >= 0 ? dLat / minGain : dLat / maxGain;
+    }
+    return c;
+  }
+
+  void applyCandidate(std::size_t j, const Candidate& candidate) {
+    const std::size_t owner = mapping_.processor(j);
+    mapping_.replaceInterval(j, candidate.replacement);
+
+    bool ownerStillUsed = false;
+    for (const Assignment& a : candidate.replacement) {
+      if (a.processor == owner) {
+        ownerStillUsed = true;
+      } else {
+        removeValue(available_, a.processor);
+      }
+    }
+    if (!ownerStillUsed) {
+      // Degenerate 3-Explo split that moved both parts off the owner: the
+      // owner returns to the pool at its speed-sorted position.
+      const auto& plat = eval_.platform();
+      const auto pos = std::find_if(
+          available_.begin(), available_.end(), [&](std::size_t u) {
+            return plat.speed(u) < plat.speed(owner) ||
+                   (plat.speed(u) == plat.speed(owner) && u > owner);
+          });
+      available_.insert(pos, owner);
+    }
+  }
+
+  const Evaluator& eval_;
+  EngineConfig config_;
+  IntervalMapping mapping_;
+  std::vector<std::size_t> available_;  // unused processors, fastest first
+};
+
+}  // namespace
+
+EngineResult runSplittingEngine(const Evaluator& eval, const EngineConfig& config) {
+  return Engine(eval, config).run();
+}
+
+}  // namespace pipesched::heuristics

@@ -1,0 +1,448 @@
+#include "pipesched/io/format.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "pipesched/io/real_format.hpp"
+
+namespace pipesched::io {
+
+namespace {
+
+/// Whitespace-separated token stream with 1-based line tracking and `#`
+/// end-of-line comments. Values may wrap across lines; `restOfLine` serves
+/// free-text fields like `name`.
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) : in_(in) {}
+
+  /// Next token, or nullopt at end of input. Sets line() to the token's line.
+  std::optional<std::string> next() {
+    skipSpaceAndComments();
+    if (peek() == EOF) return std::nullopt;
+    std::string token;
+    while (true) {
+      const int c = peek();
+      if (c == EOF || std::isspace(c) || c == '#') break;
+      token.push_back(static_cast<char>(get()));
+    }
+    return token;
+  }
+
+  /// The remainder of the current line, leading whitespace and trailing
+  /// comment stripped. Consumes through the newline.
+  std::string restOfLine() {
+    std::string text;
+    while (peek() != EOF && peek() != '\n') text.push_back(static_cast<char>(get()));
+    if (peek() == '\n') get();
+    // Strip a trailing comment and surrounding whitespace.
+    if (const auto hash = text.find('#'); hash != std::string::npos) text.resize(hash);
+    const auto first = text.find_first_not_of(" \t\r");
+    const auto last = text.find_last_not_of(" \t\r");
+    if (first == std::string::npos) return {};
+    return text.substr(first, last - first + 1);
+  }
+
+  /// Line of the most recently consumed character (1-based).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  int peek() { return in_.peek(); }
+
+  int get() {
+    const int c = in_.get();
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skipSpaceAndComments() {
+    while (true) {
+      int c = peek();
+      if (c == '#') {
+        while (c != EOF && c != '\n') c = get(), c = peek();
+        continue;
+      }
+      if (c == EOF || !std::isspace(c)) return;
+      get();
+    }
+  }
+
+  std::istream& in_;
+  std::size_t line_ = 1;
+};
+
+[[noreturn]] void fail(const Lexer& lex, const std::string& what) {
+  throw ParseError(lex.line(), what);
+}
+
+std::string expectToken(Lexer& lex, const std::string& context) {
+  auto token = lex.next();
+  if (!token) throw ParseError(lex.line(), "unexpected end of input while reading " + context);
+  return *token;
+}
+
+Real expectReal(Lexer& lex, const std::string& context) {
+  const std::string token = expectToken(lex, context);
+  std::size_t used = 0;
+  Real value = 0;
+  try {
+    value = std::stod(token, &used);
+  } catch (const std::exception&) {
+    fail(lex, "expected a number for " + context + ", got '" + token + "'");
+  }
+  if (used != token.size()) {
+    fail(lex, "trailing garbage in number for " + context + ": '" + token + "'");
+  }
+  return value;
+}
+
+std::size_t expectCount(Lexer& lex, const std::string& context) {
+  const Real value = expectReal(lex, context);
+  if (value < 0 || value != static_cast<Real>(static_cast<std::size_t>(value))) {
+    fail(lex, context + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::vector<Real> expectReals(Lexer& lex, std::size_t count, const std::string& context) {
+  std::vector<Real> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(expectReal(lex, context + " entry " + std::to_string(i)));
+  }
+  return values;
+}
+
+void expectHeader(Lexer& lex, const std::string& kind) {
+  const std::string magic = expectToken(lex, "header");
+  if (magic != kind) fail(lex, "expected header '" + kind + " v1', got '" + magic + "'");
+  const std::string version = expectToken(lex, "format version");
+  if (version != "v1") fail(lex, "unsupported " + kind + " version '" + version + "'");
+}
+
+}  // namespace
+
+Instance readInstance(std::istream& in) {
+  Lexer lex(in);
+  expectHeader(lex, "pipesched-instance");
+
+  std::string name;
+  std::optional<std::size_t> stages;
+  std::optional<std::size_t> processors;
+  std::optional<std::vector<Real>> work;
+  std::optional<std::vector<Real>> comm;
+  std::optional<std::vector<Real>> speeds;
+  std::optional<Real> bandwidth;
+  std::optional<std::vector<Real>> links;
+  std::optional<std::vector<Real>> inputBw;
+  std::optional<std::vector<Real>> outputBw;
+  bool sawName = false;
+
+  while (auto token = lex.next()) {
+    const std::string& key = *token;
+    if (key == "name") {
+      if (sawName) fail(lex, "duplicate 'name'");
+      sawName = true;
+      name = lex.restOfLine();
+    } else if (key == "stages") {
+      if (stages) fail(lex, "duplicate 'stages'");
+      stages = expectCount(lex, "stages");
+      if (*stages == 0) fail(lex, "stages must be >= 1");
+    } else if (key == "work") {
+      if (work) fail(lex, "duplicate 'work'");
+      if (!stages) fail(lex, "'work' must come after 'stages'");
+      work = expectReals(lex, *stages, "work");
+    } else if (key == "comm") {
+      if (comm) fail(lex, "duplicate 'comm'");
+      if (!stages) fail(lex, "'comm' must come after 'stages'");
+      comm = expectReals(lex, *stages + 1, "comm");
+    } else if (key == "processors") {
+      if (processors) fail(lex, "duplicate 'processors'");
+      processors = expectCount(lex, "processors");
+      if (*processors == 0) fail(lex, "processors must be >= 1");
+    } else if (key == "speeds") {
+      if (speeds) fail(lex, "duplicate 'speeds'");
+      if (!processors) fail(lex, "'speeds' must come after 'processors'");
+      speeds = expectReals(lex, *processors, "speeds");
+    } else if (key == "bandwidth") {
+      if (bandwidth) fail(lex, "duplicate 'bandwidth'");
+      bandwidth = expectReal(lex, "bandwidth");
+    } else if (key == "links") {
+      if (links) fail(lex, "duplicate 'links'");
+      if (!processors) fail(lex, "'links' must come after 'processors'");
+      links = expectReals(lex, *processors * *processors, "links");
+    } else if (key == "input-bandwidth") {
+      if (inputBw) fail(lex, "duplicate 'input-bandwidth'");
+      if (!processors) fail(lex, "'input-bandwidth' must come after 'processors'");
+      inputBw = expectReals(lex, *processors, "input-bandwidth");
+    } else if (key == "output-bandwidth") {
+      if (outputBw) fail(lex, "duplicate 'output-bandwidth'");
+      if (!processors) fail(lex, "'output-bandwidth' must come after 'processors'");
+      outputBw = expectReals(lex, *processors, "output-bandwidth");
+    } else {
+      fail(lex, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (!stages) fail(lex, "missing 'stages'");
+  if (!work) fail(lex, "missing 'work'");
+  if (!comm) fail(lex, "missing 'comm'");
+  if (!processors) fail(lex, "missing 'processors'");
+  if (!speeds) fail(lex, "missing 'speeds'");
+
+  const bool hetero = links || inputBw || outputBw;
+  if (bandwidth && hetero) {
+    fail(lex, "'bandwidth' and 'links'/'input-bandwidth'/'output-bandwidth' are exclusive");
+  }
+  if (!bandwidth && !hetero) fail(lex, "missing 'bandwidth' (or a 'links' block)");
+  if (hetero && !(links && inputBw && outputBw)) {
+    fail(lex, "a heterogeneous platform needs 'links', 'input-bandwidth' and "
+              "'output-bandwidth' together");
+  }
+
+  // Model invariants (positivity etc.) are enforced by the core constructors,
+  // which throw ModelError with a precise message.
+  core::Pipeline pipeline(std::move(*work), std::move(*comm));
+  core::Platform platform =
+      bandwidth ? core::Platform(std::move(*speeds), *bandwidth)
+                : core::Platform::fullyHeterogeneous(std::move(*speeds), std::move(*links),
+                                                     std::move(*inputBw), std::move(*outputBw));
+  return Instance{std::move(pipeline), std::move(platform), std::move(name)};
+}
+
+Instance readInstanceFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readInstance(in);
+}
+
+Instance readInstanceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open instance file: " + path);
+  return readInstance(in);
+}
+
+void writeInstance(std::ostream& out, const Instance& instance) {
+  const core::Pipeline& pipe = instance.pipeline;
+  const core::Platform& plat = instance.platform;
+  out << "pipesched-instance v1\n";
+  if (!instance.name.empty()) out << "name " << instance.name << "\n";
+  out << "stages " << pipe.stageCount() << "\n";
+  out << "work";
+  for (Real w : pipe.works()) out << ' ' << formatReal(w);
+  out << "\ncomm";
+  for (Real d : pipe.comms()) out << ' ' << formatReal(d);
+  out << "\nprocessors " << plat.processorCount() << "\n";
+  out << "speeds";
+  for (Real s : plat.speeds()) out << ' ' << formatReal(s);
+  out << '\n';
+  const std::size_t p = plat.processorCount();
+  if (plat.isCommHomogeneous()) {
+    out << "bandwidth " << formatReal(plat.bandwidth()) << "\n";
+  } else {
+    out << "links";
+    for (std::size_t u = 0; u < p; ++u) {
+      for (std::size_t v = 0; v < p; ++v) {
+        // The diagonal is ignored by the model; serialize it as 1 so the
+        // canonical form is stable and strictly positive.
+        out << ' ' << formatReal(u == v ? Real(1) : plat.bandwidth(u, v));
+      }
+    }
+    out << "\ninput-bandwidth";
+    for (std::size_t u = 0; u < p; ++u) out << ' ' << formatReal(plat.inputBandwidth(u));
+    out << "\noutput-bandwidth";
+    for (std::size_t u = 0; u < p; ++u) out << ' ' << formatReal(plat.outputBandwidth(u));
+    out << '\n';
+  }
+}
+
+void writeInstanceToFile(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  writeInstance(out, instance);
+}
+
+core::IntervalMapping readMapping(std::istream& in, std::optional<std::size_t> expectedStages) {
+  Lexer lex(in);
+  expectHeader(lex, "pipesched-mapping");
+
+  std::optional<std::size_t> stages;
+  std::optional<std::size_t> intervals;
+  std::vector<core::Assignment> parts;
+
+  while (auto token = lex.next()) {
+    const std::string& key = *token;
+    if (key == "stages") {
+      if (stages) fail(lex, "duplicate 'stages'");
+      stages = expectCount(lex, "stages");
+    } else if (key == "intervals") {
+      if (intervals) fail(lex, "duplicate 'intervals'");
+      intervals = expectCount(lex, "intervals");
+    } else if (key == "interval") {
+      core::Assignment a;
+      a.interval.first = expectCount(lex, "interval first");
+      a.interval.last = expectCount(lex, "interval last");
+      a.processor = expectCount(lex, "interval processor");
+      if (a.interval.last < a.interval.first) fail(lex, "interval with last < first");
+      parts.push_back(a);
+    } else {
+      fail(lex, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (!stages) fail(lex, "missing 'stages'");
+  if (!intervals) fail(lex, "missing 'intervals'");
+  if (parts.size() != *intervals) {
+    fail(lex, "declared " + std::to_string(*intervals) + " intervals but found " +
+                  std::to_string(parts.size()));
+  }
+  if (expectedStages && *stages != *expectedStages) {
+    fail(lex, "mapping is for " + std::to_string(*stages) + " stages, expected " +
+                  std::to_string(*expectedStages));
+  }
+  core::IntervalMapping mapping{std::move(parts)};  // checks the ordering invariant
+  if (mapping.stageCount() != *stages) {
+    fail(lex, "intervals cover " + std::to_string(mapping.stageCount()) +
+                  " stages but the file declares " + std::to_string(*stages));
+  }
+  return mapping;
+}
+
+core::IntervalMapping readMappingFromString(const std::string& text,
+                                            std::optional<std::size_t> expectedStages) {
+  std::istringstream in(text);
+  return readMapping(in, expectedStages);
+}
+
+core::IntervalMapping readMappingFromFile(const std::string& path,
+                                          std::optional<std::size_t> expectedStages) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open mapping file: " + path);
+  return readMapping(in, expectedStages);
+}
+
+namespace {
+
+/// Parses a comma-separated list of processor indices ("3" or "0,2,5").
+std::vector<std::size_t> parseProcessorList(Lexer& lex, const std::string& token) {
+  std::vector<std::size_t> processors;
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    const std::size_t comma = token.find(',', start);
+    const std::string part =
+        token.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    try {
+      std::size_t used = 0;
+      const unsigned long value = std::stoul(part, &used);
+      if (used != part.size()) throw std::invalid_argument(part);
+      processors.push_back(value);
+    } catch (const std::exception&) {
+      fail(lex, "bad processor list entry '" + part + "'");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return processors;
+}
+
+}  // namespace
+
+core::ReplicatedMapping readReplicatedMapping(std::istream& in,
+                                              std::optional<std::size_t> expectedStages) {
+  Lexer lex(in);
+  expectHeader(lex, "pipesched-deal-mapping");
+
+  std::optional<std::size_t> stages;
+  std::optional<std::size_t> intervals;
+  std::vector<core::ReplicatedAssignment> parts;
+
+  while (auto token = lex.next()) {
+    const std::string& key = *token;
+    if (key == "stages") {
+      if (stages) fail(lex, "duplicate 'stages'");
+      stages = expectCount(lex, "stages");
+    } else if (key == "intervals") {
+      if (intervals) fail(lex, "duplicate 'intervals'");
+      intervals = expectCount(lex, "intervals");
+    } else if (key == "interval") {
+      core::ReplicatedAssignment a;
+      a.interval.first = expectCount(lex, "interval first");
+      a.interval.last = expectCount(lex, "interval last");
+      a.processors = parseProcessorList(lex, expectToken(lex, "replica list"));
+      if (a.interval.last < a.interval.first) fail(lex, "interval with last < first");
+      parts.push_back(std::move(a));
+    } else {
+      fail(lex, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (!stages) fail(lex, "missing 'stages'");
+  if (!intervals) fail(lex, "missing 'intervals'");
+  if (parts.size() != *intervals) {
+    fail(lex, "declared " + std::to_string(*intervals) + " intervals but found " +
+                  std::to_string(parts.size()));
+  }
+  if (expectedStages && *stages != *expectedStages) {
+    fail(lex, "mapping is for " + std::to_string(*stages) + " stages, expected " +
+                  std::to_string(*expectedStages));
+  }
+  if (!parts.empty() &&
+      (parts.front().interval.first != 0 || parts.back().interval.last + 1 != *stages)) {
+    fail(lex, "intervals do not cover the declared stage range");
+  }
+  return core::ReplicatedMapping(std::move(parts));  // checks ordering + non-empty sets
+}
+
+core::ReplicatedMapping readReplicatedMappingFromString(
+    const std::string& text, std::optional<std::size_t> expectedStages) {
+  std::istringstream in(text);
+  return readReplicatedMapping(in, expectedStages);
+}
+
+core::ReplicatedMapping readReplicatedMappingFromFile(
+    const std::string& path, std::optional<std::size_t> expectedStages) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open mapping file: " + path);
+  return readReplicatedMapping(in, expectedStages);
+}
+
+void writeReplicatedMapping(std::ostream& out, const core::ReplicatedMapping& mapping) {
+  out << "pipesched-deal-mapping v1\n";
+  const std::size_t stages =
+      mapping.empty() ? 0 : mapping.assignments().back().interval.last + 1;
+  out << "stages " << stages << "\n";
+  out << "intervals " << mapping.intervalCount() << "\n";
+  for (const core::ReplicatedAssignment& a : mapping.assignments()) {
+    out << "interval " << a.interval.first << ' ' << a.interval.last << ' ';
+    for (std::size_t r = 0; r < a.processors.size(); ++r) {
+      out << (r ? "," : "") << a.processors[r];
+    }
+    out << '\n';
+  }
+}
+
+void writeReplicatedMappingToFile(const std::string& path,
+                                  const core::ReplicatedMapping& mapping) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  writeReplicatedMapping(out, mapping);
+}
+
+void writeMapping(std::ostream& out, const core::IntervalMapping& mapping) {
+  out << "pipesched-mapping v1\n";
+  out << "stages " << mapping.stageCount() << "\n";
+  out << "intervals " << mapping.intervalCount() << "\n";
+  for (const core::Assignment& a : mapping.assignments()) {
+    out << "interval " << a.interval.first << ' ' << a.interval.last << ' ' << a.processor
+        << '\n';
+  }
+}
+
+void writeMappingToFile(const std::string& path, const core::IntervalMapping& mapping) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  writeMapping(out, mapping);
+}
+
+}  // namespace pipesched::io

@@ -1,0 +1,65 @@
+// Private shared core of the one-port rendezvous pipeline simulation. Both
+// the nominal simulator (pipeline_sim.cpp) and the jittered one
+// (perturbation.cpp) drive this runner; they differ only in the per-(phase,
+// data set) duration tables they supply.
+//
+// Model recap: transfer t connects interval t-1 to interval t (t = 0 is the
+// world input, t = m the world output). A transfer starts when its sender has
+// finished computing data set k and its receiver has finished *sending* data
+// set k-1 (one-port: a processor is in at most one communication at a time;
+// its receive for k+1 cannot overlap its send of k). Compute of interval j
+// for data set k starts when transfer j delivered it.
+#pragma once
+
+#include <vector>
+
+#include "pipesched/sim/pipeline_sim.hpp"
+
+namespace pipesched::sim::detail {
+
+/// Per-(phase, data set) durations. transfer is (m+1) x k, compute is m x k,
+/// both row-major with the data-set index contiguous.
+///
+/// `strides[j]` is the replica-set size of interval j (1 for plain
+/// mappings): interval j serves data set k on replica k mod strides[j], so
+/// after sending k it is next ready to *receive* data set k + strides[j] on
+/// that replica. The runner additionally enforces in-order stream dealing
+/// (transfer t for k starts only after transfer t for k-1 completed), which
+/// is a no-op for all-singleton mappings but paces round-robin dealing the
+/// way a deal skeleton does.
+struct DurationTable {
+  std::size_t intervals = 0;  ///< m
+  std::size_t datasets = 0;   ///< k
+  std::vector<Time> transfer;
+  std::vector<Time> compute;
+  std::vector<std::size_t> strides;  ///< size m; empty means all-1
+
+  /// When true, transfer t for data set k may only start after transfer t
+  /// for k-1 completed (stream-ordered dealing: a busy replica back-
+  /// pressures the whole stream). When false, boundary transfers to
+  /// distinct replicas may overlap (independent substreams — the
+  /// assumption behind the replication cost model). No-op for plain
+  /// (all-singleton) mappings, whose serial chains order transfers anyway.
+  bool enforceStreamOrder = true;
+
+  [[nodiscard]] Time transferOf(std::size_t t, std::size_t k) const {
+    return transfer[t * datasets + k];
+  }
+  [[nodiscard]] Time computeOf(std::size_t j, std::size_t k) const {
+    return compute[j * datasets + k];
+  }
+  [[nodiscard]] std::size_t strideOf(std::size_t j) const {
+    return strides.empty() ? 1 : strides[j];
+  }
+};
+
+/// Nominal (model-exact) durations for `mapping` on `eval`'s platform,
+/// replicated across all data sets.
+[[nodiscard]] DurationTable nominalDurations(const core::Evaluator& eval,
+                                             const core::IntervalMapping& mapping,
+                                             std::size_t datasets);
+
+/// Runs the rendezvous simulation over the given durations.
+[[nodiscard]] SimReport runPipelineDes(const DurationTable& durations, const SimConfig& config);
+
+}  // namespace pipesched::sim::detail

@@ -1,0 +1,30 @@
+#include "pipesched/sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace pipesched::sim {
+
+void Engine::schedule(Time at, Callback cb) {
+  if (at < now_ - kTimeEps) {
+    throw ModelError("sim::Engine: cannot schedule an event in the past");
+  }
+  queue_.push(Event{std::max(at, now_), nextSeq_++, std::move(cb)});
+}
+
+Time Engine::run() { return run(std::numeric_limits<std::uint64_t>::max()); }
+
+Time Engine::run(std::uint64_t maxEvents) {
+  std::uint64_t budget = maxEvents;
+  while (!queue_.empty() && budget-- > 0) {
+    // Move the event out before popping so the callback may schedule freely.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    ++processed_;
+    event.cb();
+  }
+  return now_;
+}
+
+}  // namespace pipesched::sim

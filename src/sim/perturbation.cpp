@@ -1,0 +1,78 @@
+#include "pipesched/sim/perturbation.hpp"
+
+#include <algorithm>
+
+#include "des_runner.hpp"
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::sim {
+
+namespace {
+
+void validateJitter(const JitterModel& jitter) {
+  if (jitter.computeAmplitude < 0 || jitter.computeAmplitude >= 1 ||
+      jitter.transferAmplitude < 0 || jitter.transferAmplitude >= 1) {
+    throw ModelError("JitterModel: amplitudes must lie in [0, 1)");
+  }
+  if (jitter.minFactor <= 0) throw ModelError("JitterModel: minFactor must be > 0");
+}
+
+/// Scales every entry of `values` by an independent factor 1 + a*u,
+/// u ~ Uniform(-1, 1), truncated at minFactor.
+void applyNoise(std::vector<Time>& values, Real amplitude, Real minFactor,
+                workload::Rng& rng) {
+  if (amplitude == 0) return;
+  for (Time& v : values) {
+    const Real u = rng.uniform(-1, 1);
+    const Real factor = std::max(minFactor, Real(1) + amplitude * u);
+    v *= factor;
+  }
+}
+
+}  // namespace
+
+SimReport simulatePipelineJittered(const core::Evaluator& eval,
+                                   const core::IntervalMapping& mapping,
+                                   const SimConfig& config, const JitterModel& jitter) {
+  mapping.validate(eval.pipeline().stageCount(), eval.platform().processorCount());
+  if (config.datasetCount == 0) {
+    throw ModelError("simulatePipelineJittered: datasetCount must be >= 1");
+  }
+  validateJitter(jitter);
+
+  detail::DurationTable durations =
+      detail::nominalDurations(eval, mapping, config.datasetCount);
+  workload::Rng rng(jitter.seed);
+  applyNoise(durations.compute, jitter.computeAmplitude, jitter.minFactor, rng);
+  applyNoise(durations.transfer, jitter.transferAmplitude, jitter.minFactor, rng);
+  return detail::runPipelineDes(durations, config);
+}
+
+RobustnessReport measureRobustness(const core::Evaluator& eval,
+                                   const core::IntervalMapping& mapping,
+                                   const SimConfig& config, const JitterModel& jitter,
+                                   std::size_t trials) {
+  if (trials == 0) throw ModelError("measureRobustness: trials must be >= 1");
+  validateJitter(jitter);
+
+  const core::Metrics nominal = eval.evaluate(mapping);
+  RobustnessReport report;
+  report.nominalPeriod = nominal.period;
+  report.nominalLatency = nominal.latency;
+  report.trials = trials;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    JitterModel perTrial = jitter;
+    perTrial.seed = jitter.seed + trial;
+    const SimReport run = simulatePipelineJittered(eval, mapping, config, perTrial);
+    report.meanPeriod += run.steadyStatePeriod;
+    report.worstPeriod = std::max(report.worstPeriod, run.steadyStatePeriod);
+    report.meanMaxLatency += run.maxLatency;
+    report.worstMaxLatency = std::max(report.worstMaxLatency, run.maxLatency);
+  }
+  report.meanPeriod /= static_cast<Real>(trials);
+  report.meanMaxLatency /= static_cast<Real>(trials);
+  return report;
+}
+
+}  // namespace pipesched::sim

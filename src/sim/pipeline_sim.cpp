@@ -1,0 +1,16 @@
+#include "pipesched/sim/pipeline_sim.hpp"
+
+#include "des_runner.hpp"
+
+namespace pipesched::sim {
+
+SimReport simulatePipeline(const core::Evaluator& eval, const core::IntervalMapping& mapping,
+                           const SimConfig& config) {
+  mapping.validate(eval.pipeline().stageCount(), eval.platform().processorCount());
+  if (config.datasetCount == 0) throw ModelError("simulatePipeline: datasetCount must be >= 1");
+  const detail::DurationTable durations =
+      detail::nominalDurations(eval, mapping, config.datasetCount);
+  return detail::runPipelineDes(durations, config);
+}
+
+}  // namespace pipesched::sim

@@ -1,0 +1,59 @@
+#include "pipesched/sim/recurrence.hpp"
+
+namespace pipesched::sim {
+
+std::vector<Time> recurrenceCompletionTimes(const core::Evaluator& eval,
+                                            const core::IntervalMapping& mapping,
+                                            const std::vector<Time>& releases) {
+  mapping.validate(eval.pipeline().stageCount(), eval.platform().processorCount());
+  if (releases.empty()) return {};
+  const std::size_t m = mapping.intervalCount();
+  const auto& pipe = eval.pipeline();
+  const auto& plat = eval.platform();
+
+  std::vector<Time> dur(m + 1);
+  std::vector<Time> comp(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    comp[j] = eval.computeTime(mapping.interval(j), mapping.processor(j));
+  }
+  for (std::size_t t = 0; t <= m; ++t) {
+    Real size = 0;
+    Real bw = 1;
+    if (t == 0) {
+      size = pipe.comm(mapping.interval(0).first);
+      bw = plat.inputBandwidth(mapping.processor(0));
+    } else if (t == m) {
+      size = pipe.comm(pipe.stageCount());
+      bw = plat.outputBandwidth(mapping.processor(m - 1));
+    } else {
+      size = pipe.comm(mapping.interval(t).first);
+      bw = plat.bandwidth(mapping.processor(t - 1), mapping.processor(t));
+    }
+    dur[t] = size > Real(0) ? size / bw : Time(0);
+  }
+
+  std::vector<Time> prev(m + 1, Time(0));  // end(t, k-1)
+  std::vector<Time> cur(m + 1, Time(0));
+  std::vector<Time> completions(releases.size());
+  for (std::size_t k = 0; k < releases.size(); ++k) {
+    for (std::size_t t = 0; t <= m; ++t) {
+      const Time senderReady = (t == 0) ? releases[k] : cur[t - 1] + comp[t - 1];
+      const Time receiverReady = (t == m || k == 0) ? Time(0) : prev[t + 1];
+      cur[t] = std::max(senderReady, receiverReady) + dur[t];
+    }
+    completions[k] = cur[m];
+    std::swap(prev, cur);
+  }
+  return completions;
+}
+
+Time recurrenceSteadyPeriod(const core::Evaluator& eval, const core::IntervalMapping& mapping,
+                            std::size_t datasets, std::size_t warmup) {
+  if (datasets < 2) throw ModelError("recurrenceSteadyPeriod: needs >= 2 data sets");
+  const std::vector<Time> releases(datasets, Time(0));
+  const std::vector<Time> completions = recurrenceCompletionTimes(eval, mapping, releases);
+  const std::size_t w = std::min(warmup, datasets - 2);
+  return (completions[datasets - 1] - completions[w]) / static_cast<Time>(datasets - 1 - w);
+}
+
+}  // namespace pipesched::sim

@@ -1,0 +1,49 @@
+#include "pipesched/sim/replicated_sim.hpp"
+
+#include "des_runner.hpp"
+
+namespace pipesched::sim {
+
+SimReport simulateReplicated(const core::Evaluator& eval,
+                             const core::ReplicatedMapping& mapping, const SimConfig& config,
+                             DealDiscipline discipline) {
+  mapping.validate(eval.pipeline().stageCount(), eval.platform().processorCount());
+  if (!eval.platform().isCommHomogeneous()) {
+    throw ModelError("simulateReplicated: requires a communication-homogeneous platform");
+  }
+  if (config.datasetCount == 0) {
+    throw ModelError("simulateReplicated: datasetCount must be >= 1");
+  }
+
+  const std::size_t m = mapping.intervalCount();
+  const std::size_t datasets = config.datasetCount;
+  const auto& pipe = eval.pipeline();
+  const Real b = eval.platform().bandwidth();
+
+  detail::DurationTable table;
+  table.intervals = m;
+  table.datasets = datasets;
+  table.transfer.resize((m + 1) * datasets);
+  table.compute.resize(m * datasets);
+  table.strides.resize(m);
+  table.enforceStreamOrder = discipline == DealDiscipline::kStreamOrdered;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const core::ReplicatedAssignment& a = mapping.assignment(j);
+    table.strides[j] = a.processors.size();
+    const Real work = pipe.workSum(a.interval.first, a.interval.last);
+    for (std::size_t k = 0; k < datasets; ++k) {
+      const std::size_t replica = k % a.processors.size();
+      table.compute[j * datasets + k] = work / eval.platform().speed(a.processors[replica]);
+    }
+  }
+  for (std::size_t t = 0; t <= m; ++t) {
+    const Real size =
+        t < m ? pipe.comm(mapping.assignment(t).interval.first) : pipe.comm(pipe.stageCount());
+    const Time duration = size > Real(0) ? size / b : Time(0);
+    for (std::size_t k = 0; k < datasets; ++k) table.transfer[t * datasets + k] = duration;
+  }
+  return detail::runPipelineDes(table, config);
+}
+
+}  // namespace pipesched::sim

@@ -1,0 +1,102 @@
+#include "pipesched/sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "pipesched/io/real_format.hpp"
+
+namespace pipesched::sim {
+
+namespace {
+
+const char* kindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kTransferStart: return "transfer_start";
+    case TraceEvent::Kind::kTransferEnd: return "transfer_end";
+    case TraceEvent::Kind::kComputeStart: return "compute_start";
+    case TraceEvent::Kind::kComputeEnd: return "compute_end";
+  }
+  return "?";
+}
+
+void requireTrace(const SimReport& report) {
+  if (report.trace.empty()) {
+    throw ModelError("trace rendering: the report carries no trace "
+                     "(run with SimConfig::recordTrace = true)");
+  }
+}
+
+}  // namespace
+
+void writeTraceCsv(std::ostream& out, const SimReport& report) {
+  requireTrace(report);
+  out << "kind,time,index,dataset\n";
+  for (const TraceEvent& e : report.trace) {
+    out << kindName(e.kind) << ',' << io::formatReal(e.time) << ',' << e.interval << ','
+        << e.dataset << '\n';
+  }
+}
+
+std::string renderGantt(const core::IntervalMapping& mapping, const SimReport& report,
+                        const GanttOptions& options) {
+  requireTrace(report);
+  if (options.width < 10) throw ModelError("renderGantt: width must be >= 10");
+
+  const std::size_t m = mapping.intervalCount();
+  const std::size_t maxK =
+      options.maxDatasets == 0 ? report.completionTimes.size() : options.maxDatasets;
+
+  // Collect compute spans per interval, limited to the drawn data sets.
+  struct Span {
+    Time start = 0, end = 0;
+    std::size_t dataset = 0;
+  };
+  std::vector<std::vector<Span>> spans(m);
+  std::vector<Time> open(m, Time(-1));
+  std::vector<std::size_t> openDataset(m, 0);
+  Time horizon = 0;
+  for (const TraceEvent& e : report.trace) {
+    if (e.dataset >= maxK || e.interval >= m) continue;
+    if (e.kind == TraceEvent::Kind::kComputeStart) {
+      open[e.interval] = e.time;
+      openDataset[e.interval] = e.dataset;
+    } else if (e.kind == TraceEvent::Kind::kComputeEnd && open[e.interval] >= 0) {
+      spans[e.interval].push_back(Span{open[e.interval], e.time, openDataset[e.interval]});
+      horizon = std::max(horizon, e.time);
+      open[e.interval] = Time(-1);
+    }
+  }
+  if (horizon <= 0) {
+    // Degenerate: all compute phases have zero length; use the makespan so
+    // the axis is still drawable.
+    horizon = std::max(report.makespan, Time(1));
+  }
+
+  const Real scale = static_cast<Real>(options.width) / horizon;
+  std::ostringstream out;
+  out << "time: 0 .. " << io::formatReal(horizon) << "  ('" << '.'
+      << "' idle, digit = data set mod 10, compute phases only)\n";
+  for (std::size_t j = 0; j < m; ++j) {
+    std::string row(options.width, '.');
+    for (const Span& s : spans[j]) {
+      auto col = [&](Time t) {
+        return std::min(options.width - 1,
+                        static_cast<std::size_t>(std::max(Real(0), t * scale)));
+      };
+      const std::size_t a = col(s.start);
+      const std::size_t b = std::max(col(s.end > s.start ? s.end : s.start), a);
+      const char digit = static_cast<char>('0' + s.dataset % 10);
+      for (std::size_t c = a; c <= b && c < options.width; ++c) row[c] = digit;
+    }
+    out << "P" << mapping.processor(j);
+    for (std::size_t pad = std::to_string(mapping.processor(j)).size(); pad < 4; ++pad) {
+      out << ' ';
+    }
+    out << '[' << row << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace pipesched::sim

@@ -1,0 +1,84 @@
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::workload {
+
+std::string experimentName(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kE1BalancedHomComm: return "E1";
+    case ExperimentKind::kE2BalancedHetComm: return "E2";
+    case ExperimentKind::kE3LargeComputations: return "E3";
+    case ExperimentKind::kE4SmallComputations: return "E4";
+  }
+  throw ModelError("experimentName: unknown kind");
+}
+
+std::string experimentDescription(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kE1BalancedHomComm:
+      return "balanced communication/computation, homogeneous communications";
+    case ExperimentKind::kE2BalancedHetComm:
+      return "balanced communication/computation, heterogeneous communications";
+    case ExperimentKind::kE3LargeComputations:
+      return "large computations (compute-dominated)";
+    case ExperimentKind::kE4SmallComputations:
+      return "small computations (communication-dominated)";
+  }
+  throw ModelError("experimentDescription: unknown kind");
+}
+
+core::Pipeline randomPipeline(ExperimentKind kind, std::size_t n, Rng& rng) {
+  if (n == 0) throw ModelError("randomPipeline: n must be >= 1");
+  std::vector<Real> work(n);
+  std::vector<Real> comm(n + 1);
+  // Draw communications first, computations second: fixed order keeps the
+  // streams reproducible when regimes change only one of the distributions.
+  for (std::size_t k = 0; k <= n; ++k) {
+    switch (kind) {
+      case ExperimentKind::kE1BalancedHomComm: comm[k] = Real(10); break;
+      case ExperimentKind::kE2BalancedHetComm: comm[k] = rng.uniform(1, 100); break;
+      case ExperimentKind::kE3LargeComputations:
+      case ExperimentKind::kE4SmallComputations: comm[k] = rng.uniform(1, 20); break;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    switch (kind) {
+      case ExperimentKind::kE1BalancedHomComm:
+      case ExperimentKind::kE2BalancedHetComm: work[k] = rng.uniform(1, 20); break;
+      case ExperimentKind::kE3LargeComputations: work[k] = rng.uniform(10, 1000); break;
+      case ExperimentKind::kE4SmallComputations: work[k] = rng.uniform(0.01, 10); break;
+    }
+  }
+  return core::Pipeline(std::move(work), std::move(comm));
+}
+
+core::Platform randomPlatform(std::size_t p, Rng& rng, const PlatformParams& params) {
+  if (p == 0) throw ModelError("randomPlatform: p must be >= 1");
+  std::vector<Real> speeds(p);
+  for (auto& s : speeds) {
+    s = static_cast<Real>(rng.uniformInt(params.speedMin, params.speedMax));
+  }
+  return core::Platform(std::move(speeds), params.bandwidth);
+}
+
+core::Platform randomHeterogeneousPlatform(std::size_t p, Rng& rng, Real bwMin, Real bwMax) {
+  if (p == 0) throw ModelError("randomHeterogeneousPlatform: p must be >= 1");
+  std::vector<Real> speeds(p);
+  for (auto& s : speeds) s = static_cast<Real>(rng.uniformInt(1, 20));
+  std::vector<Real> links(p * p, Real(1));
+  for (std::size_t u = 0; u < p; ++u) {
+    for (std::size_t v = 0; v < p; ++v) {
+      if (u != v) links[u * p + v] = rng.uniform(bwMin, bwMax);
+    }
+  }
+  std::vector<Real> in(p), out(p);
+  for (auto& b : in) b = rng.uniform(bwMin, bwMax);
+  for (auto& b : out) b = rng.uniform(bwMin, bwMax);
+  return core::Platform::fullyHeterogeneous(std::move(speeds), std::move(links), std::move(in),
+                                            std::move(out));
+}
+
+InstancePair randomInstance(ExperimentKind kind, std::size_t n, std::size_t p, Rng& rng) {
+  return InstancePair{randomPipeline(kind, n, rng), randomPlatform(p, rng)};
+}
+
+}  // namespace pipesched::workload

@@ -1,0 +1,65 @@
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::workload {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::nextU64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Real Rng::nextReal() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<Real>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) {
+  if (!(lo < hi)) throw ModelError("Rng::uniform: requires lo < hi");
+  return lo + (hi - lo) * nextReal();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw ModelError("Rng::uniformInt: requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(nextU64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t value = nextU64();
+  while (value >= limit) value = nextU64();
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  std::uint64_t mix = seed_;
+  (void)splitmix64(mix);
+  mix ^= 0xA3C59AC2ED1767ULL * (stream + 1);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace pipesched::workload

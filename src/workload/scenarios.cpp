@@ -1,0 +1,55 @@
+#include "pipesched/workload/scenarios.hpp"
+
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::workload {
+
+Scenario imageProcessingScenario() {
+  //                     decode demosaic denoise crop upscale grade sharpen encode
+  std::vector<Real> w = {4,     8,       45,     2,   60,     12,   9,      25};
+  // Frame sizes between stages; crop shrinks the data, upscale grows it.
+  std::vector<Real> d = {20, 20, 24, 24, 12, 30, 30, 30, 18};
+  return Scenario{
+      "image-processing",
+      "8-stage video filter chain (decode, denoise, upscale, ..., encode)",
+      core::Pipeline(std::move(w), std::move(d)),
+      {"decode", "demosaic", "denoise", "crop", "upscale", "color-grade", "sharpen",
+       "encode"}};
+}
+
+Scenario genomicsScenario() {
+  std::vector<Real> w = {80, 900, 150, 120, 600, 90};
+  std::vector<Real> d = {15, 14, 18, 18, 17, 3, 2};
+  return Scenario{"genomics-variant-calling",
+                  "6-stage variant-calling chain, compute-dominated (E3-like)",
+                  core::Pipeline(std::move(w), std::move(d)),
+                  {"qc-trim", "align", "sort", "dedup", "call-variants", "annotate"}};
+}
+
+Scenario etlScenario() {
+  std::vector<Real> w = {0.8, 2.5, 1.2, 3.0, 6.0, 4.5, 1.0, 5.0, 2.0, 0.7};
+  std::vector<Real> d = {18, 18, 16, 16, 15, 19, 19, 8, 8, 6, 6};
+  return Scenario{"streaming-etl",
+                  "10-stage ETL chain over fat records, communication-dominated (E4-like)",
+                  core::Pipeline(std::move(w), std::move(d)),
+                  {"ingest", "parse", "validate", "dedupe", "join-dim", "enrich", "project",
+                   "aggregate", "format", "sink"}};
+}
+
+std::vector<Scenario> allScenarios() {
+  return {imageProcessingScenario(), genomicsScenario(), etlScenario()};
+}
+
+core::Platform labCluster() {
+  // Mixed-generation workstations on a 10 units/s LAN.
+  return core::Platform({20, 18, 15, 12, 12, 9, 7, 6, 5, 4}, /*bandwidth=*/10);
+}
+
+core::Platform largeCluster() {
+  Rng rng(0xC1D57E5ULL);
+  std::vector<Real> speeds(100);
+  for (auto& s : speeds) s = static_cast<Real>(rng.uniformInt(1, 20));
+  return core::Platform(std::move(speeds), /*bandwidth=*/10);
+}
+
+}  // namespace pipesched::workload

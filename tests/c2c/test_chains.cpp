@@ -1,0 +1,70 @@
+// Unit tests for the chains-to-chains problem primitives.
+#include <gtest/gtest.h>
+
+#include "pipesched/c2c/chains.hpp"
+
+namespace pipesched::c2c {
+namespace {
+
+TEST(Chains, PartitionAccessors) {
+  const Partition p{{1, 3, 5}};
+  EXPECT_EQ(p.intervalCount(), 3u);
+  EXPECT_EQ(p.first(0), 0u);
+  EXPECT_EQ(p.last(0), 1u);
+  EXPECT_EQ(p.first(1), 2u);
+  EXPECT_EQ(p.last(2), 5u);
+}
+
+TEST(Chains, ValidateAcceptsWellFormed) {
+  const std::vector<Real> w = {1, 2, 3, 4};
+  EXPECT_NO_THROW(validatePartition(w, Partition{{3}}));
+  EXPECT_NO_THROW(validatePartition(w, Partition{{0, 1, 2, 3}}));
+}
+
+TEST(Chains, ValidateRejectsMalformed) {
+  const std::vector<Real> w = {1, 2, 3, 4};
+  EXPECT_THROW(validatePartition(w, Partition{{}}), ModelError);
+  EXPECT_THROW(validatePartition(w, Partition{{1, 2}}), ModelError);     // misses the end
+  EXPECT_THROW(validatePartition(w, Partition{{2, 1, 3}}), ModelError);  // not increasing
+  EXPECT_THROW(validatePartition(w, Partition{{4}}), ModelError);        // out of range
+  EXPECT_THROW(validatePartition({}, Partition{{0}}), ModelError);       // empty weights
+}
+
+TEST(Chains, IntervalSum) {
+  const std::vector<Real> w = {1, 2, 3, 4, 5};
+  const Partition p{{1, 4}};
+  EXPECT_DOUBLE_EQ(intervalSum(w, p, 0), 3);
+  EXPECT_DOUBLE_EQ(intervalSum(w, p, 1), 12);
+}
+
+TEST(Chains, BottleneckIsMaxIntervalSum) {
+  const std::vector<Real> w = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(bottleneck(w, Partition{{1, 4}}), 12);
+  EXPECT_DOUBLE_EQ(bottleneck(w, Partition{{2, 4}}), 9);
+  EXPECT_DOUBLE_EQ(bottleneck(w, Partition{{4}}), 15);
+}
+
+TEST(Chains, WeightedBottleneckDividesBySpeeds) {
+  const std::vector<Real> w = {6, 6, 9};
+  const Partition p{{1, 2}};
+  // interval sums 12 and 9; speeds 4 and 3 -> loads 3 and 3.
+  EXPECT_DOUBLE_EQ(weightedBottleneck(w, p, {4, 3}), 3);
+  // Swapped speeds: loads 4 and 2.25 -> bottleneck 4.
+  EXPECT_DOUBLE_EQ(weightedBottleneck(w, p, {3, 4}), 4);
+}
+
+TEST(Chains, WeightedBottleneckValidatesSpeeds) {
+  const std::vector<Real> w = {1, 2};
+  EXPECT_THROW((void)weightedBottleneck(w, Partition{{1}}, {1, 2}), ModelError);
+  EXPECT_THROW((void)weightedBottleneck(w, Partition{{0, 1}}, {1, 0}), ModelError);
+}
+
+TEST(Chains, PrefixSums) {
+  const std::vector<Real> pre = prefixSums({1, 2, 3});
+  ASSERT_EQ(pre.size(), 4u);
+  EXPECT_DOUBLE_EQ(pre[0], 0);
+  EXPECT_DOUBLE_EQ(pre[3], 6);
+}
+
+}  // namespace
+}  // namespace pipesched::c2c

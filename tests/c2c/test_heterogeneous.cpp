@@ -1,0 +1,160 @@
+// Tests for the heterogeneous 1-D partitioning solvers (the NP-hard problem
+// of paper Theorem 1): the fixed-order DP is checked against brute force,
+// the exhaustive solver provides ground truth for the heuristics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pipesched/c2c/heterogeneous.hpp"
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::c2c {
+namespace {
+
+using workload::Rng;
+
+/// Brute force over all cut masks *and* all processor-order permutations.
+Real bruteForceHetero(const std::vector<Real>& w, const std::vector<Real>& speeds) {
+  const std::size_t n = w.size();
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Real best = kInfinity;
+  std::sort(order.begin(), order.end());
+  do {
+    for (std::uint64_t mask = 0; mask < (1ull << (n - 1)); ++mask) {
+      const std::size_t intervals = static_cast<std::size_t>(__builtin_popcountll(mask)) + 1;
+      if (intervals > speeds.size()) continue;
+      Real current = 0;
+      Real worst = 0;
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        current += w[i];
+        const bool cutHere = (i + 1 < n) ? ((mask >> i) & 1) : true;
+        if (cutHere) {
+          worst = std::max(worst, current / speeds[order[k]]);
+          current = 0;
+          ++k;
+        }
+      }
+      best = std::min(best, worst);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+TEST(C2CHetero, FixedOrderDpHandExample) {
+  // Weights {6,6,9}, speeds in chain order {4,3}: best split {6,6}/{9} ->
+  // max(12/4, 9/3) = 3.
+  const HeteroSolution s = dpWithFixedOrder({6, 6, 9}, {4, 3}, {0, 1});
+  EXPECT_DOUBLE_EQ(s.bottleneck, 3);
+  EXPECT_EQ(s.partition.ends, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(s.processorOrder, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(C2CHetero, FixedOrderDpSkipsUselessProcessors) {
+  // One heavy element: with order {slow, fast} the DP may give the slow
+  // processor nothing.
+  const HeteroSolution s = dpWithFixedOrder({10}, {1, 10}, {0, 1});
+  EXPECT_DOUBLE_EQ(s.bottleneck, 1);
+  EXPECT_EQ(s.processorOrder, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(s.partition.intervalCount(), 1u);
+}
+
+TEST(C2CHetero, FixedOrderDpConsistentBottleneck) {
+  const std::vector<Real> w = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::vector<Real> speeds = {5, 3, 2};
+  const HeteroSolution s = dpWithFixedOrder(w, speeds, {0, 1, 2});
+  std::vector<Real> speedsInOrder;
+  for (std::size_t u : s.processorOrder) speedsInOrder.push_back(speeds[u]);
+  EXPECT_NEAR(weightedBottleneck(w, s.partition, speedsInOrder), s.bottleneck, 1e-9);
+}
+
+TEST(C2CHetero, ExhaustiveBeatsOrMatchesAnyFixedOrder) {
+  const std::vector<Real> w = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::vector<Real> speeds = {5, 3, 2};
+  const HeteroSolution best = heteroExhaustive(w, speeds);
+  EXPECT_NEAR(best.bottleneck, bruteForceHetero(w, speeds), 1e-9);
+  const HeteroSolution sorted = heteroSortedDp(w, speeds);
+  EXPECT_LE(best.bottleneck, sorted.bottleneck + kTimeEps);
+}
+
+TEST(C2CHetero, ExhaustiveGuardsAgainstLargeP) {
+  const std::vector<Real> speeds(12, Real(1));
+  EXPECT_THROW((void)heteroExhaustive({1, 2, 3}, speeds, 9), ModelError);
+}
+
+TEST(C2CHetero, LocalSearchNeverWorseThanSortedDp) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Real> w(10);
+    for (auto& x : w) x = rng.uniform(1, 30);
+    std::vector<Real> speeds(4);
+    for (auto& s : speeds) s = static_cast<Real>(rng.uniformInt(1, 20));
+    const Real sorted = heteroSortedDp(w, speeds).bottleneck;
+    const Real improved = heteroLocalSearch(w, speeds).bottleneck;
+    EXPECT_LE(improved, sorted + kTimeEps);
+  }
+}
+
+TEST(C2CHetero, LowerBoundHolds) {
+  const std::vector<Real> w = {3, 1, 4, 1, 5};
+  const std::vector<Real> speeds = {2, 1};
+  const Real lb = heteroLowerBound(w, speeds);
+  EXPECT_LE(lb, heteroExhaustive(w, speeds).bottleneck + kTimeEps);
+  // total/totalSpeed = 14/3; maxElem/maxSpeed = 5/2 -> lb = 14/3.
+  EXPECT_DOUBLE_EQ(lb, 14.0 / 3.0);
+}
+
+TEST(C2CHetero, InputValidation) {
+  EXPECT_THROW((void)heteroSortedDp({}, {1}), ModelError);
+  EXPECT_THROW((void)heteroSortedDp({1}, {}), ModelError);
+  EXPECT_THROW((void)heteroSortedDp({1}, {0}), ModelError);
+  EXPECT_THROW((void)dpWithFixedOrder({1}, {1, 2}, {0}), ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: exhaustive == brute force; heuristics sandwiched between
+// the lower bound and the sorted-DP value.
+// ---------------------------------------------------------------------------
+
+struct HeteroCase {
+  std::size_t n;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class HeteroRandomized : public ::testing::TestWithParam<HeteroCase> {};
+
+TEST_P(HeteroRandomized, ExhaustiveMatchesBruteForce) {
+  const auto [n, p, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Real> w(n);
+  for (auto& x : w) x = static_cast<Real>(rng.uniformInt(1, 40));
+  std::vector<Real> speeds(p);
+  for (auto& s : speeds) s = static_cast<Real>(rng.uniformInt(1, 20));
+
+  const HeteroSolution best = heteroExhaustive(w, speeds);
+  EXPECT_NEAR(best.bottleneck, bruteForceHetero(w, speeds), 1e-9);
+  EXPECT_GE(best.bottleneck + kTimeEps, heteroLowerBound(w, speeds));
+
+  for (const HeteroSolution& h : {heteroSortedDp(w, speeds), heteroLocalSearch(w, speeds)}) {
+    EXPECT_GE(h.bottleneck + kTimeEps, best.bottleneck);
+    std::vector<Real> speedsInOrder;
+    for (std::size_t u : h.processorOrder) speedsInOrder.push_back(speeds[u]);
+    EXPECT_NEAR(weightedBottleneck(w, h.partition, speedsInOrder), h.bottleneck, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, HeteroRandomized,
+    ::testing::Values(HeteroCase{5, 2, 21}, HeteroCase{6, 3, 22}, HeteroCase{7, 3, 23},
+                      HeteroCase{8, 4, 24}, HeteroCase{9, 4, 25}, HeteroCase{10, 5, 26},
+                      HeteroCase{11, 5, 27}, HeteroCase{12, 4, 28}),
+    [](const auto& paramInfo) {
+      return "n" + std::to_string(paramInfo.param.n) + "_p" + std::to_string(paramInfo.param.p) + "_s" +
+             std::to_string(paramInfo.param.seed);
+    });
+
+}  // namespace
+}  // namespace pipesched::c2c

@@ -1,0 +1,67 @@
+// Argument parser: option/flag/positional splitting, typed access, required
+// options, `--key=value` syntax, and unknown-option detection.
+#include <gtest/gtest.h>
+
+#include "pipesched/cli/args.hpp"
+
+namespace pipesched::cli {
+namespace {
+
+TEST(ArgList, SplitsPositionalsOptionsAndFlags) {
+  const ArgList args({"input.txt", "--count", "3", "--verbose", "more"}, {"verbose"});
+  EXPECT_EQ(args.positionals(), (std::vector<std::string>{"input.txt", "more"}));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.getOr("count", ""), "3");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgList, EqualsSyntaxWorksForFlagsAndValues) {
+  const ArgList args({"--count=7", "--name=a=b"}, {});
+  EXPECT_EQ(args.getSize("count", 0), 7u);
+  EXPECT_EQ(args.getOr("name", ""), "a=b");  // only the first '=' splits
+}
+
+TEST(ArgList, ValueOptionAtEndThrows) {
+  EXPECT_THROW(ArgList({"--count"}, {}), UsageError);
+}
+
+TEST(ArgList, StrayDoubleDashThrows) {
+  EXPECT_THROW(ArgList({"--"}, {}), UsageError);
+}
+
+TEST(ArgList, FlagConsumesNoValue) {
+  const ArgList args({"--verbose", "positional"}, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.positionals().size(), 1u);
+}
+
+TEST(ArgList, RequireThrowsWhenAbsent) {
+  const ArgList args({}, {});
+  EXPECT_THROW((void)args.require("kind"), UsageError);
+}
+
+TEST(ArgList, FlagAccessedAsValueThrows) {
+  const ArgList args({"--verbose"}, {"verbose"});
+  EXPECT_THROW((void)args.get("verbose"), UsageError);
+}
+
+TEST(ArgList, TypedGettersValidate) {
+  const ArgList args({"--x", "2.5", "--n", "4", "--bad", "4x", "--neg", "-3"}, {});
+  EXPECT_DOUBLE_EQ(args.getReal("x", 0), 2.5);
+  EXPECT_EQ(args.getSize("n", 0), 4u);
+  EXPECT_THROW((void)args.getReal("bad", 0), UsageError);
+  EXPECT_THROW((void)args.getSize("neg", 0), UsageError);
+  EXPECT_THROW((void)args.getSize("x", 0), UsageError);  // fractional
+  EXPECT_DOUBLE_EQ(args.getReal("absent", 9.5), 9.5);
+  EXPECT_EQ(args.getU64("absent", 11u), 11u);
+}
+
+TEST(ArgList, AssertConsumedCatchesTypos) {
+  const ArgList args({"--treshold", "3"}, {});
+  EXPECT_THROW(args.assertConsumed(), UsageError);
+  (void)args.get("treshold");
+  EXPECT_NO_THROW(args.assertConsumed());
+}
+
+}  // namespace
+}  // namespace pipesched::cli

@@ -1,0 +1,321 @@
+// End-to-end CLI tests: every subcommand driven through runCli with
+// in-memory streams and temp files, covering happy paths, exit codes and
+// error reporting.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "pipesched/cli/cli.hpp"
+#include "pipesched/io/format.hpp"
+
+namespace pipesched::cli {
+namespace {
+
+struct RunResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  RunResult r;
+  r.code = runCli(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::string tempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+/// Generates a small instance file once and returns its path.
+const std::string& instancePath() {
+  static const std::string path = [] {
+    const std::string p = tempPath("cli_instance.psi");
+    const RunResult r = run({"generate", "--kind", "E2", "--stages", "8", "--processors",
+                             "4", "--seed", "7", "--name", "cli test", "--output", p});
+    EXPECT_EQ(r.code, 0) << r.err;
+    return p;
+  }();
+  return path;
+}
+
+/// Solves the shared instance once and returns the mapping file path.
+const std::string& mappingPath() {
+  static const std::string path = [] {
+    const std::string p = tempPath("cli_mapping.psm");
+    const RunResult r = run({"solve", "--instance", instancePath(), "--period", "12",
+                             "--mapping-out", p});
+    EXPECT_EQ(r.code, 0) << r.err;
+    return p;
+  }();
+  return path;
+}
+
+TEST(Cli, HelpPrintsUsageAndSucceeds) {
+  const RunResult r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: pipesched"), std::string::npos);
+}
+
+TEST(Cli, NoArgsFailsWithUsage) {
+  const RunResult r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const RunResult r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionIsReported) {
+  const RunResult r = run({"table1", "--kind", "E1", "--procesors", "4"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--procesors"), std::string::npos);
+}
+
+TEST(Cli, GenerateWritesAParsableInstance) {
+  const io::Instance inst = io::readInstanceFromFile(instancePath());
+  EXPECT_EQ(inst.pipeline.stageCount(), 8u);
+  EXPECT_EQ(inst.platform.processorCount(), 4u);
+  EXPECT_EQ(inst.name, "cli test");
+  EXPECT_TRUE(inst.platform.isCommHomogeneous());
+}
+
+TEST(Cli, GenerateIsDeterministicPerSeed) {
+  const std::string a = tempPath("cli_gen_a.psi");
+  const std::string b = tempPath("cli_gen_b.psi");
+  ASSERT_EQ(run({"generate", "--kind", "E1", "--stages", "5", "--processors", "3",
+                 "--seed", "42", "--output", a})
+                .code,
+            0);
+  ASSERT_EQ(run({"generate", "--kind", "E1", "--stages", "5", "--processors", "3",
+                 "--seed", "42", "--output", b})
+                .code,
+            0);
+  std::ifstream fa(a), fb(b);
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Cli, GenerateHeteroEmitsLinkMatrix) {
+  const std::string p = tempPath("cli_het.psi");
+  ASSERT_EQ(run({"generate", "--kind", "E3", "--stages", "4", "--processors", "3",
+                 "--hetero", "--output", p})
+                .code,
+            0);
+  const io::Instance inst = io::readInstanceFromFile(p);
+  EXPECT_FALSE(inst.platform.isCommHomogeneous());
+}
+
+TEST(Cli, GenerateValidatesArguments) {
+  EXPECT_EQ(run({"generate", "--kind", "E9", "--stages", "4", "--processors", "3"}).code, 2);
+  EXPECT_EQ(run({"generate", "--kind", "E1", "--stages", "0", "--processors", "3"}).code, 2);
+  EXPECT_EQ(run({"generate", "--stages", "4", "--processors", "3"}).code, 2);
+}
+
+TEST(Cli, SolvePrintsATableAndWritesTheBestMapping) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--period", "12"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("H1-SpMonoP"), std::string::npos);
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  // The H5/H6 family must not appear for a --period threshold.
+  EXPECT_EQ(r.out.find("H5-SpMonoL"), std::string::npos);
+
+  const auto mapping = io::readMappingFromFile(mappingPath(), 8);
+  EXPECT_GE(mapping.intervalCount(), 1u);
+}
+
+TEST(Cli, SolveLatencyFamilyUsesLatencyThreshold) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--latency", "25"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("H5-SpMonoL"), std::string::npos);
+  EXPECT_EQ(r.out.find("H1-SpMonoP"), std::string::npos);
+}
+
+TEST(Cli, SolveRequiresExactlyOneThreshold) {
+  EXPECT_EQ(run({"solve", "--instance", instancePath()}).code, 2);
+  EXPECT_EQ(
+      run({"solve", "--instance", instancePath(), "--period", "9", "--latency", "9"}).code, 2);
+}
+
+TEST(Cli, SolveSingleHeuristicAndRefine) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--period", "12",
+                           "--heuristic", "H1", "--refine"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("H1-SpMonoP+LS"), std::string::npos);
+  EXPECT_EQ(r.out.find("H2"), std::string::npos);
+}
+
+TEST(Cli, SolveWithBaselinesAddsRows) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--period", "12",
+                           "--baselines"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("B1-GreedyProbe"), std::string::npos);
+  EXPECT_NE(r.out.find("B2-LocalSearch"), std::string::npos);
+  EXPECT_NE(r.out.find("B3-Annealing"), std::string::npos);
+}
+
+TEST(Cli, SolveDealPrintsTheReplicatedMapping) {
+  const RunResult r =
+      run({"solve", "--instance", instancePath(), "--period", "12", "--deal"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("deal extension"), std::string::npos);
+  EXPECT_NE(r.out.find("replications"), std::string::npos);
+  // --deal without a period threshold is a usage error.
+  EXPECT_EQ(run({"solve", "--instance", instancePath(), "--latency", "25", "--deal"}).code,
+            2);
+}
+
+TEST(Cli, DealMappingRoundTripsThroughSolveAndSimulate) {
+  const std::string dealFile = tempPath("cli_deal.psdm");
+  const RunResult solved = run({"solve", "--instance", instancePath(), "--period", "8",
+                                "--deal", "--deal-out", dealFile});
+  ASSERT_NE(solved.code, 2) << solved.err;  // 0 or 1 (threshold may be infeasible)
+  for (const char* discipline : {"ordered", "substreams"}) {
+    const RunResult sim = run({"simulate", "--instance", instancePath(), "--mapping",
+                               dealFile, "--deal", "--discipline", discipline,
+                               "--datasets", "200"});
+    EXPECT_EQ(sim.code, 0) << sim.err;
+    EXPECT_NE(sim.out.find("replication model"), std::string::npos);
+  }
+  EXPECT_EQ(run({"simulate", "--instance", instancePath(), "--mapping", dealFile, "--deal",
+                 "--discipline", "bogus"})
+                .code,
+            2);
+  // --deal-out without --deal is a usage error.
+  EXPECT_EQ(run({"solve", "--instance", instancePath(), "--period", "8", "--deal-out",
+                 dealFile})
+                .code,
+            2);
+}
+
+TEST(Cli, SolveJsonEmitsAMappingObject) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--period", "12", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"intervals\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Cli, SolveInfeasibleThresholdExitsOne) {
+  const RunResult r = run({"solve", "--instance", instancePath(), "--period", "0.01"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no heuristic met the threshold"), std::string::npos);
+}
+
+TEST(Cli, SolveUnknownHeuristicFails) {
+  EXPECT_EQ(run({"solve", "--instance", instancePath(), "--period", "9", "--heuristic",
+                 "H9"})
+                .code,
+            2);
+}
+
+TEST(Cli, EvalReportsMetricsAndBottleneck) {
+  const RunResult r =
+      run({"eval", "--instance", instancePath(), "--mapping", mappingPath()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("period:"), std::string::npos);
+  EXPECT_NE(r.out.find("(* = bottleneck interval)"), std::string::npos);
+}
+
+TEST(Cli, EvalOverlapModelDiffers) {
+  const RunResult seq =
+      run({"eval", "--instance", instancePath(), "--mapping", mappingPath()});
+  const RunResult ovl =
+      run({"eval", "--instance", instancePath(), "--mapping", mappingPath(), "--overlap"});
+  EXPECT_EQ(ovl.code, 0) << ovl.err;
+  EXPECT_NE(seq.out, ovl.out);
+  EXPECT_NE(ovl.out.find("overlapped (ablation)"), std::string::npos);
+}
+
+TEST(Cli, EvalMissingFileExitsOne) {
+  const RunResult r =
+      run({"eval", "--instance", "/nonexistent.psi", "--mapping", mappingPath()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, SimulateMatchesTheModelOnTheCleanRun) {
+  const RunResult r = run({"simulate", "--instance", instancePath(), "--mapping",
+                           mappingPath(), "--datasets", "50"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("model (Eq. 1/2)"), std::string::npos);
+}
+
+TEST(Cli, SimulateGanttAndTraceCsv) {
+  const std::string csv = tempPath("cli_trace.csv");
+  const RunResult r = run({"simulate", "--instance", instancePath(), "--mapping",
+                           mappingPath(), "--datasets", "10", "--gantt", "--gantt-width",
+                           "50", "--trace-csv", csv});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("time: 0 .."), std::string::npos);
+  std::ifstream file(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(file, header));
+  EXPECT_EQ(header, "kind,time,index,dataset");
+}
+
+TEST(Cli, SimulateJitterTrialsPrintRobustness) {
+  const RunResult r = run({"simulate", "--instance", instancePath(), "--mapping",
+                           mappingPath(), "--datasets", "60", "--jitter", "0.3", "--trials",
+                           "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("robustness over 3 jittered trials"), std::string::npos);
+  EXPECT_NE(r.out.find("degradation"), std::string::npos);
+}
+
+TEST(Cli, ParetoWithExactFrontAndGap) {
+  const RunResult r =
+      run({"pareto", "--instance", instancePath(), "--points", "6", "--exact"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Merged heuristic Pareto front"), std::string::npos);
+  EXPECT_NE(r.out.find("Exact Pareto front"), std::string::npos);
+  EXPECT_NE(r.out.find("heuristic-front gap"), std::string::npos);
+}
+
+TEST(Cli, ParetoExactRefusesLargeInstances) {
+  const std::string big = tempPath("cli_big.psi");
+  ASSERT_EQ(run({"generate", "--kind", "E1", "--stages", "20", "--processors", "8",
+                 "--output", big})
+                .code,
+            0);
+  const RunResult r = run({"pareto", "--instance", big, "--exact"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("small instance"), std::string::npos);
+}
+
+TEST(Cli, SweepPrintsSeriesOrCsv) {
+  const std::vector<std::string> base = {"sweep", "--kind", "E1", "--stages", "5",
+                                         "--processors", "4", "--pairs", "3", "--points", "4"};
+  const RunResult text = run(base);
+  EXPECT_EQ(text.code, 0) << text.err;
+  EXPECT_NE(text.out.find("H1-SpMonoP"), std::string::npos);
+
+  std::vector<std::string> csvArgs = base;
+  csvArgs.push_back("--csv");
+  const RunResult csv = run(csvArgs);
+  EXPECT_EQ(csv.code, 0) << csv.err;
+  EXPECT_NE(csv.out.find("experiment,stages,processors,heuristic"), std::string::npos);
+}
+
+TEST(Cli, Table1PrintsTheLayout) {
+  const RunResult r = run({"table1", "--kind", "E4", "--processors", "4", "--pairs", "2",
+                           "--stages", "5,10"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Failure thresholds"), std::string::npos);
+  EXPECT_NE(r.out.find("n=10"), std::string::npos);
+  EXPECT_NE(r.out.find("H6-SpBiL"), std::string::npos);
+}
+
+TEST(Cli, Table1RejectsBadStageList) {
+  EXPECT_EQ(run({"table1", "--kind", "E1", "--stages", "5,x"}).code, 2);
+  EXPECT_EQ(run({"table1", "--kind", "E1", "--stages", "0"}).code, 2);
+}
+
+}  // namespace
+}  // namespace pipesched::cli

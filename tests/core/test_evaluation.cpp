@@ -1,0 +1,150 @@
+// Unit tests for the cost model — hand-computed instances of the paper's
+// equations (1) and (2), the overlapped ablation model, and the
+// fully-heterogeneous extension.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/evaluation.hpp"
+
+namespace pipesched::core {
+namespace {
+
+// Shared fixture: w = {2,4,6}, delta = {1,2,3,4}, speeds {2,1}, b = 2.
+class EvaluationFixture : public ::testing::Test {
+ protected:
+  Pipeline pipe_{{2, 4, 6}, {1, 2, 3, 4}};
+  Platform plat_{{2, 1}, 2};
+  Evaluator eval_{pipe_, plat_};
+};
+
+TEST_F(EvaluationFixture, SingleIntervalMatchesEq1AndEq2) {
+  const auto m = IntervalMapping::singleInterval(3, 0);
+  // cycle = delta0/b + W/s + delta3/b = 0.5 + 6 + 2 = 8.5
+  EXPECT_DOUBLE_EQ(eval_.period(m), 8.5);
+  // latency = delta0/b + W/s + delta3/b = same thing for one interval
+  EXPECT_DOUBLE_EQ(eval_.latency(m), 8.5);
+}
+
+TEST_F(EvaluationFixture, TwoIntervalsMatchHandComputation) {
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  // I0=[0,0] on P0 (s=2): 1/2 + 2/2 + 2/2 = 2.5
+  // I1=[1,2] on P1 (s=1): 2/2 + 10/1 + 4/2 = 13
+  const Metrics metrics = eval_.evaluate(m);
+  EXPECT_DOUBLE_EQ(metrics.period, 13);
+  EXPECT_EQ(metrics.bottleneckInterval, 1u);
+  // latency = (0.5 + 1) + (1 + 10) + 4/2 = 14.5
+  EXPECT_DOUBLE_EQ(metrics.latency, 14.5);
+}
+
+TEST_F(EvaluationFixture, CyclesReturnsPerInterval) {
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  const std::vector<Real> cycles = eval_.cycles(m);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_DOUBLE_EQ(cycles[0], 2.5);
+  EXPECT_DOUBLE_EQ(cycles[1], 13);
+}
+
+TEST_F(EvaluationFixture, CycleTimeShortcutAgreesWithContext) {
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  EXPECT_DOUBLE_EQ(eval_.cycleTime(Interval{0, 0}, 0), eval_.intervalCycle(m, 0));
+  EXPECT_DOUBLE_EQ(eval_.cycleTime(Interval{1, 2}, 1), eval_.intervalCycle(m, 1));
+}
+
+TEST_F(EvaluationFixture, BreakdownSplitsPhases) {
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  const CycleBreakdown b = eval_.breakdown(m, 1);
+  EXPECT_DOUBLE_EQ(b.input, 1);    // delta1/b = 2/2
+  EXPECT_DOUBLE_EQ(b.compute, 10); // (4+6)/1
+  EXPECT_DOUBLE_EQ(b.output, 2);   // delta3/b = 4/2
+  EXPECT_DOUBLE_EQ(b.sequential(), 13);
+  EXPECT_DOUBLE_EQ(b.overlapped(), 10);
+}
+
+TEST_F(EvaluationFixture, ComputeTimeDividesBySpeed) {
+  EXPECT_DOUBLE_EQ(eval_.computeTime(Interval{0, 2}, 0), 6);
+  EXPECT_DOUBLE_EQ(eval_.computeTime(Interval{1, 1}, 1), 4);
+}
+
+TEST_F(EvaluationFixture, OverlappedModelTakesMaxPhase) {
+  const Evaluator overlap(pipe_, plat_, CommModel::kOverlapped);
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  // I0: max(0.5, 1, 1) = 1; I1: max(1, 10, 2) = 10.
+  EXPECT_DOUBLE_EQ(overlap.period(m), 10);
+  // Latency is model-independent (a single data set traverses serially).
+  EXPECT_DOUBLE_EQ(overlap.latency(m), 14.5);
+}
+
+TEST_F(EvaluationFixture, OptimalLatencyIsLemma1) {
+  // Everything on the fastest processor: (1+4)/2 + 12/2 = 8.5.
+  EXPECT_DOUBLE_EQ(eval_.optimalLatency(), 8.5);
+  const IntervalMapping m = eval_.optimalLatencyMapping();
+  EXPECT_EQ(m.intervalCount(), 1u);
+  EXPECT_EQ(m.processor(0), 0u);
+}
+
+TEST_F(EvaluationFixture, EvaluateRejectsEmptyMapping) {
+  EXPECT_THROW((void)eval_.evaluate(IntervalMapping{}), MappingError);
+}
+
+TEST(Evaluation, ZeroCommCostsNothing) {
+  const Pipeline pipe({3, 5}, {0, 0, 0});
+  const Platform plat({1, 1}, 10);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(2, {0, 1}, {0, 1});
+  EXPECT_DOUBLE_EQ(eval.period(m), 5);
+  EXPECT_DOUBLE_EQ(eval.latency(m), 8);
+}
+
+TEST(Evaluation, TheoremTwoReductionShape) {
+  // With all deltas zero and b = 1, the mapping problem *is* the
+  // heterogeneous chains-to-chains problem: period == max interval sum/speed.
+  const Pipeline pipe({4, 4, 4, 6}, {0, 0, 0, 0, 0});
+  const Platform plat({2, 3}, 1);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(4, {1, 3}, {0, 1});
+  EXPECT_DOUBLE_EQ(eval.period(m), std::max((4.0 + 4.0) / 2.0, (4.0 + 6.0) / 3.0));
+}
+
+TEST(Evaluation, FullyHeterogeneousUsesPerLinkBandwidths) {
+  const Pipeline pipe({2, 4, 6}, {1, 2, 3, 4});
+  // speeds {2,1}; link 0->1 bw 2, 1->0 bw 5; in {1,10}, out {4,8}.
+  const Platform plat = Platform::fullyHeterogeneous(
+      {2, 1}, {1, 2, 5, 1}, {1, 10}, {4, 8});
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {1, 0});  // [0,0]->P1, [1,2]->P0
+  // I0: in 1/10, comp 2/1, out 2/5 (link P1->P0)  => cycle 2.5
+  // I1: in 2/5,  comp 10/2, out 4/4 (world out of P0) => cycle 6.4
+  const Metrics metrics = eval.evaluate(m);
+  EXPECT_DOUBLE_EQ(metrics.period, 6.4);
+  EXPECT_EQ(metrics.bottleneckInterval, 1u);
+  EXPECT_DOUBLE_EQ(metrics.latency, (0.1 + 2) + (0.4 + 5) + 1.0);
+}
+
+TEST(Evaluation, FullyHeterogeneousOptimalLatencyScansProcessors) {
+  const Pipeline pipe({10}, {10, 10});
+  // P0 is fast but behind slow world links; P1 slower with fast links.
+  const Platform plat = Platform::fullyHeterogeneous(
+      {10, 5}, {1, 1, 1, 1}, {1, 100}, {1, 100});
+  const Evaluator eval(pipe, plat);
+  // P0: 10/1 + 1 + 10/1 = 21;  P1: 0.1 + 2 + 0.1 = 2.2.
+  EXPECT_DOUBLE_EQ(eval.optimalLatency(), 2.2);
+  EXPECT_EQ(eval.optimalLatencyMapping().processor(0), 1u);
+}
+
+TEST(Evaluation, CycleTimeShortcutRejectsFullyHeterogeneous) {
+  const Pipeline pipe({1}, {0, 0});
+  const Platform plat = Platform::fullyHeterogeneous({1, 1}, {1, 1, 1, 1}, {1, 1}, {1, 1});
+  const Evaluator eval(pipe, plat);
+  EXPECT_THROW((void)eval.cycleTime(Interval{0, 0}, 0), ModelError);
+}
+
+TEST(Evaluation, PeriodNeverBelowBottleneckComputeLowerBound) {
+  const Pipeline pipe({5, 7, 3}, {2, 2, 2, 2});
+  const Platform plat({4, 2, 1}, 10);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(3, {0, 1, 2}, {0, 1, 2});
+  // Any mapping's period is at least max_k w_k / s_max.
+  EXPECT_GE(eval.period(m), 7.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace pipesched::core

@@ -1,0 +1,132 @@
+// Unit tests for interval mappings and their structural invariants.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/mapping.hpp"
+
+namespace pipesched::core {
+namespace {
+
+TEST(IntervalMapping, SingleIntervalCoversEverything) {
+  const IntervalMapping m = IntervalMapping::singleInterval(5, 2);
+  EXPECT_EQ(m.intervalCount(), 1u);
+  EXPECT_EQ(m.interval(0), (Interval{0, 4}));
+  EXPECT_EQ(m.processor(0), 2u);
+  EXPECT_NO_THROW(m.validate(5, 3));
+}
+
+TEST(IntervalMapping, OneToOne) {
+  const IntervalMapping m = IntervalMapping::oneToOne({3, 1, 0});
+  EXPECT_EQ(m.intervalCount(), 3u);
+  EXPECT_EQ(m.interval(1), (Interval{1, 1}));
+  EXPECT_EQ(m.processor(2), 0u);
+  EXPECT_NO_THROW(m.validate(3, 4));
+}
+
+TEST(IntervalMapping, FromCuts) {
+  const IntervalMapping m = IntervalMapping::fromCuts(6, {1, 3, 5}, {2, 0, 1});
+  EXPECT_EQ(m.intervalCount(), 3u);
+  EXPECT_EQ(m.interval(0), (Interval{0, 1}));
+  EXPECT_EQ(m.interval(1), (Interval{2, 3}));
+  EXPECT_EQ(m.interval(2), (Interval{4, 5}));
+  EXPECT_NO_THROW(m.validate(6, 3));
+}
+
+TEST(IntervalMapping, FromCutsRejectsBadShapes) {
+  EXPECT_THROW(IntervalMapping::fromCuts(6, {1, 3}, {0, 1, 2}), MappingError);
+  EXPECT_THROW(IntervalMapping::fromCuts(6, {3, 1, 5}, {0, 1, 2}), MappingError);
+  EXPECT_THROW(IntervalMapping::fromCuts(6, {1, 3, 4}, {0, 1, 2}), MappingError);
+}
+
+TEST(IntervalMapping, StageCount) {
+  EXPECT_EQ(IntervalMapping().stageCount(), 0u);
+  EXPECT_EQ(IntervalMapping::singleInterval(7, 0).stageCount(), 7u);
+}
+
+TEST(IntervalMapping, IntervalOfLocatesStages) {
+  const IntervalMapping m = IntervalMapping::fromCuts(6, {1, 3, 5}, {2, 0, 1});
+  EXPECT_EQ(m.intervalOf(0), 0u);
+  EXPECT_EQ(m.intervalOf(1), 0u);
+  EXPECT_EQ(m.intervalOf(2), 1u);
+  EXPECT_EQ(m.intervalOf(5), 2u);
+  EXPECT_THROW((void)m.intervalOf(6), MappingError);
+}
+
+TEST(IntervalMapping, ValidateCatchesGap) {
+  // Built via the raw constructor to bypass factory checks.
+  EXPECT_THROW(IntervalMapping({Assignment{{0, 1}, 0}, Assignment{{3, 4}, 1}}), MappingError);
+}
+
+TEST(IntervalMapping, ValidateCatchesWrongStartOrEnd) {
+  const IntervalMapping m({Assignment{{0, 1}, 0}, Assignment{{2, 3}, 1}});
+  EXPECT_THROW(m.validate(5, 4), MappingError);  // last interval must end at 4
+  const IntervalMapping m2({Assignment{{1, 4}, 0}});
+  EXPECT_THROW(m2.validate(5, 4), MappingError);  // must start at 0
+}
+
+TEST(IntervalMapping, ValidateCatchesDuplicateProcessor) {
+  const IntervalMapping m({Assignment{{0, 1}, 2}, Assignment{{2, 3}, 2}});
+  EXPECT_THROW(m.validate(4, 4), MappingError);
+}
+
+TEST(IntervalMapping, ValidateCatchesProcessorOutOfRange) {
+  const IntervalMapping m({Assignment{{0, 3}, 5}});
+  EXPECT_THROW(m.validate(4, 4), MappingError);
+}
+
+TEST(IntervalMapping, ValidateCatchesTooManyIntervals) {
+  const IntervalMapping m = IntervalMapping::oneToOne({0, 1, 2});
+  EXPECT_THROW(m.validate(3, 2), MappingError);
+}
+
+TEST(IntervalMapping, IsValidMirrorsValidate) {
+  const IntervalMapping good = IntervalMapping::singleInterval(4, 1);
+  EXPECT_TRUE(good.isValid(4, 2));
+  EXPECT_FALSE(good.isValid(5, 2));
+}
+
+TEST(IntervalMapping, ReplaceIntervalSplits) {
+  IntervalMapping m = IntervalMapping::singleInterval(6, 0);
+  m.replaceInterval(0, {Assignment{{0, 2}, 0}, Assignment{{3, 5}, 1}});
+  EXPECT_EQ(m.intervalCount(), 2u);
+  EXPECT_EQ(m.interval(1), (Interval{3, 5}));
+  EXPECT_NO_THROW(m.validate(6, 2));
+}
+
+TEST(IntervalMapping, ReplaceIntervalChecksTiling) {
+  IntervalMapping m = IntervalMapping::singleInterval(6, 0);
+  // Leaves a hole at stage 5.
+  EXPECT_THROW(
+      m.replaceInterval(0, {Assignment{{0, 2}, 0}, Assignment{{3, 4}, 1}}), MappingError);
+  // Overlapping replacement parts.
+  EXPECT_THROW(
+      m.replaceInterval(0, {Assignment{{0, 3}, 0}, Assignment{{3, 5}, 1}}), MappingError);
+  // Wrong index.
+  EXPECT_THROW(m.replaceInterval(1, {Assignment{{0, 5}, 0}}), MappingError);
+}
+
+TEST(IntervalMapping, ReplaceMiddleIntervalKeepsNeighbours) {
+  IntervalMapping m = IntervalMapping::fromCuts(9, {2, 5, 8}, {0, 1, 2});
+  m.replaceInterval(1, {Assignment{{3, 3}, 1}, Assignment{{4, 5}, 3}});
+  EXPECT_EQ(m.intervalCount(), 4u);
+  EXPECT_EQ(m.interval(0), (Interval{0, 2}));
+  EXPECT_EQ(m.interval(1), (Interval{3, 3}));
+  EXPECT_EQ(m.interval(2), (Interval{4, 5}));
+  EXPECT_EQ(m.interval(3), (Interval{6, 8}));
+  EXPECT_NO_THROW(m.validate(9, 4));
+}
+
+TEST(IntervalMapping, DescribeIsReadable) {
+  const IntervalMapping m = IntervalMapping::fromCuts(4, {1, 3}, {2, 0});
+  EXPECT_EQ(m.describe(), "[0,1]->P2 | [2,3]->P0");
+}
+
+TEST(IntervalMapping, EqualityComparesStructure) {
+  const IntervalMapping a = IntervalMapping::fromCuts(4, {1, 3}, {2, 0});
+  const IntervalMapping b = IntervalMapping::fromCuts(4, {1, 3}, {2, 0});
+  const IntervalMapping c = IntervalMapping::fromCuts(4, {2, 3}, {2, 0});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace pipesched::core

@@ -1,0 +1,81 @@
+// Unit tests for Pareto dominance and front maintenance.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/pareto.hpp"
+
+namespace pipesched::core {
+namespace {
+
+ParetoPoint pt(Real period, Real latency) { return ParetoPoint{period, latency, std::nullopt}; }
+
+TEST(Pareto, DominanceRequiresNoWorseBothAndStrictlyBetterOne) {
+  EXPECT_TRUE(dominates(pt(1, 1), pt(2, 2)));
+  EXPECT_TRUE(dominates(pt(1, 2), pt(2, 2)));
+  EXPECT_TRUE(dominates(pt(2, 1), pt(2, 2)));
+  EXPECT_FALSE(dominates(pt(2, 2), pt(2, 2)));  // equal: no strict improvement
+  EXPECT_FALSE(dominates(pt(1, 3), pt(2, 2)));  // trade-off: incomparable
+  EXPECT_FALSE(dominates(pt(3, 1), pt(2, 2)));
+}
+
+TEST(Pareto, FrontFiltersDominatedPoints) {
+  const auto front = paretoFront({pt(1, 5), pt(2, 3), pt(3, 4), pt(4, 1), pt(5, 2)});
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].period, 1);
+  EXPECT_DOUBLE_EQ(front[1].period, 2);
+  EXPECT_DOUBLE_EQ(front[2].period, 4);
+}
+
+TEST(Pareto, FrontIsSortedByPeriod) {
+  const auto front = paretoFront({pt(5, 1), pt(1, 5), pt(3, 3)});
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_LT(front[0].period, front[1].period);
+  EXPECT_LT(front[1].period, front[2].period);
+  // And latency decreases along a true front.
+  EXPECT_GT(front[0].latency, front[1].latency);
+  EXPECT_GT(front[1].latency, front[2].latency);
+}
+
+TEST(Pareto, DuplicateCoordinatesCollapse) {
+  const auto front = paretoFront({pt(1, 2), pt(1, 2), pt(1, 2)});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, BuilderRejectsDominatedOffer) {
+  ParetoFrontBuilder b;
+  EXPECT_TRUE(b.offer(pt(1, 1)));
+  EXPECT_FALSE(b.offer(pt(2, 2)));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Pareto, BuilderEvictsNewlyDominated) {
+  ParetoFrontBuilder b;
+  EXPECT_TRUE(b.offer(pt(3, 3)));
+  EXPECT_TRUE(b.offer(pt(5, 1)));
+  EXPECT_TRUE(b.offer(pt(1, 1)));  // dominates both
+  const auto front = b.take();
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].period, 1);
+  EXPECT_DOUBLE_EQ(front[0].latency, 1);
+}
+
+TEST(Pareto, BuilderKeepsIncomparableChain) {
+  ParetoFrontBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(b.offer(pt(Real(i), Real(9 - i))));
+  }
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(Pareto, MappingPayloadSurvives) {
+  ParetoFrontBuilder b;
+  ParetoPoint p = pt(1, 1);
+  p.mapping = IntervalMapping::singleInterval(4, 0);
+  b.offer(std::move(p));
+  const auto front = b.take();
+  ASSERT_EQ(front.size(), 1u);
+  ASSERT_TRUE(front[0].mapping.has_value());
+  EXPECT_EQ(front[0].mapping->intervalCount(), 1u);
+}
+
+}  // namespace
+}  // namespace pipesched::core

@@ -1,0 +1,98 @@
+// Unit tests for the pipeline application model.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/pipeline.hpp"
+
+namespace pipesched::core {
+namespace {
+
+TEST(Pipeline, StoresWorkAndCommSizes) {
+  const Pipeline p({2, 4, 6}, {1, 2, 3, 4});
+  EXPECT_EQ(p.stageCount(), 3u);
+  EXPECT_DOUBLE_EQ(p.work(0), 2);
+  EXPECT_DOUBLE_EQ(p.work(2), 6);
+  EXPECT_DOUBLE_EQ(p.comm(0), 1);
+  EXPECT_DOUBLE_EQ(p.comm(3), 4);
+}
+
+TEST(Pipeline, InputOutputSizeHelpers) {
+  const Pipeline p({2, 4, 6}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(p.inputSize(0), 1);
+  EXPECT_DOUBLE_EQ(p.outputSize(0), 2);
+  EXPECT_DOUBLE_EQ(p.inputSize(2), 3);
+  EXPECT_DOUBLE_EQ(p.outputSize(2), 4);
+}
+
+TEST(Pipeline, TotalWorkIsSumOfStages) {
+  const Pipeline p({2, 4, 6}, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(p.totalWork(), 12);
+}
+
+TEST(Pipeline, WorkSumUsesInclusiveRanges) {
+  const Pipeline p({1, 2, 3, 4, 5}, std::vector<Real>(6, 0));
+  EXPECT_DOUBLE_EQ(p.workSum(0, 4), 15);
+  EXPECT_DOUBLE_EQ(p.workSum(1, 3), 9);
+  EXPECT_DOUBLE_EQ(p.workSum(2, 2), 3);
+}
+
+TEST(Pipeline, WorkSumRejectsBadRanges) {
+  const Pipeline p({1, 2, 3}, std::vector<Real>(4, 0));
+  EXPECT_THROW((void)p.workSum(2, 1), ModelError);
+  EXPECT_THROW((void)p.workSum(0, 3), ModelError);
+}
+
+TEST(Pipeline, SingleStagePipelineIsValid) {
+  const Pipeline p({7}, {1, 2});
+  EXPECT_EQ(p.stageCount(), 1u);
+  EXPECT_DOUBLE_EQ(p.workSum(0, 0), 7);
+}
+
+TEST(Pipeline, RejectsEmptyPipeline) {
+  EXPECT_THROW(Pipeline({}, {1}), ModelError);
+}
+
+TEST(Pipeline, RejectsCommSizeMismatch) {
+  EXPECT_THROW(Pipeline({1, 2}, {1, 2}), ModelError);      // needs 3
+  EXPECT_THROW(Pipeline({1, 2}, {1, 2, 3, 4}), ModelError);
+}
+
+TEST(Pipeline, RejectsNonPositiveWork) {
+  EXPECT_THROW(Pipeline({1, 0}, {0, 0, 0}), ModelError);
+  EXPECT_THROW(Pipeline({-1, 2}, {0, 0, 0}), ModelError);
+}
+
+TEST(Pipeline, RejectsNegativeOrNonFiniteComm) {
+  EXPECT_THROW(Pipeline({1}, {0, -1}), ModelError);
+  EXPECT_THROW(Pipeline({1}, {kInfinity, 0}), ModelError);
+}
+
+TEST(Pipeline, ZeroCommSizesAreLegal) {
+  // The NP-hardness gadget (Theorem 2) sets every delta to zero.
+  const Pipeline p({1, 2}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(p.comm(1), 0);
+}
+
+TEST(Pipeline, UniformFactory) {
+  const Pipeline p = Pipeline::uniform(4, 3, 10);
+  EXPECT_EQ(p.stageCount(), 4u);
+  EXPECT_DOUBLE_EQ(p.totalWork(), 12);
+  for (std::size_t k = 0; k <= 4; ++k) EXPECT_DOUBLE_EQ(p.comm(k), 10);
+}
+
+TEST(Pipeline, EqualityComparesContent) {
+  const Pipeline a({1, 2}, {3, 4, 5});
+  const Pipeline b({1, 2}, {3, 4, 5});
+  const Pipeline c({1, 2}, {3, 4, 6});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Pipeline, DescribeMentionsSizeAndWork) {
+  const Pipeline p({2, 4, 6}, {1, 2, 3, 4});
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("n=3"), std::string::npos);
+  EXPECT_NE(d.find("W=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched::core

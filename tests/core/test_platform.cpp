@@ -1,0 +1,88 @@
+// Unit tests for the platform model.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/platform.hpp"
+
+namespace pipesched::core {
+namespace {
+
+TEST(Platform, CommHomogeneousBasics) {
+  const Platform p({3, 1, 2}, 10);
+  EXPECT_EQ(p.processorCount(), 3u);
+  EXPECT_TRUE(p.isCommHomogeneous());
+  EXPECT_FALSE(p.isFullyHomogeneous());
+  EXPECT_DOUBLE_EQ(p.bandwidth(), 10);
+  EXPECT_DOUBLE_EQ(p.speed(1), 1);
+}
+
+TEST(Platform, HomogeneousFactory) {
+  const Platform p = Platform::homogeneous(4, 5, 2);
+  EXPECT_TRUE(p.isFullyHomogeneous());
+  EXPECT_EQ(p.processorCount(), 4u);
+  for (std::size_t u = 0; u < 4; ++u) EXPECT_DOUBLE_EQ(p.speed(u), 5);
+}
+
+TEST(Platform, PairBandwidthOnCommHomogeneousIsUniform) {
+  const Platform p({1, 2}, 7);
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 1), 7);
+  EXPECT_DOUBLE_EQ(p.bandwidth(1, 0), 7);
+  EXPECT_DOUBLE_EQ(p.inputBandwidth(0), 7);
+  EXPECT_DOUBLE_EQ(p.outputBandwidth(1), 7);
+}
+
+TEST(Platform, IntraProcessorLinkDoesNotExist) {
+  const Platform p({1, 2}, 7);
+  EXPECT_THROW((void)p.bandwidth(0, 0), ModelError);
+}
+
+TEST(Platform, FastestProcessorBreaksTiesByIndex) {
+  const Platform p({4, 9, 9, 2}, 1);
+  EXPECT_EQ(p.fastestProcessor(), 1u);
+}
+
+TEST(Platform, ProcessorsBySpeedIsDeterministic) {
+  const Platform p({4, 9, 9, 2, 9}, 1);
+  const std::vector<std::size_t> order = p.processorsBySpeed();
+  // Speed 9 processors in index order, then 4, then 2.
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 4, 0, 3}));
+}
+
+TEST(Platform, MaxSpeed) {
+  const Platform p({4, 9, 2}, 1);
+  EXPECT_DOUBLE_EQ(p.maxSpeed(), 9);
+}
+
+TEST(Platform, RejectsBadInputs) {
+  EXPECT_THROW(Platform({}, 1), ModelError);
+  EXPECT_THROW(Platform({0}, 1), ModelError);
+  EXPECT_THROW(Platform({-2}, 1), ModelError);
+  EXPECT_THROW(Platform({1}, 0), ModelError);
+  EXPECT_THROW(Platform({1}, -3), ModelError);
+}
+
+TEST(Platform, FullyHeterogeneousLookups) {
+  // 2 processors; link 0->1 bw 2, 1->0 bw 5.
+  const Platform p = Platform::fullyHeterogeneous(
+      {2, 1}, {1, 2, 5, 1}, /*in=*/{1, 10}, /*out=*/{4, 8});
+  EXPECT_FALSE(p.isCommHomogeneous());
+  EXPECT_FALSE(p.isFullyHomogeneous());
+  EXPECT_DOUBLE_EQ(p.bandwidth(0, 1), 2);
+  EXPECT_DOUBLE_EQ(p.bandwidth(1, 0), 5);
+  EXPECT_DOUBLE_EQ(p.inputBandwidth(1), 10);
+  EXPECT_DOUBLE_EQ(p.outputBandwidth(0), 4);
+  EXPECT_THROW((void)p.bandwidth(), ModelError);  // no scalar bandwidth exists
+}
+
+TEST(Platform, FullyHeterogeneousValidatesShapes) {
+  EXPECT_THROW(Platform::fullyHeterogeneous({1, 2}, {1, 1, 1}, {1, 1}, {1, 1}), ModelError);
+  EXPECT_THROW(Platform::fullyHeterogeneous({1, 2}, {1, 1, 1, 1}, {1}, {1, 1}), ModelError);
+  EXPECT_THROW(Platform::fullyHeterogeneous({1, 2}, {1, 0, 0, 1}, {1, 1}, {1, 1}), ModelError);
+}
+
+TEST(Platform, DescribeMentionsProcessorCount) {
+  const Platform p({3, 1}, 10);
+  EXPECT_NE(p.describe().find("p=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched::core

@@ -1,0 +1,110 @@
+// Tests of the deal/farm replication extension: mapping invariants, the
+// replicated cost model, and its consistency with the plain model on
+// singleton replica sets.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/replication.hpp"
+
+namespace pipesched::core {
+namespace {
+
+TEST(ReplicatedMapping, FromIntervalMappingLiftsSingletons) {
+  const auto plain = IntervalMapping::fromCuts(5, {1, 4}, {2, 0});
+  const auto rep = ReplicatedMapping::fromIntervalMapping(plain);
+  ASSERT_EQ(rep.intervalCount(), 2u);
+  EXPECT_EQ(rep.assignment(0).processors, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(rep.assignment(1).interval, (Interval{2, 4}));
+  EXPECT_NO_THROW(rep.validate(5, 3));
+}
+
+TEST(ReplicatedMapping, AddReplicaAndDescribe) {
+  auto rep = ReplicatedMapping::fromIntervalMapping(IntervalMapping::singleInterval(4, 0));
+  rep.addReplica(0, 3);
+  EXPECT_EQ(rep.describe(), "[0,3]->{P0,P3}");
+  EXPECT_NO_THROW(rep.validate(4, 4));
+}
+
+TEST(ReplicatedMapping, ValidateCatchesDuplicateAcrossSets) {
+  ReplicatedMapping rep({ReplicatedAssignment{{0, 1}, {0, 2}},
+                         ReplicatedAssignment{{2, 3}, {2}}});
+  EXPECT_THROW(rep.validate(4, 4), MappingError);
+}
+
+TEST(ReplicatedMapping, ValidateCatchesEmptyReplicaSet) {
+  EXPECT_THROW(ReplicatedMapping({ReplicatedAssignment{{0, 1}, {}}}), MappingError);
+}
+
+TEST(ReplicatedMapping, ValidateCatchesCoverageGaps) {
+  ReplicatedMapping rep({ReplicatedAssignment{{0, 1}, {0}}});
+  EXPECT_THROW(rep.validate(4, 4), MappingError);
+}
+
+TEST(ReplicatedMapping, ReplaceIntervalChecksTiling) {
+  auto rep = ReplicatedMapping::fromIntervalMapping(IntervalMapping::singleInterval(4, 0));
+  EXPECT_THROW(rep.replaceInterval(0, {ReplicatedAssignment{{0, 1}, {0}}}), MappingError);
+  EXPECT_NO_THROW(rep.replaceInterval(
+      0, {ReplicatedAssignment{{0, 1}, {0}}, ReplicatedAssignment{{2, 3}, {1}}}));
+  EXPECT_EQ(rep.intervalCount(), 2u);
+}
+
+class ReplicatedCost : public ::testing::Test {
+ protected:
+  Pipeline pipe_{{2, 4, 6}, {1, 2, 3, 4}};
+  Platform plat_{{2, 1, 4}, 2};
+  Evaluator eval_{pipe_, plat_};
+};
+
+TEST_F(ReplicatedCost, SingletonSetsMatchPlainEvaluator) {
+  const auto plain = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  const auto rep = ReplicatedMapping::fromIntervalMapping(plain);
+  const Metrics a = eval_.evaluate(plain);
+  const Metrics b = evaluateReplicated(eval_, rep);
+  EXPECT_DOUBLE_EQ(a.period, b.period);
+  EXPECT_DOUBLE_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.bottleneckInterval, b.bottleneckInterval);
+}
+
+TEST_F(ReplicatedCost, ReplicationDividesTheWorstCycle) {
+  // Whole pipeline on {P0 (s=2), P2 (s=4)}: cycles are
+  //   P0: 0.5 + 6 + 2 = 8.5;  P2: 0.5 + 3 + 2 = 5.5.
+  // period = max/|S| = 8.5/2; latency uses the slowest replica: 8.5.
+  ReplicatedMapping rep({ReplicatedAssignment{{0, 2}, {0, 2}}});
+  EXPECT_DOUBLE_EQ(replicatedIntervalPeriod(eval_, rep, 0), 8.5 / 2);
+  const Metrics m = evaluateReplicated(eval_, rep);
+  EXPECT_DOUBLE_EQ(m.period, 8.5 / 2);
+  EXPECT_DOUBLE_EQ(m.latency, 8.5);
+}
+
+TEST_F(ReplicatedCost, AddingAFastReplicaNeverIncreasesPeriod) {
+  ReplicatedMapping one({ReplicatedAssignment{{0, 2}, {0}}});
+  ReplicatedMapping two({ReplicatedAssignment{{0, 2}, {0, 2}}});
+  EXPECT_LE(evaluateReplicated(eval_, two).period, evaluateReplicated(eval_, one).period);
+}
+
+TEST_F(ReplicatedCost, AddingASlowReplicaCanStillHelpOrHurt) {
+  // P0 (s=2) alone: cycle 8.5, period 8.5. Adding P1 (s=1): cycles
+  // {8.5, 14.5}, period 14.5/2 = 7.25 — helps here.
+  ReplicatedMapping rep({ReplicatedAssignment{{0, 2}, {0, 1}}});
+  EXPECT_DOUBLE_EQ(evaluateReplicated(eval_, rep).period, 14.5 / 2);
+  // But latency degrades to the slow replica's traversal: 0.5 + 12 + 2.
+  EXPECT_DOUBLE_EQ(evaluateReplicated(eval_, rep).latency, 14.5);
+}
+
+TEST_F(ReplicatedCost, MixedMappingUsesWorstIntervalAsBottleneck) {
+  ReplicatedMapping rep({ReplicatedAssignment{{0, 1}, {2}},
+                         ReplicatedAssignment{{2, 2}, {0, 1}}});
+  // I0 on P2: 0.5 + 6/4 + 1.5 = 3.5.
+  // I1 on {P0, P1}: cycles {1.5+3+2, 1.5+6+2} = {6.5, 9.5} -> period 4.75.
+  const Metrics m = evaluateReplicated(eval_, rep);
+  EXPECT_DOUBLE_EQ(m.period, 4.75);
+  EXPECT_EQ(m.bottleneckInterval, 1u);
+  // latency = (0.5 + 6/4) + (1.5 + 6/1) + 2 = 11.5 (slowest replica per interval).
+  EXPECT_DOUBLE_EQ(m.latency, 11.5);
+}
+
+TEST_F(ReplicatedCost, RejectsEmptyMapping) {
+  EXPECT_THROW((void)evaluateReplicated(eval_, ReplicatedMapping{}), MappingError);
+}
+
+}  // namespace
+}  // namespace pipesched::core

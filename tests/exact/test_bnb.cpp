@@ -1,0 +1,113 @@
+// Branch-and-bound vs exhaustive ground truth on random instances (TEST_P),
+// plus bound handling and guards.
+#include <gtest/gtest.h>
+
+#include "pipesched/exact/bnb.hpp"
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exact {
+namespace {
+
+using core::Evaluator;
+using workload::ExperimentKind;
+using workload::Rng;
+
+struct BnbCase {
+  ExperimentKind kind;
+  std::size_t n;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class BnbVsExhaustive : public ::testing::TestWithParam<BnbCase> {};
+
+TEST_P(BnbVsExhaustive, MinPeriodMatches) {
+  const auto [kind, n, p, seed] = GetParam();
+  Rng rng(seed);
+  const auto inst = workload::randomInstance(kind, n, p, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const auto exact = exhaustiveMinPeriod(eval);
+  ASSERT_TRUE(exact.has_value());
+  const ExactSolution bnb = bnbMinPeriod(eval);
+  EXPECT_NEAR(bnb.metrics.period, exact->metrics.period, 1e-9);
+  EXPECT_NO_THROW(bnb.mapping.validate(n, p));
+}
+
+TEST_P(BnbVsExhaustive, MinLatencyUnderPeriodBoundMatches) {
+  const auto [kind, n, p, seed] = GetParam();
+  Rng rng(seed ^ 0x5555);
+  const auto inst = workload::randomInstance(kind, n, p, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real minPeriod = exhaustiveMinPeriod(eval)->metrics.period;
+  for (Real factor : {1.0, 1.2, 2.0}) {
+    const Real bound = minPeriod * factor;
+    const auto exact = exhaustiveMinLatency(eval, bound);
+    const auto bnb = bnbMinLatencyForPeriod(eval, bound);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(bnb.has_value());
+    EXPECT_NEAR(bnb->metrics.latency, exact->metrics.latency, 1e-9) << "factor " << factor;
+    EXPECT_LE(bnb->metrics.period, bound + 1e-9);
+  }
+}
+
+TEST_P(BnbVsExhaustive, MinPeriodUnderLatencyBoundMatches) {
+  const auto [kind, n, p, seed] = GetParam();
+  Rng rng(seed ^ 0xAAAA);
+  const auto inst = workload::randomInstance(kind, n, p, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  for (Real factor : {1.0, 1.3, 2.0}) {
+    const Real bound = eval.optimalLatency() * factor;
+    const auto exact = exhaustiveMinPeriod(eval, bound);
+    const auto bnb = bnbMinPeriodForLatency(eval, bound);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(bnb.has_value());
+    EXPECT_NEAR(bnb->metrics.period, exact->metrics.period, 1e-9) << "factor " << factor;
+    EXPECT_LE(bnb->metrics.latency, bound + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, BnbVsExhaustive,
+    ::testing::Values(BnbCase{ExperimentKind::kE1BalancedHomComm, 5, 3, 301},
+                      BnbCase{ExperimentKind::kE1BalancedHomComm, 7, 4, 302},
+                      BnbCase{ExperimentKind::kE2BalancedHetComm, 6, 3, 303},
+                      BnbCase{ExperimentKind::kE2BalancedHetComm, 8, 4, 304},
+                      BnbCase{ExperimentKind::kE3LargeComputations, 7, 4, 305},
+                      BnbCase{ExperimentKind::kE4SmallComputations, 7, 4, 306},
+                      BnbCase{ExperimentKind::kE4SmallComputations, 9, 3, 307}),
+    [](const auto& paramInfo) {
+      return workload::experimentName(paramInfo.param.kind) + "_n" + std::to_string(paramInfo.param.n) +
+             "_p" + std::to_string(paramInfo.param.p) + "_s" + std::to_string(paramInfo.param.seed);
+    });
+
+TEST(Bnb, InfeasibleBoundsReturnNullopt) {
+  const core::Pipeline pipe({3, 1}, {2, 1, 3});
+  const core::Platform plat({9, 7}, 10);
+  const Evaluator eval(pipe, plat);
+  EXPECT_FALSE(bnbMinLatencyForPeriod(eval, 1e-9).has_value());
+  EXPECT_FALSE(bnbMinPeriodForLatency(eval, eval.optimalLatency() * 0.5).has_value());
+}
+
+TEST(Bnb, NodeLimitGuards) {
+  workload::Rng rng(4242);
+  const auto inst =
+      workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 20, 8, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  BnbOptions options;
+  options.nodeLimit = 50;
+  EXPECT_THROW((void)bnbMinPeriod(eval, options), ModelError);
+}
+
+TEST(Bnb, EqualSpeedProcessorsAreMergedWithoutLosingOptimality) {
+  // 4 identical processors: the symmetry pruning must not change the optimum.
+  const core::Pipeline pipe({5, 3, 8, 2, 6, 4}, {1, 2, 1, 3, 1, 2, 1});
+  const core::Platform plat({4, 4, 4, 4}, 5);
+  const Evaluator eval(pipe, plat);
+  const auto exact = exhaustiveMinPeriod(eval);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(bnbMinPeriod(eval).metrics.period, exact->metrics.period, 1e-9);
+}
+
+}  // namespace
+}  // namespace pipesched::exact

@@ -1,0 +1,175 @@
+// Tests of the exhaustive enumerator: mapping counts against the closed-form
+// formula, Lemma-1 agreement, cap handling, Pareto-front sanity.
+#include <gtest/gtest.h>
+
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exact {
+namespace {
+
+using core::Evaluator;
+using core::Pipeline;
+using core::Platform;
+
+/// Number of interval mappings: sum over m of C(n-1, m-1) * P(p, m).
+std::uint64_t expectedMappingCount(std::size_t n, std::size_t p) {
+  const auto binom = [](std::uint64_t a, std::uint64_t b) {
+    if (b > a) return std::uint64_t{0};
+    std::uint64_t r = 1;
+    for (std::uint64_t i = 0; i < b; ++i) r = r * (a - i) / (i + 1);
+    return r;
+  };
+  std::uint64_t total = 0;
+  for (std::size_t m = 1; m <= std::min(n, p); ++m) {
+    std::uint64_t perms = 1;
+    for (std::size_t i = 0; i < m; ++i) perms *= p - i;
+    total += binom(n - 1, m - 1) * perms;
+  }
+  return total;
+}
+
+TEST(Exhaustive, VisitsEveryMappingExactlyOnce) {
+  const Pipeline pipe = Pipeline::uniform(4, 1, 1);
+  const Platform plat({3, 2, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  std::uint64_t count = 0;
+  std::set<std::string> seen;
+  enumerateMappings(eval, [&](const core::IntervalMapping& m, const core::Metrics&) {
+    ++count;
+    EXPECT_TRUE(seen.insert(m.describe()).second) << "duplicate " << m.describe();
+    EXPECT_NO_THROW(m.validate(4, 3));
+    return true;
+  });
+  EXPECT_EQ(count, expectedMappingCount(4, 3));
+}
+
+TEST(Exhaustive, CountsMatchFormulaAcrossShapes) {
+  for (const auto& [n, p] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 3}, {2, 1}, {3, 2}, {5, 2}, {5, 5}, {6, 3}}) {
+    const Pipeline pipe = Pipeline::uniform(n, 1, 1);
+    std::vector<Real> speeds(p, 1);
+    const Platform plat(speeds, 1);
+    const Evaluator eval(pipe, plat);
+    std::uint64_t count = 0;
+    enumerateMappings(eval, [&](const core::IntervalMapping&, const core::Metrics&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, expectedMappingCount(n, p)) << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(Exhaustive, EarlyStopIsHonoured) {
+  const Pipeline pipe = Pipeline::uniform(5, 1, 1);
+  const Platform plat({1, 1, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  std::uint64_t count = 0;
+  enumerateMappings(eval, [&](const core::IntervalMapping&, const core::Metrics&) {
+    return ++count < 3;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Exhaustive, MappingLimitGuards) {
+  const Pipeline pipe = Pipeline::uniform(8, 1, 1);
+  const Platform plat({1, 1, 1, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  ExhaustiveOptions options;
+  options.mappingLimit = 10;
+  EXPECT_THROW(
+      enumerateMappings(
+          eval, [](const core::IntervalMapping&, const core::Metrics&) { return true; },
+          options),
+      ModelError);
+}
+
+TEST(Exhaustive, MaxIntervalsRestricts) {
+  const Pipeline pipe = Pipeline::uniform(4, 1, 1);
+  const Platform plat({1, 1, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  ExhaustiveOptions options;
+  options.maxIntervals = 1;
+  std::uint64_t count = 0;
+  enumerateMappings(
+      eval,
+      [&](const core::IntervalMapping& m, const core::Metrics&) {
+        EXPECT_EQ(m.intervalCount(), 1u);
+        ++count;
+        return true;
+      },
+      options);
+  EXPECT_EQ(count, 3u);  // one single-interval mapping per processor
+}
+
+TEST(Exhaustive, MinLatencyEqualsLemma1) {
+  const Pipeline pipe({3, 1, 4, 1, 5}, {2, 1, 3, 2, 1, 4});
+  const Platform plat({9, 7, 5}, 10);
+  const Evaluator eval(pipe, plat);
+  const auto best = exhaustiveMinLatency(eval);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->metrics.latency, eval.optimalLatency(), 1e-12);
+  EXPECT_EQ(best->mapping.intervalCount(), 1u);
+}
+
+TEST(Exhaustive, MinPeriodRespectsLatencyCap) {
+  const Pipeline pipe({3, 1, 4, 1, 5}, {2, 1, 3, 2, 1, 4});
+  const Platform plat({9, 7, 5}, 10);
+  const Evaluator eval(pipe, plat);
+  const auto unconstrained = exhaustiveMinPeriod(eval);
+  ASSERT_TRUE(unconstrained.has_value());
+  const Real cap = eval.optimalLatency() * 1.05;
+  const auto capped = exhaustiveMinPeriod(eval, cap);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_LE(capped->metrics.latency, cap + kTimeEps);
+  EXPECT_GE(capped->metrics.period + kTimeEps, unconstrained->metrics.period);
+}
+
+TEST(Exhaustive, InfeasibleCapReturnsNullopt) {
+  const Pipeline pipe({3, 1}, {2, 1, 3});
+  const Platform plat({9, 7}, 10);
+  const Evaluator eval(pipe, plat);
+  EXPECT_FALSE(exhaustiveMinPeriod(eval, eval.optimalLatency() * 0.5).has_value());
+  EXPECT_FALSE(exhaustiveMinLatency(eval, 1e-6).has_value());
+}
+
+TEST(Exhaustive, ParetoFrontEndsAreTheSingleCriterionOptima) {
+  const Pipeline pipe({3, 1, 4, 1, 5}, {2, 1, 3, 2, 1, 4});
+  const Platform plat({9, 7, 5}, 10);
+  const Evaluator eval(pipe, plat);
+  const auto front = exhaustiveParetoFront(eval);
+  ASSERT_FALSE(front.empty());
+  EXPECT_NEAR(front.front().period, exhaustiveMinPeriod(eval)->metrics.period, 1e-12);
+  EXPECT_NEAR(front.back().latency, eval.optimalLatency(), 1e-12);
+  // Strictly improving latency as the period relaxes.
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].period, front[i - 1].period);
+    EXPECT_LT(front[i].latency, front[i - 1].latency);
+  }
+  // Every front point carries a mapping realizing its coordinates.
+  for (const auto& point : front) {
+    ASSERT_TRUE(point.mapping.has_value());
+    const core::Metrics m = eval.evaluate(*point.mapping);
+    EXPECT_NEAR(m.period, point.period, 1e-12);
+    EXPECT_NEAR(m.latency, point.latency, 1e-12);
+  }
+}
+
+TEST(Exhaustive, RandomInstanceFrontDominatesAllMappings) {
+  workload::Rng rng(31);
+  const auto inst =
+      workload::randomInstance(workload::ExperimentKind::kE2BalancedHetComm, 6, 3, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const auto front = exhaustiveParetoFront(eval);
+  enumerateMappings(eval, [&](const core::IntervalMapping&, const core::Metrics& m) {
+    const bool coveredByFront =
+        std::any_of(front.begin(), front.end(), [&](const core::ParetoPoint& f) {
+          return f.period <= m.period + 1e-9 && f.latency <= m.latency + 1e-9;
+        });
+    EXPECT_TRUE(coveredByFront);
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace pipesched::exact

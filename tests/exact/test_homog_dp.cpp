@@ -1,0 +1,119 @@
+// The homogeneous-platform DP (Subhlok-Vondran setting) against exhaustive
+// ground truth, plus its role as an optimality floor for the heuristics.
+#include <gtest/gtest.h>
+
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/exact/homog_dp.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exact {
+namespace {
+
+using core::Evaluator;
+using workload::Rng;
+
+core::Pipeline randomPipe(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return workload::randomPipeline(workload::ExperimentKind::kE2BalancedHetComm, n, rng);
+}
+
+TEST(HomogDp, RequiresHomogeneousPlatform) {
+  const core::Pipeline pipe({1, 2}, {0, 0, 0});
+  const core::Platform het({2, 1}, 1);
+  const Evaluator eval(pipe, het);
+  EXPECT_THROW((void)homogMinPeriod(eval), ModelError);
+  EXPECT_THROW((void)homogMinLatencyForPeriod(eval, 10), ModelError);
+  EXPECT_THROW((void)homogParetoFront(eval), ModelError);
+}
+
+TEST(HomogDp, SingleProcessorIsTheOnlyOption) {
+  const core::Pipeline pipe({3, 4}, {1, 1, 1});
+  const core::Platform plat = core::Platform::homogeneous(1, 2, 1);
+  const Evaluator eval(pipe, plat);
+  const ExactSolution s = homogMinPeriod(eval);
+  EXPECT_EQ(s.mapping.intervalCount(), 1u);
+  EXPECT_DOUBLE_EQ(s.metrics.period, 1 + 3.5 + 1);
+}
+
+TEST(HomogDp, CutsCanHurtWhenCommsDominate) {
+  // Free boundary comms but heavy internal transfers: any cut pays 10 units
+  // of communication per endpoint, so with w tiny the optimal mapping is a
+  // single interval despite 3 processors being available.
+  const core::Pipeline pipe({0.1, 0.1, 0.1}, {0, 10, 10, 0});
+  const core::Platform plat = core::Platform::homogeneous(3, 1, 1);
+  const Evaluator eval(pipe, plat);
+  const ExactSolution s = homogMinPeriod(eval);
+  EXPECT_EQ(s.mapping.intervalCount(), 1u);
+}
+
+TEST(HomogDp, CutsHelpWhenComputeDominates) {
+  const core::Pipeline pipe = core::Pipeline::uniform(4, 100, 0.1);
+  const core::Platform plat = core::Platform::homogeneous(4, 1, 1);
+  const Evaluator eval(pipe, plat);
+  const ExactSolution s = homogMinPeriod(eval);
+  EXPECT_EQ(s.mapping.intervalCount(), 4u);
+  EXPECT_NEAR(s.metrics.period, 0.2 + 100, 1e-9);
+}
+
+class HomogDpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HomogDpRandom, MinPeriodMatchesExhaustive) {
+  const core::Pipeline pipe = randomPipe(7, GetParam());
+  const core::Platform plat = core::Platform::homogeneous(3, 5, 10);
+  const Evaluator eval(pipe, plat);
+  const auto exact = exhaustiveMinPeriod(eval);
+  ASSERT_TRUE(exact.has_value());
+  const ExactSolution dp = homogMinPeriod(eval);
+  EXPECT_NEAR(dp.metrics.period, exact->metrics.period, 1e-9);
+  EXPECT_NO_THROW(dp.mapping.validate(7, 3));
+}
+
+TEST_P(HomogDpRandom, MinLatencyForPeriodMatchesExhaustive) {
+  const core::Pipeline pipe = randomPipe(7, GetParam() ^ 0xF00D);
+  const core::Platform plat = core::Platform::homogeneous(3, 5, 10);
+  const Evaluator eval(pipe, plat);
+  const Real minPeriod = homogMinPeriod(eval).metrics.period;
+  for (Real factor : {1.0, 1.5}) {
+    const auto dp = homogMinLatencyForPeriod(eval, minPeriod * factor);
+    const auto exact = exhaustiveMinLatency(eval, minPeriod * factor);
+    ASSERT_TRUE(dp.has_value());
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_NEAR(dp->metrics.latency, exact->metrics.latency, 1e-9) << "factor " << factor;
+  }
+  EXPECT_FALSE(homogMinLatencyForPeriod(eval, minPeriod * 0.9).has_value());
+}
+
+TEST_P(HomogDpRandom, ParetoFrontMatchesExhaustive) {
+  const core::Pipeline pipe = randomPipe(6, GetParam() ^ 0xBEEF);
+  const core::Platform plat = core::Platform::homogeneous(3, 5, 10);
+  const Evaluator eval(pipe, plat);
+  const auto dpFront = homogParetoFront(eval);
+  const auto exactFront = exhaustiveParetoFront(eval);
+  ASSERT_EQ(dpFront.size(), exactFront.size());
+  for (std::size_t i = 0; i < dpFront.size(); ++i) {
+    EXPECT_NEAR(dpFront[i].period, exactFront[i].period, 1e-9);
+    EXPECT_NEAR(dpFront[i].latency, exactFront[i].latency, 1e-9);
+  }
+}
+
+TEST_P(HomogDpRandom, HeuristicsNeverBeatTheDp) {
+  const core::Pipeline pipe = randomPipe(10, GetParam() ^ 0xCAFE);
+  const core::Platform plat = core::Platform::homogeneous(4, 5, 10);
+  const Evaluator eval(pipe, plat);
+  const Real optimalPeriod = homogMinPeriod(eval).metrics.period;
+  for (const auto& h : heuristics::makeAllHeuristics()) {
+    EXPECT_GE(h->failureThreshold(eval) + 1e-9,
+              h->objective() == heuristics::Objective::kMinLatencyForPeriod
+                  ? optimalPeriod
+                  : eval.optimalLatency())
+        << h->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomogDpRandom,
+                         ::testing::Values(401, 402, 403, 404, 405, 406),
+                         [](const auto& paramInfo) { return "s" + std::to_string(paramInfo.param); });
+
+}  // namespace
+}  // namespace pipesched::exact

@@ -1,0 +1,142 @@
+// Hungarian algorithm vs brute-force assignment enumeration, forbidden pairs,
+// rectangular matrices, infeasibility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pipesched/exact/hungarian.hpp"
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::exact {
+namespace {
+
+using workload::Rng;
+
+std::optional<Real> bruteForce(const std::vector<std::vector<Real>>& cost) {
+  const std::size_t rows = cost.size();
+  const std::size_t cols = cost.front().size();
+  std::vector<std::size_t> columns(cols);
+  std::iota(columns.begin(), columns.end(), std::size_t{0});
+  Real best = kInfinity;
+  do {
+    Real total = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (cost[i][columns[i]] == kInfinity) {
+        total = kInfinity;
+        break;
+      }
+      total += cost[i][columns[i]];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(columns.begin(), columns.end()));
+  if (best == kInfinity) return std::nullopt;
+  return best;
+}
+
+TEST(Hungarian, HandExample) {
+  // Classic 3x3: optimal 5 (1+3+1).
+  const std::vector<std::vector<Real>> cost = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  const auto result = solveAssignment(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->totalCost, *bruteForce(cost));
+}
+
+TEST(Hungarian, EmptyMatrix) {
+  const auto result = solveAssignment({});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->totalCost, 0);
+  EXPECT_TRUE(result->columnOfRow.empty());
+}
+
+TEST(Hungarian, SingleCell) {
+  const auto result = solveAssignment({{7}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->totalCost, 7);
+  EXPECT_EQ(result->columnOfRow, (std::vector<std::size_t>{0}));
+}
+
+TEST(Hungarian, RejectsMoreRowsThanColumns) {
+  EXPECT_THROW((void)solveAssignment({{1}, {2}}), ModelError);
+}
+
+TEST(Hungarian, RejectsRaggedMatrix) {
+  EXPECT_THROW((void)solveAssignment({{1, 2}, {3}}), ModelError);
+}
+
+TEST(Hungarian, RectangularChoosesBestColumns) {
+  const std::vector<std::vector<Real>> cost = {{9, 1, 9, 9}, {9, 9, 9, 2}};
+  const auto result = solveAssignment(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->totalCost, 3);
+  EXPECT_EQ(result->columnOfRow[0], 1u);
+  EXPECT_EQ(result->columnOfRow[1], 3u);
+}
+
+TEST(Hungarian, ForbiddenPairsAreAvoided) {
+  const std::vector<std::vector<Real>> cost = {{kInfinity, 5}, {1, kInfinity}};
+  const auto result = solveAssignment(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->totalCost, 6);
+  EXPECT_EQ(result->columnOfRow, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Hungarian, InfeasibleWhenRowFullyForbidden) {
+  EXPECT_FALSE(solveAssignment({{kInfinity, kInfinity}, {1, 2}}).has_value());
+}
+
+TEST(Hungarian, InfeasibleWhenForbiddenStructureBlocks) {
+  // Both rows can only use column 0.
+  const std::vector<std::vector<Real>> cost = {{1, kInfinity}, {1, kInfinity}};
+  EXPECT_FALSE(solveAssignment(cost).has_value());
+}
+
+TEST(Hungarian, AssignmentIsInjective) {
+  Rng rng(55);
+  std::vector<std::vector<Real>> cost(5, std::vector<Real>(7));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.uniform(0, 100);
+  }
+  const auto result = solveAssignment(cost);
+  ASSERT_TRUE(result.has_value());
+  std::set<std::size_t> used(result->columnOfRow.begin(), result->columnOfRow.end());
+  EXPECT_EQ(used.size(), 5u);
+}
+
+class HungarianRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HungarianRandom, MatchesBruteForceSquare) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.uniformInt(0, 3));  // 3..6
+  std::vector<std::vector<Real>> cost(n, std::vector<Real>(n));
+  for (auto& row : cost) {
+    for (auto& c : row) {
+      c = rng.nextReal() < 0.15 ? kInfinity : static_cast<Real>(rng.uniformInt(0, 50));
+    }
+  }
+  const auto result = solveAssignment(cost);
+  const auto expected = bruteForce(cost);
+  ASSERT_EQ(result.has_value(), expected.has_value());
+  if (result) EXPECT_NEAR(result->totalCost, *expected, 1e-9);
+}
+
+TEST_P(HungarianRandom, MatchesBruteForceRectangular) {
+  Rng rng(GetParam() ^ 0x77);
+  const std::size_t rows = 2 + static_cast<std::size_t>(rng.uniformInt(0, 2));  // 2..4
+  const std::size_t cols = rows + static_cast<std::size_t>(rng.uniformInt(1, 3));
+  std::vector<std::vector<Real>> cost(rows, std::vector<Real>(cols));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.uniform(0, 100);
+  }
+  const auto result = solveAssignment(cost);
+  const auto expected = bruteForce(cost);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->totalCost, *expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandom,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507, 508),
+                         [](const auto& paramInfo) { return "s" + std::to_string(paramInfo.param); });
+
+}  // namespace
+}  // namespace pipesched::exact

@@ -1,0 +1,150 @@
+// One-to-one solvers vs brute force over stage->processor injections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pipesched/exact/one_to_one.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exact {
+namespace {
+
+using core::Evaluator;
+using workload::Rng;
+
+/// Brute force over all injective stage->processor assignments.
+struct BruteOneToOne {
+  Real minPeriod = kInfinity;
+  Real minLatencyForBound = kInfinity;
+};
+
+BruteOneToOne bruteForce(const Evaluator& eval, Real periodBound) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  std::vector<std::size_t> procs(p);
+  std::iota(procs.begin(), procs.end(), std::size_t{0});
+  BruteOneToOne out;
+  std::vector<std::size_t> chosen(n);
+  std::vector<bool> used(p, false);
+  const auto recurse = [&](auto&& self, std::size_t k) -> void {
+    if (k == n) {
+      const auto mapping = core::IntervalMapping::oneToOne(chosen);
+      const core::Metrics m = eval.evaluate(mapping);
+      out.minPeriod = std::min(out.minPeriod, m.period);
+      if (m.period <= periodBound + kTimeEps) {
+        out.minLatencyForBound = std::min(out.minLatencyForBound, m.latency);
+      }
+      return;
+    }
+    for (std::size_t u = 0; u < p; ++u) {
+      if (used[u]) continue;
+      used[u] = true;
+      chosen[k] = u;
+      self(self, k + 1);
+      used[u] = false;
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+TEST(OneToOne, RequiresEnoughProcessors) {
+  const core::Pipeline pipe({1, 2, 3}, {0, 0, 0, 0});
+  const core::Platform plat({5, 4}, 1);
+  const Evaluator eval(pipe, plat);
+  EXPECT_FALSE(oneToOneMinPeriod(eval).has_value());
+  EXPECT_FALSE(oneToOneMinLatencyForPeriod(eval, 100).has_value());
+}
+
+TEST(OneToOne, HandExample) {
+  // Stages w={8,2}, delta={0,0,0}; speeds {4,1}. Cycles: stage0 on P0: 2,
+  // stage1 on P1: 2 -> min period 2. Swapped: 8 and 0.5 -> 8.
+  const core::Pipeline pipe({8, 2}, {0, 0, 0});
+  const core::Platform plat({4, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  const auto best = oneToOneMinPeriod(eval);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->metrics.period, 2);
+  EXPECT_EQ(best->mapping.processor(0), 0u);
+  EXPECT_EQ(best->mapping.processor(1), 1u);
+}
+
+TEST(OneToOne, FeasibilityProbe) {
+  const core::Pipeline pipe({8, 2}, {0, 0, 0});
+  const core::Platform plat({4, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  std::vector<std::size_t> witness;
+  EXPECT_TRUE(oneToOneFeasible(eval, 2.0, &witness));
+  EXPECT_EQ(witness.size(), 2u);
+  EXPECT_FALSE(oneToOneFeasible(eval, 1.9));
+}
+
+TEST(OneToOne, CommBoundMakesTightPeriodsInfeasible) {
+  // Any one-to-one cycle includes (delta_k + delta_{k+1})/b = 2.
+  const core::Pipeline pipe({1, 1}, {1, 1, 1});
+  const core::Platform plat({10, 10}, 1);
+  const Evaluator eval(pipe, plat);
+  EXPECT_FALSE(oneToOneFeasible(eval, 1.99));
+  EXPECT_TRUE(oneToOneFeasible(eval, 2.1 + 1.0));  // 2 comm + 0.1 compute
+}
+
+TEST(OneToOne, LatencyCommPartIsMappingIndependent) {
+  const core::Pipeline pipe({4, 6}, {2, 4, 6});
+  const core::Platform plat({2, 1, 3}, 2);
+  const Evaluator eval(pipe, plat);
+  // For any one-to-one mapping, latency - sum(w/s) is constant.
+  const Real constant = (2 + 4 + 6) / 2.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const auto m = core::IntervalMapping::oneToOne({a, b});
+      const Real computePart =
+          4 / eval.platform().speed(a) + 6 / eval.platform().speed(b);
+      EXPECT_NEAR(eval.latency(m), constant + computePart, 1e-12);
+    }
+  }
+}
+
+class OneToOneRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneToOneRandom, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.uniformInt(0, 2));  // 3..5
+  const std::size_t p = n + static_cast<std::size_t>(rng.uniformInt(0, 2));
+  const auto inst =
+      workload::randomInstance(workload::ExperimentKind::kE2BalancedHetComm, n, p, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+
+  const auto minPeriod = oneToOneMinPeriod(eval);
+  ASSERT_TRUE(minPeriod.has_value());
+  const Real bound = minPeriod->metrics.period * 1.3;
+  const BruteOneToOne expected = bruteForce(eval, bound);
+  EXPECT_NEAR(minPeriod->metrics.period, expected.minPeriod, 1e-9);
+
+  const auto minLat = oneToOneMinLatencyForPeriod(eval, bound);
+  ASSERT_TRUE(minLat.has_value());
+  EXPECT_NEAR(minLat->metrics.latency, expected.minLatencyForBound, 1e-9);
+  EXPECT_LE(minLat->metrics.period, bound + 1e-9);
+}
+
+TEST_P(OneToOneRandom, MinLatencyInfeasibleBelowMinPeriod) {
+  Rng rng(GetParam() ^ 0x99);
+  const auto inst =
+      workload::randomInstance(workload::ExperimentKind::kE1BalancedHomComm, 4, 5, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const auto minPeriod = oneToOneMinPeriod(eval);
+  ASSERT_TRUE(minPeriod.has_value());
+  EXPECT_FALSE(
+      oneToOneMinLatencyForPeriod(eval, minPeriod->metrics.period * 0.99).has_value());
+  // At exactly the optimum it must be feasible.
+  const auto atOpt = oneToOneMinLatencyForPeriod(eval, minPeriod->metrics.period);
+  EXPECT_TRUE(atOpt.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneToOneRandom,
+                         ::testing::Values(601, 602, 603, 604, 605, 606),
+                         [](const auto& paramInfo) { return "s" + std::to_string(paramInfo.param); });
+
+}  // namespace
+}  // namespace pipesched::exact

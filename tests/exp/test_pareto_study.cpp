@@ -1,0 +1,128 @@
+// Pareto-study driver: front invariants, coverage of the exact front on
+// small instances, gap arithmetic, and configuration validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exp {
+namespace {
+
+using core::Evaluator;
+using core::ParetoPoint;
+using workload::ExperimentKind;
+using workload::Rng;
+
+bool isNonDominatedAndSorted(const std::vector<ParetoPoint>& front) {
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    if (!(front[i].period > front[i - 1].period)) return false;
+    if (!(front[i].latency < front[i - 1].latency)) return false;
+  }
+  return true;
+}
+
+TEST(ParetoStudy, ValidatesConfig) {
+  Rng rng(1);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 5, 3, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  ParetoStudyConfig bad;
+  bad.pointsPerHeuristic = 0;
+  EXPECT_THROW((void)runParetoStudy(eval, bad), ModelError);
+  bad.pointsPerHeuristic = 4;
+  bad.range = 1;
+  EXPECT_THROW((void)runParetoStudy(eval, bad), ModelError);
+}
+
+TEST(ParetoStudy, FrontsAreNonDominatedAndCarryMappings) {
+  Rng rng(2100);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 10, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const ParetoStudy study = runParetoStudy(eval);
+  ASSERT_FALSE(study.merged.empty());
+  EXPECT_TRUE(isNonDominatedAndSorted(study.merged));
+  EXPECT_EQ(study.perHeuristic.size(), 6u);
+  for (const HeuristicFront& f : study.perHeuristic) {
+    EXPECT_TRUE(isNonDominatedAndSorted(f.front)) << f.heuristic;
+  }
+  for (const ParetoPoint& p : study.merged) {
+    ASSERT_TRUE(p.mapping.has_value());
+    EXPECT_NO_THROW(p.mapping->validate(10, 6));
+    // The recorded coordinates must match a fresh evaluation.
+    EXPECT_NEAR(eval.period(*p.mapping), p.period, 1e-12);
+    EXPECT_NEAR(eval.latency(*p.mapping), p.latency, 1e-12);
+  }
+}
+
+TEST(ParetoStudy, MergedFrontDominatesEveryPerHeuristicFront) {
+  Rng rng(2200);
+  const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 12, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const ParetoStudy study = runParetoStudy(eval);
+  for (const HeuristicFront& f : study.perHeuristic) {
+    for (const ParetoPoint& p : f.front) {
+      EXPECT_LE(frontLatencyAt(study.merged, p.period), p.latency + 1e-9) << f.heuristic;
+    }
+  }
+}
+
+TEST(ParetoStudy, MergedFrontCoversTheLemma1Point) {
+  Rng rng(2300);
+  const auto inst = workload::randomInstance(ExperimentKind::kE3LargeComputations, 8, 5, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const ParetoStudy study = runParetoStudy(eval);
+  // Every heuristic starts at the Lemma-1 solution, so the merged front must
+  // reach the optimal latency at the Lemma-1 period.
+  const auto lemma1 = eval.optimalLatencyMapping();
+  EXPECT_NEAR(frontLatencyAt(study.merged, eval.period(lemma1)), eval.optimalLatency(), 1e-9);
+}
+
+TEST(ParetoStudy, GapToTheExactFrontIsSmallOnTinyInstances) {
+  for (std::uint64_t s : {2401, 2402, 2403}) {
+    Rng rng(s);
+    const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 7, 3, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto exactFront = exact::exhaustiveParetoFront(eval);
+    const ParetoStudy study = runParetoStudy(eval);
+    const FrontGap gap = frontGap(exactFront, study.merged);
+    // Heuristics cannot beat the exact front...
+    EXPECT_GE(gap.meanRelativeExcess, -1e-9);
+    // ...and on these tiny instances they track it within 50% latency excess
+    // (typically single digits; this is a regression canary).
+    EXPECT_LE(gap.maxRelativeExcess, 0.5) << "seed " << s;
+  }
+}
+
+TEST(FrontLatencyAt, InfiniteBelowTheSmallestPeriod) {
+  std::vector<ParetoPoint> front = {{2, 10, std::nullopt}, {4, 6, std::nullopt}};
+  EXPECT_EQ(frontLatencyAt(front, 1.0), kInfinity);
+  EXPECT_DOUBLE_EQ(frontLatencyAt(front, 2.0), 10);
+  EXPECT_DOUBLE_EQ(frontLatencyAt(front, 3.9), 10);
+  EXPECT_DOUBLE_EQ(frontLatencyAt(front, 4.0), 6);
+  EXPECT_DOUBLE_EQ(frontLatencyAt(front, 100), 6);
+}
+
+TEST(FrontGap, CountsUncoveredPeriods) {
+  const std::vector<ParetoPoint> reference = {{1, 10, std::nullopt}, {5, 4, std::nullopt}};
+  const std::vector<ParetoPoint> candidate = {{4, 5, std::nullopt}};
+  const FrontGap gap = frontGap(reference, candidate);
+  EXPECT_EQ(gap.uncovered, 1u);  // period 1 unreachable
+  EXPECT_DOUBLE_EQ(gap.meanRelativeExcess, 5.0 / 4.0 - 1);
+  EXPECT_DOUBLE_EQ(gap.maxRelativeExcess, 5.0 / 4.0 - 1);
+}
+
+TEST(ParetoStudy, PrintsATable) {
+  Rng rng(2500);
+  const auto inst = workload::randomInstance(ExperimentKind::kE4SmallComputations, 6, 4, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const ParetoStudy study = runParetoStudy(eval);
+  std::ostringstream os;
+  printParetoStudy(os, study);
+  EXPECT_NE(os.str().find("Merged heuristic Pareto front"), std::string::npos);
+  EXPECT_NE(os.str().find("H1-SpMonoP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched::exp

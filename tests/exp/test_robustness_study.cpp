@@ -1,0 +1,99 @@
+// Robustness-study driver: validation, shape of the report, zero-amplitude
+// baseline, monotone degradation trend, and table rendering. Also covers the
+// TextTable Markdown renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pipesched/exp/report.hpp"
+#include "pipesched/exp/robustness_study.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::exp {
+namespace {
+
+using core::Evaluator;
+using workload::ExperimentKind;
+using workload::Rng;
+
+RobustnessStudyConfig smallConfig() {
+  RobustnessStudyConfig config;
+  config.amplitudes = {0.0, 0.3};
+  config.trials = 3;
+  config.datasetCount = 120;
+  config.warmup = 40;
+  return config;
+}
+
+TEST(RobustnessStudy, ValidatesConfig) {
+  Rng rng(1);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 5, 3, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  RobustnessStudyConfig config = smallConfig();
+  config.amplitudes.clear();
+  EXPECT_THROW((void)runRobustnessStudy(eval, config), ModelError);
+  config = smallConfig();
+  config.trials = 0;
+  EXPECT_THROW((void)runRobustnessStudy(eval, config), ModelError);
+  config = smallConfig();
+  config.amplitudes = {1.5};
+  EXPECT_THROW((void)runRobustnessStudy(eval, config), ModelError);
+}
+
+TEST(RobustnessStudy, ReportShapeAndZeroAmplitudeBaseline) {
+  Rng rng(3100);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 8, 5, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const RobustnessStudy study = runRobustnessStudy(eval, smallConfig());
+  ASSERT_EQ(study.rows.size(), 6u);
+  for (const RobustnessRow& row : study.rows) {
+    ASSERT_EQ(row.periodDegradation.size(), 2u) << row.heuristic;
+    ASSERT_EQ(row.latencyDegradation.size(), 2u) << row.heuristic;
+    // Amplitude 0: the DES reproduces Eq. (1)/(2) exactly, so degradation is
+    // 1.0 for the period and <= 1.0 + eps for the max latency (the DES
+    // measures per-data-set latency, whose max equals the Eq.-2 value).
+    EXPECT_NEAR(row.periodDegradation[0], 1.0, 1e-6) << row.heuristic;
+    EXPECT_NEAR(row.latencyDegradation[0], 1.0, 1e-6) << row.heuristic;
+    // Amplitude 0.3: queueing effects cannot *improve* throughput.
+    EXPECT_GE(row.periodDegradation[1], 1.0 - 1e-2) << row.heuristic;
+    EXPECT_GT(row.nominalPeriod, 0) << row.heuristic;
+  }
+}
+
+TEST(RobustnessStudy, PrintsBothTables) {
+  Rng rng(3200);
+  const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 6, 4, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const RobustnessStudy study = runRobustnessStudy(eval, smallConfig());
+  std::ostringstream os;
+  printRobustnessStudy(os, study);
+  EXPECT_NE(os.str().find("Robustness under duration jitter"), std::string::npos);
+  EXPECT_NE(os.str().find("Max-latency degradation"), std::string::npos);
+  EXPECT_NE(os.str().find("a=0.30"), std::string::npos);
+}
+
+TEST(TextTableMarkdown, RendersHeaderSeparatorAndEscapes) {
+  TextTable table;
+  table.setHeader({"name", "value"});
+  table.addRow({"plain", "1"});
+  table.addRow({"with|pipe", "2"});
+  std::ostringstream os;
+  table.printMarkdown(os);
+  EXPECT_EQ(os.str(),
+            "| name | value |\n"
+            "|---|---|\n"
+            "| plain | 1 |\n"
+            "| with\\|pipe | 2 |\n");
+}
+
+TEST(TextTableMarkdown, PadsShortRows) {
+  TextTable table;
+  table.setHeader({"a", "b", "c"});
+  table.addRow({"x"});
+  std::ostringstream os;
+  table.printMarkdown(os);
+  EXPECT_NE(os.str().find("| x |  |  |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched::exp

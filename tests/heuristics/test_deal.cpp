@@ -1,0 +1,115 @@
+// Tests of the deal-aware heuristic: replication breaks the splitting-only
+// period floor exactly when a single dominant stage is the bottleneck (the
+// paper's motivating case for nesting a deal skeleton).
+#include <gtest/gtest.h>
+
+#include "pipesched/heuristics/deal.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::heuristics {
+namespace {
+
+using core::Evaluator;
+using core::Pipeline;
+using core::Platform;
+
+TEST(Deal, SingleStagePipelineCanOnlyImproveByReplication) {
+  // One stage of work 100 on two speed-10 processors: splitting is
+  // impossible (n = 1); replication halves the period.
+  const Pipeline pipe({100}, {0, 0});
+  const Platform plat({10, 10}, 1);
+  const Evaluator eval(pipe, plat);
+  // Splitting-only floor:
+  EXPECT_DOUBLE_EQ(spMonoP(eval, 0).metrics.period, 10);
+  // Deal-aware:
+  const DealResult r = spMonoPWithDeal(eval, 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.metrics.period, 5);
+  EXPECT_EQ(r.replications, 1u);
+  EXPECT_EQ(r.splits, 0u);
+  EXPECT_NO_THROW(r.mapping.validate(1, 2));
+}
+
+TEST(Deal, ExhaustionPeriodBeatsSplittingFloorOnDominantStage) {
+  // Stage 1 dominates; after splitting it off, only replication helps.
+  const Pipeline pipe({2, 90, 2}, {0, 0, 0, 0});
+  const Platform plat({10, 10, 10, 10}, 1);
+  const Evaluator eval(pipe, plat);
+  const Real splittingFloor = spMonoP(eval, 0).metrics.period;  // 9 (stage 1 alone)
+  const Real dealFloor = dealExhaustionPeriod(eval);
+  EXPECT_DOUBLE_EQ(splittingFloor, 9);
+  EXPECT_LT(dealFloor, splittingFloor);
+  EXPECT_DOUBLE_EQ(dealFloor, 4.5);  // stage 1 replicated on two processors
+}
+
+TEST(Deal, RespectsPeriodTargetAndStopsEarly) {
+  const Pipeline pipe({2, 90, 2}, {0, 0, 0, 0});
+  const Platform plat({10, 10, 10, 10}, 1);
+  const Evaluator eval(pipe, plat);
+  const DealResult r = spMonoPWithDeal(eval, 9.0);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.metrics.period, 9.0 + kTimeEps);
+  // Target met by splitting alone: no replication should be spent.
+  EXPECT_EQ(r.replications, 0u);
+}
+
+TEST(Deal, FailureReportedWhenTargetUnreachable) {
+  const Pipeline pipe({100}, {0, 0});
+  const Platform plat({10, 10}, 1);
+  const Evaluator eval(pipe, plat);
+  const DealResult r = spMonoPWithDeal(eval, 1.0);
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(r.metrics.period, 5);  // best effort: both processors used
+}
+
+TEST(Deal, NeverWorseThanPlainSplittingOnRandomInstances) {
+  // The deal engine's split move *is* H1's; replication is only taken when
+  // it improves the bottleneck, so exhaustion can only be <= H1's floor.
+  for (std::uint64_t seed : {11, 12, 13, 14, 15, 16, 17, 18}) {
+    workload::Rng rng(seed);
+    const auto inst = workload::randomInstance(
+        workload::ExperimentKind::kE3LargeComputations, 10, 6, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const Real h1Floor = spMonoP(eval, 0).metrics.period;
+    const Real dealFloor = dealExhaustionPeriod(eval);
+    EXPECT_LE(dealFloor, h1Floor + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Deal, CompetitiveModeIsAlsoValid) {
+  workload::Rng rng(77);
+  const auto inst =
+      workload::randomInstance(workload::ExperimentKind::kE1BalancedHomComm, 12, 8, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  DealOptions options;
+  options.replicationCompetesWithSplits = true;
+  const DealResult r = spMonoPWithDeal(eval, 0, options);
+  EXPECT_NO_THROW(
+      r.mapping.validate(inst.pipeline.stageCount(), inst.platform.processorCount()));
+  const core::Metrics recomputed = core::evaluateReplicated(eval, r.mapping);
+  EXPECT_NEAR(recomputed.period, r.metrics.period, 1e-12);
+}
+
+TEST(Deal, ReplicationPaysALatencyPrice) {
+  // The slow replica determines the latency: replicating on a slower
+  // processor trades latency for throughput — the bi-criteria tension.
+  const Pipeline pipe({100}, {0, 0});
+  const Platform plat({10, 2}, 1);
+  const Evaluator eval(pipe, plat);
+  const DealResult r = spMonoPWithDeal(eval, 0);
+  // cycles {10, 50} -> candidate period 50/2 = 25 > 10: replication is
+  // inadmissible (does not improve the bottleneck), so nothing happens.
+  EXPECT_EQ(r.replications, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.period, 10);
+  // With a nearly-as-fast second processor the move is taken and latency
+  // rises to the slower replica's traversal.
+  const Platform plat2({10, 9}, 1);
+  const Evaluator eval2(pipe, plat2);
+  const DealResult r2 = spMonoPWithDeal(eval2, 0);
+  EXPECT_EQ(r2.replications, 1u);
+  EXPECT_NEAR(r2.metrics.period, (100.0 / 9.0) / 2.0, 1e-12);  // max(10, 11.1)/2
+  EXPECT_NEAR(r2.metrics.latency, 100.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pipesched::heuristics

@@ -1,0 +1,147 @@
+// Greedy probe baseline: prefix-greedy construction, monotone feasibility in
+// the target, binary-search minimum period versus exact optima, and the
+// heuristic wrapper's contract for both objectives.
+#include <gtest/gtest.h>
+
+#include "pipesched/c2c/homogeneous.hpp"
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/heuristics/greedy_probe.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::heuristics {
+namespace {
+
+using core::Evaluator;
+using core::Pipeline;
+using core::Platform;
+using workload::ExperimentKind;
+using workload::Rng;
+
+TEST(GreedyProbe, RequiresCommHomogeneousPlatform) {
+  const Pipeline pipe({1}, {0, 0});
+  const auto plat = Platform::fullyHeterogeneous({1}, {1}, {1}, {1});
+  const Evaluator eval(pipe, plat);
+  EXPECT_THROW((void)greedyProbe(eval, 10), ModelError);
+}
+
+TEST(GreedyProbe, LooseTargetYieldsTheSingleIntervalOnTheFastest) {
+  const Pipeline pipe({2, 4, 6}, {1, 2, 3, 4});
+  const Platform plat({2, 5, 3}, 10);
+  const Evaluator eval(pipe, plat);
+  const Real lemma1Period = eval.period(eval.optimalLatencyMapping());
+  const auto mapping = greedyProbe(eval, lemma1Period);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->intervalCount(), 1u);
+  EXPECT_EQ(mapping->processor(0), 1u);  // the speed-5 processor
+}
+
+TEST(GreedyProbe, ImpossibleTargetFails) {
+  const Pipeline pipe({10}, {5, 5});
+  const Platform plat({2, 1}, 10);
+  const Evaluator eval(pipe, plat);
+  // Best possible singleton cycle: 0.5 + 5 + 0.5 = 6.
+  EXPECT_FALSE(greedyProbe(eval, 5.9).has_value());
+  EXPECT_TRUE(greedyProbe(eval, 6.0).has_value());
+}
+
+TEST(GreedyProbe, ReturnedMappingRespectsTheTarget) {
+  for (std::uint64_t s : {901, 902, 903}) {
+    Rng rng(s);
+    const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 14, 7, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const Real target = eval.period(eval.optimalLatencyMapping()) * 0.7;
+    if (const auto mapping = greedyProbe(eval, target)) {
+      EXPECT_LE(eval.period(*mapping), target + 1e-9);
+      EXPECT_NO_THROW(mapping->validate(14, 7));
+    }
+  }
+}
+
+class GreedyProbeMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyProbeMonotone, FeasibilityIsMonotoneInTheTarget) {
+  Rng rng(GetParam());
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 12, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real k = greedyProbeMinPeriod(eval);
+  // Below the found minimum: infeasible; at and above: feasible.
+  EXPECT_FALSE(greedyProbe(eval, k * 0.95).has_value());
+  for (const Real factor : {1.0, 1.1, 1.5, 3.0}) {
+    EXPECT_TRUE(greedyProbe(eval, k * factor).has_value()) << "factor " << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProbeMonotone, ::testing::Values(910, 911, 912, 913),
+                         [](const auto& paramInfo) {
+                           return "s" + std::to_string(paramInfo.param);
+                         });
+
+TEST(GreedyProbe, MinPeriodNeverBeatsTheExactOptimum) {
+  for (std::uint64_t s : {920, 921, 922}) {
+    Rng rng(s);
+    const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 8, 4, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto exact = exact::exhaustiveMinPeriod(eval);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(greedyProbeMinPeriod(eval) + 1e-6, exact->metrics.period);
+  }
+}
+
+TEST(GreedyProbe, MatchesTheChainsToChainsProbeWithZeroComms) {
+  // With delta == 0 and identical speeds the mapping probe *is* the
+  // homogeneous chains-to-chains probe (paper Theorem-2 correspondence).
+  Rng rng(930);
+  std::vector<Real> weights(10);
+  for (auto& w : weights) w = static_cast<Real>(rng.uniformInt(1, 30));
+  const Pipeline pipe(weights, std::vector<Real>(11, 0));
+  const Platform plat = Platform::homogeneous(4, 1, 1);
+  const Evaluator eval(pipe, plat);
+  for (const Real limit : {20.0, 35.0, 60.0, 120.0}) {
+    EXPECT_EQ(greedyProbe(eval, limit).has_value(), c2c::probe(weights, 4, limit))
+        << "limit " << limit;
+  }
+}
+
+TEST(GreedyProbeHeuristic, PeriodObjectiveContract) {
+  Rng rng(940);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 12, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real k = greedyProbeMinPeriod(eval);
+
+  const Result ok = greedyProbeHeuristic(eval, Objective::kMinLatencyForPeriod, k * 1.05);
+  EXPECT_TRUE(ok.success);
+  EXPECT_LE(ok.metrics.period, k * 1.05 + 1e-9);
+
+  const Result fail = greedyProbeHeuristic(eval, Objective::kMinLatencyForPeriod, k * 0.9);
+  EXPECT_FALSE(fail.success);
+  // Even on failure a valid mapping (the Lemma-1 fallback) is returned.
+  EXPECT_NO_THROW(fail.mapping.validate(12, 6));
+}
+
+TEST(GreedyProbeHeuristic, LatencyObjectiveContract) {
+  Rng rng(950);
+  const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 10, 5, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real optimalL = eval.optimalLatency();
+
+  // Tight bound: only the Lemma-1 mapping qualifies.
+  const Result tight = greedyProbeHeuristic(eval, Objective::kMinPeriodForLatency, optimalL);
+  EXPECT_TRUE(tight.success);
+  EXPECT_LE(tight.metrics.latency, optimalL + 1e-9);
+
+  // Generous bound: the achieved period must not exceed the Lemma-1 period,
+  // and the latency cap must hold.
+  const Real cap = optimalL * 1.5;
+  const Result loose = greedyProbeHeuristic(eval, Objective::kMinPeriodForLatency, cap);
+  EXPECT_TRUE(loose.success);
+  EXPECT_LE(loose.metrics.latency, cap + 1e-6);
+  EXPECT_LE(loose.metrics.period, eval.period(eval.optimalLatencyMapping()) + 1e-9);
+
+  // Unreachable bound: reported as failure.
+  const Result impossible =
+      greedyProbeHeuristic(eval, Objective::kMinPeriodForLatency, optimalL * 0.5);
+  EXPECT_FALSE(impossible.success);
+}
+
+}  // namespace
+}  // namespace pipesched::heuristics

@@ -1,0 +1,163 @@
+// Behavioural tests of the six paper heuristics (H1..H6) on hand-checked
+// instances, plus the registry.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/heuristics/heuristics.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+namespace pipesched::heuristics {
+namespace {
+
+using core::Evaluator;
+using core::Pipeline;
+using core::Platform;
+
+class SmallInstance : public ::testing::Test {
+ protected:
+  // w = {6,2}, no comms, speeds {2,1}: initial period 4, best split period 3.
+  Pipeline pipe_{{6, 2}, {0, 0, 0}};
+  Platform plat_{{2, 1}, 1};
+  Evaluator eval_{pipe_, plat_};
+};
+
+TEST_F(SmallInstance, SpMonoPSucceedsAtReachablePeriod) {
+  const Result r = spMonoP(eval_, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.metrics.period, 3);
+  EXPECT_NO_THROW(r.mapping.validate(2, 2));
+}
+
+TEST_F(SmallInstance, SpMonoPFailsBelowReachablePeriod) {
+  const Result r = spMonoP(eval_, 2.9);
+  EXPECT_FALSE(r.success);
+  // Best effort mapping is still returned and valid.
+  EXPECT_DOUBLE_EQ(r.metrics.period, 3);
+  EXPECT_NO_THROW(r.mapping.validate(2, 2));
+}
+
+TEST_F(SmallInstance, SpMonoPStopsImmediatelyWhenInitialMeetsBound) {
+  const Result r = spMonoP(eval_, 4.0);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.splits, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.latency, eval_.optimalLatency());
+}
+
+TEST_F(SmallInstance, SpMonoLRespectsLatencyBudget) {
+  // Initial latency 4; the split raises it to 5.
+  const Result tight = spMonoL(eval_, 4.5);
+  EXPECT_TRUE(tight.success);
+  EXPECT_DOUBLE_EQ(tight.metrics.period, 4);  // split rejected: 5 > 4.5
+  const Result loose = spMonoL(eval_, 5.0);
+  EXPECT_TRUE(loose.success);
+  EXPECT_DOUBLE_EQ(loose.metrics.period, 3);  // split accepted at the cap
+  EXPECT_DOUBLE_EQ(loose.metrics.latency, 5);
+}
+
+TEST_F(SmallInstance, SpMonoLFailsWhenBoundBelowOptimalLatency) {
+  const Result r = spMonoL(eval_, 3.9);  // optimum is 4
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(r.metrics.latency, 4);  // stays at the Lemma-1 solution
+}
+
+TEST_F(SmallInstance, SpBiLSharesFailureConditionWithSpMonoL) {
+  EXPECT_FALSE(spBiL(eval_, 3.9).success);
+  EXPECT_TRUE(spBiL(eval_, 4.0).success);
+}
+
+TEST_F(SmallInstance, SpBiPFindsFeasibleSolutionWithMinimalLatency) {
+  const Result r = spBiP(eval_, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.metrics.period, 3 + kTimeEps);
+  // Only one split exists here, so H4 must match H1 exactly.
+  EXPECT_DOUBLE_EQ(r.metrics.latency, spMonoP(eval_, 3).metrics.latency);
+}
+
+TEST_F(SmallInstance, SpBiPFailsOnUnreachablePeriod) {
+  const Result r = spBiP(eval_, 1.0);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(SmallInstance, ExploHeuristicsDegradeGracefullyOnTwoProcessors) {
+  // With a single spare processor the 3-way heuristics fall back to 2-way.
+  const Result mono = exploThreeMono(eval_, 3);
+  EXPECT_TRUE(mono.success);
+  EXPECT_DOUBLE_EQ(mono.metrics.period, 3);
+  const Result bi = exploThreeBi(eval_, 3);
+  EXPECT_TRUE(bi.success);
+}
+
+TEST(Heuristics, ExploThreeUsesTriplesWhenAvailable) {
+  const core::Pipeline pipe({6, 2, 2}, {0, 0, 0, 0});
+  const core::Platform plat({2, 1, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  const Result r = exploThreeMono(eval, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.mapping.intervalCount(), 3u);
+  EXPECT_EQ(r.splits, 1u);  // one 3-way split
+}
+
+TEST(Heuristics, LatencyNeverBelowLemma1OnScenarios) {
+  const core::Platform plat = workload::labCluster();
+  for (const auto& scenario : workload::allScenarios()) {
+    const Evaluator eval(scenario.pipeline, plat);
+    const Real optimal = eval.optimalLatency();
+    for (const auto& h : makeAllHeuristics()) {
+      const Real threshold =
+          h->objective() == Objective::kMinLatencyForPeriod ? optimal : optimal * 2;
+      const Result r = h->run(eval, threshold);
+      EXPECT_GE(r.metrics.latency + kTimeEps, optimal) << h->name() << " " << scenario.name;
+      EXPECT_NO_THROW(r.mapping.validate(scenario.pipeline.stageCount(),
+                                         plat.processorCount()));
+    }
+  }
+}
+
+TEST(Registry, ProvidesAllSixInTableOrder) {
+  const auto all = makeAllHeuristics();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0]->name(), "H1-SpMonoP");
+  EXPECT_EQ(all[1]->name(), "H2-3ExploMono");
+  EXPECT_EQ(all[2]->name(), "H3-3ExploBi");
+  EXPECT_EQ(all[3]->name(), "H4-SpBiP");
+  EXPECT_EQ(all[4]->name(), "H5-SpMonoL");
+  EXPECT_EQ(all[5]->name(), "H6-SpBiL");
+  EXPECT_EQ(all[0]->objective(), Objective::kMinLatencyForPeriod);
+  EXPECT_EQ(all[5]->objective(), Objective::kMinPeriodForLatency);
+}
+
+TEST(Registry, PaperNamesMatchThePlots) {
+  EXPECT_EQ(makeHeuristic(HeuristicId::kH1SpMonoP)->paperName(), "Sp mono, P fix");
+  EXPECT_EQ(makeHeuristic(HeuristicId::kH3ExploThreeBi)->paperName(), "3-Explo bi");
+  EXPECT_EQ(makeHeuristic(HeuristicId::kH6SpBiL)->paperName(), "Sp bi, L fix");
+}
+
+TEST(Registry, FailureThresholdsOfLatencyFamilyEqualOptimalLatency) {
+  // The paper's Table-1 observation: H5 and H6 share failure thresholds.
+  const core::Pipeline pipe({3, 1, 4, 1, 5}, {2, 1, 3, 2, 1, 4});
+  const core::Platform plat({9, 7, 5}, 10);
+  const Evaluator eval(pipe, plat);
+  const Real h5 = makeHeuristic(HeuristicId::kH5SpMonoL)->failureThreshold(eval);
+  const Real h6 = makeHeuristic(HeuristicId::kH6SpBiL)->failureThreshold(eval);
+  EXPECT_DOUBLE_EQ(h5, h6);
+  EXPECT_DOUBLE_EQ(h5, eval.optimalLatency());
+}
+
+TEST(Registry, FailureThresholdOfPeriodFamilyIsExhaustionPeriod) {
+  const core::Pipeline pipe({6, 2}, {0, 0, 0});
+  const core::Platform plat({2, 1}, 1);
+  const Evaluator eval(pipe, plat);
+  const auto h1 = makeHeuristic(HeuristicId::kH1SpMonoP);
+  EXPECT_DOUBLE_EQ(h1->failureThreshold(eval), 3);
+  // Running exactly at the threshold succeeds; fractionally below fails.
+  EXPECT_TRUE(h1->run(eval, 3).success);
+  EXPECT_FALSE(h1->run(eval, 3 * 0.999).success);
+}
+
+TEST(Registry, UnknownIdThrows) {
+  EXPECT_THROW((void)makeHeuristic(static_cast<HeuristicId>(99)), ModelError);
+}
+
+}  // namespace
+}  // namespace pipesched::heuristics

@@ -1,0 +1,177 @@
+// Property-based tests over random instances from all four experiment
+// regimes: structural invariants every heuristic must satisfy, consistency of
+// the failure thresholds, and optimality sandwiches against the exact solvers
+// on small instances.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/exact/bnb.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::heuristics {
+namespace {
+
+using core::Evaluator;
+using workload::ExperimentKind;
+using workload::InstancePair;
+using workload::Rng;
+
+struct PropertyCase {
+  ExperimentKind kind;
+  std::size_t n;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+std::string caseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return workload::experimentName(info.param.kind) + "_n" + std::to_string(info.param.n) +
+         "_p" + std::to_string(info.param.p) + "_s" + std::to_string(info.param.seed);
+}
+
+class HeuristicProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  InstancePair makeInstance() const {
+    const auto [kind, n, p, seed] = GetParam();
+    Rng rng(seed);
+    return workload::randomInstance(kind, n, p, rng);
+  }
+};
+
+TEST_P(HeuristicProperties, MappingsAreValidAndMetricsConsistent) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real optimal = eval.optimalLatency();
+  for (const auto& h : makeAllHeuristics()) {
+    const Real threshold = h->failureThreshold(eval) * 1.05;
+    const Result r = h->run(eval, threshold);
+    EXPECT_NO_THROW(r.mapping.validate(inst.pipeline.stageCount(),
+                                       inst.platform.processorCount()))
+        << h->name();
+    const core::Metrics recomputed = eval.evaluate(r.mapping);
+    EXPECT_NEAR(recomputed.period, r.metrics.period, 1e-9) << h->name();
+    EXPECT_NEAR(recomputed.latency, r.metrics.latency, 1e-9) << h->name();
+    EXPECT_GE(r.metrics.latency + 1e-9, optimal) << h->name();
+  }
+}
+
+TEST_P(HeuristicProperties, SucceedsAtItsFailureThresholdAndFailsBelow) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  for (const auto& h : makeAllHeuristics()) {
+    const Real ft = h->failureThreshold(eval);
+    const Result atThreshold = h->run(eval, ft * (1 + 1e-9));
+    EXPECT_TRUE(atThreshold.success) << h->name() << " at threshold " << ft;
+    const Result below = h->run(eval, ft * 0.999);
+    EXPECT_FALSE(below.success) << h->name() << " below threshold " << ft;
+  }
+}
+
+TEST_P(HeuristicProperties, SuccessImpliesThresholdMet) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  for (const auto& h : makeAllHeuristics()) {
+    const bool periodFamily = h->objective() == Objective::kMinLatencyForPeriod;
+    for (Real factor : {0.9, 1.1, 1.5, 3.0}) {
+      const Real threshold = h->failureThreshold(eval) * factor;
+      const Result r = h->run(eval, threshold);
+      if (!r.success) continue;
+      const Real constrained = periodFamily ? r.metrics.period : r.metrics.latency;
+      EXPECT_LE(constrained, threshold + 1e-6) << h->name() << " factor " << factor;
+    }
+  }
+}
+
+TEST_P(HeuristicProperties, GenerousPeriodBoundReturnsLemma1Solution) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const core::IntervalMapping initial = eval.optimalLatencyMapping();
+  const Real initialPeriod = eval.period(initial);
+  for (const auto& h : makeAllHeuristics()) {
+    if (h->objective() != Objective::kMinLatencyForPeriod) continue;
+    const Result r = h->run(eval, initialPeriod * 1.01);
+    EXPECT_TRUE(r.success) << h->name();
+    EXPECT_EQ(r.splits, 0u) << h->name();
+    EXPECT_NEAR(r.metrics.latency, eval.optimalLatency(), 1e-9) << h->name();
+  }
+}
+
+TEST_P(HeuristicProperties, LatencyFamilyNeverExceedsItsBound) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real optimal = eval.optimalLatency();
+  for (Real factor : {1.0, 1.2, 1.5, 2.5}) {
+    for (HeuristicId id : {HeuristicId::kH5SpMonoL, HeuristicId::kH6SpBiL}) {
+      const Result r = makeHeuristic(id)->run(eval, optimal * factor);
+      EXPECT_TRUE(r.success);
+      EXPECT_LE(r.metrics.latency, optimal * factor + 1e-6);
+    }
+  }
+}
+
+TEST_P(HeuristicProperties, MoreLatencyBudgetNeverHurtsPeriod) {
+  const InstancePair inst = makeInstance();
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real optimal = eval.optimalLatency();
+  // The greedy trajectory is a chain of splits: with a larger cap the engine
+  // can only continue further along (or equal), never do worse.
+  Real previous = kInfinity;
+  for (Real factor : {1.0, 1.3, 1.8, 2.5, 4.0}) {
+    const Result r = spMonoL(eval, optimal * factor);
+    EXPECT_LE(r.metrics.period, previous + 1e-9) << "factor " << factor;
+    previous = r.metrics.period;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, HeuristicProperties,
+    ::testing::Values(
+        PropertyCase{ExperimentKind::kE1BalancedHomComm, 5, 4, 101},
+        PropertyCase{ExperimentKind::kE1BalancedHomComm, 10, 10, 102},
+        PropertyCase{ExperimentKind::kE1BalancedHomComm, 40, 10, 103},
+        PropertyCase{ExperimentKind::kE2BalancedHetComm, 5, 4, 104},
+        PropertyCase{ExperimentKind::kE2BalancedHetComm, 20, 10, 105},
+        PropertyCase{ExperimentKind::kE2BalancedHetComm, 40, 25, 106},
+        PropertyCase{ExperimentKind::kE3LargeComputations, 5, 4, 107},
+        PropertyCase{ExperimentKind::kE3LargeComputations, 20, 10, 108},
+        PropertyCase{ExperimentKind::kE4SmallComputations, 5, 4, 109},
+        PropertyCase{ExperimentKind::kE4SmallComputations, 20, 10, 110},
+        PropertyCase{ExperimentKind::kE4SmallComputations, 40, 25, 111},
+        PropertyCase{ExperimentKind::kE3LargeComputations, 10, 100, 112}),
+    caseName);
+
+// ---------------------------------------------------------------------------
+// Optimality sandwich on small instances: exact <= heuristic; and the
+// heuristics must coincide with the optimum when the period bound is loose.
+// ---------------------------------------------------------------------------
+
+class HeuristicVsExact : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(HeuristicVsExact, ExhaustionPeriodNeverBeatsExactOptimum) {
+  const auto [kind, n, p, seed] = GetParam();
+  Rng rng(seed);
+  const InstancePair inst = workload::randomInstance(kind, n, p, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const Real exactMinPeriod = exact::bnbMinPeriod(eval).metrics.period;
+  for (const auto& h : makeAllHeuristics()) {
+    if (h->objective() != Objective::kMinLatencyForPeriod) continue;
+    EXPECT_GE(h->failureThreshold(eval) + 1e-9, exactMinPeriod) << h->name();
+  }
+  // The latency family cannot beat the exact optimum either, at any budget.
+  const Result unlimited = spMonoL(eval, kInfinity);
+  EXPECT_GE(unlimited.metrics.period + 1e-9, exactMinPeriod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, HeuristicVsExact,
+    ::testing::Values(
+        PropertyCase{ExperimentKind::kE1BalancedHomComm, 6, 4, 201},
+        PropertyCase{ExperimentKind::kE2BalancedHetComm, 6, 4, 202},
+        PropertyCase{ExperimentKind::kE3LargeComputations, 7, 4, 203},
+        PropertyCase{ExperimentKind::kE4SmallComputations, 7, 4, 204},
+        PropertyCase{ExperimentKind::kE1BalancedHomComm, 8, 5, 205},
+        PropertyCase{ExperimentKind::kE2BalancedHetComm, 8, 5, 206}),
+    caseName);
+
+}  // namespace
+}  // namespace pipesched::heuristics

@@ -1,0 +1,153 @@
+// Shape-level checks of the *extension* results (beyond the paper's own
+// claims, announced in DESIGN.md §5), executed mechanically the same way
+// test_paper_claims.cpp pins the paper's results:
+//
+//   X1 — deal replication pushes the period below the splitting-only floor
+//        on communication- and compute-imbalanced regimes;
+//   X2 — the replicated cost model is achieved by the DES under the
+//        independent-substreams discipline, and stream-ordered dealing is
+//        never faster;
+//   X3 — on fully-heterogeneous platforms, link-aware local search improves
+//        on the link-blind fastest-first heuristics;
+//   X4 — local-search refinement never worsens any paper heuristic and the
+//        merged heuristic Pareto front covers the exact front ends;
+//   X5 — jitter degrades throughput monotonically in amplitude (queueing).
+#include <gtest/gtest.h>
+
+#include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/heuristics/deal.hpp"
+#include "pipesched/heuristics/local_search.hpp"
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/sim/perturbation.hpp"
+#include "pipesched/sim/replicated_sim.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched {
+namespace {
+
+using core::Evaluator;
+using workload::ExperimentKind;
+using workload::Rng;
+
+TEST(ExtensionClaims, X1DealBeatsTheSplittingFloorOnImbalancedRegimes) {
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  for (ExperimentKind kind :
+       {ExperimentKind::kE2BalancedHetComm, ExperimentKind::kE4SmallComputations}) {
+    std::size_t improved = 0;
+    const std::size_t rounds = 6;
+    for (std::uint64_t seed = 0; seed < rounds; ++seed) {
+      Rng rng(7100 + seed);
+      const auto inst = workload::randomInstance(kind, 8, 6, rng);
+      const Evaluator eval(inst.pipeline, inst.platform);
+      const Real splitOnly = h1->failureThreshold(eval);
+      const Real withDeal = heuristics::dealExhaustionPeriod(eval);
+      EXPECT_LE(withDeal, splitOnly + 1e-9);  // replication can only help
+      if (definitelyLess(withDeal, splitOnly)) ++improved;
+    }
+    // The bench shows 10/10 on these regimes; demand a clear majority here.
+    EXPECT_GE(improved, rounds / 2) << workload::experimentName(kind);
+  }
+}
+
+TEST(ExtensionClaims, X2ReplicatedModelIsALowerBoundAchievedWithComputeSlack) {
+  // The replication cost model (period = max cycle / |S|) idealizes dealing
+  // as fully buffered. Under the paper's rendezvous one-port semantics it is
+  // a *lower bound*: the substreams discipline achieves it when replicas
+  // have compute slack (E3) and exceeds it by rendezvous head-of-line
+  // blocking on communication-bound instances (E2) — never the other way
+  // around. Stream-ordered dealing is never faster than substreams.
+  for (ExperimentKind kind :
+       {ExperimentKind::kE3LargeComputations, ExperimentKind::kE2BalancedHetComm}) {
+    for (std::uint64_t seed : {7201, 7202}) {
+      Rng rng(seed);
+      const auto inst = workload::randomInstance(kind, 8, 6, rng);
+      const Evaluator eval(inst.pipeline, inst.platform);
+      const auto deal =
+          heuristics::spMonoPWithDeal(eval, heuristics::dealExhaustionPeriod(eval));
+      sim::SimConfig config;
+      config.datasetCount = 1201;
+      config.warmup = 400;
+      const auto substreams = sim::simulateReplicated(
+          eval, deal.mapping, config, sim::DealDiscipline::kIndependentSubstreams);
+      const auto ordered = sim::simulateReplicated(eval, deal.mapping, config,
+                                                   sim::DealDiscipline::kStreamOrdered);
+      // Lower bound (up to estimator round-alignment bias).
+      EXPECT_GE(substreams.steadyStatePeriod + 0.01 * deal.metrics.period,
+                deal.metrics.period)
+          << workload::experimentName(kind) << " seed " << seed;
+      // Ordering discipline can only slow the stream down.
+      EXPECT_GE(ordered.steadyStatePeriod + 1e-9, substreams.steadyStatePeriod)
+          << workload::experimentName(kind) << " seed " << seed;
+      if (kind == ExperimentKind::kE3LargeComputations) {
+        EXPECT_NEAR(substreams.steadyStatePeriod, deal.metrics.period,
+                    0.02 * deal.metrics.period)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ExtensionClaims, X3LinkAwareRefinementHelpsOnHeterogeneousLinks) {
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  Real blind = 0, refined = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(7300 + seed);
+    const core::Pipeline pipe =
+        workload::randomPipeline(ExperimentKind::kE2BalancedHetComm, 10, rng);
+    const core::Platform plat = workload::randomHeterogeneousPlatform(5, rng);
+    const Evaluator eval(pipe, plat);
+    const Real h1Period = h1->failureThreshold(eval);
+    const auto seeded = h1->run(eval, h1Period);
+    const auto polished = heuristics::localSearch(
+        eval, seeded.mapping, heuristics::Objective::kMinPeriodForLatency, kInfinity);
+    EXPECT_LE(polished.metrics.period, h1Period + 1e-9);
+    blind += h1Period;
+    refined += polished.metrics.period;
+  }
+  // Aggregate improvement must be substantial (the bench shows ~10%+).
+  EXPECT_LT(refined, blind * 0.98);
+}
+
+TEST(ExtensionClaims, X4RefinementAndFrontCoverage) {
+  Rng rng(7400);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 12, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  for (const auto& h : heuristics::makeAllHeuristics()) {
+    const Real t = h->failureThreshold(eval) * 1.15;
+    const auto plain = h->run(eval, t);
+    const auto refined = heuristics::refineWithLocalSearch(eval, *h, t);
+    ASSERT_TRUE(plain.success) << h->name();
+    EXPECT_TRUE(refined.success) << h->name();
+    const bool periodFamily = h->objective() == heuristics::Objective::kMinLatencyForPeriod;
+    EXPECT_LE(periodFamily ? refined.metrics.latency : refined.metrics.period,
+              (periodFamily ? plain.metrics.latency : plain.metrics.period) + 1e-9)
+        << h->name();
+  }
+  const auto study = exp::runParetoStudy(eval);
+  ASSERT_FALSE(study.merged.empty());
+  // The latency-optimal end of the front is the Lemma-1 point.
+  EXPECT_NEAR(study.merged.back().latency, eval.optimalLatency(), 1e-9);
+}
+
+TEST(ExtensionClaims, X5JitterDegradesThroughputMonotonically) {
+  Rng rng(7500);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 10, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+  const auto mapped = h1->run(eval, h1->failureThreshold(eval) * 1.1);
+  sim::SimConfig config;
+  config.datasetCount = 300;
+  config.warmup = 100;
+  Real previous = 0;
+  for (const Real amplitude : {0.0, 0.2, 0.5}) {
+    sim::JitterModel jitter;
+    jitter.computeAmplitude = amplitude;
+    jitter.transferAmplitude = amplitude;
+    const auto report = sim::measureRobustness(eval, mapped.mapping, config, jitter, 6);
+    EXPECT_GE(report.meanPeriod + 1e-6, previous) << "amplitude " << amplitude;
+    previous = report.meanPeriod;
+  }
+}
+
+}  // namespace
+}  // namespace pipesched

@@ -1,0 +1,70 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include "pipesched/sim/engine.hpp"
+
+namespace pipesched::sim {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.eventsProcessed(), 3u);
+}
+
+TEST(Engine, BreaksTimeTiesByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(1.0, [&] { order.push_back(10); });
+  e.schedule(1.0, [&] { order.push_back(20); });
+  e.schedule(1.0, [&] { order.push_back(30); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Engine, CallbacksMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] {
+    ++fired;
+    e.scheduleAfter(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule(5.0, [&] { EXPECT_THROW(e.schedule(1.0, [] {}), ModelError); });
+  e.run();
+}
+
+TEST(Engine, RunBudgetStopsEarly) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(static_cast<Time>(i), [&] { ++fired; });
+  }
+  e.run(4);
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, IdleOnConstruction) {
+  Engine e;
+  EXPECT_TRUE(e.idle());
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+}
+
+}  // namespace
+}  // namespace pipesched::sim

@@ -1,0 +1,135 @@
+// Jittered DES: zero-amplitude equivalence with the nominal simulator,
+// determinism per seed, parameter validation, queueing-induced period
+// degradation, and the robustness aggregation report.
+#include <gtest/gtest.h>
+
+#include "pipesched/heuristics/registry.hpp"
+#include "pipesched/sim/perturbation.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::sim {
+namespace {
+
+using core::Evaluator;
+using core::IntervalMapping;
+using core::Pipeline;
+using core::Platform;
+using workload::ExperimentKind;
+using workload::Rng;
+
+class Jitter : public ::testing::Test {
+ protected:
+  Jitter() {
+    Rng rng(321);
+    auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 8, 5, rng);
+    pipe_ = std::make_unique<Pipeline>(std::move(inst.pipeline));
+    plat_ = std::make_unique<Platform>(std::move(inst.platform));
+    eval_ = std::make_unique<Evaluator>(*pipe_, *plat_);
+    const auto h1 = heuristics::makeHeuristic(heuristics::HeuristicId::kH1SpMonoP);
+    mapping_ = h1->run(*eval_, h1->failureThreshold(*eval_) * 1.1).mapping;
+  }
+
+  std::unique_ptr<Pipeline> pipe_;
+  std::unique_ptr<Platform> plat_;
+  std::unique_ptr<Evaluator> eval_;
+  IntervalMapping mapping_;
+};
+
+TEST_F(Jitter, ZeroAmplitudeMatchesTheNominalSimulator) {
+  SimConfig config;
+  config.datasetCount = 120;
+  const SimReport nominal = simulatePipeline(*eval_, mapping_, config);
+  const SimReport jittered = simulatePipelineJittered(*eval_, mapping_, config, JitterModel{});
+  ASSERT_EQ(jittered.completionTimes.size(), nominal.completionTimes.size());
+  for (std::size_t k = 0; k < nominal.completionTimes.size(); ++k) {
+    EXPECT_DOUBLE_EQ(jittered.completionTimes[k], nominal.completionTimes[k]);
+  }
+}
+
+TEST_F(Jitter, DeterministicPerSeedAndSensitiveToIt) {
+  SimConfig config;
+  config.datasetCount = 60;
+  JitterModel jitter;
+  jitter.seed = 9;
+  jitter.computeAmplitude = 0.3;
+  jitter.transferAmplitude = 0.3;
+  const SimReport a = simulatePipelineJittered(*eval_, mapping_, config, jitter);
+  const SimReport b = simulatePipelineJittered(*eval_, mapping_, config, jitter);
+  EXPECT_EQ(a.completionTimes, b.completionTimes);
+
+  jitter.seed = 10;
+  const SimReport c = simulatePipelineJittered(*eval_, mapping_, config, jitter);
+  EXPECT_NE(a.completionTimes, c.completionTimes);
+}
+
+TEST_F(Jitter, ValidatesParameters) {
+  SimConfig config;
+  JitterModel bad;
+  bad.computeAmplitude = 1.0;  // must be < 1
+  EXPECT_THROW((void)simulatePipelineJittered(*eval_, mapping_, config, bad), ModelError);
+  bad.computeAmplitude = -0.1;
+  EXPECT_THROW((void)simulatePipelineJittered(*eval_, mapping_, config, bad), ModelError);
+  bad.computeAmplitude = 0.5;
+  bad.minFactor = 0;
+  EXPECT_THROW((void)simulatePipelineJittered(*eval_, mapping_, config, bad), ModelError);
+}
+
+TEST_F(Jitter, VarianceDegradesTheSteadyStatePeriod) {
+  // Zero-mean noise on a saturated pipeline can only hurt throughput: the
+  // bottleneck's completion process is a max-plus recursion, and waiting
+  // compounds while slack does not. Check the mean period over trials.
+  SimConfig config;
+  config.datasetCount = 400;
+  config.warmup = 100;
+  JitterModel jitter;
+  jitter.computeAmplitude = 0.4;
+  jitter.transferAmplitude = 0.4;
+  const RobustnessReport report = measureRobustness(*eval_, mapping_, config, jitter, 8);
+  EXPECT_GT(report.meanPeriod, report.nominalPeriod * 0.999);
+  EXPECT_GE(report.worstPeriod, report.meanPeriod);
+  EXPECT_GE(report.worstMaxLatency, report.meanMaxLatency);
+  EXPECT_GE(report.periodDegradation(), 0.999);
+}
+
+TEST_F(Jitter, StrongerNoiseDegradesMore) {
+  SimConfig config;
+  config.datasetCount = 300;
+  config.warmup = 80;
+  JitterModel weak;
+  weak.computeAmplitude = 0.1;
+  JitterModel strong;
+  strong.computeAmplitude = 0.6;
+  const auto weakReport = measureRobustness(*eval_, mapping_, config, weak, 6);
+  const auto strongReport = measureRobustness(*eval_, mapping_, config, strong, 6);
+  EXPECT_LT(weakReport.periodDegradation(), strongReport.periodDegradation());
+}
+
+TEST_F(Jitter, RobustnessReportValidation) {
+  SimConfig config;
+  EXPECT_THROW((void)measureRobustness(*eval_, mapping_, config, JitterModel{}, 0),
+               ModelError);
+}
+
+TEST(JitterSmall, SingleIntervalLatencyScalesWithTheDrawnFactors) {
+  // One stage, zero comms, releases spaced wider than the worst jittered
+  // compute time: no queueing, so each data set's latency is exactly its own
+  // jittered compute duration and must stay within the amplitude band.
+  const Pipeline pipe({10}, {0, 0});
+  const Platform plat({1}, 1);
+  const Evaluator eval(pipe, plat);
+  const auto mapping = IntervalMapping::singleInterval(1, 0);
+  SimConfig config;
+  config.datasetCount = 50;
+  config.releaseInterval = 20;  // > 10 * (1 + amplitude)
+  JitterModel jitter;
+  jitter.computeAmplitude = 0.5;
+  jitter.seed = 4;
+  const SimReport report = simulatePipelineJittered(eval, mapping, config, jitter);
+  for (const Time lat : report.latencies) {
+    EXPECT_GE(lat, 10 * 0.5 - 1e-9);
+    EXPECT_LE(lat, 10 * 1.5 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pipesched::sim

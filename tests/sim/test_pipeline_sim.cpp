@@ -1,0 +1,208 @@
+// Validation of the paper's closed-form metrics by simulation:
+//  * a single data set experiences exactly T_latency (Eq. 2);
+//  * a saturated source drives the steady-state period to T_period (Eq. 1);
+//  * the DES and the independent max-plus recurrence agree bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "pipesched/heuristics/heuristics.hpp"
+#include "pipesched/sim/pipeline_sim.hpp"
+#include "pipesched/sim/recurrence.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::sim {
+namespace {
+
+using core::Evaluator;
+using core::IntervalMapping;
+using workload::ExperimentKind;
+using workload::Rng;
+
+TEST(PipelineSim, SingleIntervalSingleDataset) {
+  const core::Pipeline pipe({2, 4, 6}, {1, 2, 3, 4});
+  const core::Platform plat({2, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::singleInterval(3, 0);
+  SimConfig config;
+  config.datasetCount = 1;
+  const SimReport r = simulatePipeline(eval, m, config);
+  EXPECT_NEAR(r.latencies.front(), eval.latency(m), 1e-12);
+}
+
+TEST(PipelineSim, TwoIntervalLatencyMatchesEq2) {
+  const core::Pipeline pipe({2, 4, 6}, {1, 2, 3, 4});
+  const core::Platform plat({2, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  SimConfig config;
+  config.datasetCount = 1;
+  const SimReport r = simulatePipeline(eval, m, config);
+  EXPECT_NEAR(r.latencies.front(), 14.5, 1e-12);  // hand-computed Eq. 2
+}
+
+TEST(PipelineSim, SaturatedSteadyPeriodMatchesEq1) {
+  const core::Pipeline pipe({2, 4, 6}, {1, 2, 3, 4});
+  const core::Platform plat({2, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  SimConfig config;
+  config.datasetCount = 300;
+  config.warmup = 100;
+  const SimReport r = simulatePipeline(eval, m, config);
+  EXPECT_NEAR(r.steadyStatePeriod, eval.period(m), 1e-9);
+}
+
+TEST(PipelineSim, CompletionTimesAreMonotone) {
+  const core::Pipeline pipe({5, 5}, {2, 2, 2});
+  const core::Platform plat({3, 2}, 4);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(2, {0, 1}, {0, 1});
+  SimConfig config;
+  config.datasetCount = 50;
+  const SimReport r = simulatePipeline(eval, m, config);
+  for (std::size_t k = 1; k < r.completionTimes.size(); ++k) {
+    EXPECT_GT(r.completionTimes[k], r.completionTimes[k - 1]);
+  }
+}
+
+TEST(PipelineSim, SpacedReleasesKeepLatencyBounded) {
+  const core::Pipeline pipe({4, 8, 2}, {1, 3, 2, 1});
+  const core::Platform plat({2, 1, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(3, {0, 2}, {0, 1});
+  SimConfig config;
+  config.datasetCount = 100;
+  config.releaseInterval = eval.period(m);  // feed at exactly the period
+  const SimReport r = simulatePipeline(eval, m, config);
+  // Latency can exceed Eq. 2 transiently but must not grow without bound.
+  EXPECT_GE(r.maxLatency + 1e-12, eval.latency(m));
+  EXPECT_LE(r.maxLatency, eval.latency(m) + 2 * eval.period(m));
+  // The last data sets have settled into the steady latency.
+  EXPECT_NEAR(r.latencies[99], r.latencies[98], 1e-9);
+}
+
+TEST(PipelineSim, TraceIsWellFormed) {
+  const core::Pipeline pipe({2, 4}, {1, 2, 1});
+  const core::Platform plat({2, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  const auto m = IntervalMapping::fromCuts(2, {0, 1}, {0, 1});
+  SimConfig config;
+  config.datasetCount = 3;
+  config.recordTrace = true;
+  const SimReport r = simulatePipeline(eval, m, config);
+  ASSERT_FALSE(r.trace.empty());
+  // Per data set: 3 transfers (start+end) + 2 computes (start+end) = 10.
+  EXPECT_EQ(r.trace.size(), 3u * 10u);
+  std::size_t starts = 0, ends = 0;
+  for (const TraceEvent& ev : r.trace) {
+    if (ev.kind == TraceEvent::Kind::kTransferStart ||
+        ev.kind == TraceEvent::Kind::kComputeStart) {
+      ++starts;
+    } else {
+      ++ends;
+    }
+  }
+  EXPECT_EQ(starts, ends);
+}
+
+TEST(PipelineSim, ValidatesInputs) {
+  const core::Pipeline pipe({2, 4}, {1, 2, 1});
+  const core::Platform plat({2, 1}, 2);
+  const Evaluator eval(pipe, plat);
+  SimConfig config;
+  config.datasetCount = 0;
+  EXPECT_THROW((void)simulatePipeline(eval, IntervalMapping::singleInterval(2, 0), config),
+               ModelError);
+  EXPECT_THROW(
+      (void)simulatePipeline(eval, IntervalMapping::singleInterval(3, 0), SimConfig{}),
+      MappingError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: DES == recurrence; steady period == Eq. 1; single-data-set
+// latency == Eq. 2 — on random instances and heuristic-produced mappings.
+// ---------------------------------------------------------------------------
+
+struct SimCase {
+  ExperimentKind kind;
+  std::size_t n;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class SimRandomized : public ::testing::TestWithParam<SimCase> {
+ protected:
+  void SetUp() override {
+    const auto [kind, n, p, seed] = GetParam();
+    Rng rng(seed);
+    auto inst = workload::randomInstance(kind, n, p, rng);
+    pipe_ = std::make_unique<core::Pipeline>(std::move(inst.pipeline));
+    plat_ = std::make_unique<core::Platform>(std::move(inst.platform));
+    eval_ = std::make_unique<Evaluator>(*pipe_, *plat_);
+    // A non-trivial mapping produced by the paper's H1 heuristic.
+    mapping_ = heuristics::spMonoP(*eval_, eval_->optimalLatency() * 0.4).mapping;
+  }
+
+  std::unique_ptr<core::Pipeline> pipe_;
+  std::unique_ptr<core::Platform> plat_;
+  std::unique_ptr<Evaluator> eval_;
+  IntervalMapping mapping_;
+};
+
+TEST_P(SimRandomized, DesMatchesRecurrenceExactly) {
+  SimConfig config;
+  config.datasetCount = 64;
+  config.releaseInterval = 0;
+  const SimReport des = simulatePipeline(*eval_, mapping_, config);
+  const std::vector<Time> releases(64, Time(0));
+  const std::vector<Time> rec = recurrenceCompletionTimes(*eval_, mapping_, releases);
+  ASSERT_EQ(des.completionTimes.size(), rec.size());
+  for (std::size_t k = 0; k < rec.size(); ++k) {
+    EXPECT_NEAR(des.completionTimes[k], rec[k], 1e-12) << "data set " << k;
+  }
+}
+
+TEST_P(SimRandomized, DesMatchesRecurrenceWithSpacedReleases) {
+  SimConfig config;
+  config.datasetCount = 40;
+  config.releaseInterval = eval_->period(mapping_) * 1.5;
+  const SimReport des = simulatePipeline(*eval_, mapping_, config);
+  std::vector<Time> releases(40);
+  for (std::size_t k = 0; k < releases.size(); ++k) {
+    releases[k] = config.releaseInterval * static_cast<Time>(k);
+  }
+  const std::vector<Time> rec = recurrenceCompletionTimes(*eval_, mapping_, releases);
+  for (std::size_t k = 0; k < rec.size(); ++k) {
+    EXPECT_NEAR(des.completionTimes[k], rec[k], 1e-12);
+  }
+}
+
+TEST_P(SimRandomized, SingleDatasetLatencyIsEq2) {
+  SimConfig config;
+  config.datasetCount = 1;
+  const SimReport r = simulatePipeline(*eval_, mapping_, config);
+  EXPECT_NEAR(r.latencies.front(), eval_->latency(mapping_),
+              1e-9 * std::max(Real(1), eval_->latency(mapping_)));
+}
+
+TEST_P(SimRandomized, SaturatedSteadyPeriodIsEq1) {
+  const Time period = recurrenceSteadyPeriod(*eval_, mapping_, 400, 200);
+  EXPECT_NEAR(period, eval_->period(mapping_),
+              1e-6 * std::max(Real(1), eval_->period(mapping_)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, SimRandomized,
+    ::testing::Values(SimCase{ExperimentKind::kE1BalancedHomComm, 5, 4, 701},
+                      SimCase{ExperimentKind::kE1BalancedHomComm, 20, 10, 702},
+                      SimCase{ExperimentKind::kE2BalancedHetComm, 10, 10, 703},
+                      SimCase{ExperimentKind::kE2BalancedHetComm, 40, 10, 704},
+                      SimCase{ExperimentKind::kE3LargeComputations, 10, 5, 705},
+                      SimCase{ExperimentKind::kE4SmallComputations, 10, 5, 706},
+                      SimCase{ExperimentKind::kE4SmallComputations, 40, 10, 707}),
+    [](const auto& paramInfo) {
+      return workload::experimentName(paramInfo.param.kind) + "_n" + std::to_string(paramInfo.param.n) +
+             "_p" + std::to_string(paramInfo.param.p) + "_s" + std::to_string(paramInfo.param.seed);
+    });
+
+}  // namespace
+}  // namespace pipesched::sim

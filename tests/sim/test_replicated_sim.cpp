@@ -1,0 +1,226 @@
+// Replicated-mapping DES: exact equivalence with the plain simulator on
+// singleton replica sets, validation of the deal cost model (steady-state
+// period == max replica cycle / |S|), per-data-set latency paths, and
+// back-pressure behaviour of the stream-ordered dealing discipline.
+#include <gtest/gtest.h>
+
+#include "pipesched/heuristics/deal.hpp"
+#include "pipesched/sim/replicated_sim.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::sim {
+namespace {
+
+using core::Evaluator;
+using core::IntervalMapping;
+using core::Pipeline;
+using core::Platform;
+using core::ReplicatedAssignment;
+using core::ReplicatedMapping;
+using workload::ExperimentKind;
+using workload::Rng;
+
+TEST(ReplicatedSim, ValidatesInputs) {
+  const Pipeline pipe({1}, {0, 0});
+  const Platform hetero = Platform::fullyHeterogeneous({1}, {1}, {1}, {1});
+  const Evaluator heval(pipe, hetero);
+  const auto single = ReplicatedMapping::fromIntervalMapping(
+      IntervalMapping::singleInterval(1, 0));
+  EXPECT_THROW((void)simulateReplicated(heval, single, SimConfig{}), ModelError);
+
+  const Platform plat({1}, 1);
+  const Evaluator eval(pipe, plat);
+  SimConfig config;
+  config.datasetCount = 0;
+  EXPECT_THROW((void)simulateReplicated(eval, single, config), ModelError);
+}
+
+TEST(ReplicatedSim, SingletonSetsMatchThePlainSimulatorExactly) {
+  Rng rng(640);
+  for (int round = 0; round < 3; ++round) {
+    const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 9, 5, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto plain = IntervalMapping::fromCuts(9, {2, 5, 8}, {0, 2, 4});
+    SimConfig config;
+    config.datasetCount = 80;
+    const SimReport a = simulatePipeline(eval, plain, config);
+    const SimReport b =
+        simulateReplicated(eval, ReplicatedMapping::fromIntervalMapping(plain), config);
+    ASSERT_EQ(a.completionTimes.size(), b.completionTimes.size());
+    for (std::size_t k = 0; k < a.completionTimes.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.completionTimes[k], b.completionTimes[k]) << "k=" << k;
+    }
+  }
+}
+
+class ReplicatedModel : public ::testing::Test {
+ protected:
+  // One dominant stage replicated over two different-speed processors; two
+  // light neighbours. Speeds: P0=2, P1=1, P2=4, P3=4; b=2.
+  Pipeline pipe_{{2, 12, 2}, {1, 1, 1, 1}};
+  Platform plat_{{2, 1, 4, 4}, 2};
+  Evaluator eval_{pipe_, plat_};
+};
+
+TEST_F(ReplicatedModel, SteadyPeriodMatchesTheDealCostModel) {
+  // [0,0]->{P2}, [1,1]->{P0,P1}, [2,2]->{P3}.
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 0}, {2}},
+                               ReplicatedAssignment{{1, 1}, {0, 1}},
+                               ReplicatedAssignment{{2, 2}, {3}}});
+  const core::Metrics model = evaluateReplicated(eval_, rep);
+  SimConfig config;
+  // Completions alternate unequal gaps (fast/slow replica), so the averaging
+  // window must cover whole replica rounds: last - warmup even for |S| = 2.
+  config.datasetCount = 601;
+  config.warmup = 200;
+  const SimReport report = simulateReplicated(eval_, rep, config);
+  EXPECT_NEAR(report.steadyStatePeriod, model.period, 1e-6 * model.period);
+}
+
+TEST_F(ReplicatedModel, ReplicationBeatsTheSplittingOnlyFloorInTheSimulatorToo) {
+  // Splitting-only best period on this instance: the dominant stage alone on
+  // the fastest processor still costs 0.5 + 12/4 + 0.5 = 4. With the deal,
+  // the model (and the DES) go below it.
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 0}, {0}},
+                               ReplicatedAssignment{{1, 1}, {2, 3}},
+                               ReplicatedAssignment{{2, 2}, {1}}});
+  const core::Metrics model = evaluateReplicated(eval_, rep);
+  EXPECT_LT(model.period, 4.0);
+  SimConfig config;
+  config.datasetCount = 601;  // even window: see SteadyPeriodMatchesTheDealCostModel
+  config.warmup = 200;
+  const SimReport report = simulateReplicated(eval_, rep, config);
+  EXPECT_NEAR(report.steadyStatePeriod, model.period, 1e-6 * model.period);
+  EXPECT_LT(report.steadyStatePeriod, 4.0);
+}
+
+TEST_F(ReplicatedModel, PerDataSetLatencyFollowsTheServingReplica) {
+  // Paced releases (no queueing): data set k's latency is its own replica
+  // path. Replica order for interval 1 is {P0 (s=2), P1 (s=1)}.
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 0}, {2}},
+                               ReplicatedAssignment{{1, 1}, {0, 1}},
+                               ReplicatedAssignment{{2, 2}, {3}}});
+  SimConfig config;
+  config.datasetCount = 8;
+  config.releaseInterval = 40;  // far above any cycle: fully unloaded
+  const SimReport report = simulateReplicated(eval_, rep, config);
+  // Path via P0: 0.5 + 2/4 + 0.5 + 12/2 + 0.5 + 2/4 + 0.5 = 9.
+  // Path via P1: same with 12/1: 15.
+  for (std::size_t k = 0; k < report.latencies.size(); ++k) {
+    EXPECT_NEAR(report.latencies[k], k % 2 == 0 ? 9.0 : 15.0, 1e-9) << "k=" << k;
+  }
+  // The model's latency is the slowest-replica path == the max over data sets.
+  const core::Metrics model = evaluateReplicated(eval_, rep);
+  EXPECT_NEAR(report.maxLatency, model.latency, 1e-9);
+}
+
+TEST_F(ReplicatedModel, CompletionsStayInStreamOrder) {
+  // Even though the fast replica could race ahead, stream-ordered dealing
+  // keeps sink completions monotone in the data-set index.
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 2}, {2, 1}}});
+  SimConfig config;
+  config.datasetCount = 100;
+  const SimReport report = simulateReplicated(eval_, rep, config);
+  for (std::size_t k = 1; k < report.completionTimes.size(); ++k) {
+    EXPECT_GT(report.completionTimes[k], report.completionTimes[k - 1]);
+  }
+}
+
+TEST_F(ReplicatedModel, IndependentSubstreamsMatchTheModelOnCommBoundBoundaries) {
+  // First interval replicated on a comm-heavy pipeline: stream-ordered
+  // dealing serializes the world-input transfers (period >= delta_0/b = 5),
+  // while independent substreams overlap them and reach the model period.
+  const Pipeline pipe({8, 1}, {10, 1, 1});
+  const Platform plat({2, 2, 4}, 2);
+  const Evaluator eval(pipe, plat);
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 0}, {0, 1}},
+                               ReplicatedAssignment{{1, 1}, {2}}});
+  // cycle of each [0,0] replica: 10/2 + 8/2 + 1/2 = 9.5 -> period_0 = 4.75;
+  // interval 1 on P2: 0.5 + 0.25 + 0.5 = 1.25. Model period = 4.75 < 5.
+  const core::Metrics model = evaluateReplicated(eval, rep);
+  ASSERT_DOUBLE_EQ(model.period, 4.75);
+
+  SimConfig config;
+  config.datasetCount = 601;
+  config.warmup = 200;
+  const SimReport ordered =
+      simulateReplicated(eval, rep, config, DealDiscipline::kStreamOrdered);
+  const SimReport substreams =
+      simulateReplicated(eval, rep, config, DealDiscipline::kIndependentSubstreams);
+  // Ordered dealing is gated by the serialized 10/2 = 5 world input.
+  EXPECT_NEAR(ordered.steadyStatePeriod, 5.0, 1e-6);
+  // Independent substreams deliver the model period.
+  EXPECT_NEAR(substreams.steadyStatePeriod, model.period, 1e-6 * model.period);
+}
+
+TEST_F(ReplicatedModel, DisciplinesAgreeWhenBoundariesAreNotCommBound) {
+  const ReplicatedMapping rep({ReplicatedAssignment{{0, 0}, {2}},
+                               ReplicatedAssignment{{1, 1}, {0, 1}},
+                               ReplicatedAssignment{{2, 2}, {3}}});
+  SimConfig config;
+  config.datasetCount = 601;
+  config.warmup = 200;
+  const SimReport ordered =
+      simulateReplicated(eval_, rep, config, DealDiscipline::kStreamOrdered);
+  const SimReport substreams =
+      simulateReplicated(eval_, rep, config, DealDiscipline::kIndependentSubstreams);
+  EXPECT_NEAR(ordered.steadyStatePeriod, substreams.steadyStatePeriod, 1e-9);
+}
+
+TEST(ReplicatedSimRandom, SubstreamsNeverSlowerThanOrderedDealing) {
+  for (std::uint64_t s : {670, 671, 672}) {
+    Rng rng(s);
+    const auto inst = workload::randomInstance(ExperimentKind::kE2BalancedHetComm, 8, 6, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto deal = heuristics::spMonoPWithDeal(eval, heuristics::dealExhaustionPeriod(eval));
+    SimConfig config;
+    config.datasetCount = 601;
+    config.warmup = 200;
+    const SimReport ordered =
+        simulateReplicated(eval, deal.mapping, config, DealDiscipline::kStreamOrdered);
+    const SimReport substreams =
+        simulateReplicated(eval, deal.mapping, config, DealDiscipline::kIndependentSubstreams);
+    EXPECT_LE(substreams.steadyStatePeriod, ordered.steadyStatePeriod + 1e-9) << "seed " << s;
+  }
+}
+
+TEST(ReplicatedSimRandom, DealHeuristicMappingsMatchTheModelOnRandomInstances) {
+  for (std::uint64_t s : {650, 651, 652, 653}) {
+    Rng rng(s);
+    const auto inst = workload::randomInstance(ExperimentKind::kE3LargeComputations, 8, 6, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    // Run the deal heuristic to exhaustion: its mapping usually replicates.
+    const Real target = heuristics::dealExhaustionPeriod(eval);
+    const auto deal = heuristics::spMonoPWithDeal(eval, target);
+    ASSERT_TRUE(deal.success) << "seed " << s;
+    SimConfig config;
+    // Unknown replica counts: a long window bounds the round-alignment bias
+    // of the inter-completion estimator below 1% (<= R / windowLength).
+    config.datasetCount = 1201;
+    config.warmup = 400;
+    const SimReport report = simulateReplicated(eval, deal.mapping, config);
+    EXPECT_NEAR(report.steadyStatePeriod, deal.metrics.period,
+                0.01 * std::max(Real(1), deal.metrics.period))
+        << "seed " << s << " mapping " << deal.mapping.describe();
+  }
+}
+
+TEST(ReplicatedSimRandom, PlainHeuristicStreamsAreUnaffectedByTheOrderDiscipline) {
+  // Regression guard for the in-order dealing constraint: on plain interval
+  // mappings the reported metrics must equal the Eq.-1/Eq.-2 values, as
+  // before the replication extension.
+  Rng rng(660);
+  const auto inst = workload::randomInstance(ExperimentKind::kE1BalancedHomComm, 12, 6, rng);
+  const Evaluator eval(inst.pipeline, inst.platform);
+  const auto mapping = IntervalMapping::fromCuts(12, {3, 7, 11}, {1, 3, 5});
+  const core::Metrics metrics = eval.evaluate(mapping);
+  SimConfig config;
+  config.datasetCount = 400;
+  config.warmup = 150;
+  const SimReport report = simulatePipeline(eval, mapping, config);
+  EXPECT_NEAR(report.steadyStatePeriod, metrics.period, 1e-6 * metrics.period);
+  EXPECT_NEAR(report.latencies.front(), metrics.latency, 1e-9 * metrics.latency);
+}
+
+}  // namespace
+}  // namespace pipesched::sim

@@ -1,0 +1,123 @@
+// Trace export and Gantt rendering: CSV well-formedness, event ordering,
+// rendering shape, and error behaviour without a recorded trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pipesched/sim/trace.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace pipesched::sim {
+namespace {
+
+using core::Evaluator;
+using core::IntervalMapping;
+using core::Pipeline;
+using core::Platform;
+
+struct Tracing : ::testing::Test {
+  Pipeline pipe_{{2, 4, 6}, {1, 2, 3, 4}};
+  Platform plat_{{2, 1, 4}, 2};
+  Evaluator eval_{pipe_, plat_};
+  IntervalMapping mapping_ = IntervalMapping::fromCuts(3, {1, 2}, {2, 0});
+
+  SimReport traced(std::size_t datasets = 5) {
+    SimConfig config;
+    config.datasetCount = datasets;
+    config.recordTrace = true;
+    return simulatePipeline(eval_, mapping_, config);
+  }
+};
+
+TEST_F(Tracing, CsvHasHeaderAndOneRowPerEvent) {
+  const SimReport report = traced();
+  std::ostringstream out;
+  writeTraceCsv(out, report);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "kind,time,index,dataset");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 3) << line;
+  }
+  EXPECT_EQ(rows, report.trace.size());
+}
+
+TEST_F(Tracing, TraceTimesAreMonotoneWithinEachDatasetPhaseChain) {
+  const SimReport report = traced();
+  // For each data set, compute_start(j) <= compute_end(j) <= compute_start(j+1).
+  std::vector<std::vector<Time>> starts(5), ends(5);
+  for (const TraceEvent& e : report.trace) {
+    if (e.kind == TraceEvent::Kind::kComputeStart) starts[e.dataset].push_back(e.time);
+    if (e.kind == TraceEvent::Kind::kComputeEnd) ends[e.dataset].push_back(e.time);
+  }
+  for (std::size_t k = 0; k < 5; ++k) {
+    ASSERT_EQ(starts[k].size(), mapping_.intervalCount());
+    ASSERT_EQ(ends[k].size(), mapping_.intervalCount());
+    for (std::size_t j = 0; j < starts[k].size(); ++j) {
+      EXPECT_LE(starts[k][j], ends[k][j]);
+      if (j > 0) EXPECT_LE(ends[k][j - 1], starts[k][j]);
+    }
+  }
+}
+
+TEST_F(Tracing, CsvRequiresARecordedTrace) {
+  SimConfig config;
+  config.datasetCount = 3;
+  const SimReport untraced = simulatePipeline(eval_, mapping_, config);
+  std::ostringstream out;
+  EXPECT_THROW(writeTraceCsv(out, untraced), ModelError);
+  EXPECT_THROW((void)renderGantt(mapping_, untraced), ModelError);
+}
+
+TEST_F(Tracing, GanttHasOneRowPerIntervalAndALegend) {
+  const SimReport report = traced();
+  const std::string gantt = renderGantt(mapping_, report);
+  std::istringstream lines(gantt);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("time: 0 .."), std::string::npos);
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), mapping_.intervalCount());
+  EXPECT_EQ(rows[0].substr(0, 2), "P2");
+  EXPECT_EQ(rows[1].substr(0, 2), "P0");
+}
+
+TEST_F(Tracing, GanttRowsContainTheDatasetDigits) {
+  const SimReport report = traced(3);
+  GanttOptions options;
+  options.width = 80;
+  const std::string gantt = renderGantt(mapping_, report, options);
+  for (const char digit : {'0', '1', '2'}) {
+    EXPECT_NE(gantt.find(digit), std::string::npos) << "missing data set " << digit;
+  }
+}
+
+TEST_F(Tracing, GanttRespectsMaxDatasetsAndWidth) {
+  const SimReport report = traced(8);
+  GanttOptions options;
+  options.width = 40;
+  options.maxDatasets = 2;
+  const std::string gantt = renderGantt(mapping_, report, options);
+  EXPECT_EQ(gantt.find('7'), std::string::npos);  // data set 7 not drawn
+  std::istringstream lines(gantt);
+  std::string line;
+  std::getline(lines, line);  // legend
+  while (std::getline(lines, line)) {
+    // "Px   [" + width + "]"
+    EXPECT_EQ(line.size(), 5 + 1 + options.width + 1) << line;
+  }
+}
+
+TEST_F(Tracing, GanttRejectsTinyWidth) {
+  const SimReport report = traced();
+  GanttOptions options;
+  options.width = 4;
+  EXPECT_THROW((void)renderGantt(mapping_, report, options), ModelError);
+}
+
+}  // namespace
+}  // namespace pipesched::sim

@@ -1,0 +1,118 @@
+// The generators must reproduce the paper's Section-5.1 distributions.
+#include <gtest/gtest.h>
+
+#include "pipesched/workload/generator.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+namespace pipesched::workload {
+namespace {
+
+TEST(Generator, Names) {
+  EXPECT_EQ(experimentName(ExperimentKind::kE1BalancedHomComm), "E1");
+  EXPECT_EQ(experimentName(ExperimentKind::kE4SmallComputations), "E4");
+  EXPECT_FALSE(experimentDescription(ExperimentKind::kE3LargeComputations).empty());
+}
+
+TEST(Generator, E1HasFixedCommsAndBalancedWork) {
+  Rng rng(1);
+  const auto pipe = randomPipeline(ExperimentKind::kE1BalancedHomComm, 20, rng);
+  ASSERT_EQ(pipe.stageCount(), 20u);
+  for (std::size_t k = 0; k <= 20; ++k) EXPECT_DOUBLE_EQ(pipe.comm(k), 10);
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_GE(pipe.work(k), 1);
+    EXPECT_LT(pipe.work(k), 20);
+  }
+}
+
+TEST(Generator, E2CommRange) {
+  Rng rng(2);
+  const auto pipe = randomPipeline(ExperimentKind::kE2BalancedHetComm, 50, rng);
+  for (std::size_t k = 0; k <= 50; ++k) {
+    EXPECT_GE(pipe.comm(k), 1);
+    EXPECT_LT(pipe.comm(k), 100);
+  }
+}
+
+TEST(Generator, E3IsComputeDominated) {
+  Rng rng(3);
+  const auto pipe = randomPipeline(ExperimentKind::kE3LargeComputations, 50, rng);
+  for (std::size_t k = 0; k < 50; ++k) {
+    EXPECT_GE(pipe.work(k), 10);
+    EXPECT_LT(pipe.work(k), 1000);
+  }
+  for (std::size_t k = 0; k <= 50; ++k) {
+    EXPECT_GE(pipe.comm(k), 1);
+    EXPECT_LT(pipe.comm(k), 20);
+  }
+}
+
+TEST(Generator, E4IsCommDominated) {
+  Rng rng(4);
+  const auto pipe = randomPipeline(ExperimentKind::kE4SmallComputations, 50, rng);
+  for (std::size_t k = 0; k < 50; ++k) {
+    EXPECT_GE(pipe.work(k), 0.01);
+    EXPECT_LT(pipe.work(k), 10);
+  }
+}
+
+TEST(Generator, PlatformFollowsPaperDistribution) {
+  Rng rng(5);
+  const auto plat = randomPlatform(100, rng);
+  EXPECT_EQ(plat.processorCount(), 100u);
+  EXPECT_TRUE(plat.isCommHomogeneous());
+  EXPECT_DOUBLE_EQ(plat.bandwidth(), 10);
+  for (std::size_t u = 0; u < 100; ++u) {
+    const Real s = plat.speed(u);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 20);
+    EXPECT_DOUBLE_EQ(s, std::floor(s));  // integer speeds, as in the paper
+  }
+}
+
+TEST(Generator, SameSeedReproducesInstances) {
+  Rng a(77), b(77);
+  const auto ia = randomInstance(ExperimentKind::kE2BalancedHetComm, 10, 5, a);
+  const auto ib = randomInstance(ExperimentKind::kE2BalancedHetComm, 10, 5, b);
+  EXPECT_EQ(ia.pipeline, ib.pipeline);
+  EXPECT_EQ(ia.platform.speeds(), ib.platform.speeds());
+}
+
+TEST(Generator, HeterogeneousPlatformIsValid) {
+  Rng rng(6);
+  const auto plat = randomHeterogeneousPlatform(5, rng, 2, 8);
+  EXPECT_FALSE(plat.isCommHomogeneous());
+  for (std::size_t u = 0; u < 5; ++u) {
+    for (std::size_t v = 0; v < 5; ++v) {
+      if (u == v) continue;
+      EXPECT_GE(plat.bandwidth(u, v), 2);
+      EXPECT_LT(plat.bandwidth(u, v), 8);
+    }
+    EXPECT_GE(plat.inputBandwidth(u), 2);
+    EXPECT_GE(plat.outputBandwidth(u), 2);
+  }
+}
+
+TEST(Generator, RejectsDegenerateSizes) {
+  Rng rng(9);
+  EXPECT_THROW((void)randomPipeline(ExperimentKind::kE1BalancedHomComm, 0, rng), ModelError);
+  EXPECT_THROW((void)randomPlatform(0, rng), ModelError);
+}
+
+TEST(Scenarios, AllScenariosAreWellFormed) {
+  for (const Scenario& s : allScenarios()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_EQ(s.stageNames.size(), s.pipeline.stageCount());
+    EXPECT_GE(s.pipeline.stageCount(), 6u);
+  }
+}
+
+TEST(Scenarios, ClustersMatchPaperScale) {
+  EXPECT_EQ(labCluster().processorCount(), 10u);
+  EXPECT_EQ(largeCluster().processorCount(), 100u);
+  EXPECT_DOUBLE_EQ(labCluster().bandwidth(), 10);
+  EXPECT_DOUBLE_EQ(largeCluster().bandwidth(), 10);
+}
+
+}  // namespace
+}  // namespace pipesched::workload

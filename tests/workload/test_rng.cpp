@@ -1,0 +1,96 @@
+// Determinism and distribution-range tests for the experiment RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipesched/workload/rng.hpp"
+
+namespace pipesched::workload {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.nextU64() == b.nextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Real x = rng.nextReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Real x = rng.uniform(3.5, 9.25);
+    EXPECT_GE(x, 3.5);
+    EXPECT_LT(x, 9.25);
+  }
+  EXPECT_THROW((void)rng.uniform(2, 2), ModelError);
+  EXPECT_THROW((void)rng.uniform(3, 1), ModelError);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniformInt(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces of the die show up
+  EXPECT_THROW((void)rng.uniformInt(5, 4), ModelError);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng base(42);
+  Rng f1 = base.fork(1);
+  Rng f1again = Rng(42).fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_EQ(f1.nextU64(), f1again.nextU64());
+  // Different streams diverge.
+  Rng g1 = base.fork(1);
+  Rng g2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g1.nextU64() == g2.nextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  (void)f2;
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(42);
+  const std::uint64_t before = Rng(42).nextU64();
+  (void)a.fork(5);
+  EXPECT_EQ(a.nextU64(), before);
+}
+
+TEST(Rng, RoughUniformityOfMean) {
+  Rng rng(99);
+  Real sum = 0;
+  const int k = 20000;
+  for (int i = 0; i < k; ++i) sum += rng.nextReal();
+  EXPECT_NEAR(sum / k, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace pipesched::workload

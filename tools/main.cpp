@@ -1,0 +1,9 @@
+// Thin entry point: all behaviour lives in pipesched_cli so it can be tested
+// with in-memory streams.
+#include <iostream>
+
+#include "pipesched/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return pipesched::cli::runCli(argc, argv, std::cout, std::cerr);
+}
