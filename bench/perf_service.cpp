@@ -1,0 +1,188 @@
+// Service throughput bench: solves a generated multi-regime batch through
+// SchedulingService at several pool sizes, then measures the cache-hit
+// speedup of a warm re-run. Emits both a human summary and the
+// machine-readable BENCH_service.json tracking the perf trajectory:
+//
+//   {"benchmark":"perf_service","requests":200,
+//    "throughput":[{"threads":1,"requests_per_second":...},...],
+//    "speedup_max_threads_vs_1":...,
+//    "cache":{"hit_ratio":...,"warm_requests_per_second":...,"warm_speedup":...}}
+//
+// Usage: perf_service [--requests N] [--threads LIST] [--stages N]
+//                     [--processors P] [--points N] [--seed S] [--output FILE]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipesched/io/json.hpp"
+#include "pipesched/service/service.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+
+std::vector<service::Request> makeBatch(std::size_t requests, std::size_t stages,
+                                        std::size_t processors, std::size_t points,
+                                        std::uint64_t seed) {
+  const workload::ExperimentKind kinds[] = {
+      workload::ExperimentKind::kE1BalancedHomComm,
+      workload::ExperimentKind::kE2BalancedHetComm,
+      workload::ExperimentKind::kE3LargeComputations,
+      workload::ExperimentKind::kE4SmallComputations,
+  };
+  workload::Rng rng(seed);
+  std::vector<service::Request> batch;
+  batch.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const workload::ExperimentKind kind = kinds[i % 4];
+    workload::InstancePair pair = workload::randomInstance(kind, stages, processors, rng);
+    std::ostringstream name;
+    name << workload::experimentName(kind) << '-' << i;
+    batch.push_back(service::Request{std::move(pair.pipeline), std::move(pair.platform),
+                                     core::CommModel::kSequential,
+                                     service::SweepSpec{points, 3}, name.str()});
+  }
+  return batch;
+}
+
+struct ThroughputSample {
+  std::size_t threads = 0;
+  double requestsPerSecond = 0;
+  double wallSeconds = 0;
+};
+
+ThroughputSample coldRun(const std::vector<service::Request>& batch, std::size_t threads) {
+  service::ServiceConfig config;
+  config.threads = threads;
+  config.cacheCapacity = 0;  // cold: measure pure solver throughput
+  service::SchedulingService svc(config);
+  const service::BatchResult result = svc.solveBatch(batch);
+  if (result.stats.failed != 0) {
+    throw std::runtime_error("perf_service: " + std::to_string(result.stats.failed) +
+                             " request(s) failed");
+  }
+  return {threads, result.stats.requestsPerSecond, result.stats.wallSeconds};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 200;
+  std::size_t stages = 12;
+  std::size_t processors = 10;
+  std::size_t points = 12;
+  std::uint64_t seed = 20070628;
+  std::vector<std::size_t> threadCounts = {1, 2, 4};
+  std::string output = "BENCH_service.json";
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [--requests N] [--threads LIST] [--stages N] [--processors P]"
+                 " [--points N] [--seed S] [--output FILE]\n";
+    return 2;
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--requests") requests = std::stoul(next());
+      else if (arg == "--stages") stages = std::stoul(next());
+      else if (arg == "--processors") processors = std::stoul(next());
+      else if (arg == "--points") points = std::stoul(next());
+      else if (arg == "--seed") seed = std::stoull(next());
+      else if (arg == "--output") output = next();
+      else if (arg == "--threads") {
+        threadCounts.clear();
+        std::stringstream ss(next());
+        std::string token;
+        while (std::getline(ss, token, ',')) threadCounts.push_back(std::stoul(token));
+      } else {
+        return usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "perf_service: " << e.what() << "\n";
+    return usage();
+  }
+  if (requests == 0 || threadCounts.empty()) {
+    std::cerr << "perf_service: --requests and --threads must be non-empty\n";
+    return usage();
+  }
+
+  const std::vector<service::Request> batch =
+      makeBatch(requests, stages, processors, points, seed);
+  std::cout << "perf_service: " << requests << " requests (" << stages << " stages, "
+            << processors << " processors, " << points << " sweep points)\n";
+
+  std::vector<ThroughputSample> samples;
+  for (const std::size_t threads : threadCounts) {
+    const ThroughputSample s = coldRun(batch, threads);
+    samples.push_back(s);
+    std::cout << "  threads=" << s.threads << ": " << s.requestsPerSecond << " req/s ("
+              << s.wallSeconds << " s)\n";
+  }
+  const double speedup =
+      samples.size() > 1 && samples.front().requestsPerSecond > 0
+          ? samples.back().requestsPerSecond / samples.front().requestsPerSecond
+          : 1.0;
+  std::cout << "  speedup " << samples.back().threads << "t vs " << samples.front().threads
+            << "t: " << speedup << "x\n";
+
+  // Cache-hit speedup: same service, same batch twice; the second pass is
+  // pure cache traffic.
+  service::ServiceConfig warmConfig;
+  warmConfig.threads = samples.back().threads;
+  warmConfig.cacheCapacity = requests * 2;
+  service::SchedulingService warmSvc(warmConfig);
+  const service::BatchResult coldPass = warmSvc.solveBatch(batch);
+  const service::BatchResult warmPass = warmSvc.solveBatch(batch);
+  const service::CacheStats cacheStats = warmSvc.cacheStats();
+  const double warmSpeedup = coldPass.stats.wallSeconds > 0 && warmPass.stats.wallSeconds > 0
+                                 ? coldPass.stats.wallSeconds / warmPass.stats.wallSeconds
+                                 : 1.0;
+  const double hitRatio =
+      warmPass.stats.requests > 0
+          ? static_cast<double>(warmPass.stats.cacheHits + warmPass.stats.deduped) /
+                static_cast<double>(warmPass.stats.requests)
+          : 0.0;
+  std::cout << "  warm pass: " << warmPass.stats.requestsPerSecond << " req/s, hit ratio "
+            << hitRatio << ", speedup vs cold " << warmSpeedup << "x\n";
+
+  std::ofstream os(output);
+  if (!os) {
+    std::cerr << "cannot write " << output << "\n";
+    return 1;
+  }
+  io::JsonWriter w(os, /*pretty=*/true);
+  w.beginObject();
+  w.kv("benchmark", "perf_service");
+  w.kv("requests", requests);
+  w.kv("stages", stages);
+  w.kv("processors", processors);
+  w.kv("sweep_points", points);
+  w.key("throughput").beginArray();
+  for (const ThroughputSample& s : samples) {
+    w.beginObject();
+    w.kv("threads", s.threads);
+    w.kv("requests_per_second", s.requestsPerSecond);
+    w.kv("wall_seconds", s.wallSeconds);
+    w.endObject();
+  }
+  w.endArray();
+  w.kv("speedup_max_threads_vs_1", speedup);
+  w.key("cache").beginObject();
+  w.kv("hit_ratio", hitRatio);
+  w.kv("warm_requests_per_second", warmPass.stats.requestsPerSecond);
+  w.kv("warm_speedup", warmSpeedup);
+  w.kv("entries", cacheStats.entries);
+  w.endObject();
+  w.endObject();
+  os << "\n";
+  std::cout << "wrote " << output << "\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 // The `pipesched` command-line tool, exposed as a library so the whole
 // surface is unit-testable with in-memory streams.
 //
+//   pipesched batch    --scenarios --kind E2 --count 50 --threads 4 [--json]
 //   pipesched generate --kind E2 --stages 10 --processors 5 -o app.psi
 //   pipesched solve    --instance app.psi --threshold 12 [--heuristic H1]
 //   pipesched eval     --instance app.psi --mapping map.psm

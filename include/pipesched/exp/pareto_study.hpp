@@ -24,6 +24,15 @@ struct ParetoStudyConfig {
   Real range = 3;
 };
 
+/// Threshold i of a `points`-point grid over [lo, lo*range-ish hi]. Shared by
+/// the study sweep and the service portfolio so their fronts stay comparable
+/// point for point (a single grid formula, not two hand-synced copies).
+[[nodiscard]] inline Real sweepThreshold(Real lo, Real hi, std::size_t points, std::size_t i) {
+  return points == 1
+             ? lo
+             : lo + (hi - lo) * static_cast<Real>(i) / static_cast<Real>(points - 1);
+}
+
 struct HeuristicFront {
   std::string heuristic;  ///< short name, e.g. "H1-SpMonoP"
   std::vector<core::ParetoPoint> front;

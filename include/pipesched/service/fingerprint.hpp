@@ -1,0 +1,42 @@
+// Instance canonicalization + fingerprinting (service dedupe/cache keys).
+//
+// Two keys are derived from a Request:
+//
+//   * canonicalKey() — an exact, human-auditable text rendering of every
+//     model-relevant field (hexfloat precision, so distinct doubles never
+//     collide). Used as the collision-free cache/dedupe key.
+//   * fingerprint() — a 128-bit hash of the same canonical content, used to
+//     pick cache shards and as a compact identity in logs and reports.
+//
+// The display name is deliberately excluded from both (see request.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pipesched/service/request.hpp"
+
+namespace pipesched::service {
+
+/// Compact 128-bit request identity (two independently-seeded FNV streams).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const noexcept = default;
+
+  /// 32 lowercase hex digits.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Exact canonical text form of the request's model content.
+[[nodiscard]] std::string canonicalKey(const Request& request);
+
+/// Hash of canonicalKey()'s content (streamed, not via the string).
+[[nodiscard]] Fingerprint fingerprint(const Request& request);
+
+/// Exact hexfloat rendering used by the canonical form (and by
+/// describeOutcome, which must stay bit-faithful to it).
+[[nodiscard]] std::string renderRealHex(Real value);
+
+}  // namespace pipesched::service

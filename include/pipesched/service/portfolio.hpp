@@ -1,0 +1,65 @@
+// Portfolio solver: race every registry heuristic (H1..H6) — plus the exact
+// enumerator when the instance is small — over the request's threshold grid,
+// then Pareto-merge their fronts (core::paretoFront).
+//
+// Determinism contract: the merged front is a pure function of the instance
+// and the configuration, independent of thread interleaving. Each member
+// writes into its own pre-assigned slot and the merge concatenates slots in
+// fixed member order, so racing the members on a pool cannot reorder the
+// result. The work budget is likewise per-member (each sweep truncates at
+// the same grid point no matter who runs first); only the optional wall-clock
+// budget (off by default) trades determinism for latency bounds.
+//
+// Thread-safety audit (relied on by the pool mode): the six heuristics are
+// stateless free functions behind MappingHeuristic, the registry factories
+// build a fresh object per call, and Evaluator/Pipeline/Platform are
+// immutable after construction — no shared mutable state anywhere on the
+// solver path (verified over src/heuristics/ and src/exact/).
+#pragma once
+
+#include <cstdint>
+
+#include "pipesched/service/request.hpp"
+#include "pipesched/service/thread_pool.hpp"
+
+namespace pipesched::service {
+
+/// Work/time bounds on one portfolio run.
+struct PortfolioBudget {
+  /// Deterministic work bound: each heuristic evaluates at most this many
+  /// grid points (the grid itself has SweepSpec::points entries).
+  std::uint64_t maxRunsPerSolver = UINT64_MAX;
+
+  /// Exact-enumerator work bound (complete mappings visited) before it gives
+  /// up and leaves the front to the heuristics.
+  std::uint64_t exactMappingLimit = 2'000'000;
+
+  /// Wall-clock bound in milliseconds; 0 = unlimited. Checked between grid
+  /// points. NOT deterministic — leave at 0 where reproducibility matters.
+  double timeBudgetMs = 0;
+};
+
+struct PortfolioConfig {
+  /// Enter the exact enumerator in the race when
+  /// stages * processors <= exactCellLimit and processors <= exactProcessorLimit.
+  bool useExact = true;
+  std::size_t exactCellLimit = 48;
+  std::size_t exactProcessorLimit = 6;
+
+  PortfolioBudget budget;
+};
+
+/// Runs the portfolio on one instance. With `pool`, members race on its
+/// workers (the call still blocks until all complete — do not invoke with a
+/// pool from inside one of that pool's own tasks); without, they run serially
+/// in member order. Both paths return identical results (see determinism
+/// contract above). Throws ModelError on an invalid sweep spec.
+[[nodiscard]] PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
+                                           const PortfolioConfig& config = {},
+                                           ThreadPool* pool = nullptr);
+
+/// True when `config` admits the exact enumerator on this instance size.
+[[nodiscard]] bool exactEligible(std::size_t stages, std::size_t processors,
+                                 const PortfolioConfig& config);
+
+}  // namespace pipesched::service

@@ -1,0 +1,72 @@
+// Request/response types of the portfolio scheduling service.
+//
+// A Request is a self-contained scheduling problem: the application, the
+// platform, the communication model, and the threshold family the portfolio
+// sweeps (grid resolution + range multiplier, as in exp::ParetoStudyConfig).
+// Everything that influences the computed front is part of the request — and
+// therefore part of its fingerprint — while presentation-only fields (the
+// display name) are explicitly excluded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/core/pareto.hpp"
+#include "pipesched/core/pipeline.hpp"
+#include "pipesched/core/platform.hpp"
+
+namespace pipesched::service {
+
+/// Threshold grid each portfolio member sweeps: `points` thresholds from the
+/// solver's failure threshold (resp. latency optimum) up to that value times
+/// `range`. Mirrors exp::ParetoStudyConfig so service fronts are comparable
+/// with the per-instance study tool.
+struct SweepSpec {
+  std::size_t points = 24;
+  Real range = 3;
+
+  [[nodiscard]] bool operator==(const SweepSpec&) const noexcept = default;
+};
+
+/// One scheduling problem submitted to the service.
+struct Request {
+  core::Pipeline pipeline;
+  core::Platform platform;
+  core::CommModel model = core::CommModel::kSequential;
+  SweepSpec sweep;
+
+  /// Display-only label (batch reports, logs). NOT part of the fingerprint:
+  /// two requests differing only by name dedupe to one solve.
+  std::string name;
+};
+
+/// What one portfolio member contributed to a solved request.
+struct SolverContribution {
+  std::string solver;        ///< "H1-SpMonoP".."H6-SpBiL" or "exact"
+  std::size_t points = 0;    ///< feasible points produced before merging
+  bool completed = false;    ///< false when the budget cut the sweep short
+};
+
+/// The service's answer for one request: the merged non-dominated front over
+/// every portfolio member, sorted by increasing period (core::paretoFront
+/// invariant), with realizing mappings attached.
+struct PortfolioResult {
+  std::vector<core::ParetoPoint> front;
+  std::vector<SolverContribution> solvers;  ///< fixed H1..H6[,exact] order
+  bool exactUsed = false;        ///< the exact enumerator joined the race
+  bool budgetExhausted = false;  ///< some member was cut short by the budget
+};
+
+/// Batch outcome slot; `ok == false` carries the error text instead of a
+/// result so one malformed request cannot sink the rest of the batch.
+struct RequestOutcome {
+  bool ok = false;
+  PortfolioResult result;
+  std::string error;
+  bool fromCache = false;  ///< served from the result cache
+  bool deduped = false;    ///< shared another identical request's solve
+};
+
+}  // namespace pipesched::service

@@ -1,0 +1,87 @@
+// Sharded LRU cache of solved portfolio results.
+//
+// Keyed by the exact canonical request key (collision-free; the 128-bit
+// fingerprint only selects the shard), so a hit always returns a front
+// computed for a byte-identical request. Each shard holds its own mutex,
+// map and LRU list — concurrent lookups on different shards never contend.
+// Values are returned by copy: the cache stays internally consistent however
+// callers mutate their copies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipesched/service/fingerprint.hpp"
+#include "pipesched/service/request.hpp"
+
+namespace pipesched::service {
+
+/// Aggregate cache counters (summed over shards).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hitRatio() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent shards
+  /// (each shard holds ceil(capacity/shards)). capacity == 0 disables the
+  /// cache: get() always misses, put() is a no-op.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copy of the cached result for `key`, refreshing its LRU position.
+  [[nodiscard]] std::optional<PortfolioResult> get(const Fingerprint& fp, const std::string& key);
+
+  /// Inserts (or refreshes) `result` under `key`, evicting the shard's least
+  /// recently used entry when full.
+  void put(const Fingerprint& fp, const std::string& key, PortfolioResult result);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shardCount() const noexcept { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    PortfolioResult result;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shardFor(const Fingerprint& fp);
+
+  std::size_t capacity_ = 0;
+  std::size_t perShardCapacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pipesched::service

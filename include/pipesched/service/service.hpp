@@ -1,0 +1,86 @@
+// The portfolio scheduling service: the seam between the per-instance
+// solvers and a deployable, traffic-serving scheduler.
+//
+//   SchedulingService service(config);
+//   BatchResult out = service.solveBatch(requests);
+//
+// solve() answers one request — cache lookup, then a portfolio race across
+// the pool's workers. solveBatch() processes thousands of requests with
+// bounded parallelism (one pool task per *unique* request; within-request
+// solving stays serial inside its worker so a saturated pool cannot
+// deadlock), deduplicating identical requests via their fingerprint and
+// returning outcomes in input order — byte-identical to solving each request
+// serially, whatever the thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pipesched/service/fingerprint.hpp"
+#include "pipesched/service/portfolio.hpp"
+#include "pipesched/service/request.hpp"
+#include "pipesched/service/result_cache.hpp"
+#include "pipesched/service/thread_pool.hpp"
+
+namespace pipesched::service {
+
+struct ServiceConfig {
+  /// Pool size; 0 = run everything inline (the serial reference mode).
+  std::size_t threads = 0;
+
+  /// Result-cache entries (0 disables caching) and shard count.
+  std::size_t cacheCapacity = 1024;
+  std::size_t cacheShards = 8;
+
+  PortfolioConfig portfolio;
+};
+
+/// Aggregate accounting of one solveBatch() call. Every request slot lands
+/// in exactly one of the four buckets below, so
+/// solved + cacheHits + deduped + failed == requests.
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t solved = 0;      ///< portfolio ran and succeeded (unique misses)
+  std::size_t failed = 0;      ///< outcomes with ok == false (duplicates included)
+  std::size_t cacheHits = 0;   ///< served straight from the cache
+  std::size_t deduped = 0;     ///< shared an identical in-batch request's ok solve
+  double wallSeconds = 0;
+  double requestsPerSecond = 0;
+};
+
+struct BatchResult {
+  std::vector<RequestOutcome> outcomes;  ///< same order as the input requests
+  BatchStats stats;
+};
+
+class SchedulingService {
+ public:
+  explicit SchedulingService(ServiceConfig config = {});
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+  /// Solves one request: cache lookup, then a portfolio race on the pool.
+  /// Never throws on solver failure — the outcome carries the error text.
+  [[nodiscard]] RequestOutcome solve(const Request& request);
+
+  /// Batch entry point (see file comment for the parallelism/determinism
+  /// contract). Output ordering matches `requests`.
+  [[nodiscard]] BatchResult solveBatch(const std::vector<Request>& requests);
+
+  [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }
+  void clearCache() { cache_.clear(); }
+
+ private:
+  [[nodiscard]] RequestOutcome solveUncached(const Request& request, ThreadPool* pool) const;
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  ThreadPool pool_;
+};
+
+/// Canonical text rendering of an outcome (hexfloat metrics + mappings) —
+/// the form the byte-identity tests and the CLI's JSON diffing rely on.
+[[nodiscard]] std::string describeOutcome(const RequestOutcome& outcome);
+
+}  // namespace pipesched::service

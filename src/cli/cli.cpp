@@ -78,6 +78,12 @@ std::string usageText() {
 usage: pipesched <command> [options]
 
 commands:
+  batch      portfolio-solve many instances on a thread pool with a result cache
+             [FILE...] [--scenarios] [--kind E1..E4 [--count N] [--stages N]
+             [--processors P] [--seed S]] [--points N] [--range X] [--overlap]
+             [--threads N | --serial] [--cache-capacity N | --no-cache]
+             [--no-exact] [--budget RUNS] [--time-budget MS] [--json]
+             [--repeat N]   # submit the batch N times; later passes hit the cache
   generate   make a random instance file
              --kind E1..E4 --stages N --processors P [--seed S] [--name TEXT]
              [--hetero] [--bw-min X --bw-max Y] [--output FILE]
@@ -119,6 +125,8 @@ int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
     std::vector<std::string> flags;
   };
   static const std::map<std::string, Spec> commands = {
+      {"batch",
+       {detail::cmdBatch, {"scenarios", "serial", "no-cache", "no-exact", "overlap", "json"}}},
       {"generate", {detail::cmdGenerate, {"hetero"}}},
       {"solve", {detail::cmdSolve, {"refine", "baselines", "deal", "json"}}},
       {"eval", {detail::cmdEval, {"overlap", "json"}}},

@@ -34,6 +34,7 @@ void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& f
                    const std::function<void(std::ostream&)>& body);
 
 // Command entry points (one per subcommand).
+int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdGenerate(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdSolve(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdEval(const ArgList& args, std::ostream& out, std::ostream& err);

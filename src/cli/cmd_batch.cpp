@@ -1,0 +1,209 @@
+// `batch` — the portfolio scheduling service on the command line: solve many
+// instances (files, named scenarios, generated suites) through the shared
+// thread pool + result cache, with deterministic per-request fronts.
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "cli_internal.hpp"
+#include "pipesched/exp/report.hpp"
+#include "pipesched/io/json.hpp"
+#include "pipesched/service/service.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+namespace pipesched::cli::detail {
+
+namespace {
+
+std::vector<service::Request> collectRequests(const ArgList& args) {
+  std::vector<service::Request> requests;
+  const service::SweepSpec sweep{args.getSize("points", 24), args.getReal("range", 3)};
+  const core::CommModel model =
+      args.has("overlap") ? core::CommModel::kOverlapped : core::CommModel::kSequential;
+
+  for (const std::string& path : args.positionals()) {
+    const io::Instance instance = io::readInstanceFromFile(path);
+    service::Request request{instance.pipeline, instance.platform, model, sweep,
+                             instance.name.empty() ? path : instance.name};
+    requests.push_back(std::move(request));
+  }
+
+  if (args.has("scenarios")) {
+    const core::Platform platform = workload::labCluster();
+    for (workload::Scenario& scenario : workload::allScenarios()) {
+      requests.push_back(service::Request{std::move(scenario.pipeline), platform, model,
+                                          sweep, scenario.name});
+    }
+  }
+
+  if (const auto kindSpec = args.get("kind")) {
+    const workload::ExperimentKind kind = parseKind(*kindSpec);
+    const std::size_t count = args.getSize("count", 10);
+    const std::size_t stages = args.getSize("stages", 10);
+    const std::size_t processors = args.getSize("processors", 10);
+    workload::Rng rng(args.getU64("seed", 20070628));
+    for (std::size_t i = 0; i < count; ++i) {
+      workload::InstancePair pair = workload::randomInstance(kind, stages, processors, rng);
+      std::ostringstream name;
+      name << workload::experimentName(kind) << "-n" << stages << "p" << processors << "-"
+           << i;
+      requests.push_back(service::Request{std::move(pair.pipeline), std::move(pair.platform),
+                                          model, sweep, name.str()});
+    }
+  } else if (args.has("count")) {
+    throw UsageError("--count needs --kind E1..E4");
+  }
+
+  if (requests.empty()) {
+    throw UsageError(
+        "nothing to solve: give instance files, --scenarios, or --kind E1..E4 [--count N]");
+  }
+  return requests;
+}
+
+void printText(std::ostream& out, const std::vector<service::Request>& requests,
+               const std::vector<std::string>& fingerprints,
+               const service::BatchResult& batch, const service::CacheStats& cache) {
+  exp::TextTable table;
+  table.setHeader({"request", "fingerprint", "front", "min period", "min latency", "source"});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const service::RequestOutcome& outcome = batch.outcomes[i];
+    const std::string fp = fingerprints[i].substr(0, 12);
+    if (!outcome.ok) {
+      table.addRow({requests[i].name, fp, "error", "-", "-", outcome.error});
+      continue;
+    }
+    const auto& front = outcome.result.front;
+    const std::string source = outcome.fromCache ? "cache"
+                               : outcome.deduped ? "dedup"
+                                                 : (outcome.result.exactUsed ? "solved+exact"
+                                                                             : "solved");
+    table.addRow({requests[i].name, fp, std::to_string(front.size()),
+                  front.empty() ? "-" : exp::formatReal(front.front().period, 3),
+                  front.empty() ? "-" : exp::formatReal(front.back().latency, 3), source});
+  }
+  table.print(out);
+  const service::BatchStats& s = batch.stats;
+  out << "\n" << s.requests << " request(s): " << s.solved << " solved, " << s.cacheHits
+      << " cache hit(s), " << s.deduped << " deduped, " << s.failed << " failed in "
+      << exp::formatReal(s.wallSeconds, 3) << " s (" << exp::formatReal(s.requestsPerSecond, 1)
+      << " req/s)\n";
+  out << "cache: " << cache.entries << " entr" << (cache.entries == 1 ? "y" : "ies") << ", "
+      << cache.hits << " hit(s), " << cache.misses << " miss(es), " << cache.evictions
+      << " eviction(s)\n";
+}
+
+void printJson(std::ostream& out, const std::vector<service::Request>& requests,
+               const std::vector<std::string>& fingerprints,
+               const service::BatchResult& batch, const service::CacheStats& cache) {
+  io::JsonWriter w(out, /*pretty=*/true);
+  w.beginObject();
+  w.key("requests").beginArray();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const service::RequestOutcome& outcome = batch.outcomes[i];
+    w.beginObject();
+    w.kv("name", requests[i].name);
+    w.kv("fingerprint", fingerprints[i]);
+    w.kv("ok", outcome.ok);
+    if (!outcome.ok) {
+      w.kv("error", outcome.error);
+    } else {
+      w.kv("from_cache", outcome.fromCache);
+      w.kv("deduped", outcome.deduped);
+      w.kv("exact_used", outcome.result.exactUsed);
+      w.kv("budget_exhausted", outcome.result.budgetExhausted);
+      w.key("front").beginArray();
+      for (const core::ParetoPoint& p : outcome.result.front) {
+        w.beginObject();
+        w.kv("period", p.period);
+        w.kv("latency", p.latency);
+        if (p.mapping) w.kv("intervals", p.mapping->intervalCount());
+        w.endObject();
+      }
+      w.endArray();
+      w.key("solvers").beginArray();
+      for (const service::SolverContribution& c : outcome.result.solvers) {
+        w.beginObject();
+        w.kv("solver", c.solver);
+        w.kv("points", c.points);
+        w.kv("completed", c.completed);
+        w.endObject();
+      }
+      w.endArray();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.key("stats").beginObject();
+  w.kv("requests", batch.stats.requests);
+  w.kv("solved", batch.stats.solved);
+  w.kv("cache_hits", batch.stats.cacheHits);
+  w.kv("deduped", batch.stats.deduped);
+  w.kv("failed", batch.stats.failed);
+  w.kv("wall_seconds", batch.stats.wallSeconds);
+  w.kv("requests_per_second", batch.stats.requestsPerSecond);
+  w.endObject();
+  w.key("cache").beginObject();
+  w.kv("entries", cache.entries);
+  w.kv("hits", cache.hits);
+  w.kv("misses", cache.misses);
+  w.kv("evictions", cache.evictions);
+  w.kv("hit_ratio", cache.hitRatio());
+  w.endObject();
+  w.endObject();
+  out << "\n";
+}
+
+}  // namespace
+
+int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  std::vector<service::Request> requests = collectRequests(args);
+  const std::size_t repeat = std::max<std::size_t>(1, args.getSize("repeat", 1));
+
+  service::ServiceConfig config;
+  config.threads = args.getSize("threads", service::ThreadPool::defaultThreadCount());
+  if (args.has("serial")) config.threads = 0;
+  config.cacheCapacity = args.has("no-cache") ? 0 : args.getSize("cache-capacity", 1024);
+  config.portfolio.useExact = !args.has("no-exact");
+  config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
+  config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
+  const bool json = args.has("json");
+  args.assertConsumed();
+
+  // --repeat submits the same batch N times through one service: the first
+  // pass solves, later passes are served by the result cache. The table
+  // shows the final pass; the summary aggregates every pass.
+  service::SchedulingService svc(config);
+  service::BatchResult batch = svc.solveBatch(requests);
+  service::BatchStats total = batch.stats;
+  for (std::size_t r = 1; r < repeat; ++r) {
+    batch = svc.solveBatch(requests);
+    total.requests += batch.stats.requests;
+    total.solved += batch.stats.solved;
+    total.failed += batch.stats.failed;
+    total.cacheHits += batch.stats.cacheHits;
+    total.deduped += batch.stats.deduped;
+    total.wallSeconds += batch.stats.wallSeconds;
+  }
+  total.requestsPerSecond =
+      total.wallSeconds > 0 ? static_cast<double>(total.requests) / total.wallSeconds : 0;
+  const std::size_t failedFinalPass = batch.stats.failed;
+  batch.stats = total;
+  const service::CacheStats cache = svc.cacheStats();
+
+  // Hash each request once for display instead of once per printed field.
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(requests.size());
+  for (const service::Request& request : requests) {
+    fingerprints.push_back(service::fingerprint(request).hex());
+  }
+
+  if (json) {
+    printJson(out, requests, fingerprints, batch, cache);
+  } else {
+    printText(out, requests, fingerprints, batch, cache);
+  }
+  return failedFinalPass == 0 ? 0 : 1;
+}
+
+}  // namespace pipesched::cli::detail

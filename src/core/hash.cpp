@@ -1,0 +1,15 @@
+#include "pipesched/core/hash.hpp"
+
+namespace pipesched::core {
+
+std::string hashHex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace pipesched::core

@@ -29,10 +29,7 @@ ParetoStudy runParetoStudy(const core::Evaluator& eval, const ParetoStudyConfig&
     const Real hi = lo * config.range;
     std::vector<core::ParetoPoint> points;
     for (std::size_t i = 0; i < config.pointsPerHeuristic; ++i) {
-      const Real t = config.pointsPerHeuristic == 1
-                         ? lo
-                         : lo + (hi - lo) * static_cast<Real>(i) /
-                                   static_cast<Real>(config.pointsPerHeuristic - 1);
+      const Real t = sweepThreshold(lo, hi, config.pointsPerHeuristic, i);
       const heuristics::Result r = h->run(eval, t);
       if (!r.success) continue;
       core::ParetoPoint p;

@@ -1,0 +1,146 @@
+#include "pipesched/service/portfolio.hpp"
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "pipesched/exact/exhaustive.hpp"
+#include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/heuristics/registry.hpp"
+
+namespace pipesched::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Slot {
+  std::vector<core::ParetoPoint> points;
+  SolverContribution contribution;
+};
+
+struct Deadline {
+  bool active = false;
+  Clock::time_point at;
+
+  [[nodiscard]] bool expired() const { return active && Clock::now() >= at; }
+};
+
+void runHeuristicSweep(const core::Evaluator& eval, const heuristics::MappingHeuristic& h,
+                       const SweepSpec& sweep, const PortfolioBudget& budget,
+                       const Deadline& deadline, Slot& slot) {
+  slot.contribution.solver = h.name();
+  const Real lo = h.objective() == heuristics::Objective::kMinLatencyForPeriod
+                            ? h.failureThreshold(eval)
+                            : eval.optimalLatency();
+  const Real hi = lo * sweep.range;
+  slot.contribution.completed = true;
+  for (std::size_t i = 0; i < sweep.points; ++i) {
+    if (i >= budget.maxRunsPerSolver || deadline.expired()) {
+      slot.contribution.completed = false;
+      break;
+    }
+    const Real t = exp::sweepThreshold(lo, hi, sweep.points, i);
+    const heuristics::Result r = h.run(eval, t);
+    if (!r.success) continue;
+    core::ParetoPoint p;
+    p.period = r.metrics.period;
+    p.latency = r.metrics.latency;
+    p.mapping = r.mapping;
+    slot.points.push_back(std::move(p));
+  }
+  slot.contribution.points = slot.points.size();
+}
+
+void runExact(const core::Evaluator& eval, const PortfolioBudget& budget, Slot& slot) {
+  slot.contribution.solver = "exact";
+  exact::ExhaustiveOptions options;
+  options.mappingLimit = budget.exactMappingLimit;
+  try {
+    slot.points = exact::exhaustiveParetoFront(eval, options);
+    slot.contribution.completed = true;
+  } catch (const ModelError&) {
+    // Mapping limit hit: the exact member drops out, the heuristics carry
+    // the front.
+    slot.points.clear();
+    slot.contribution.completed = false;
+  }
+  slot.contribution.points = slot.points.size();
+}
+
+}  // namespace
+
+bool exactEligible(std::size_t stages, std::size_t processors, const PortfolioConfig& config) {
+  return config.useExact && processors <= config.exactProcessorLimit &&
+         stages * processors <= config.exactCellLimit;
+}
+
+PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
+                             const PortfolioConfig& config, ThreadPool* pool) {
+  if (sweep.points == 0) throw ModelError("runPortfolio: sweep.points must be >= 1");
+  if (sweep.range <= 1) throw ModelError("runPortfolio: sweep.range must be > 1");
+
+  Deadline deadline;
+  if (config.budget.timeBudgetMs > 0) {
+    deadline.active = true;
+    deadline.at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(
+                                         config.budget.timeBudgetMs));
+  }
+
+  const bool exact = exactEligible(eval.pipeline().stageCount(),
+                                   eval.platform().processorCount(), config);
+  const auto members = heuristics::makeAllHeuristics();
+  std::vector<Slot> slots(members.size() + (exact ? 1 : 0));
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const heuristics::MappingHeuristic* h = members[i].get();
+    Slot* slot = &slots[i];
+    tasks.push_back([&eval, h, &sweep, &config, &deadline, slot] {
+      runHeuristicSweep(eval, *h, sweep, config.budget, deadline, *slot);
+    });
+  }
+  if (exact) {
+    Slot* slot = &slots.back();
+    tasks.push_back([&eval, &config, slot] { runExact(eval, config.budget, *slot); });
+  }
+
+  if (pool != nullptr && pool->threadCount() > 0) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks.size());
+    for (auto& task : tasks) futures.push_back(pool->submit(std::move(task)));
+    // Join EVERY member before unwinding: the tasks hold pointers into this
+    // frame, so rethrowing while some are still queued would leave workers
+    // writing through dangling pointers.
+    std::exception_ptr firstError;
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+    if (firstError) std::rethrow_exception(firstError);
+  } else {
+    for (auto& task : tasks) task();
+  }
+
+  PortfolioResult result;
+  result.exactUsed = exact;
+  std::vector<core::ParetoPoint> all;
+  for (Slot& slot : slots) {
+    all.insert(all.end(), std::make_move_iterator(slot.points.begin()),
+               std::make_move_iterator(slot.points.end()));
+    result.budgetExhausted |= !slot.contribution.completed;
+    result.solvers.push_back(std::move(slot.contribution));
+  }
+  result.front = core::paretoFront(std::move(all));
+  return result;
+}
+
+}  // namespace pipesched::service

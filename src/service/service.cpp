@@ -1,0 +1,175 @@
+#include "pipesched/service/service.hpp"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace pipesched::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+SchedulingService::SchedulingService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cacheCapacity, config.cacheShards),
+      pool_(config.threads) {}
+
+RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPool* pool) const {
+  RequestOutcome outcome;
+  try {
+    const core::Evaluator eval(request.pipeline, request.platform, request.model);
+    outcome.result = runPortfolio(eval, request.sweep, config_.portfolio, pool);
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+RequestOutcome SchedulingService::solve(const Request& request) {
+  const Fingerprint fp = fingerprint(request);
+  const std::string key = canonicalKey(request);
+  if (auto cached = cache_.get(fp, key)) {
+    RequestOutcome outcome;
+    outcome.ok = true;
+    outcome.result = std::move(*cached);
+    outcome.fromCache = true;
+    return outcome;
+  }
+  RequestOutcome outcome = solveUncached(request, &pool_);
+  if (outcome.ok) cache_.put(fp, key, outcome.result);
+  return outcome;
+}
+
+BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) {
+  const Clock::time_point start = Clock::now();
+
+  BatchResult batch;
+  batch.outcomes.resize(requests.size());
+  batch.stats.requests = requests.size();
+
+  // Group identical requests: each canonical key is solved exactly once.
+  struct Group {
+    Fingerprint fp;
+    std::vector<std::size_t> indices;  // input slots sharing this key
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<const std::string*> keyOrder;  // deterministic iteration order
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string key = canonicalKey(requests[i]);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.fp = fingerprint(requests[i]);
+      keyOrder.push_back(&it->first);
+    }
+    it->second.indices.push_back(i);
+  }
+
+  // Resolve cache hits up front; solve the misses with one pool task per
+  // unique request (within-request solving stays serial in its worker — a
+  // task blocking on sub-tasks could deadlock a saturated pool).
+  struct Miss {
+    const std::string* key;  // stable pointer into `groups`
+    const Group* group;
+  };
+  std::vector<Miss> misses;
+  std::vector<RequestOutcome> missOutcomes;
+  for (const std::string* key : keyOrder) {
+    Group& group = groups.at(*key);
+    if (auto cached = cache_.get(group.fp, *key)) {
+      RequestOutcome outcome;
+      outcome.ok = true;
+      outcome.result = std::move(*cached);
+      outcome.fromCache = true;
+      batch.outcomes[group.indices.front()] = std::move(outcome);
+      batch.stats.cacheHits += 1;
+    } else {
+      misses.push_back(Miss{key, &group});
+    }
+  }
+  missOutcomes.resize(misses.size());
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(misses.size());
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const Request* request = &requests[misses[m].group->indices.front()];
+      RequestOutcome* out = &missOutcomes[m];
+      futures.push_back(pool_.submit([this, request, out] {
+        *out = solveUncached(*request, nullptr);
+      }));
+    }
+    // Join every task before any unwind: they write through pointers into
+    // missOutcomes/requests, which must outlive all of them.
+    std::exception_ptr firstError;
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+    if (firstError) std::rethrow_exception(firstError);
+  }
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    const Group& group = *misses[m].group;
+    RequestOutcome& out = missOutcomes[m];
+    if (out.ok) {
+      cache_.put(group.fp, *misses[m].key, out.result);
+      batch.stats.solved += 1;
+    }
+    batch.outcomes[group.indices.front()] = std::move(out);
+  }
+
+  // Fan each group's outcome out to its duplicate slots. Every slot lands in
+  // exactly one stats bucket: duplicates of a *failed* group count under
+  // `failed` below, not under `deduped`, so the buckets sum to `requests`.
+  for (const std::string* key : keyOrder) {
+    const Group& group = groups.at(*key);
+    const RequestOutcome& first = batch.outcomes[group.indices.front()];
+    for (std::size_t d = 1; d < group.indices.size(); ++d) {
+      RequestOutcome copy = first;
+      copy.deduped = true;
+      batch.outcomes[group.indices[d]] = std::move(copy);
+      if (first.ok) batch.stats.deduped += 1;
+    }
+  }
+
+  for (const RequestOutcome& outcome : batch.outcomes) {
+    if (!outcome.ok) batch.stats.failed += 1;
+  }
+  batch.stats.wallSeconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (batch.stats.wallSeconds > 0) {
+    batch.stats.requestsPerSecond =
+        static_cast<double>(batch.stats.requests) / batch.stats.wallSeconds;
+  }
+  return batch;
+}
+
+std::string describeOutcome(const RequestOutcome& outcome) {
+  std::ostringstream os;
+  if (!outcome.ok) {
+    os << "error: " << outcome.error << '\n';
+    return std::move(os).str();
+  }
+  const PortfolioResult& r = outcome.result;
+  os << "front:" << r.front.size() << " exact:" << (r.exactUsed ? 1 : 0)
+     << " exhausted:" << (r.budgetExhausted ? 1 : 0) << '\n';
+  for (const core::ParetoPoint& p : r.front) {
+    os << renderRealHex(p.period) << ' ' << renderRealHex(p.latency);
+    if (p.mapping) os << ' ' << p.mapping->describe();
+    os << '\n';
+  }
+  for (const SolverContribution& c : r.solvers) {
+    os << c.solver << ':' << c.points << (c.completed ? "" : "!") << '\n';
+  }
+  return std::move(os).str();
+}
+
+}  // namespace pipesched::service

@@ -1,0 +1,39 @@
+// Shared helpers for the CLI end-to-end tests: run a command with in-memory
+// streams, and mint per-process-unique temp paths (ctest runs each
+// discovered case in its own process, concurrently — a shared file name
+// would race between processes).
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipesched/cli/cli.hpp"
+
+namespace pipesched::cli::testutil {
+
+struct RunResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+inline RunResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  RunResult r;
+  r.code = runCli(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+inline std::string tempPath(const std::string& name) {
+  static const std::string prefix =
+      ::testing::TempDir() + "/pid" + std::to_string(::getpid()) + "_";
+  return prefix + name;
+}
+
+}  // namespace pipesched::cli::testutil

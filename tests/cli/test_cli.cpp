@@ -4,30 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
-#include <sstream>
 
-#include "pipesched/cli/cli.hpp"
+#include "cli_test_util.hpp"
 #include "pipesched/io/format.hpp"
 
 namespace pipesched::cli {
 namespace {
 
-struct RunResult {
-  int code = 0;
-  std::string out;
-  std::string err;
-};
-
-RunResult run(const std::vector<std::string>& args) {
-  std::ostringstream out, err;
-  RunResult r;
-  r.code = runCli(args, out, err);
-  r.out = out.str();
-  r.err = err.str();
-  return r;
-}
-
-std::string tempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+using testutil::RunResult;
+using testutil::run;
+using testutil::tempPath;
 
 /// Generates a small instance file once and returns its path.
 const std::string& instancePath() {

@@ -1,0 +1,141 @@
+// End-to-end tests of the `pipesched batch` command: sources, determinism
+// of the pooled vs serial paths, cache/dedupe reporting, JSON output, and
+// usage errors.
+#include <gtest/gtest.h>
+
+#include "cli_test_util.hpp"
+
+namespace pipesched::cli {
+namespace {
+
+using testutil::RunResult;
+using testutil::run;
+using testutil::tempPath;
+
+TEST(CliBatch, ScenariosSolveCleanly) {
+  const RunResult r = run({"batch", "--scenarios", "--points", "6"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("image-processing"), std::string::npos);
+  EXPECT_NE(r.out.find("genomics-variant-calling"), std::string::npos);
+  EXPECT_NE(r.out.find("streaming-etl"), std::string::npos);
+  EXPECT_NE(r.out.find("0 failed"), std::string::npos);
+}
+
+TEST(CliBatch, GeneratedSuiteSolvesCleanly) {
+  const RunResult r = run({"batch", "--kind", "E3", "--count", "4", "--stages", "6",
+                           "--processors", "4", "--points", "6", "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("E3-n6p4-0"), std::string::npos);
+  EXPECT_NE(r.out.find("E3-n6p4-3"), std::string::npos);
+  // 6x4 is inside the exact-eligibility window.
+  EXPECT_NE(r.out.find("solved+exact"), std::string::npos);
+}
+
+TEST(CliBatch, InstanceFilePositional) {
+  const std::string path = tempPath("batch_instance.psi");
+  ASSERT_EQ(run({"generate", "--kind", "E1", "--stages", "6", "--processors", "4", "--seed",
+                 "3", "--name", "from-file", "--output", path})
+                .code,
+            0);
+  const RunResult r = run({"batch", path, "--points", "6"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("from-file"), std::string::npos);
+}
+
+TEST(CliBatch, PooledAndSerialOutputsAreIdentical) {
+  const std::vector<std::string> common = {"batch",  "--scenarios", "--kind",
+                                           "E2",     "--count",     "3",
+                                           "--stages", "8",         "--processors",
+                                           "5",      "--points",    "8"};
+  std::vector<std::string> serial = common;
+  serial.push_back("--serial");
+  std::vector<std::string> pooled = common;
+  pooled.push_back("--threads");
+  pooled.push_back("4");
+  const RunResult a = run(serial);
+  const RunResult b = run(pooled);
+  EXPECT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(b.code, 0) << b.err;
+  // Everything above the timing summary must match byte for byte.
+  const std::string tableA = a.out.substr(0, a.out.find("\n\n"));
+  const std::string tableB = b.out.substr(0, b.out.find("\n\n"));
+  EXPECT_EQ(tableA, tableB);
+}
+
+TEST(CliBatch, RepeatPassesHitTheCache) {
+  const RunResult r = run({"batch", "--scenarios", "--points", "4", "--repeat", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Pass 1 solves the 3 scenarios; passes 2 and 3 are pure cache traffic,
+  // and the table (final pass) reports the cache as the source.
+  EXPECT_NE(r.out.find("3 solved"), std::string::npos);
+  EXPECT_NE(r.out.find("6 cache hit(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("9 request(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("cache "), std::string::npos);
+}
+
+TEST(CliBatch, DuplicateFilesDedupeWithinTheBatch) {
+  const std::string path = tempPath("batch_dup.psi");
+  ASSERT_EQ(run({"generate", "--kind", "E2", "--stages", "6", "--processors", "4", "--seed",
+                 "11", "--output", path})
+                .code,
+            0);
+  const RunResult r = run({"batch", path, path, "--points", "4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 solved"), std::string::npos);
+  EXPECT_NE(r.out.find("1 deduped"), std::string::npos);
+  EXPECT_NE(r.out.find("dedup"), std::string::npos);
+}
+
+TEST(CliBatch, JsonOutputIsWellFormedEnough) {
+  const RunResult r = run({"batch", "--scenarios", "--points", "4", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"requests\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"front\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"stats\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"cache\""), std::string::npos);
+}
+
+TEST(CliBatch, BudgetOptionFlowsThrough) {
+  const RunResult r = run({"batch", "--kind", "E1", "--count", "2", "--points", "8",
+                           "--budget", "1", "--no-exact", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"budget_exhausted\": true"), std::string::npos);
+}
+
+TEST(CliBatch, OverlapModelChangesTheRequestIdentity) {
+  const std::vector<std::string> base = {"batch", "--scenarios", "--points", "4", "--json"};
+  std::vector<std::string> overlapped = base;
+  overlapped.push_back("--overlap");
+  const RunResult seq = run(base);
+  const RunResult ovl = run(overlapped);
+  EXPECT_EQ(seq.code, 0) << seq.err;
+  EXPECT_EQ(ovl.code, 0) << ovl.err;
+  // Same instances, different comm model: the fingerprints must differ.
+  const auto fingerprintOf = [](const std::string& out) {
+    const std::size_t at = out.find("\"fingerprint\": \"");
+    return out.substr(at, 16 + 32);
+  };
+  EXPECT_NE(fingerprintOf(seq.out), fingerprintOf(ovl.out));
+}
+
+TEST(CliBatch, NoSourcesIsAUsageError) {
+  const RunResult r = run({"batch"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("nothing to solve"), std::string::npos);
+}
+
+TEST(CliBatch, CountWithoutKindIsAUsageError) {
+  const RunResult r = run({"batch", "--count", "4"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--count needs --kind"), std::string::npos);
+}
+
+TEST(CliBatch, MissingFileIsARuntimeError) {
+  const RunResult r = run({"batch", tempPath("does_not_exist.psi")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+}  // namespace
+}  // namespace pipesched::cli

@@ -1,0 +1,120 @@
+// Canonicalization + fingerprinting: identical requests collide, any
+// model-relevant difference separates, presentation fields don't matter.
+#include <gtest/gtest.h>
+
+#include "pipesched/core/hash.hpp"
+#include "pipesched/service/fingerprint.hpp"
+#include "pipesched/workload/scenarios.hpp"
+
+namespace pipesched::service {
+namespace {
+
+Request baseRequest() {
+  workload::Scenario scenario = workload::imageProcessingScenario();
+  return Request{std::move(scenario.pipeline), workload::labCluster(),
+                 core::CommModel::kSequential, SweepSpec{}, "base"};
+}
+
+TEST(Fingerprint, IdenticalRequestsShareKeyAndHash) {
+  const Request a = baseRequest();
+  const Request b = baseRequest();
+  EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, NameIsExcluded) {
+  const Request a = baseRequest();
+  Request b = baseRequest();
+  b.name = "a completely different label";
+  EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, PipelineChangesSeparate) {
+  const Request a = baseRequest();
+  Request b = baseRequest();
+  std::vector<Real> work = b.pipeline.works();
+  std::vector<Real> comm = b.pipeline.comms();
+  work[0] += 1;
+  b.pipeline = core::Pipeline(work, comm);
+  EXPECT_NE(canonicalKey(a), canonicalKey(b));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, PlatformChangesSeparate) {
+  const Request a = baseRequest();
+  Request b = baseRequest();
+  std::vector<Real> speeds = b.platform.speeds();
+  speeds[0] += 1;
+  b.platform = core::Platform(speeds, b.platform.bandwidth());
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, CommModelSeparates) {
+  const Request a = baseRequest();
+  Request b = baseRequest();
+  b.model = core::CommModel::kOverlapped;
+  EXPECT_NE(canonicalKey(a), canonicalKey(b));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, SweepSpecSeparates) {
+  const Request a = baseRequest();
+  Request points = baseRequest();
+  points.sweep.points += 1;
+  Request range = baseRequest();
+  range.sweep.range += 0.5;
+  EXPECT_NE(fingerprint(a), fingerprint(points));
+  EXPECT_NE(fingerprint(a), fingerprint(range));
+  EXPECT_NE(fingerprint(points), fingerprint(range));
+}
+
+TEST(Fingerprint, HeterogeneousPlatformIsCovered) {
+  Request a = baseRequest();
+  const std::size_t p = 3;
+  std::vector<Real> speeds = {4, 8, 12};
+  std::vector<Real> links(p * p, 10);
+  std::vector<Real> inBw(p, 5);
+  std::vector<Real> outBw(p, 5);
+  a.platform = core::Platform::fullyHeterogeneous(speeds, links, inBw, outBw);
+  Request b = a;
+  links[1] = 20;  // P0 -> P1 link only
+  b.platform = core::Platform::fullyHeterogeneous(speeds, links, inBw, outBw);
+  EXPECT_NE(canonicalKey(a), canonicalKey(b));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, HexIs32LowercaseDigits) {
+  const std::string hex = fingerprint(baseRequest()).hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Hash, RealCanonicalization) {
+  core::Hasher plusZero;
+  plusZero.real(Real(0));
+  core::Hasher minusZero;
+  minusZero.real(Real(-0.0));
+  EXPECT_EQ(plusZero.digest(), minusZero.digest());
+
+  core::Hasher a;
+  a.real(1.5);
+  core::Hasher b;
+  b.real(1.5000000001);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, LengthPrefixPreventsSequenceAliasing) {
+  core::Hasher a;
+  a.reals({1, 2});
+  a.reals({3});
+  core::Hasher b;
+  b.reals({1});
+  b.reals({2, 3});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace pipesched::service

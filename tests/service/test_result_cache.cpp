@@ -1,0 +1,121 @@
+// Sharded LRU cache: hit/miss semantics, eviction order, stats, and safety
+// under concurrent access.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipesched/service/result_cache.hpp"
+
+namespace pipesched::service {
+namespace {
+
+Fingerprint fp(std::uint64_t n) { return Fingerprint{n, ~n}; }
+
+PortfolioResult resultWithFrontSize(std::size_t points) {
+  PortfolioResult r;
+  for (std::size_t i = 0; i < points; ++i) {
+    // Strictly improving latency for increasing period: a valid front.
+    r.front.push_back(core::ParetoPoint{Real(i + 1), Real(points - i), std::nullopt});
+  }
+  return r;
+}
+
+TEST(ResultCache, MissThenHitRoundTrip) {
+  ResultCache cache(8, 2);
+  EXPECT_FALSE(cache.get(fp(1), "k1").has_value());
+  cache.put(fp(1), "k1", resultWithFrontSize(3));
+  const auto hit = cache.get(fp(1), "k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front.size(), 3u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, LruEvictsOldestWithinShard) {
+  // Single shard so the LRU order is global and observable.
+  ResultCache cache(2, 1);
+  cache.put(fp(1), "a", resultWithFrontSize(1));
+  cache.put(fp(2), "b", resultWithFrontSize(2));
+  ASSERT_TRUE(cache.get(fp(1), "a").has_value());  // refresh "a"; "b" is now LRU
+  cache.put(fp(3), "c", resultWithFrontSize(3));   // evicts "b"
+  EXPECT_TRUE(cache.get(fp(1), "a").has_value());
+  EXPECT_FALSE(cache.get(fp(2), "b").has_value());
+  EXPECT_TRUE(cache.get(fp(3), "c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache(4, 1);
+  cache.put(fp(1), "k", resultWithFrontSize(1));
+  cache.put(fp(1), "k", resultWithFrontSize(5));
+  const auto hit = cache.get(fp(1), "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front.size(), 5u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.put(fp(1), "k", resultWithFrontSize(1));
+  EXPECT_FALSE(cache.get(fp(1), "k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache(8);
+  cache.put(fp(1), "k", resultWithFrontSize(1));
+  ASSERT_TRUE(cache.get(fp(1), "k").has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.get(fp(1), "k").has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCache, ShardingSpreadsByFingerprint) {
+  ResultCache cache(64, 8);
+  EXPECT_EQ(cache.shardCount(), 8u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.put(fp(i), "k" + std::to_string(i), resultWithFrontSize(1));
+  }
+  // Per-shard capacity is 8; with fp.hi == i the keys round-robin the shards,
+  // so nothing is evicted.
+  EXPECT_EQ(cache.stats().entries, 64u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCache, ConcurrentMixedTrafficStaysConsistent) {
+  ResultCache cache(32, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>((t * 7 + i) % 48);
+        const std::string key = "k" + std::to_string(id);
+        if (const auto hit = cache.get(fp(id), key)) {
+          // A hit must carry the front stored for this id.
+          ASSERT_EQ(hit->front.size(), static_cast<std::size_t>(id % 5 + 1));
+        } else {
+          cache.put(fp(id), key, resultWithFrontSize(id % 5 + 1));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_LE(stats.entries, 32u);
+}
+
+}  // namespace
+}  // namespace pipesched::service
