@@ -1,0 +1,276 @@
+// Streaming-engine bench: sustained throughput and submit-to-completion
+// latency through AsyncScheduler across a (queue capacity x workers) grid,
+// plus the warm cache pass. Emits a human summary and the machine-readable
+// BENCH_stream.json:
+//
+//   {"benchmark":"perf_stream","requests":96,
+//    "runs":[{"queue_capacity":2,"workers":1,"requests_per_second":...,
+//             "latency_ms":{"p50":...,"p99":...,"max":...},
+//             "backpressure_waits":...,"queue_high_water":...},...],
+//    "cache":{"warm_requests_per_second":...,"warm_speedup":...}}
+//
+// On a 1-core container the worker axis is flat by construction — the
+// meaningful signals are the latency-vs-capacity tradeoff (small queues bound
+// p99 submit latency via earlier backpressure) and the warm-cache speedup.
+//
+// Usage: perf_stream [--requests N] [--stages N] [--processors P] [--points N]
+//                    [--seed S] [--workers LIST] [--capacities LIST]
+//                    [--output FILE]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipesched/io/json.hpp"
+#include "pipesched/stream/async_scheduler.hpp"
+#include "pipesched/workload/generator.hpp"
+
+namespace {
+
+using namespace pipesched;
+using Clock = std::chrono::steady_clock;
+
+std::vector<service::Request> makeRequests(std::size_t count, std::size_t stages,
+                                           std::size_t processors, std::size_t points,
+                                           std::uint64_t seed) {
+  const workload::ExperimentKind kinds[] = {
+      workload::ExperimentKind::kE1BalancedHomComm,
+      workload::ExperimentKind::kE2BalancedHetComm,
+      workload::ExperimentKind::kE3LargeComputations,
+      workload::ExperimentKind::kE4SmallComputations,
+  };
+  workload::Rng rng(seed);
+  std::vector<service::Request> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const workload::ExperimentKind kind = kinds[i % 4];
+    workload::InstancePair pair = workload::randomInstance(kind, stages, processors, rng);
+    std::ostringstream name;
+    name << workload::experimentName(kind) << '-' << i;
+    requests.push_back(service::Request{std::move(pair.pipeline), std::move(pair.platform),
+                                        core::CommModel::kSequential,
+                                        service::SweepSpec{points, 3}, name.str()});
+  }
+  return requests;
+}
+
+struct LatencySummary {
+  double p50Ms = 0;
+  double p99Ms = 0;
+  double maxMs = 0;
+};
+
+LatencySummary summarize(std::vector<double> latenciesMs) {
+  LatencySummary s;
+  if (latenciesMs.empty()) return s;
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  const auto at = [&](double q) {
+    const std::size_t idx = std::min(
+        latenciesMs.size() - 1, static_cast<std::size_t>(q * static_cast<double>(latenciesMs.size())));
+    return latenciesMs[idx];
+  };
+  s.p50Ms = at(0.50);
+  s.p99Ms = at(0.99);
+  s.maxMs = latenciesMs.back();
+  return s;
+}
+
+struct RunSample {
+  std::size_t queueCapacity = 0;
+  std::size_t workers = 0;
+  double requestsPerSecond = 0;
+  double wallSeconds = 0;
+  LatencySummary latency;
+  std::uint64_t backpressureWaits = 0;
+  std::size_t queueHighWater = 0;
+  std::uint64_t coalesced = 0;
+};
+
+RunSample coldRun(const std::vector<service::Request>& requests, std::size_t capacity,
+                  std::size_t workers) {
+  stream::StreamConfig config;
+  config.service.cacheCapacity = 0;  // cold: pure solver traffic
+  config.workers = workers;
+  config.queueCapacity = capacity;
+  stream::AsyncScheduler scheduler(config);
+
+  std::vector<double> latenciesMs(requests.size(), 0);
+  std::vector<Clock::time_point> submitted(requests.size());
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    submitted[i] = Clock::now();
+    // Each callback writes its own slot: no locking, coherent after drain().
+    scheduler.submit(requests[i],
+                     [&latenciesMs, &submitted, i](const service::Request&,
+                                                   const service::RequestOutcome& outcome) {
+                       if (!outcome.ok) throw std::runtime_error("perf_stream: " + outcome.error);
+                       latenciesMs[i] = std::chrono::duration<double, std::milli>(
+                                            Clock::now() - submitted[i])
+                                            .count();
+                     });
+  }
+  scheduler.drain();
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+
+  const stream::StreamStats stats = scheduler.stats();
+  if (stats.failed != 0 || stats.callbackExceptions != 0) {
+    throw std::runtime_error("perf_stream: " + std::to_string(stats.failed) +
+                             " request(s) failed");
+  }
+  RunSample sample;
+  sample.queueCapacity = capacity;
+  sample.workers = workers;
+  sample.wallSeconds = wall;
+  sample.requestsPerSecond =
+      wall > 0 ? static_cast<double>(requests.size()) / wall : 0;
+  sample.latency = summarize(std::move(latenciesMs));
+  sample.backpressureWaits = stats.queue.pushWaits;
+  sample.queueHighWater = stats.queue.highWater;
+  sample.coalesced = stats.coalesced;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 96;
+  std::size_t stages = 10;
+  std::size_t processors = 8;
+  std::size_t points = 8;
+  std::uint64_t seed = 20070628;
+  std::vector<std::size_t> workerCounts = {1, 2, 4};
+  std::vector<std::size_t> capacities = {2, 8, 32};
+  std::string output = "BENCH_stream.json";
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [--requests N] [--stages N] [--processors P] [--points N] [--seed S]"
+                 " [--workers LIST] [--capacities LIST] [--output FILE]\n";
+    return 2;
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      const auto parseList = [&](std::vector<std::size_t>& into) {
+        into.clear();
+        std::stringstream ss(next());
+        std::string token;
+        while (std::getline(ss, token, ',')) into.push_back(std::stoul(token));
+      };
+      if (arg == "--requests") requests = std::stoul(next());
+      else if (arg == "--stages") stages = std::stoul(next());
+      else if (arg == "--processors") processors = std::stoul(next());
+      else if (arg == "--points") points = std::stoul(next());
+      else if (arg == "--seed") seed = std::stoull(next());
+      else if (arg == "--output") output = next();
+      else if (arg == "--workers") parseList(workerCounts);
+      else if (arg == "--capacities") parseList(capacities);
+      else return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "perf_stream: " << e.what() << "\n";
+    return usage();
+  }
+  if (requests == 0 || workerCounts.empty() || capacities.empty()) {
+    std::cerr << "perf_stream: --requests, --workers, --capacities must be non-empty\n";
+    return usage();
+  }
+
+  const std::vector<service::Request> batch =
+      makeRequests(requests, stages, processors, points, seed);
+  std::cout << "perf_stream: " << requests << " requests (" << stages << " stages, "
+            << processors << " processors, " << points << " sweep points)\n";
+
+  // Capacity axis at the middle worker count, then the worker axis at the
+  // middle capacity — 2 sweeps instead of a full grid keeps the bench quick.
+  const std::size_t midWorkers = workerCounts[workerCounts.size() / 2];
+  const std::size_t midCapacity = capacities[capacities.size() / 2];
+  std::vector<RunSample> samples;
+  for (const std::size_t capacity : capacities) {
+    samples.push_back(coldRun(batch, capacity, midWorkers));
+  }
+  for (const std::size_t workers : workerCounts) {
+    if (workers == midWorkers) continue;  // already measured on the capacity axis
+    samples.push_back(coldRun(batch, midCapacity, workers));
+  }
+  for (const RunSample& s : samples) {
+    std::cout << "  capacity=" << s.queueCapacity << " workers=" << s.workers << ": "
+              << s.requestsPerSecond << " req/s, latency p50 " << s.latency.p50Ms
+              << " ms, p99 " << s.latency.p99Ms << " ms, backpressure waits "
+              << s.backpressureWaits << "\n";
+  }
+
+  // Warm pass: same stream twice through one scheduler with the cache on.
+  stream::StreamConfig warmConfig;
+  warmConfig.service.cacheCapacity = requests * 2;
+  warmConfig.workers = midWorkers;
+  warmConfig.queueCapacity = midCapacity;
+  stream::AsyncScheduler warm(warmConfig);
+  const auto pass = [&] {
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::future<service::RequestOutcome>> futures;
+    futures.reserve(batch.size());
+    for (const service::Request& request : batch) futures.push_back(warm.submit(request));
+    for (auto& future : futures) {
+      if (!future.get().ok) throw std::runtime_error("perf_stream: warm request failed");
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const double coldSeconds = pass();
+  const double warmSeconds = pass();
+  const double warmSpeedup =
+      coldSeconds > 0 && warmSeconds > 0 ? coldSeconds / warmSeconds : 1.0;
+  const stream::StreamStats warmStats = warm.stats();
+  const double warmReqPerSec =
+      warmSeconds > 0 ? static_cast<double>(requests) / warmSeconds : 0;
+  std::cout << "  warm pass: " << warmReqPerSec << " req/s, speedup vs cold " << warmSpeedup
+            << "x (cache hits " << warmStats.cacheHits << ", coalesced "
+            << warmStats.coalesced << ")\n";
+
+  std::ofstream os(output);
+  if (!os) {
+    std::cerr << "cannot write " << output << "\n";
+    return 1;
+  }
+  io::JsonWriter w(os, /*pretty=*/true);
+  w.beginObject();
+  w.kv("benchmark", "perf_stream");
+  w.kv("requests", requests);
+  w.kv("stages", stages);
+  w.kv("processors", processors);
+  w.kv("sweep_points", points);
+  w.key("runs").beginArray();
+  for (const RunSample& s : samples) {
+    w.beginObject();
+    w.kv("queue_capacity", s.queueCapacity);
+    w.kv("workers", s.workers);
+    w.kv("requests_per_second", s.requestsPerSecond);
+    w.kv("wall_seconds", s.wallSeconds);
+    w.key("latency_ms").beginObject();
+    w.kv("p50", s.latency.p50Ms);
+    w.kv("p99", s.latency.p99Ms);
+    w.kv("max", s.latency.maxMs);
+    w.endObject();
+    w.kv("backpressure_waits", static_cast<std::size_t>(s.backpressureWaits));
+    w.kv("queue_high_water", s.queueHighWater);
+    w.kv("coalesced", static_cast<std::size_t>(s.coalesced));
+    w.endObject();
+  }
+  w.endArray();
+  w.key("cache").beginObject();
+  w.kv("warm_requests_per_second", warmReqPerSec);
+  w.kv("warm_speedup", warmSpeedup);
+  w.kv("cache_hits", static_cast<std::size_t>(warmStats.cacheHits));
+  w.kv("coalesced", static_cast<std::size_t>(warmStats.coalesced));
+  w.endObject();
+  w.endObject();
+  os << "\n";
+  std::cout << "wrote " << output << "\n";
+  return 0;
+}

@@ -18,22 +18,24 @@
 
 namespace pipesched::service {
 
-/// Compact 128-bit request identity (two independently-seeded FNV streams).
-struct Fingerprint {
-  std::uint64_t hi = 0;
-  std::uint64_t lo = 0;
-
-  [[nodiscard]] bool operator==(const Fingerprint&) const noexcept = default;
-
-  /// 32 lowercase hex digits.
-  [[nodiscard]] std::string hex() const;
-};
+// struct Fingerprint lives in request.hpp (outcomes carry one); the
+// functions that produce it live here.
 
 /// Exact canonical text form of the request's model content.
 [[nodiscard]] std::string canonicalKey(const Request& request);
 
 /// Hash of canonicalKey()'s content (streamed, not via the string).
 [[nodiscard]] Fingerprint fingerprint(const Request& request);
+
+/// Both identities of one request. Produced by a single field walk — the
+/// hot paths (async workers, batch grouping) need the pair and should not
+/// serialize the instance twice.
+struct RequestIdentity {
+  Fingerprint fp;
+  std::string key;
+};
+
+[[nodiscard]] RequestIdentity requestIdentity(const Request& request);
 
 /// Exact hexfloat rendering used by the canonical form (and by
 /// describeOutcome, which must stay bit-faithful to it).

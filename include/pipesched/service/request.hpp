@@ -19,6 +19,19 @@
 
 namespace pipesched::service {
 
+/// Compact 128-bit request identity (two independently-seeded FNV streams
+/// over the canonical request content — see fingerprint.hpp). Carried on
+/// outcomes so reporting paths never re-canonicalize the instance.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const noexcept = default;
+
+  /// 32 lowercase hex digits.
+  [[nodiscard]] std::string hex() const;
+};
+
 /// Threshold grid each portfolio member sweeps: `points` thresholds from the
 /// solver's failure threshold (resp. latency optimum) up to that value times
 /// `range`. Mirrors exp::ParetoStudyConfig so service fronts are comparable
@@ -67,6 +80,10 @@ struct RequestOutcome {
   std::string error;
   bool fromCache = false;  ///< served from the result cache
   bool deduped = false;    ///< shared another identical request's solve
+  /// Identity of the request this outcome answers. Set by every service and
+  /// stream solve path (failures included); excluded from describeOutcome,
+  /// so the byte-identity contract is unaffected.
+  Fingerprint fingerprint;
 };
 
 }  // namespace pipesched::service

@@ -64,6 +64,11 @@ class SchedulingService {
   /// Never throws on solver failure — the outcome carries the error text.
   [[nodiscard]] RequestOutcome solve(const Request& request);
 
+  /// As above, with the caller's precomputed identity (must be
+  /// requestIdentity(request)) — spares the hot async path a second
+  /// canonicalization walk per request.
+  [[nodiscard]] RequestOutcome solve(const Request& request, const RequestIdentity& identity);
+
   /// Batch entry point (see file comment for the parallelism/determinism
   /// contract). Output ordering matches `requests`.
   [[nodiscard]] BatchResult solveBatch(const std::vector<Request>& requests);

@@ -5,6 +5,13 @@
 // that would deadlock a full pool). A pool constructed with zero threads runs
 // every task inline in submit() — the degenerate form used for strictly
 // serial reference runs.
+//
+// Exception safety (audited, pinned by tests/service/test_thread_pool.cpp):
+// a throwing task — std or not — never takes down a worker or the process.
+// std::packaged_task stores the exception in the future's shared state;
+// future.get() rethrows it, and a discarded future discards it silently.
+// Service-level callers convert it into a failed RequestOutcome instead of
+// letting it reach the pool (see SchedulingService::solveUncached).
 #pragma once
 
 #include <condition_variable>

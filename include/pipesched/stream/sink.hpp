@@ -1,0 +1,82 @@
+// Outcome sinks for the streaming engine: incremental, ordered consumers of
+// solved requests.
+//
+// The engine calls emit() exactly once per request, in input order, as soon
+// as the outcome's turn comes up (head-of-line completion) — not when the
+// whole stream is done. A sink therefore sees results while later requests
+// are still being solved, which is what lets `pipesched serve` answer its
+// first request before its last one has arrived. emit() is always invoked
+// from the engine's pump thread; sinks need not be thread-safe.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "pipesched/io/json.hpp"
+#include "pipesched/service/request.hpp"
+
+namespace pipesched::stream {
+
+/// Writes the per-outcome JSON fields (name, fingerprint, then ok + error or
+/// the result tail: provenance flags, front[], solvers[]) into an
+/// already-open object. The single emitter behind both `batch --json`
+/// request rows and the JSONL stream/serve lines — one field list, so the
+/// two report formats cannot drift.
+void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
+                        const service::RequestOutcome& outcome);
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// One solved (or failed) request. `index` is the request's 0-based
+  /// position in the stream; calls arrive with strictly increasing indices.
+  virtual void emit(std::size_t index, const service::Request& request,
+                    const service::RequestOutcome& outcome) = 0;
+};
+
+/// Collects everything in memory — tests and small tools.
+class CollectSink : public Sink {
+ public:
+  struct Item {
+    std::size_t index = 0;
+    service::Request request;
+    service::RequestOutcome outcome;
+  };
+
+  void emit(std::size_t index, const service::Request& request,
+            const service::RequestOutcome& outcome) override {
+    items.push_back(Item{index, request, outcome});
+  }
+
+  std::vector<Item> items;
+};
+
+/// Writes one compact JSON object per outcome, flushing after every line —
+/// the incremental half of the `batch --json` report (same per-request
+/// fields, plus "index"). Lines are emitted as results complete, so a
+/// consumer tailing the stream sees fronts without waiting for the batch.
+class JsonlSink : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  /// With `inputLines`, every outcome line additionally carries
+  /// "line": inputLines->front() (then pops it). The caller's source pushes
+  /// one entry per request it hands the engine, in pull order — emission is
+  /// in the same order, so front() is always this outcome's input line.
+  /// This is how `serve` keeps outcomes correlatable with request lines even
+  /// when malformed lines (reported by line number, not index) interleave.
+  JsonlSink(std::ostream& out, std::deque<std::size_t>* inputLines)
+      : out_(&out), inputLines_(inputLines) {}
+
+  void emit(std::size_t index, const service::Request& request,
+            const service::RequestOutcome& outcome) override;
+
+ private:
+  std::ostream* out_;
+  std::deque<std::size_t>* inputLines_ = nullptr;
+};
+
+}  // namespace pipesched::stream

@@ -13,6 +13,7 @@
 // | E4  | U[1, 20]           | U[0.01, 10]       | communication-dominated   |
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "pipesched/core/pipeline.hpp"
@@ -30,6 +31,11 @@ enum class ExperimentKind {
 
 /// "E1" .. "E4".
 [[nodiscard]] std::string experimentName(ExperimentKind kind);
+
+/// Inverse of experimentName (case-insensitive); nullopt for unknown names.
+/// The single E1..E4 name table — CLI flags and the JSONL request protocol
+/// both resolve through here, so they cannot drift.
+[[nodiscard]] std::optional<ExperimentKind> experimentKindFromName(const std::string& name);
 
 /// Long description, e.g. "balanced comm/comp, homogeneous communications".
 [[nodiscard]] std::string experimentDescription(ExperimentKind kind);

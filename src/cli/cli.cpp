@@ -11,12 +11,7 @@ namespace pipesched::cli {
 namespace detail {
 
 workload::ExperimentKind parseKind(const std::string& text) {
-  std::string upper = text;
-  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  if (upper == "E1") return workload::ExperimentKind::kE1BalancedHomComm;
-  if (upper == "E2") return workload::ExperimentKind::kE2BalancedHetComm;
-  if (upper == "E3") return workload::ExperimentKind::kE3LargeComputations;
-  if (upper == "E4") return workload::ExperimentKind::kE4SmallComputations;
+  if (const auto kind = workload::experimentKindFromName(text)) return *kind;
   throw UsageError("unknown experiment kind '" + text + "' (expected E1..E4)");
 }
 
@@ -70,6 +65,19 @@ void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& f
   }
 }
 
+service::ServiceConfig serviceConfigFromArgs(const ArgList& args) {
+  service::ServiceConfig config;
+  // Read --threads unconditionally so --serial --threads N is accepted (and
+  // --serial wins), identically in every command using this helper.
+  config.threads = args.getSize("threads", service::ThreadPool::defaultThreadCount());
+  if (args.has("serial")) config.threads = 0;
+  config.cacheCapacity = args.has("no-cache") ? 0 : args.getSize("cache-capacity", 1024);
+  config.portfolio.useExact = !args.has("no-exact");
+  config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
+  config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
+  return config;
+}
+
 }  // namespace detail
 
 std::string usageText() {
@@ -79,11 +87,22 @@ usage: pipesched <command> [options]
 
 commands:
   batch      portfolio-solve many instances on a thread pool with a result cache
-             [FILE...] [--scenarios] [--kind E1..E4 [--count N] [--stages N]
-             [--processors P] [--seed S]] [--points N] [--range X] [--overlap]
+             [FILE|DIR...] [--requests FILE.jsonl] [--scenarios]
+             [--kind E1..E4 [--count N] [--stages N] [--processors P] [--seed S]]
+             [--points N] [--range X] [--overlap]
              [--threads N | --serial] [--cache-capacity N | --no-cache]
              [--no-exact] [--budget RUNS] [--time-budget MS] [--json]
              [--repeat N]   # submit the batch N times; later passes hit the cache
+             [--stream [--queue-capacity N]]  # async engine: lazy ingest,
+                            # incremental JSONL output, bounded memory
+  serve      streaming loop: JSONL requests in (stdin or --input FILE), one
+             JSONL outcome per line out, answered in input order as completed
+             [--input FILE] [--threads N | --serial] [--queue-capacity N]
+             [--points N] [--range X] [--overlap] [--cache-capacity N |
+             --no-cache] [--no-exact] [--budget RUNS] [--time-budget MS]
+             # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
+             #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}
+             #   (+ optional "name", "points", "range", "overlap")
   generate   make a random instance file
              --kind E1..E4 --stages N --processors P [--seed S] [--name TEXT]
              [--hetero] [--bw-min X --bw-max Y] [--output FILE]
@@ -126,7 +145,10 @@ int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
   };
   static const std::map<std::string, Spec> commands = {
       {"batch",
-       {detail::cmdBatch, {"scenarios", "serial", "no-cache", "no-exact", "overlap", "json"}}},
+       {detail::cmdBatch,
+        {"scenarios", "serial", "no-cache", "no-exact", "overlap", "json", "stream"}}},
+      {"serve",
+       {detail::cmdServe, {"serial", "no-cache", "no-exact", "overlap"}}},
       {"generate", {detail::cmdGenerate, {"hetero"}}},
       {"solve", {detail::cmdSolve, {"refine", "baselines", "deal", "json"}}},
       {"eval", {detail::cmdEval, {"overlap", "json"}}},
@@ -155,6 +177,9 @@ int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
     return 2;
   } catch (const std::exception& e) {
     err << "pipesched " << command << ": " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    err << "pipesched " << command << ": unknown error\n";
     return 1;
   }
 }

@@ -10,6 +10,7 @@
 #include "pipesched/cli/args.hpp"
 #include "pipesched/heuristics/registry.hpp"
 #include "pipesched/io/format.hpp"
+#include "pipesched/service/service.hpp"
 #include "pipesched/workload/generator.hpp"
 
 namespace pipesched::cli::detail {
@@ -33,8 +34,14 @@ namespace pipesched::cli::detail {
 void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& fallback,
                    const std::function<void(std::ostream&)>& body);
 
+/// The service knobs shared by `batch` and `serve` (one reader, so the two
+/// commands cannot drift): --threads/--serial, --cache-capacity/--no-cache,
+/// --no-exact, --budget, --time-budget.
+[[nodiscard]] service::ServiceConfig serviceConfigFromArgs(const ArgList& args);
+
 // Command entry points (one per subcommand).
 int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdGenerate(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdSolve(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdEval(const ArgList& args, std::ostream& out, std::ostream& err);

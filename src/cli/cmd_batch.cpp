@@ -1,7 +1,16 @@
 // `batch` — the portfolio scheduling service on the command line: solve many
-// instances (files, named scenarios, generated suites) through the shared
-// thread pool + result cache, with deterministic per-request fronts.
+// instances (files, directories, JSONL request files, named scenarios,
+// generated suites) through the shared thread pool + result cache.
+//
+// Two execution shapes behind one set of sources:
+//   * default — solveBatch: requests drained from the lazy Source into one
+//     batch; table/JSON report with deterministic per-request fronts;
+//   * --stream — the async engine: requests stay lazy end to end, outcomes
+//     emitted incrementally as JSONL (memory bounded by queue + workers, not
+//     by batch size).
 #include <algorithm>
+#include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -9,66 +18,72 @@
 #include "pipesched/exp/report.hpp"
 #include "pipesched/io/json.hpp"
 #include "pipesched/service/service.hpp"
-#include "pipesched/workload/scenarios.hpp"
+#include "pipesched/stream/engine.hpp"
 
 namespace pipesched::cli::detail {
 
 namespace {
 
-std::vector<service::Request> collectRequests(const ArgList& args) {
-  std::vector<service::Request> requests;
+/// The single loader both execution shapes share: every request origin the
+/// command supports, chained into one lazy Source. Callable once per pass
+/// (--repeat re-reads files so later passes exercise the cache, not a copy).
+std::unique_ptr<stream::Source> buildSource(const ArgList& args) {
   const service::SweepSpec sweep{args.getSize("points", 24), args.getReal("range", 3)};
   const core::CommModel model =
       args.has("overlap") ? core::CommModel::kOverlapped : core::CommModel::kSequential;
 
-  for (const std::string& path : args.positionals()) {
-    const io::Instance instance = io::readInstanceFromFile(path);
-    service::Request request{instance.pipeline, instance.platform, model, sweep,
-                             instance.name.empty() ? path : instance.name};
-    requests.push_back(std::move(request));
+  std::vector<std::unique_ptr<stream::Source>> parts;
+  if (!args.positionals().empty()) {
+    parts.push_back(std::make_unique<stream::FileListSource>(
+        stream::expandInstancePaths(args.positionals()), sweep, model));
   }
-
+  if (const auto jsonl = args.get("requests")) {
+    auto file = std::make_unique<std::ifstream>(*jsonl);
+    if (!*file) throw std::runtime_error("cannot open request file: " + *jsonl);
+    parts.push_back(std::make_unique<stream::JsonlSource>(
+        std::move(file), stream::JsonlDefaults{sweep, model}));
+  }
   if (args.has("scenarios")) {
-    const core::Platform platform = workload::labCluster();
-    for (workload::Scenario& scenario : workload::allScenarios()) {
-      requests.push_back(service::Request{std::move(scenario.pipeline), platform, model,
-                                          sweep, scenario.name});
-    }
+    parts.push_back(std::make_unique<stream::ScenarioSource>(sweep, model));
   }
-
   if (const auto kindSpec = args.get("kind")) {
-    const workload::ExperimentKind kind = parseKind(*kindSpec);
-    const std::size_t count = args.getSize("count", 10);
-    const std::size_t stages = args.getSize("stages", 10);
-    const std::size_t processors = args.getSize("processors", 10);
-    workload::Rng rng(args.getU64("seed", 20070628));
-    for (std::size_t i = 0; i < count; ++i) {
-      workload::InstancePair pair = workload::randomInstance(kind, stages, processors, rng);
-      std::ostringstream name;
-      name << workload::experimentName(kind) << "-n" << stages << "p" << processors << "-"
-           << i;
-      requests.push_back(service::Request{std::move(pair.pipeline), std::move(pair.platform),
-                                          model, sweep, name.str()});
-    }
+    stream::GeneratorSource::Spec spec;
+    spec.kind = parseKind(*kindSpec);
+    spec.count = args.getSize("count", 10);
+    spec.stages = args.getSize("stages", 10);
+    spec.processors = args.getSize("processors", 10);
+    spec.seed = args.getU64("seed", 20070628);
+    spec.sweep = sweep;
+    spec.model = model;
+    parts.push_back(std::make_unique<stream::GeneratorSource>(spec));
   } else if (args.has("count")) {
     throw UsageError("--count needs --kind E1..E4");
   }
 
-  if (requests.empty()) {
+  if (parts.empty()) {
     throw UsageError(
-        "nothing to solve: give instance files, --scenarios, or --kind E1..E4 [--count N]");
+        "nothing to solve: give instance files/directories, --requests FILE.jsonl, "
+        "--scenarios, or --kind E1..E4 [--count N]");
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<stream::ChainSource>(std::move(parts));
+}
+
+std::vector<service::Request> drainSource(stream::Source& source) {
+  std::vector<service::Request> requests;
+  while (std::optional<service::Request> request = source.next()) {
+    requests.push_back(std::move(*request));
   }
   return requests;
 }
 
 void printText(std::ostream& out, const std::vector<service::Request>& requests,
-               const std::vector<std::string>& fingerprints,
                const service::BatchResult& batch, const service::CacheStats& cache) {
   exp::TextTable table;
   table.setHeader({"request", "fingerprint", "front", "min period", "min latency", "source"});
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const service::RequestOutcome& outcome = batch.outcomes[i];
-    const std::string fp = fingerprints[i].substr(0, 12);
+    const std::string fp = outcome.fingerprint.hex().substr(0, 12);
     if (!outcome.ok) {
       table.addRow({requests[i].name, fp, "error", "-", "-", outcome.error});
       continue;
@@ -94,43 +109,14 @@ void printText(std::ostream& out, const std::vector<service::Request>& requests,
 }
 
 void printJson(std::ostream& out, const std::vector<service::Request>& requests,
-               const std::vector<std::string>& fingerprints,
                const service::BatchResult& batch, const service::CacheStats& cache) {
   io::JsonWriter w(out, /*pretty=*/true);
   w.beginObject();
   w.key("requests").beginArray();
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const service::RequestOutcome& outcome = batch.outcomes[i];
     w.beginObject();
-    w.kv("name", requests[i].name);
-    w.kv("fingerprint", fingerprints[i]);
-    w.kv("ok", outcome.ok);
-    if (!outcome.ok) {
-      w.kv("error", outcome.error);
-    } else {
-      w.kv("from_cache", outcome.fromCache);
-      w.kv("deduped", outcome.deduped);
-      w.kv("exact_used", outcome.result.exactUsed);
-      w.kv("budget_exhausted", outcome.result.budgetExhausted);
-      w.key("front").beginArray();
-      for (const core::ParetoPoint& p : outcome.result.front) {
-        w.beginObject();
-        w.kv("period", p.period);
-        w.kv("latency", p.latency);
-        if (p.mapping) w.kv("intervals", p.mapping->intervalCount());
-        w.endObject();
-      }
-      w.endArray();
-      w.key("solvers").beginArray();
-      for (const service::SolverContribution& c : outcome.result.solvers) {
-        w.beginObject();
-        w.kv("solver", c.solver);
-        w.kv("points", c.points);
-        w.kv("completed", c.completed);
-        w.endObject();
-      }
-      w.endArray();
-    }
+    // Same field list as the JSONL stream lines — one emitter, no drift.
+    stream::writeOutcomeFields(w, requests[i].name, batch.outcomes[i]);
     w.endObject();
   }
   w.endArray();
@@ -154,20 +140,82 @@ void printJson(std::ostream& out, const std::vector<service::Request>& requests,
   out << "\n";
 }
 
+/// --stream: pump every pass through the async engine, emitting outcome
+/// JSONL incrementally, then one trailing {"stats": ...} line.
+int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
+                  std::size_t repeat, const service::ServiceConfig& serviceConfig) {
+  stream::StreamConfig config;
+  config.service = serviceConfig;
+  config.service.threads = 0;  // workers are the cross-request parallelism
+  config.workers = threads;
+  config.queueCapacity = args.getSize("queue-capacity", 64);
+
+  stream::AsyncScheduler scheduler(config);
+  stream::JsonlSink sink(out);
+  // runStream numbers each pass from 0; offset so the emitted "index" stays
+  // strictly increasing across --repeat passes (the sink contract consumers
+  // correlate by).
+  struct OffsetSink : stream::Sink {
+    stream::Sink* inner;
+    std::size_t offset = 0;
+    void emit(std::size_t index, const service::Request& request,
+              const service::RequestOutcome& outcome) override {
+      inner->emit(offset + index, request, outcome);
+    }
+  };
+  OffsetSink offsetSink;
+  offsetSink.inner = &sink;
+  std::size_t requests = 0;
+  std::size_t failed = 0;
+  double wallSeconds = 0;
+  std::unique_ptr<stream::Source> source = buildSource(args);
+  args.assertConsumed();  // every option has been read by now
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    if (pass > 0) source = buildSource(args);  // re-read files: cache, not copies
+    offsetSink.offset = requests;
+    const stream::EngineStats stats = stream::runStream(*source, offsetSink, scheduler);
+    requests += stats.requests;
+    failed += stats.failed;
+    wallSeconds += stats.wallSeconds;
+  }
+
+  const stream::StreamStats s = scheduler.stats();
+  const service::CacheStats cache = scheduler.cacheStats();
+  io::JsonWriter w(out, /*pretty=*/false);
+  w.beginObject();
+  w.key("stats").beginObject();
+  w.kv("requests", requests);
+  w.kv("solved", s.solved);
+  w.kv("cache_hits", s.cacheHits);
+  w.kv("coalesced", s.coalesced);
+  w.kv("failed", s.failed);
+  w.kv("wall_seconds", wallSeconds);
+  w.kv("requests_per_second", wallSeconds > 0 ? static_cast<double>(requests) / wallSeconds : 0.0);
+  w.kv("backpressure_waits", static_cast<std::size_t>(s.queue.pushWaits));
+  w.kv("queue_high_water", s.queue.highWater);
+  w.kv("max_in_flight", s.maxInFlight);
+  w.endObject();
+  w.key("cache").beginObject();
+  w.kv("entries", cache.entries);
+  w.kv("hits", static_cast<std::size_t>(cache.hits));
+  w.kv("misses", static_cast<std::size_t>(cache.misses));
+  w.endObject();
+  w.endObject();
+  out << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
-  std::vector<service::Request> requests = collectRequests(args);
   const std::size_t repeat = std::max<std::size_t>(1, args.getSize("repeat", 1));
+  const service::ServiceConfig config = serviceConfigFromArgs(args);
+  const bool json = args.has("json");  // stream mode is JSONL regardless
 
-  service::ServiceConfig config;
-  config.threads = args.getSize("threads", service::ThreadPool::defaultThreadCount());
-  if (args.has("serial")) config.threads = 0;
-  config.cacheCapacity = args.has("no-cache") ? 0 : args.getSize("cache-capacity", 1024);
-  config.portfolio.useExact = !args.has("no-exact");
-  config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
-  config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
-  const bool json = args.has("json");
+  if (args.has("stream")) {
+    return runStreamMode(args, out, config.threads, repeat, config);
+  }
+  std::vector<service::Request> requests = drainSource(*buildSource(args));
   args.assertConsumed();
 
   // --repeat submits the same batch N times through one service: the first
@@ -191,17 +239,11 @@ int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
   batch.stats = total;
   const service::CacheStats cache = svc.cacheStats();
 
-  // Hash each request once for display instead of once per printed field.
-  std::vector<std::string> fingerprints;
-  fingerprints.reserve(requests.size());
-  for (const service::Request& request : requests) {
-    fingerprints.push_back(service::fingerprint(request).hex());
-  }
-
+  // Outcomes carry their fingerprints — no per-request display hashing.
   if (json) {
-    printJson(out, requests, fingerprints, batch, cache);
+    printJson(out, requests, batch, cache);
   } else {
-    printText(out, requests, fingerprints, batch, cache);
+    printText(out, requests, batch, cache);
   }
   return failedFinalPass == 0 ? 0 : 1;
 }

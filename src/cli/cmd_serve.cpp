@@ -1,0 +1,88 @@
+// `serve` — the streaming front-end as a process: read JSONL request lines
+// (stdin by default, --input FILE for scripts/tests), answer each with one
+// JSONL outcome line as soon as it completes, in input order. The loop is
+// incremental end to end: a request on line 1 is answered while line 10 000
+// is still being read, and memory stays bounded by queue capacity + workers
+// no matter how long the stream runs.
+//
+// Malformed lines are reported as {"line": N, "ok": false, "error": ...} and
+// skipped — a server must not die because one client sent garbage. Exit code
+// is 0 only when every line parsed and every request solved.
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+
+#include "cli_internal.hpp"
+#include "pipesched/io/json.hpp"
+#include "pipesched/stream/engine.hpp"
+
+namespace pipesched::cli::detail {
+
+int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
+  stream::JsonlDefaults defaults;
+  defaults.sweep =
+      service::SweepSpec{args.getSize("points", 24), args.getReal("range", 3)};
+  defaults.model =
+      args.has("overlap") ? core::CommModel::kOverlapped : core::CommModel::kSequential;
+
+  stream::StreamConfig config;
+  config.service = serviceConfigFromArgs(args);
+  config.workers = config.service.threads;  // cross-request parallelism...
+  config.service.threads = 0;               // ...within-request stays serial
+  config.queueCapacity = args.getSize("queue-capacity", 64);
+
+  std::unique_ptr<std::ifstream> file;
+  std::istream* in = &std::cin;
+  if (const auto path = args.get("input")) {
+    file = std::make_unique<std::ifstream>(*path);
+    if (!*file) throw std::runtime_error("cannot open input: " + *path);
+    in = file.get();
+  }
+  args.assertConsumed();
+
+  std::size_t parseErrors = 0;
+  stream::JsonlSource source(*in, defaults,
+                             [&](std::size_t line, const std::string& message) {
+                               ++parseErrors;
+                               io::JsonWriter w(out, /*pretty=*/false);
+                               w.beginObject();
+                               w.kv("line", line);
+                               w.kv("ok", false);
+                               w.kv("error", message);
+                               w.endObject();
+                               out << '\n' << std::flush;
+                             });
+
+  // Tag each request with the input line it came from so outcome lines stay
+  // correlatable even when malformed lines interleave: the wrapper records
+  // the line per pull, and the sink pops in the same (input) order.
+  std::deque<std::size_t> inputLines;
+  class TaggingSource : public stream::Source {
+   public:
+    TaggingSource(stream::JsonlSource& inner, std::deque<std::size_t>& lines)
+        : inner_(&inner), lines_(&lines) {}
+    std::optional<service::Request> next() override {
+      std::optional<service::Request> request = inner_->next();
+      if (request) lines_->push_back(inner_->linesRead());
+      return request;
+    }
+
+   private:
+    stream::JsonlSource* inner_;
+    std::deque<std::size_t>* lines_;
+  };
+  TaggingSource tagged(source, inputLines);
+  stream::JsonlSink sink(out, &inputLines);
+  stream::AsyncScheduler scheduler(config);
+  const stream::EngineStats stats = stream::runStream(tagged, sink, scheduler);
+
+  const stream::StreamStats s = scheduler.stats();
+  err << "serve: " << stats.requests << " request(s) — " << s.solved << " solved, "
+      << s.cacheHits << " cache hit(s), " << s.coalesced << " coalesced, " << stats.failed
+      << " failed, " << parseErrors << " parse error(s) in " << stats.wallSeconds << " s\n";
+  return (stats.failed == 0 && parseErrors == 0) ? 0 : 1;
+}
+
+}  // namespace pipesched::cli::detail

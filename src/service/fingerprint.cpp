@@ -105,4 +105,33 @@ Fingerprint fingerprint(const Request& request) {
   return Fingerprint{sink.hi.digest(), sink.lo.digest()};
 }
 
+namespace {
+
+/// Feeds one walk into both sinks — requestIdentity()'s single pass.
+struct DualSink {
+  TextSink text;
+  HashSink hash;
+  void tag(const char* t) {
+    text.tag(t);
+    hash.tag(t);
+  }
+  void reals(const char* t, const std::vector<Real>& v) {
+    text.reals(t, v);
+    hash.reals(t, v);
+  }
+  void size(const char* t, std::size_t v) {
+    text.size(t, v);
+    hash.size(t, v);
+  }
+};
+
+}  // namespace
+
+RequestIdentity requestIdentity(const Request& request) {
+  DualSink sink;
+  walkRequest(request, sink);
+  return RequestIdentity{Fingerprint{sink.hash.hi.digest(), sink.hash.lo.digest()},
+                         std::move(sink.text.os).str()};
+}
+
 }  // namespace pipesched::service

@@ -28,22 +28,34 @@ RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPo
   } catch (const std::exception& e) {
     outcome.ok = false;
     outcome.error = e.what();
+  } catch (...) {
+    // A non-std exception from a solver must still land in the outcome slot:
+    // letting it fly through a pool task's future would eventually surface as
+    // an opaque rethrow (or std::terminate in a detached context), sinking
+    // the whole batch for one bad request.
+    outcome.ok = false;
+    outcome.error = "unknown exception while solving";
   }
   return outcome;
 }
 
 RequestOutcome SchedulingService::solve(const Request& request) {
-  const Fingerprint fp = fingerprint(request);
-  const std::string key = canonicalKey(request);
-  if (auto cached = cache_.get(fp, key)) {
+  return solve(request, requestIdentity(request));
+}
+
+RequestOutcome SchedulingService::solve(const Request& request,
+                                        const RequestIdentity& identity) {
+  if (auto cached = cache_.get(identity.fp, identity.key)) {
     RequestOutcome outcome;
     outcome.ok = true;
     outcome.result = std::move(*cached);
     outcome.fromCache = true;
+    outcome.fingerprint = identity.fp;
     return outcome;
   }
   RequestOutcome outcome = solveUncached(request, &pool_);
-  if (outcome.ok) cache_.put(fp, key, outcome.result);
+  outcome.fingerprint = identity.fp;
+  if (outcome.ok) cache_.put(identity.fp, identity.key, outcome.result);
   return outcome;
 }
 
@@ -62,10 +74,10 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   std::unordered_map<std::string, Group> groups;
   std::vector<const std::string*> keyOrder;  // deterministic iteration order
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const std::string key = canonicalKey(requests[i]);
-    auto [it, inserted] = groups.try_emplace(key);
+    RequestIdentity identity = requestIdentity(requests[i]);  // one walk: key + hash
+    auto [it, inserted] = groups.try_emplace(std::move(identity.key));
     if (inserted) {
-      it->second.fp = fingerprint(requests[i]);
+      it->second.fp = identity.fp;
       keyOrder.push_back(&it->first);
     }
     it->second.indices.push_back(i);
@@ -87,6 +99,7 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
       outcome.ok = true;
       outcome.result = std::move(*cached);
       outcome.fromCache = true;
+      outcome.fingerprint = group.fp;
       batch.outcomes[group.indices.front()] = std::move(outcome);
       batch.stats.cacheHits += 1;
     } else {
@@ -119,6 +132,7 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   for (std::size_t m = 0; m < misses.size(); ++m) {
     const Group& group = *misses[m].group;
     RequestOutcome& out = missOutcomes[m];
+    out.fingerprint = group.fp;
     if (out.ok) {
       cache_.put(group.fp, *misses[m].key, out.result);
       batch.stats.solved += 1;

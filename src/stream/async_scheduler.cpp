@@ -1,0 +1,178 @@
+#include "pipesched/stream/async_scheduler.hpp"
+
+#include <utility>
+
+#include "pipesched/service/fingerprint.hpp"
+
+namespace pipesched::stream {
+
+AsyncScheduler::AsyncScheduler(StreamConfig config)
+    : config_(std::move(config)),
+      service_(config_.service),
+      channel_(config_.queueCapacity) {
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+AsyncScheduler::~AsyncScheduler() { close(); }
+
+service::RequestOutcome AsyncScheduler::solveOne(const Job& job) {
+  // Never let an exception escape into a worker: a throwing solve (or
+  // override) becomes a failed outcome, exactly like solveBatch's per-slot
+  // error isolation.
+  service::RequestOutcome outcome;
+  try {
+    if (config_.solveOverride) {
+      outcome = config_.solveOverride(job.request);
+    } else {
+      outcome = service_.solve(job.request, job.identity);
+    }
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.ok = false;
+    outcome.error = "unknown exception while solving";
+  }
+  outcome.fingerprint = job.identity.fp;  // overrides/failures included
+  return outcome;
+}
+
+void AsyncScheduler::finish(Job& job, service::RequestOutcome outcome, bool coalescedCopy) {
+  // Callback first (it observes the outcome by reference), then the promise,
+  // then the counters — drain()/future waiters must only unblock once the
+  // user-visible completion has fully happened.
+  if (job.callback) {
+    try {
+      job.callback(job.request, outcome);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      ++stats_.callbackExceptions;
+    }
+  }
+  const bool ok = outcome.ok;
+  const bool fromCache = outcome.fromCache;
+  job.promise.set_value(std::move(outcome));
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.completed;
+    if (!ok) ++stats_.failed;
+    else if (coalescedCopy) ++stats_.coalesced;
+    else if (fromCache) ++stats_.cacheHits;
+    else ++stats_.solved;
+  }
+  allDone_.notify_all();
+}
+
+void AsyncScheduler::workerLoop() {
+  while (std::optional<Job> popped = channel_.pop()) {
+    Job job = std::move(*popped);
+    // Canonicalize on the worker, not in submit(): a single producer thread
+    // (the engine pump, a serve loop) must not serialize the per-request
+    // walk that N workers could do in parallel.
+    job.identity = service::requestIdentity(job.request);
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = inflight_.find(job.identity.key);
+      if (it != inflight_.end()) {
+        // An identical request is being solved right now: park this one on
+        // it and go pop the next — its solver fulfills us when done.
+        it->second.push_back(std::move(job));
+        ++stats_.waitersAttached;
+        continue;
+      }
+      inflight_.emplace(job.identity.key, std::vector<Job>{});
+    }
+    service::RequestOutcome outcome = solveOne(job);
+    std::vector<Job> waiters;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = inflight_.find(job.identity.key);
+      waiters = std::move(it->second);
+      inflight_.erase(it);
+    }
+    for (Job& waiter : waiters) {
+      service::RequestOutcome copy = outcome;
+      copy.deduped = true;
+      copy.fromCache = false;
+      finish(waiter, std::move(copy), /*coalescedCopy=*/true);
+    }
+    finish(job, std::move(outcome), /*coalescedCopy=*/false);
+  }
+}
+
+void AsyncScheduler::runInline(Job job) {
+  job.identity = service::requestIdentity(job.request);
+  finish(job, solveOne(job), /*coalescedCopy=*/false);
+}
+
+std::future<service::RequestOutcome> AsyncScheduler::submitJob(Job job) {
+  std::future<service::RequestOutcome> future = job.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_) throw ModelError("AsyncScheduler: submit after close");
+    ++stats_.submitted;
+    stats_.maxInFlight =
+        std::max<std::size_t>(stats_.maxInFlight, stats_.submitted - stats_.completed);
+  }
+  if (workers_.empty()) {
+    runInline(std::move(job));
+    return future;
+  }
+  if (!channel_.push(std::move(job))) {
+    // close() raced us between the accepting_ check and the push. Roll the
+    // admission back and re-wake drain() waiters: the rollback may have just
+    // made completed == submitted true without any finish() left to signal it.
+    {
+      std::lock_guard lock(mutex_);
+      --stats_.submitted;
+    }
+    allDone_.notify_all();
+    throw ModelError("AsyncScheduler: closed while submitting");
+  }
+  return future;
+}
+
+std::future<service::RequestOutcome> AsyncScheduler::submit(service::Request request) {
+  return submitJob(Job{std::move(request)});
+}
+
+void AsyncScheduler::submit(service::Request request, Callback callback) {
+  Job job{std::move(request)};
+  job.callback = std::move(callback);
+  (void)submitJob(std::move(job));  // completion is reported via the callback
+}
+
+void AsyncScheduler::drain() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [&] { return stats_.completed == stats_.submitted; });
+}
+
+void AsyncScheduler::close() {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  channel_.close();  // workers drain what was accepted, then exit
+  // Serialize the join: a second close() (or the destructor after a user
+  // close) blocks here until the first finishes, so "close returned" always
+  // means "workers are gone".
+  std::lock_guard joinLock(joinMutex_);
+  if (joined_) return;
+  for (std::thread& worker : workers_) worker.join();
+  joined_ = true;
+}
+
+StreamStats AsyncScheduler::stats() const {
+  StreamStats snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = stats_;
+  }
+  snapshot.queue = channel_.stats();
+  return snapshot;
+}
+
+}  // namespace pipesched::stream

@@ -1,0 +1,82 @@
+#include "pipesched/stream/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+namespace pipesched::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One submitted-but-not-yet-emitted request: the pump's reorder window slot.
+struct Pending {
+  service::Request request;
+  std::future<service::RequestOutcome> future;
+};
+
+}  // namespace
+
+EngineStats runStream(Source& source, Sink& sink, AsyncScheduler& scheduler) {
+  const Clock::time_point start = Clock::now();
+  EngineStats stats;
+
+  const StreamConfig& config = scheduler.config();
+  const std::size_t window =
+      config.queueCapacity + std::max<std::size_t>(config.workers, 1);
+
+  std::deque<Pending> pending;
+  std::size_t nextIndex = 0;  // stream index of pending.front()
+
+  const auto emitFront = [&] {
+    Pending slot = std::move(pending.front());
+    pending.pop_front();
+    const service::RequestOutcome outcome = slot.future.get();
+    if (!outcome.ok) ++stats.failed;
+    sink.emit(nextIndex++, slot.request, outcome);
+    ++stats.requests;
+  };
+
+  try {
+    for (;;) {
+      // Admission control: never hold more than `window` requests between
+      // pull and emission — this, not the sink, is what bounds memory.
+      while (pending.size() >= window) emitFront();
+      std::optional<service::Request> request = source.next();
+      if (!request) break;
+      // Braced init evaluates left to right: copy for the sink first, then
+      // the move into the scheduler.
+      pending.push_back(Pending{*request, scheduler.submit(std::move(*request))});
+      // Opportunistic in-order emission: whatever has already completed at
+      // the head of the window goes out now, keeping the sink incremental.
+      while (!pending.empty() &&
+             pending.front().future.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready) {
+        emitFront();
+      }
+    }
+    while (!pending.empty()) emitFront();
+  } catch (...) {
+    // A throwing source/sink must not leave submitted work dangling: wait
+    // for every outstanding future, then rethrow.
+    for (Pending& slot : pending) {
+      if (slot.future.valid()) slot.future.wait();
+    }
+    throw;
+  }
+
+  // Futures become ready slightly before the scheduler's completion counters
+  // are bumped; drain() waits on the counters, so the snapshot below is
+  // settled for everything this pass submitted.
+  scheduler.drain();
+  stats.wallSeconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (stats.wallSeconds > 0 && stats.requests > 0) {
+    stats.requestsPerSecond = static_cast<double>(stats.requests) / stats.wallSeconds;
+  }
+  stats.stream = scheduler.stats();
+  return stats;
+}
+
+}  // namespace pipesched::stream

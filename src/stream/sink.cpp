@@ -1,0 +1,54 @@
+#include "pipesched/stream/sink.hpp"
+
+namespace pipesched::stream {
+
+void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
+                        const service::RequestOutcome& outcome) {
+  w.kv("name", name);
+  // The identity travels on the outcome — no re-canonicalization here, which
+  // matters on warm streams where emission competes with sub-ms cache hits.
+  w.kv("fingerprint", outcome.fingerprint.hex());
+  w.kv("ok", outcome.ok);
+  if (!outcome.ok) {
+    w.kv("error", outcome.error);
+    return;
+  }
+  w.kv("from_cache", outcome.fromCache);
+  w.kv("deduped", outcome.deduped);
+  w.kv("exact_used", outcome.result.exactUsed);
+  w.kv("budget_exhausted", outcome.result.budgetExhausted);
+  w.key("front").beginArray();
+  for (const core::ParetoPoint& p : outcome.result.front) {
+    w.beginObject();
+    w.kv("period", p.period);
+    w.kv("latency", p.latency);
+    if (p.mapping) w.kv("intervals", p.mapping->intervalCount());
+    w.endObject();
+  }
+  w.endArray();
+  w.key("solvers").beginArray();
+  for (const service::SolverContribution& c : outcome.result.solvers) {
+    w.beginObject();
+    w.kv("solver", c.solver);
+    w.kv("points", c.points);
+    w.kv("completed", c.completed);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+void JsonlSink::emit(std::size_t index, const service::Request& request,
+                     const service::RequestOutcome& outcome) {
+  io::JsonWriter w(*out_, /*pretty=*/false);
+  w.beginObject();
+  w.kv("index", index);
+  if (inputLines_ != nullptr && !inputLines_->empty()) {
+    w.kv("line", inputLines_->front());
+    inputLines_->pop_front();
+  }
+  writeOutcomeFields(w, request.name, outcome);
+  w.endObject();
+  *out_ << '\n' << std::flush;
+}
+
+}  // namespace pipesched::stream

@@ -1,0 +1,215 @@
+#include "pipesched/stream/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "pipesched/io/format.hpp"
+#include "pipesched/io/json_reader.hpp"
+
+namespace pipesched::stream {
+
+namespace {
+
+workload::ExperimentKind kindFromString(const std::string& text) {
+  if (const auto kind = workload::experimentKindFromName(text)) return *kind;
+  throw std::runtime_error("unknown experiment kind '" + text + "' (expected E1..E4)");
+}
+
+/// Parses one JSONL request object (see source.hpp for the line format).
+service::Request requestFromJsonLine(const std::string& line, const JsonlDefaults& defaults,
+                                     std::size_t lineNo) {
+  const io::JsonValue v = [&] {
+    try {
+      return io::parseJson(line);
+    } catch (const io::ParseError& e) {
+      // The parser saw exactly one line, so its "line 1: " prefix carries no
+      // information here — strip it. Errors thrown later (e.g. a malformed
+      // referenced .psi file) keep their own line numbers, which are
+      // file-relative and must not be stripped.
+      std::string message = e.what();
+      if (message.rfind("line 1: ", 0) == 0) message.erase(0, 8);
+      throw std::runtime_error(message);
+    }
+  }();
+  if (!v.isObject()) throw std::runtime_error("request line must be a JSON object");
+
+  static const char* const known[] = {"file", "text", "kind",  "stages",  "processors",
+                                      "seed", "name", "points", "range",  "overlap"};
+  for (const io::JsonValue::Member& member : v.members) {
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return member.first == k;
+        }) == std::end(known)) {
+      throw std::runtime_error("unknown field '" + member.first + "'");
+    }
+  }
+
+  const io::JsonValue* file = v.find("file");
+  const io::JsonValue* text = v.find("text");
+  const io::JsonValue* kind = v.find("kind");
+  const int sources = (file != nullptr) + (text != nullptr) + (kind != nullptr);
+  if (sources != 1) {
+    throw std::runtime_error("exactly one of \"file\", \"text\", \"kind\" is required");
+  }
+  if (kind == nullptr) {
+    // Generator knobs on a file/text line would be silently meaningless —
+    // reject them so a client cannot believe it re-seeded a file instance.
+    for (const char* generatorOnly : {"stages", "processors", "seed"}) {
+      if (v.find(generatorOnly) != nullptr) {
+        throw std::runtime_error(std::string("field '") + generatorOnly +
+                                 "' only applies to \"kind\" lines");
+      }
+    }
+  }
+
+  service::Request request = [&]() -> service::Request {
+    if (file != nullptr) {
+      io::Instance instance = [&] {
+        try {
+          return io::readInstanceFromFile(file->asString());
+        } catch (const std::exception& e) {
+          // Anchor the failure to the referenced file: its parse errors carry
+          // file-relative line numbers that would otherwise read as positions
+          // in the JSONL stream.
+          throw std::runtime_error("file '" + file->asString() + "': " + e.what());
+        }
+      }();
+      std::string name = instance.name.empty() ? file->asString() : instance.name;
+      return {std::move(instance.pipeline), std::move(instance.platform), defaults.model,
+              defaults.sweep, std::move(name)};
+    }
+    if (text != nullptr) {
+      io::Instance instance = [&] {
+        try {
+          return io::readInstanceFromString(text->asString());
+        } catch (const std::exception& e) {
+          throw std::runtime_error(std::string("inline instance text: ") + e.what());
+        }
+      }();
+      std::string name =
+          instance.name.empty() ? "line-" + std::to_string(lineNo) : instance.name;
+      return {std::move(instance.pipeline), std::move(instance.platform), defaults.model,
+              defaults.sweep, std::move(name)};
+    }
+    const workload::ExperimentKind k = kindFromString(kind->asString());
+    const io::JsonValue* stages = v.find("stages");
+    const io::JsonValue* processors = v.find("processors");
+    if (stages == nullptr || processors == nullptr) {
+      throw std::runtime_error("\"kind\" lines require \"stages\" and \"processors\"");
+    }
+    const std::size_t n = stages->asSize();
+    const std::size_t p = processors->asSize();
+    const io::JsonValue* seed = v.find("seed");
+    const std::uint64_t s = seed != nullptr ? seed->asU64() : 20070628ull;
+    workload::Rng rng(s);
+    workload::InstancePair pair = workload::randomInstance(k, n, p, rng);
+    std::ostringstream name;
+    name << workload::experimentName(k) << "-n" << n << 'p' << p << "-s" << s;
+    return {std::move(pair.pipeline), std::move(pair.platform), defaults.model,
+            defaults.sweep, name.str()};
+  }();
+
+  if (const io::JsonValue* name = v.find("name")) request.name = name->asString();
+  if (const io::JsonValue* points = v.find("points")) request.sweep.points = points->asSize();
+  if (const io::JsonValue* range = v.find("range")) {
+    request.sweep.range = static_cast<Real>(range->asNumber());
+  }
+  if (const io::JsonValue* overlap = v.find("overlap")) {
+    request.model =
+        overlap->asBool() ? core::CommModel::kOverlapped : core::CommModel::kSequential;
+  }
+  return request;
+}
+
+}  // namespace
+
+std::optional<service::Request> VectorSource::next() {
+  if (cursor_ >= requests_.size()) return std::nullopt;
+  return std::move(requests_[cursor_++]);
+}
+
+std::vector<std::string> expandInstancePaths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> expanded;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (!fs::is_directory(path, ec)) {
+      expanded.push_back(path);  // plain file (or missing: the read will say so)
+      continue;
+    }
+    std::vector<std::string> inDir;
+    for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".psi") {
+        inDir.push_back(entry.path().string());
+      }
+    }
+    if (inDir.empty()) {
+      throw std::runtime_error("no .psi instance files in directory: " + path);
+    }
+    std::sort(inDir.begin(), inDir.end());
+    expanded.insert(expanded.end(), inDir.begin(), inDir.end());
+  }
+  return expanded;
+}
+
+std::optional<service::Request> FileListSource::next() {
+  if (cursor_ >= paths_.size()) return std::nullopt;
+  const std::string& path = paths_[cursor_++];
+  const io::Instance instance = io::readInstanceFromFile(path);
+  return service::Request{instance.pipeline, instance.platform, model_, sweep_,
+                          instance.name.empty() ? path : instance.name};
+}
+
+ScenarioSource::ScenarioSource(service::SweepSpec sweep, core::CommModel model)
+    : scenarios_(workload::allScenarios()),
+      platform_(workload::labCluster()),
+      sweep_(sweep),
+      model_(model) {}
+
+std::optional<service::Request> ScenarioSource::next() {
+  if (cursor_ >= scenarios_.size()) return std::nullopt;
+  workload::Scenario& scenario = scenarios_[cursor_++];
+  return service::Request{std::move(scenario.pipeline), platform_, model_, sweep_,
+                          scenario.name};
+}
+
+std::optional<service::Request> GeneratorSource::next() {
+  if (produced_ >= spec_.count) return std::nullopt;
+  workload::InstancePair pair =
+      workload::randomInstance(spec_.kind, spec_.stages, spec_.processors, rng_);
+  std::ostringstream name;
+  name << workload::experimentName(spec_.kind) << "-n" << spec_.stages << 'p'
+       << spec_.processors << '-' << produced_;
+  ++produced_;
+  return service::Request{std::move(pair.pipeline), std::move(pair.platform), spec_.model,
+                          spec_.sweep, name.str()};
+}
+
+std::optional<service::Request> JsonlSource::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lineNo_;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank
+    try {
+      return requestFromJsonLine(line, defaults_, lineNo_);
+    } catch (const std::exception& e) {
+      // Line-local position prefixes were already normalized inside
+      // requestFromJsonLine; re-anchor to the stream line number only.
+      if (!onError_) throw io::ParseError(lineNo_, e.what());
+      onError_(lineNo_, e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<service::Request> ChainSource::next() {
+  while (cursor_ < parts_.size()) {
+    if (std::optional<service::Request> request = parts_[cursor_]->next()) return request;
+    ++cursor_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pipesched::stream

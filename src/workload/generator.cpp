@@ -1,5 +1,7 @@
 #include "pipesched/workload/generator.hpp"
 
+#include <cctype>
+
 namespace pipesched::workload {
 
 std::string experimentName(ExperimentKind kind) {
@@ -10,6 +12,16 @@ std::string experimentName(ExperimentKind kind) {
     case ExperimentKind::kE4SmallComputations: return "E4";
   }
   throw ModelError("experimentName: unknown kind");
+}
+
+std::optional<ExperimentKind> experimentKindFromName(const std::string& name) {
+  std::string upper = name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (upper == "E1") return ExperimentKind::kE1BalancedHomComm;
+  if (upper == "E2") return ExperimentKind::kE2BalancedHetComm;
+  if (upper == "E3") return ExperimentKind::kE3LargeComputations;
+  if (upper == "E4") return ExperimentKind::kE4SmallComputations;
+  return std::nullopt;
 }
 
 std::string experimentDescription(ExperimentKind kind) {

@@ -2,6 +2,7 @@
 // under concurrent access.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,6 +116,47 @@ TEST(ResultCache, ConcurrentMixedTrafficStaysConsistent) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
   EXPECT_LE(stats.entries, 32u);
+}
+
+TEST(ResultCache, ConcurrentGetPutClearStaysCoherent) {
+  // The async engine's traffic shape: readers and writers racing a
+  // periodically clearing administrator. Value correctness on every hit,
+  // counter coherence at the end, capacity respected throughout.
+  ResultCache cache(32, 4);
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<std::uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&cache, &gets, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>((t * 11 + i) % 40);
+        const std::string key = "k" + std::to_string(id);
+        if (const auto hit = cache.get(fp(id), key)) {
+          // clear() may race us, but a hit must never be stale or torn.
+          ASSERT_EQ(hit->front.size(), static_cast<std::size_t>(id % 5 + 1));
+        } else {
+          cache.put(fp(id), key, resultWithFrontSize(id % 5 + 1));
+        }
+        gets.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < 40; ++i) {
+      cache.clear();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  EXPECT_LE(stats.entries, 32u);
+  EXPECT_GE(stats.insertions, stats.misses > 0 ? 1u : 0u);
+  // The cache still works after the storm.
+  cache.put(fp(1000), "after", resultWithFrontSize(2));
+  ASSERT_TRUE(cache.get(fp(1000), "after").has_value());
 }
 
 }  // namespace

@@ -41,6 +41,42 @@ TEST(ThreadPool, ExceptionsArriveThroughTheFuture) {
   EXPECT_NO_THROW(ok.get());
 }
 
+TEST(ThreadPool, NonStdExceptionsAlsoTravelThroughTheFuture) {
+  // The audit case: a task throwing something that is not a std::exception
+  // must still land in the future's shared state, not in std::terminate.
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw 42; });
+  bool caught = false;
+  try {
+    future.get();
+  } catch (int value) {
+    caught = true;
+    EXPECT_EQ(value, 42);
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_NO_THROW(pool.submit([] {}).get());  // worker alive
+}
+
+TEST(ThreadPool, DiscardedFuturesOfThrowingTasksNeverTerminate) {
+  // Fire-and-forget submissions whose tasks throw: the exceptions die with
+  // their shared states when the pool drains — the process must not.
+  std::atomic<int> survivors{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      (void)pool.submit([] { throw std::runtime_error("dropped"); });
+      (void)pool.submit([&survivors] { survivors.fetch_add(1); });
+    }
+  }  // destructor drains every task, throwing ones included
+  EXPECT_EQ(survivors.load(), 16);
+}
+
+TEST(ThreadPool, InlineModeTransportsExceptionsToo) {
+  ThreadPool pool(0);
+  auto future = pool.submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {
