@@ -6,10 +6,20 @@
 //   {"benchmark":"perf_service","requests":200,
 //    "throughput":[{"threads":1,"requests_per_second":...},...],
 //    "speedup_max_threads_vs_1":...,
-//    "cache":{"hit_ratio":...,"warm_requests_per_second":...,"warm_speedup":...}}
+//    "cache":{"hit_ratio":...,"warm_requests_per_second":...,"warm_speedup":...},
+//    "portfolio_members":{"members":"all","drop_after":4,
+//      "requests_per_second":...,
+//      "members_detail":[{"member":"H1-SpMonoP","runs":...,"points":...,
+//                         "novel":...,"merged":...,"skipped":...,"dropped":...},...]}}
+//
+// The portfolio_members section races the full member catalog (refiners +
+// c2c + exact) with budget-aware dropping on a slice of the batch and
+// reports each member's per-member contribution columns.
 //
 // Usage: perf_service [--requests N] [--threads LIST] [--stages N]
-//                     [--processors P] [--points N] [--seed S] [--output FILE]
+//                     [--processors P] [--points N] [--seed S]
+//                     [--members-requests N] [--drop-after K] [--output FILE]
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -76,11 +86,14 @@ int main(int argc, char** argv) {
   std::size_t points = 12;
   std::uint64_t seed = 20070628;
   std::vector<std::size_t> threadCounts = {1, 2, 4};
+  std::size_t membersRequests = 40;
+  std::size_t dropAfter = 4;
   std::string output = "BENCH_service.json";
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
               << " [--requests N] [--threads LIST] [--stages N] [--processors P]"
-                 " [--points N] [--seed S] [--output FILE]\n";
+                 " [--points N] [--seed S] [--members-requests N] [--drop-after K]"
+                 " [--output FILE]\n";
     return 2;
   };
   try {
@@ -95,6 +108,8 @@ int main(int argc, char** argv) {
       else if (arg == "--processors") processors = std::stoul(next());
       else if (arg == "--points") points = std::stoul(next());
       else if (arg == "--seed") seed = std::stoull(next());
+      else if (arg == "--members-requests") membersRequests = std::stoul(next());
+      else if (arg == "--drop-after") dropAfter = std::stoul(next());
       else if (arg == "--output") output = next();
       else if (arg == "--threads") {
         threadCounts.clear();
@@ -153,6 +168,25 @@ int main(int argc, char** argv) {
   std::cout << "  warm pass: " << warmPass.stats.requestsPerSecond << " req/s, hit ratio "
             << hitRatio << ", speedup vs cold " << warmSpeedup << "x\n";
 
+  // Widened-portfolio contribution pass: the full member catalog with
+  // budget-aware dropping on a slice of the batch, reported member by member.
+  service::ServiceConfig wideConfig;
+  wideConfig.threads = 1;
+  wideConfig.cacheCapacity = 0;
+  wideConfig.portfolio.members = service::allPortfolioMembers();
+  wideConfig.portfolio.dropAfter = dropAfter;
+  service::SchedulingService wideSvc(wideConfig);
+  const std::vector<service::Request> wideBatch(
+      batch.begin(),
+      batch.begin() + static_cast<std::ptrdiff_t>(std::min(membersRequests, batch.size())));
+  const service::BatchResult widePass = wideSvc.solveBatch(wideBatch);
+  std::cout << "  members=all (" << wideBatch.size() << " requests, drop-after " << dropAfter
+            << "): " << widePass.stats.requestsPerSecond << " req/s\n";
+  for (const service::MemberBatchStats& m : widePass.stats.members) {
+    std::cout << "    " << m.solver << ": " << m.points << " pts, " << m.merged << " merged, "
+              << m.skipped << " skipped\n";
+  }
+
   std::ofstream os(output);
   if (!os) {
     std::cerr << "cannot write " << output << "\n";
@@ -180,6 +214,25 @@ int main(int argc, char** argv) {
   w.kv("warm_requests_per_second", warmPass.stats.requestsPerSecond);
   w.kv("warm_speedup", warmSpeedup);
   w.kv("entries", cacheStats.entries);
+  w.endObject();
+  w.key("portfolio_members").beginObject();
+  w.kv("members", "all");
+  w.kv("drop_after", dropAfter);
+  w.kv("requests", wideBatch.size());
+  w.kv("requests_per_second", widePass.stats.requestsPerSecond);
+  w.key("members_detail").beginArray();
+  for (const service::MemberBatchStats& m : widePass.stats.members) {
+    w.beginObject();
+    w.kv("member", m.solver);
+    w.kv("runs", static_cast<std::size_t>(m.runs));
+    w.kv("points", static_cast<std::size_t>(m.points));
+    w.kv("novel", static_cast<std::size_t>(m.novel));
+    w.kv("merged", static_cast<std::size_t>(m.merged));
+    w.kv("skipped", static_cast<std::size_t>(m.skipped));
+    w.kv("dropped", static_cast<std::size_t>(m.dropped));
+    w.endObject();
+  }
+  w.endArray();
   w.endObject();
   w.endObject();
   os << "\n";

@@ -63,5 +63,21 @@ int main() {
             << " requests in " << again.stats.wallSeconds << " s\n";
   const service::CacheStats cache = svc.cacheStats();
   std::cout << "cache: " << cache.entries << " entries, hit ratio " << cache.hitRatio() << "\n";
+
+  // Widen the race: every catalog member (H1..H6, local-search and annealing
+  // refiners, the c2c chain solvers, exact) with budget-aware dropping, and
+  // show what each member contributed to the merged fronts.
+  service::ServiceConfig wideConfig;
+  wideConfig.cacheCapacity = 0;  // fresh solves: we want contribution stats
+  wideConfig.portfolio.members = service::allPortfolioMembers();
+  wideConfig.portfolio.dropAfter = 4;
+  service::SchedulingService wideSvc(wideConfig);
+  const service::BatchResult wide = wideSvc.solveBatch(requests);
+  std::cout << "\nwidened portfolio (members=all, drop-after 4):\n";
+  for (const service::MemberBatchStats& m : wide.stats.members) {
+    std::cout << "  " << m.solver << ": " << m.points << " point(s), " << m.novel
+              << " novel, " << m.merged << " on the merged front, " << m.skipped
+              << " unit(s) skipped\n";
+  }
   return 0;
 }

@@ -1,23 +1,46 @@
-// Portfolio solver: race every registry heuristic (H1..H6) — plus the exact
-// enumerator when the instance is small — over the request's threshold grid,
-// then Pareto-merge their fronts (core::paretoFront).
+// Portfolio solver: race a configurable set of *members* over the request's
+// threshold grid, then Pareto-merge their fronts (core::paretoFront).
 //
-// Determinism contract: the merged front is a pure function of the instance
-// and the configuration, independent of thread interleaving. Each member
-// writes into its own pre-assigned slot and the merge concatenates slots in
-// fixed member order, so racing the members on a pool cannot reorder the
-// result. The work budget is likewise per-member (each sweep truncates at
-// the same grid point no matter who runs first); only the optional wall-clock
-// budget (off by default) trades determinism for latency bounds.
+// A PortfolioMember wraps any solver that can produce (threshold, value)
+// front points. The built-in catalog covers
+//   * the six registry heuristics H1..H6 (one member each, as in the paper);
+//   * local-search and annealing *refiners* ("ls:HN" / "sa:HN"): at every
+//     grid point they run the base heuristic, then polish its mapping with
+//     heuristics::localSearch / heuristics::anneal under the same threshold —
+//     they explore mappings the greedy splitting loop can never reach, and
+//     never emit a point dominated by their seed's point at that threshold;
+//   * the chains-to-chains solvers ("c2c", "c2c:ls") on instances they
+//     accept (communication-homogeneous platforms): fixed-order DP over the
+//     k fastest processors per work unit, resp. the order-refining local
+//     search — every emitted point is a genuine mapping re-scored through
+//     core::Evaluator, so the member stays sound even where the c2c cost
+//     model ignores communication;
+//   * the exact enumerator ("exact") when the instance is small.
 //
-// Thread-safety audit (relied on by the pool mode): the six heuristics are
-// stateless free functions behind MappingHeuristic, the registry factories
-// build a fresh object per call, and Evaluator/Pipeline/Platform are
-// immutable after construction — no shared mutable state anywhere on the
-// solver path (verified over src/heuristics/ and src/exact/).
+// Determinism contract (tested by tests/service/test_portfolio_properties):
+// the merged front is a pure function of the instance and the configuration,
+// independent of thread interleaving. Each member writes into its own
+// pre-assigned slot and the merge concatenates slots in fixed member order,
+// so racing the members on a pool cannot reorder the result. All budgets are
+// member-local — the work budget truncates every sweep at the same grid
+// point, and the *drop policy* (see PortfolioConfig::dropAfter) decides from
+// the member's own running front only, no matter who runs first. Only the
+// optional wall-clock budget (off by default) trades determinism for latency
+// bounds.
+//
+// Thread-safety audit (relied on by the pool mode): the heuristics, the
+// refiners and the c2c solvers are stateless free functions (annealing is
+// deterministic from its explicit seed), member objects are created fresh
+// per runPortfolio call and touched by one task each, and
+// Evaluator/Pipeline/Platform are immutable after construction — no shared
+// mutable state anywhere on the solver path (verified over src/heuristics/,
+// src/exact/ and src/c2c/).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "pipesched/service/request.hpp"
 #include "pipesched/service/thread_pool.hpp"
@@ -26,16 +49,17 @@ namespace pipesched::service {
 
 /// Work/time bounds on one portfolio run.
 struct PortfolioBudget {
-  /// Deterministic work bound: each heuristic evaluates at most this many
-  /// grid points (the grid itself has SweepSpec::points entries).
+  /// Deterministic work bound: each member evaluates at most this many work
+  /// units (grid points for the sweeping members, processor counts for the
+  /// c2c ladder, one unit for the exact enumerator).
   std::uint64_t maxRunsPerSolver = UINT64_MAX;
 
   /// Exact-enumerator work bound (complete mappings visited) before it gives
   /// up and leaves the front to the heuristics.
   std::uint64_t exactMappingLimit = 2'000'000;
 
-  /// Wall-clock bound in milliseconds; 0 = unlimited. Checked between grid
-  /// points. NOT deterministic — leave at 0 where reproducibility matters.
+  /// Wall-clock bound in milliseconds; 0 = unlimited. Checked between work
+  /// units. NOT deterministic — leave at 0 where reproducibility matters.
   double timeBudgetMs = 0;
 };
 
@@ -46,14 +70,97 @@ struct PortfolioConfig {
   std::size_t exactCellLimit = 48;
   std::size_t exactProcessorLimit = 6;
 
+  /// Member selection, by catalog id ("H1".."H6", "ls:H1".."ls:H6",
+  /// "sa:H1".."sa:H6", "c2c", "c2c:ls", "exact"). Empty = the default race
+  /// (H1..H6 plus exact), byte-identical to the pre-registry portfolio.
+  /// Resolved by makePortfolioMembers; an unknown id throws ModelError.
+  std::vector<std::string> members;
+
+  /// Budget-aware member dropping: skip a member's remaining work units once
+  /// `dropAfter` consecutive units contributed no point that joined the
+  /// member's *own* running front (member-local, hence deterministic under
+  /// any worker count). 0 = never drop. Skipped units are reported in
+  /// SolverContribution::skipped.
+  std::size_t dropAfter = 0;
+
+  /// Proposed moves per annealing-refiner run (one run per grid point —
+  /// deliberately far below the ablation default of 20'000).
+  std::size_t annealingMoves = 2'000;
+
   PortfolioBudget budget;
 };
+
+/// One pluggable portfolio member. Implementations must be safe to run
+/// concurrently with every other member (no shared mutable state); one
+/// member instance is driven by exactly one task per runPortfolio call.
+class PortfolioMember {
+ public:
+  /// Per-instance work session. units() work units are executed in order by
+  /// the portfolio runner, which owns the budget / deadline / drop checks
+  /// between units.
+  class Run {
+   public:
+    virtual ~Run() = default;
+
+    /// Number of work units this member wants on this instance.
+    [[nodiscard]] virtual std::size_t units() const = 0;
+
+    /// Executes work unit i (< units()); returns the feasible points it
+    /// produced (possibly none). Points must carry their realizing mapping.
+    [[nodiscard]] virtual std::vector<core::ParetoPoint> unit(std::size_t i) = 0;
+
+    /// True when an internal limit (e.g. the exact mapping limit) truncated
+    /// the member's own work; reported as contribution.completed == false.
+    [[nodiscard]] virtual bool truncated() const { return false; }
+  };
+
+  virtual ~PortfolioMember() = default;
+
+  /// Stable catalog id, e.g. "H1", "ls:H4", "c2c", "exact".
+  [[nodiscard]] virtual std::string id() const = 0;
+
+  /// Name reported in SolverContribution::solver (e.g. "H1-SpMonoP",
+  /// "ls:H1", "c2c-dp", "exact").
+  [[nodiscard]] virtual std::string solverName() const = 0;
+
+  /// Whether the member can run on this instance under `config`.
+  [[nodiscard]] virtual bool accepts(const core::Evaluator& eval,
+                                     const PortfolioConfig& config) const = 0;
+
+  /// Starts a work session on one instance.
+  [[nodiscard]] virtual std::unique_ptr<Run> start(const core::Evaluator& eval,
+                                                   const SweepSpec& sweep,
+                                                   const PortfolioConfig& config) const = 0;
+};
+
+/// One catalog row (see portfolioMemberCatalog).
+struct PortfolioMemberInfo {
+  std::string id;          ///< catalog id, e.g. "ls:H1"
+  std::string solver;      ///< SolverContribution::solver name
+  std::string description; ///< one-line human description
+};
+
+/// Every member id the registry knows, in fixed race order.
+[[nodiscard]] std::vector<PortfolioMemberInfo> portfolioMemberCatalog();
+
+/// The default race: {"H1".."H6", "exact"} — what an empty
+/// PortfolioConfig::members resolves to.
+[[nodiscard]] std::vector<std::string> defaultPortfolioMembers();
+
+/// Every catalog id in race order (the CLI's `--portfolio-members all`).
+[[nodiscard]] std::vector<std::string> allPortfolioMembers();
+
+/// Instantiates config.members (the default set when empty), in the given
+/// order. Throws ModelError on an unknown id.
+[[nodiscard]] std::vector<std::unique_ptr<PortfolioMember>> makePortfolioMembers(
+    const PortfolioConfig& config);
 
 /// Runs the portfolio on one instance. With `pool`, members race on its
 /// workers (the call still blocks until all complete — do not invoke with a
 /// pool from inside one of that pool's own tasks); without, they run serially
 /// in member order. Both paths return identical results (see determinism
-/// contract above). Throws ModelError on an invalid sweep spec.
+/// contract above). Throws ModelError on an invalid sweep spec or an unknown
+/// member id.
 [[nodiscard]] PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
                                            const PortfolioConfig& config = {},
                                            ThreadPool* pool = nullptr);

@@ -57,9 +57,16 @@ struct Request {
 
 /// What one portfolio member contributed to a solved request.
 struct SolverContribution {
-  std::string solver;        ///< "H1-SpMonoP".."H6-SpBiL" or "exact"
+  std::string solver;        ///< "H1-SpMonoP".."H6-SpBiL", "ls:H1".."sa:H6",
+                             ///< "c2c-dp", "c2c-ls" or "exact"
   std::size_t points = 0;    ///< feasible points produced before merging
   bool completed = false;    ///< false when the budget cut the sweep short
+  std::size_t units = 0;     ///< work units the member wanted on this instance
+  std::size_t novel = 0;     ///< points that joined the member's own running front
+  std::size_t merged = 0;    ///< merged-front points credited to this member
+                             ///< (first member in race order with the coordinates)
+  std::size_t skipped = 0;   ///< units skipped by budget-aware dropping
+  bool dropped = false;      ///< the drop policy fired on this member
 };
 
 /// The service's answer for one request: the merged non-dominated front over
@@ -67,7 +74,7 @@ struct SolverContribution {
 /// invariant), with realizing mappings attached.
 struct PortfolioResult {
   std::vector<core::ParetoPoint> front;
-  std::vector<SolverContribution> solvers;  ///< fixed H1..H6[,exact] order
+  std::vector<SolverContribution> solvers;  ///< fixed member race order (accepted members)
   bool exactUsed = false;        ///< the exact enumerator joined the race
   bool budgetExhausted = false;  ///< some member was cut short by the budget
 };

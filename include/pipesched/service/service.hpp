@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,40 @@ struct ServiceConfig {
   PortfolioConfig portfolio;
 };
 
+/// Per-member contribution totals over the fresh solves of one batch (cache
+/// hits and dedupe copies excluded — they repeat a prior solve's numbers).
+/// Rows appear in first-seen member order, which is deterministic: outcomes
+/// are aggregated in input order and members race in fixed catalog order.
+struct MemberBatchStats {
+  std::string solver;         ///< SolverContribution::solver
+  std::uint64_t runs = 0;     ///< fresh solves this member took part in
+  std::uint64_t points = 0;   ///< feasible points produced before merging
+  std::uint64_t novel = 0;    ///< points that joined the member's own front
+  std::uint64_t merged = 0;   ///< merged-front points credited to the member
+  std::uint64_t skipped = 0;  ///< work units skipped by budget-aware dropping
+  std::uint64_t dropped = 0;  ///< runs on which the drop policy fired
+
+  /// Folds one solve's contribution into this row (counts one run).
+  void add(const SolverContribution& c) {
+    runs += 1;
+    points += c.points;
+    novel += c.novel;
+    merged += c.merged;
+    skipped += c.skipped;
+    dropped += c.dropped ? 1 : 0;
+  }
+
+  /// Folds another row for the same member into this one.
+  void merge(const MemberBatchStats& other) {
+    runs += other.runs;
+    points += other.points;
+    novel += other.novel;
+    merged += other.merged;
+    skipped += other.skipped;
+    dropped += other.dropped;
+  }
+};
+
 /// Aggregate accounting of one solveBatch() call. Every request slot lands
 /// in exactly one of the four buckets below, so
 /// solved + cacheHits + deduped + failed == requests.
@@ -47,6 +82,7 @@ struct BatchStats {
   std::size_t deduped = 0;     ///< shared an identical in-batch request's ok solve
   double wallSeconds = 0;
   double requestsPerSecond = 0;
+  std::vector<MemberBatchStats> members;  ///< per-member totals (fresh solves)
 };
 
 struct BatchResult {

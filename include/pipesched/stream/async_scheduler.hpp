@@ -5,8 +5,10 @@
 // bounded channel and returns a std::future<RequestOutcome> immediately (or
 // invokes a completion callback); `workers` consumer threads drain the
 // channel, answer from the shared result cache, coalesce duplicates that are
-// in flight, and solve misses through the wrapped SchedulingService. A full
-// channel blocks submit() — backpressure, not unbounded buffering.
+// in flight (at most maxCoalescedWaiters parked per key — duplicates past
+// the cap solve directly so an all-duplicates stream cannot buffer
+// unboundedly), and solve misses through the wrapped SchedulingService. A
+// full channel blocks submit() — backpressure, not unbounded buffering.
 //
 // Determinism contract (the stream-vs-batch equivalence tests pin this):
 // each request's outcome is byte-identical under describeOutcome() to what
@@ -58,6 +60,18 @@ struct StreamConfig {
   /// queued and unclaimed (backpressure).
   std::size_t queueCapacity = 64;
 
+  /// Cap on duplicates parked per in-flight canonical key. Parked waiters
+  /// live OUTSIDE the bounded channel (their pop freed a slot), so without a
+  /// cap an all-duplicates stream could buffer unboundedly many requests
+  /// while one solve is in flight. Past the cap a duplicate is *rejected
+  /// from the coalescing list* and solved by the popping worker instead —
+  /// identical outcome (the portfolio is deterministic), bounded memory:
+  /// at most workers * maxCoalescedWaiters jobs are ever parked, and once
+  /// every worker is busy the channel's backpressure reasserts itself.
+  /// Counted in StreamStats::coalesceOverflow. 0 disables coalescing
+  /// entirely (every duplicate solves on its popping worker).
+  std::size_t maxCoalescedWaiters = 16;
+
   /// Test/instrumentation hook: when set, replaces the wrapped service's
   /// solve (cache included — the override bypasses it) for every request.
   /// In-flight coalescing still applies. Exists to make worker scheduling,
@@ -76,6 +90,8 @@ struct StreamStats {
   std::uint64_t coalesced = 0;  ///< shared an identical in-flight request's ok solve
   std::uint64_t failed = 0;     ///< outcomes with ok == false
   std::uint64_t waitersAttached = 0;    ///< duplicates parked on an in-flight solve
+  std::uint64_t coalesceOverflow = 0;   ///< duplicates solved directly because the
+                                        ///< per-key waiter list was at its cap
   std::uint64_t callbackExceptions = 0; ///< completion callbacks that threw (contained)
   std::size_t maxInFlight = 0;  ///< high-water of submitted - completed
   ChannelStats queue;           ///< channel counters (pushWaits = backpressure)

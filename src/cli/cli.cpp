@@ -75,7 +75,38 @@ service::ServiceConfig serviceConfigFromArgs(const ArgList& args) {
   config.portfolio.useExact = !args.has("no-exact");
   config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
   config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
+  if (const auto members = args.get("portfolio-members")) {
+    config.portfolio.members = parsePortfolioMembers(*members);
+  }
+  config.portfolio.dropAfter = args.getSize("drop-after", 0);
   return config;
+}
+
+std::vector<std::string> parsePortfolioMembers(const std::string& spec) {
+  if (spec == "default") return {};  // empty = the service default (H1..H6 + exact)
+  std::vector<std::string> ids;
+  if (spec == "all") {
+    ids = service::allPortfolioMembers();
+  } else {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      ids.push_back(
+          spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  // Validate now: an unknown id should be a usage error on the command line,
+  // not a per-request solver failure deep inside the batch.
+  service::PortfolioConfig probe;
+  probe.members = ids;
+  try {
+    (void)service::makePortfolioMembers(probe);
+  } catch (const ModelError& e) {
+    throw UsageError(e.what());
+  }
+  return ids;
 }
 
 }  // namespace detail
@@ -92,6 +123,9 @@ commands:
              [--points N] [--range X] [--overlap]
              [--threads N | --serial] [--cache-capacity N | --no-cache]
              [--no-exact] [--budget RUNS] [--time-budget MS] [--json]
+             [--portfolio-members default|all|ID,ID,...]  # H1..H6, ls:HN,
+                            # sa:HN (refiners), c2c, c2c:ls, exact
+             [--drop-after K]  # drop a member after K stale grid points
              [--repeat N]   # submit the batch N times; later passes hit the cache
              [--stream [--queue-capacity N]]  # async engine: lazy ingest,
                             # incremental JSONL output, bounded memory
@@ -100,6 +134,7 @@ commands:
              [--input FILE] [--threads N | --serial] [--queue-capacity N]
              [--points N] [--range X] [--overlap] [--cache-capacity N |
              --no-cache] [--no-exact] [--budget RUNS] [--time-budget MS]
+             [--portfolio-members default|all|ID,ID,...] [--drop-after K]
              # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
              #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}
              #   (+ optional "name", "points", "range", "overlap")

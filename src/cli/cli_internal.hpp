@@ -39,6 +39,11 @@ void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& f
 /// --no-exact, --budget, --time-budget.
 [[nodiscard]] service::ServiceConfig serviceConfigFromArgs(const ArgList& args);
 
+/// "default" -> {} (the service default), "all" -> the full catalog, else a
+/// comma list of member ids. Validates against the registry: an unknown id
+/// is a UsageError here, not a per-request failure later.
+[[nodiscard]] std::vector<std::string> parsePortfolioMembers(const std::string& spec);
+
 // Command entry points (one per subcommand).
 int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err);

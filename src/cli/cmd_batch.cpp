@@ -106,6 +106,17 @@ void printText(std::ostream& out, const std::vector<service::Request>& requests,
   out << "cache: " << cache.entries << " entr" << (cache.entries == 1 ? "y" : "ies") << ", "
       << cache.hits << " hit(s), " << cache.misses << " miss(es), " << cache.evictions
       << " eviction(s)\n";
+  if (!s.members.empty()) {
+    out << "\nportfolio members (fresh solves):\n";
+    exp::TextTable members;
+    members.setHeader({"member", "runs", "points", "novel", "merged", "skipped", "dropped"});
+    for (const service::MemberBatchStats& m : s.members) {
+      members.addRow({m.solver, std::to_string(m.runs), std::to_string(m.points),
+                      std::to_string(m.novel), std::to_string(m.merged),
+                      std::to_string(m.skipped), std::to_string(m.dropped)});
+    }
+    members.print(out);
+  }
 }
 
 void printJson(std::ostream& out, const std::vector<service::Request>& requests,
@@ -128,6 +139,19 @@ void printJson(std::ostream& out, const std::vector<service::Request>& requests,
   w.kv("failed", batch.stats.failed);
   w.kv("wall_seconds", batch.stats.wallSeconds);
   w.kv("requests_per_second", batch.stats.requestsPerSecond);
+  w.key("members").beginArray();
+  for (const service::MemberBatchStats& m : batch.stats.members) {
+    w.beginObject();
+    w.kv("member", m.solver);
+    w.kv("runs", static_cast<std::size_t>(m.runs));
+    w.kv("points", static_cast<std::size_t>(m.points));
+    w.kv("novel", static_cast<std::size_t>(m.novel));
+    w.kv("merged", static_cast<std::size_t>(m.merged));
+    w.kv("skipped", static_cast<std::size_t>(m.skipped));
+    w.kv("dropped", static_cast<std::size_t>(m.dropped));
+    w.endObject();
+  }
+  w.endArray();
   w.endObject();
   w.key("cache").beginObject();
   w.kv("entries", cache.entries);
@@ -232,6 +256,17 @@ int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
     total.cacheHits += batch.stats.cacheHits;
     total.deduped += batch.stats.deduped;
     total.wallSeconds += batch.stats.wallSeconds;
+    for (const service::MemberBatchStats& m : batch.stats.members) {
+      auto it = std::find_if(total.members.begin(), total.members.end(),
+                             [&](const service::MemberBatchStats& t) {
+                               return t.solver == m.solver;
+                             });
+      if (it == total.members.end()) {
+        total.members.push_back(m);
+      } else {
+        it->merge(m);
+      }
+    }
   }
   total.requestsPerSecond =
       total.wallSeconds > 0 ? static_cast<double>(total.requests) / total.wallSeconds : 0;

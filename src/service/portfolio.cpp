@@ -1,14 +1,20 @@
 #include "pipesched/service/portfolio.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <future>
 #include <iterator>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "pipesched/c2c/heterogeneous.hpp"
+#include "pipesched/core/pareto.hpp"
 #include "pipesched/exact/exhaustive.hpp"
 #include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/heuristics/annealing.hpp"
+#include "pipesched/heuristics/local_search.hpp"
 #include "pipesched/heuristics/registry.hpp"
 
 namespace pipesched::service {
@@ -29,45 +35,362 @@ struct Deadline {
   [[nodiscard]] bool expired() const { return active && Clock::now() >= at; }
 };
 
-void runHeuristicSweep(const core::Evaluator& eval, const heuristics::MappingHeuristic& h,
-                       const SweepSpec& sweep, const PortfolioBudget& budget,
-                       const Deadline& deadline, Slot& slot) {
-  slot.contribution.solver = h.name();
-  const Real lo = h.objective() == heuristics::Objective::kMinLatencyForPeriod
-                            ? h.failureThreshold(eval)
-                            : eval.optimalLatency();
-  const Real hi = lo * sweep.range;
+/// The grid every threshold-sweeping member shares: from the base
+/// heuristic's failure threshold (resp. the latency optimum) up to that
+/// value times sweep.range — the same formula as exp::runParetoStudy.
+struct Grid {
+  Real lo = 0;
+  Real hi = 0;
+
+  Grid(const core::Evaluator& eval, const heuristics::MappingHeuristic& h, Real range) {
+    lo = h.objective() == heuristics::Objective::kMinLatencyForPeriod
+             ? h.failureThreshold(eval)
+             : eval.optimalLatency();
+    hi = lo * range;
+  }
+};
+
+core::ParetoPoint makePoint(const core::Metrics& metrics, core::IntervalMapping mapping) {
+  core::ParetoPoint p;
+  p.period = metrics.period;
+  p.latency = metrics.latency;
+  p.mapping = std::move(mapping);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// H1..H6: one registry heuristic swept over the threshold grid (the
+// pre-registry portfolio behavior, byte for byte).
+
+class HeuristicMember final : public PortfolioMember {
+ public:
+  explicit HeuristicMember(heuristics::HeuristicId id) : hid_(id) {}
+
+  [[nodiscard]] std::string id() const override {
+    return "H" + std::to_string(static_cast<int>(hid_) + 1);
+  }
+  [[nodiscard]] std::string solverName() const override {
+    return heuristics::makeHeuristic(hid_)->name();
+  }
+  [[nodiscard]] bool accepts(const core::Evaluator&, const PortfolioConfig&) const override {
+    return true;
+  }
+
+  class SweepRun final : public Run {
+   public:
+    SweepRun(std::unique_ptr<heuristics::MappingHeuristic> h, const core::Evaluator& eval,
+             const SweepSpec& sweep)
+        : h_(std::move(h)), eval_(eval), sweep_(sweep), grid_(eval, *h_, sweep.range) {}
+
+    [[nodiscard]] std::size_t units() const override { return sweep_.points; }
+
+    [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
+      const Real t = exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i);
+      const heuristics::Result r = h_->run(eval_, t);
+      if (!r.success) return {};
+      std::vector<core::ParetoPoint> out;
+      out.push_back(makePoint(r.metrics, r.mapping));
+      return out;
+    }
+
+   private:
+    std::unique_ptr<heuristics::MappingHeuristic> h_;
+    const core::Evaluator& eval_;
+    SweepSpec sweep_;
+    Grid grid_;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec& sweep,
+                                           const PortfolioConfig&) const override {
+    return std::make_unique<SweepRun>(heuristics::makeHeuristic(hid_), eval, sweep);
+  }
+
+ private:
+  heuristics::HeuristicId hid_;
+};
+
+// ---------------------------------------------------------------------------
+// ls:HN / sa:HN: refiners — at each grid point, run the base heuristic, then
+// polish its mapping under the same threshold. Local search accepts only
+// lexicographically better neighbors and annealing returns the best feasible
+// state seen starting from the seed, so a refined point is never dominated
+// by its seed's point at the same threshold (the property suite pins this).
+
+enum class RefinerKind { kLocalSearch, kAnnealing };
+
+class RefinerMember final : public PortfolioMember {
+ public:
+  RefinerMember(RefinerKind kind, heuristics::HeuristicId base) : kind_(kind), base_(base) {}
+
+  [[nodiscard]] std::string id() const override {
+    return (kind_ == RefinerKind::kLocalSearch ? "ls:H" : "sa:H") +
+           std::to_string(static_cast<int>(base_) + 1);
+  }
+  [[nodiscard]] std::string solverName() const override { return id(); }
+  [[nodiscard]] bool accepts(const core::Evaluator&, const PortfolioConfig&) const override {
+    return true;
+  }
+
+  class RefineRun final : public Run {
+   public:
+    RefineRun(RefinerKind kind, std::unique_ptr<heuristics::MappingHeuristic> h,
+              const core::Evaluator& eval, const SweepSpec& sweep, std::size_t annealingMoves)
+        : kind_(kind),
+          h_(std::move(h)),
+          eval_(eval),
+          sweep_(sweep),
+          grid_(eval, *h_, sweep.range),
+          annealingMoves_(std::max<std::size_t>(1, annealingMoves)) {}
+
+    [[nodiscard]] std::size_t units() const override { return sweep_.points; }
+
+    [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
+      const Real t = exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i);
+      std::vector<core::ParetoPoint> out;
+      if (kind_ == RefinerKind::kLocalSearch) {
+        const heuristics::Result r = heuristics::refineWithLocalSearch(eval_, *h_, t);
+        if (r.success) out.push_back(makePoint(r.metrics, r.mapping));
+      } else {
+        // The seed mapping is valid even when the heuristic misses the
+        // threshold — the refiner may still reach feasibility from it.
+        const heuristics::Result seed = h_->run(eval_, t);
+        heuristics::AnnealingOptions options;
+        options.moves = annealingMoves_;
+        // Deterministic but decorrelated across grid points and base
+        // heuristics (a fixed mix, never wall-clock or global state).
+        options.seed = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(i) * 2654435761ULL) ^
+                       static_cast<std::uint64_t>(h_->id());
+        const heuristics::AnnealingResult r =
+            heuristics::anneal(eval_, seed.mapping, h_->objective(), t, options);
+        if (r.feasible) out.push_back(makePoint(r.metrics, r.mapping));
+      }
+      return out;
+    }
+
+   private:
+    RefinerKind kind_;
+    std::unique_ptr<heuristics::MappingHeuristic> h_;
+    const core::Evaluator& eval_;
+    SweepSpec sweep_;
+    Grid grid_;
+    std::size_t annealingMoves_;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec& sweep,
+                                           const PortfolioConfig& config) const override {
+    return std::make_unique<RefineRun>(kind_, heuristics::makeHeuristic(base_), eval, sweep,
+                                       config.annealingMoves);
+  }
+
+ private:
+  RefinerKind kind_;
+  heuristics::HeuristicId base_;
+};
+
+// ---------------------------------------------------------------------------
+// c2c / c2c:ls: the chains-to-chains solvers, on instances they accept
+// (communication-homogeneous platforms). Their partitions ignore
+// communication, but every emitted point is the partition *re-scored*
+// through core::Evaluator — a genuine mapping, merged on equal terms.
+
+/// HeteroSolution -> evaluated ParetoPoint (nullopt-free: the partition is
+/// structurally valid by construction).
+std::vector<core::ParetoPoint> evaluateC2c(const core::Evaluator& eval,
+                                           const c2c::HeteroSolution& solution) {
+  if (solution.partition.intervalCount() == 0) return {};
+  core::IntervalMapping mapping = core::IntervalMapping::fromCuts(
+      eval.pipeline().stageCount(), solution.partition.ends, solution.processorOrder);
+  const core::Metrics metrics = eval.evaluate(mapping);
+  std::vector<core::ParetoPoint> out;
+  out.push_back(makePoint(metrics, std::move(mapping)));
+  return out;
+}
+
+class C2cDpMember final : public PortfolioMember {
+ public:
+  [[nodiscard]] std::string id() const override { return "c2c"; }
+  [[nodiscard]] std::string solverName() const override { return "c2c-dp"; }
+  [[nodiscard]] bool accepts(const core::Evaluator& eval,
+                             const PortfolioConfig&) const override {
+    return eval.platform().isCommHomogeneous();
+  }
+
+  class LadderRun final : public Run {
+   public:
+    explicit LadderRun(const core::Evaluator& eval)
+        : eval_(eval), bySpeed_(eval.platform().processorsBySpeed()) {}
+
+    // One unit per processor count k+1: the DP on the k+1 fastest
+    // processors in speed order traces the latency/period trade-off the
+    // same way the sweep members trace thresholds.
+    [[nodiscard]] std::size_t units() const override { return bySpeed_.size(); }
+
+    [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
+      // Restrict the DP to the i+1 fastest processors (the order must cover
+      // the whole speed list it is given), then translate its local indices
+      // back to platform processor ids.
+      std::vector<Real> speeds(i + 1);
+      std::vector<std::size_t> order(i + 1);
+      for (std::size_t j = 0; j <= i; ++j) {
+        speeds[j] = eval_.platform().speed(bySpeed_[j]);
+        order[j] = j;
+      }
+      c2c::HeteroSolution solution =
+          c2c::dpWithFixedOrder(eval_.pipeline().works(), speeds, order);
+      for (std::size_t& proc : solution.processorOrder) proc = bySpeed_[proc];
+      return evaluateC2c(eval_, solution);
+    }
+
+   private:
+    const core::Evaluator& eval_;
+    std::vector<std::size_t> bySpeed_;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
+                                           const PortfolioConfig&) const override {
+    return std::make_unique<LadderRun>(eval);
+  }
+};
+
+class C2cLocalSearchMember final : public PortfolioMember {
+ public:
+  [[nodiscard]] std::string id() const override { return "c2c:ls"; }
+  [[nodiscard]] std::string solverName() const override { return "c2c-ls"; }
+  [[nodiscard]] bool accepts(const core::Evaluator& eval,
+                             const PortfolioConfig&) const override {
+    return eval.platform().isCommHomogeneous();
+  }
+
+  class OrderRun final : public Run {
+   public:
+    explicit OrderRun(const core::Evaluator& eval) : eval_(eval) {}
+
+    [[nodiscard]] std::size_t units() const override { return 1; }
+
+    [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t) override {
+      const c2c::HeteroSolution solution =
+          c2c::heteroLocalSearch(eval_.pipeline().works(), eval_.platform().speeds());
+      return evaluateC2c(eval_, solution);
+    }
+
+   private:
+    const core::Evaluator& eval_;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
+                                           const PortfolioConfig&) const override {
+    return std::make_unique<OrderRun>(eval);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// exact: the exhaustive enumerator, on instances small enough for it.
+
+class ExactMember final : public PortfolioMember {
+ public:
+  [[nodiscard]] std::string id() const override { return "exact"; }
+  [[nodiscard]] std::string solverName() const override { return "exact"; }
+  [[nodiscard]] bool accepts(const core::Evaluator& eval,
+                             const PortfolioConfig& config) const override {
+    return exactEligible(eval.pipeline().stageCount(), eval.platform().processorCount(),
+                         config);
+  }
+
+  class EnumRun final : public Run {
+   public:
+    EnumRun(const core::Evaluator& eval, std::uint64_t mappingLimit)
+        : eval_(eval), mappingLimit_(mappingLimit) {}
+
+    [[nodiscard]] std::size_t units() const override { return 1; }
+
+    [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t) override {
+      exact::ExhaustiveOptions options;
+      options.mappingLimit = mappingLimit_;
+      try {
+        return exact::exhaustiveParetoFront(eval_, options);
+      } catch (const ModelError&) {
+        // Mapping limit hit: the exact member drops out, the heuristics
+        // carry the front.
+        truncated_ = true;
+        return {};
+      }
+    }
+
+    [[nodiscard]] bool truncated() const override { return truncated_; }
+
+   private:
+    const core::Evaluator& eval_;
+    std::uint64_t mappingLimit_;
+    bool truncated_ = false;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
+                                           const PortfolioConfig& config) const override {
+    return std::make_unique<EnumRun>(eval, config.budget.exactMappingLimit);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+std::unique_ptr<PortfolioMember> makeMember(const std::string& id) {
+  const auto heuristicId = [](char digit) -> std::optional<heuristics::HeuristicId> {
+    if (digit < '1' || digit > '6') return std::nullopt;
+    return static_cast<heuristics::HeuristicId>(digit - '1');
+  };
+  if (id.size() == 2 && id[0] == 'H') {
+    if (const auto h = heuristicId(id[1])) return std::make_unique<HeuristicMember>(*h);
+  }
+  if (id.size() == 5 && (id.rfind("ls:H", 0) == 0 || id.rfind("sa:H", 0) == 0)) {
+    if (const auto h = heuristicId(id[4])) {
+      const RefinerKind kind =
+          id[0] == 'l' ? RefinerKind::kLocalSearch : RefinerKind::kAnnealing;
+      return std::make_unique<RefinerMember>(kind, *h);
+    }
+  }
+  if (id == "c2c") return std::make_unique<C2cDpMember>();
+  if (id == "c2c:ls") return std::make_unique<C2cLocalSearchMember>();
+  if (id == "exact") return std::make_unique<ExactMember>();
+  throw ModelError("unknown portfolio member '" + id +
+                   "' (expected H1..H6, ls:H1..ls:H6, sa:H1..sa:H6, c2c, c2c:ls, exact)");
+}
+
+/// Drives one member's work session: the shared budget / deadline / drop
+/// loop every member goes through, writing points + stats into its slot.
+void runMember(const PortfolioMember& member, const core::Evaluator& eval,
+               const SweepSpec& sweep, const PortfolioConfig& config, const Deadline& deadline,
+               Slot& slot) {
+  slot.contribution.solver = member.solverName();
+  const std::unique_ptr<PortfolioMember::Run> run = member.start(eval, sweep, config);
+  const std::size_t units = run->units();
+  slot.contribution.units = units;
   slot.contribution.completed = true;
-  for (std::size_t i = 0; i < sweep.points; ++i) {
-    if (i >= budget.maxRunsPerSolver || deadline.expired()) {
+  core::ParetoFrontBuilder own;  // the member's own running front (drop policy)
+  std::size_t stale = 0;
+  for (std::size_t i = 0; i < units; ++i) {
+    if (i >= config.budget.maxRunsPerSolver || deadline.expired()) {
       slot.contribution.completed = false;
       break;
     }
-    const Real t = exp::sweepThreshold(lo, hi, sweep.points, i);
-    const heuristics::Result r = h.run(eval, t);
-    if (!r.success) continue;
-    core::ParetoPoint p;
-    p.period = r.metrics.period;
-    p.latency = r.metrics.latency;
-    p.mapping = r.mapping;
-    slot.points.push_back(std::move(p));
+    if (config.dropAfter > 0 && stale >= config.dropAfter) {
+      slot.contribution.dropped = true;
+      slot.contribution.skipped = units - i;
+      break;
+    }
+    std::vector<core::ParetoPoint> points = run->unit(i);
+    bool contributed = false;
+    for (core::ParetoPoint& p : points) {
+      // Offer coordinates only: the accept/duplicate decision never reads
+      // the mapping, so don't deep-copy it into the drop-policy front.
+      if (own.offer(core::ParetoPoint{p.period, p.latency, std::nullopt})) {
+        contributed = true;
+        slot.contribution.novel += 1;
+      }
+      slot.points.push_back(std::move(p));
+    }
+    stale = contributed ? 0 : stale + 1;
   }
-  slot.contribution.points = slot.points.size();
-}
-
-void runExact(const core::Evaluator& eval, const PortfolioBudget& budget, Slot& slot) {
-  slot.contribution.solver = "exact";
-  exact::ExhaustiveOptions options;
-  options.mappingLimit = budget.exactMappingLimit;
-  try {
-    slot.points = exact::exhaustiveParetoFront(eval, options);
-    slot.contribution.completed = true;
-  } catch (const ModelError&) {
-    // Mapping limit hit: the exact member drops out, the heuristics carry
-    // the front.
-    slot.points.clear();
-    slot.contribution.completed = false;
-  }
+  if (run->truncated()) slot.contribution.completed = false;
   slot.contribution.points = slot.points.size();
 }
 
@@ -76,6 +399,54 @@ void runExact(const core::Evaluator& eval, const PortfolioBudget& budget, Slot& 
 bool exactEligible(std::size_t stages, std::size_t processors, const PortfolioConfig& config) {
   return config.useExact && processors <= config.exactProcessorLimit &&
          stages * processors <= config.exactCellLimit;
+}
+
+std::vector<PortfolioMemberInfo> portfolioMemberCatalog() {
+  std::vector<PortfolioMemberInfo> catalog;
+  for (const std::string& id : allPortfolioMembers()) {
+    const std::unique_ptr<PortfolioMember> member = makeMember(id);
+    std::string description;
+    if (id.size() == 2 && id[0] == 'H') {
+      description = "registry heuristic swept over the threshold grid";
+    } else if (id.rfind("ls:", 0) == 0) {
+      description = "steepest-descent refiner seeded from " + id.substr(3) + " per grid point";
+    } else if (id.rfind("sa:", 0) == 0) {
+      description = "annealing refiner seeded from " + id.substr(3) + " per grid point";
+    } else if (id == "c2c") {
+      description = "chains-to-chains fixed-order DP over the k fastest processors";
+    } else if (id == "c2c:ls") {
+      description = "chains-to-chains processor-order local search";
+    } else {
+      description = "exhaustive enumerator on exact-eligible instances";
+    }
+    catalog.push_back(PortfolioMemberInfo{id, member->solverName(), std::move(description)});
+  }
+  return catalog;
+}
+
+std::vector<std::string> defaultPortfolioMembers() {
+  return {"H1", "H2", "H3", "H4", "H5", "H6", "exact"};
+}
+
+std::vector<std::string> allPortfolioMembers() {
+  std::vector<std::string> ids;
+  for (int h = 1; h <= 6; ++h) ids.push_back("H" + std::to_string(h));
+  for (int h = 1; h <= 6; ++h) ids.push_back("ls:H" + std::to_string(h));
+  for (int h = 1; h <= 6; ++h) ids.push_back("sa:H" + std::to_string(h));
+  ids.emplace_back("c2c");
+  ids.emplace_back("c2c:ls");
+  ids.emplace_back("exact");
+  return ids;
+}
+
+std::vector<std::unique_ptr<PortfolioMember>> makePortfolioMembers(
+    const PortfolioConfig& config) {
+  const std::vector<std::string> ids =
+      config.members.empty() ? defaultPortfolioMembers() : config.members;
+  std::vector<std::unique_ptr<PortfolioMember>> members;
+  members.reserve(ids.size());
+  for (const std::string& id : ids) members.push_back(makeMember(id));
+  return members;
 }
 
 PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
@@ -91,23 +462,25 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
                                          config.budget.timeBudgetMs));
   }
 
-  const bool exact = exactEligible(eval.pipeline().stageCount(),
-                                   eval.platform().processorCount(), config);
-  const auto members = heuristics::makeAllHeuristics();
-  std::vector<Slot> slots(members.size() + (exact ? 1 : 0));
+  // The accepted-member list is a pure function of (instance, config), so
+  // slot order — and with it the merge — is identical serial vs pooled.
+  std::vector<std::unique_ptr<PortfolioMember>> members;
+  bool exactUsed = false;
+  for (std::unique_ptr<PortfolioMember>& member : makePortfolioMembers(config)) {
+    if (!member->accepts(eval, config)) continue;
+    exactUsed |= member->id() == "exact";
+    members.push_back(std::move(member));
+  }
+  std::vector<Slot> slots(members.size());
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(slots.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
-    const heuristics::MappingHeuristic* h = members[i].get();
+    const PortfolioMember* member = members[i].get();
     Slot* slot = &slots[i];
-    tasks.push_back([&eval, h, &sweep, &config, &deadline, slot] {
-      runHeuristicSweep(eval, *h, sweep, config.budget, deadline, *slot);
+    tasks.push_back([&eval, member, &sweep, &config, &deadline, slot] {
+      runMember(*member, eval, sweep, config, deadline, *slot);
     });
-  }
-  if (exact) {
-    Slot* slot = &slots.back();
-    tasks.push_back([&eval, &config, slot] { runExact(eval, config.budget, *slot); });
   }
 
   if (pool != nullptr && pool->threadCount() > 0) {
@@ -131,15 +504,34 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
   }
 
   PortfolioResult result;
-  result.exactUsed = exact;
+  result.exactUsed = exactUsed;
+  // Remember each slot's coordinates before the merge consumes its points:
+  // paretoFront keeps the FIRST representative of duplicate coordinates, so
+  // the first slot (race order) holding a front point's coordinates is the
+  // member that contributed it.
+  std::vector<std::vector<std::pair<Real, Real>>> coords(slots.size());
   std::vector<core::ParetoPoint> all;
-  for (Slot& slot : slots) {
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    Slot& slot = slots[s];
+    coords[s].reserve(slot.points.size());
+    for (const core::ParetoPoint& p : slot.points) coords[s].emplace_back(p.period, p.latency);
     all.insert(all.end(), std::make_move_iterator(slot.points.begin()),
                std::make_move_iterator(slot.points.end()));
     result.budgetExhausted |= !slot.contribution.completed;
     result.solvers.push_back(std::move(slot.contribution));
   }
   result.front = core::paretoFront(std::move(all));
+  for (const core::ParetoPoint& p : result.front) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const bool hit = std::any_of(coords[s].begin(), coords[s].end(), [&](const auto& c) {
+        return nearlyEqual(c.first, p.period) && nearlyEqual(c.second, p.latency);
+      });
+      if (hit) {
+        result.solvers[s].merged += 1;
+        break;
+      }
+    }
+  }
   return result;
 }
 

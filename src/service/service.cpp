@@ -1,5 +1,6 @@
 #include "pipesched/service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <sstream>
@@ -11,6 +12,22 @@ namespace pipesched::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Folds one fresh solve's contributions into the batch's per-member rows
+/// (first-seen order — deterministic because solves are folded in input
+/// order and members race in fixed catalog order).
+void accumulateMemberStats(std::vector<MemberBatchStats>& members,
+                           const std::vector<SolverContribution>& solvers) {
+  for (const SolverContribution& c : solvers) {
+    auto it = std::find_if(members.begin(), members.end(),
+                           [&](const MemberBatchStats& m) { return m.solver == c.solver; });
+    if (it == members.end()) {
+      members.push_back(MemberBatchStats{c.solver});
+      it = std::prev(members.end());
+    }
+    it->add(c);
+  }
+}
 
 }  // namespace
 
@@ -136,6 +153,7 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
     if (out.ok) {
       cache_.put(group.fp, *misses[m].key, out.result);
       batch.stats.solved += 1;
+      accumulateMemberStats(batch.stats.members, out.result.solvers);
     }
     batch.outcomes[group.indices.front()] = std::move(out);
   }
@@ -181,7 +199,11 @@ std::string describeOutcome(const RequestOutcome& outcome) {
     os << '\n';
   }
   for (const SolverContribution& c : r.solvers) {
-    os << c.solver << ':' << c.points << (c.completed ? "" : "!") << '\n';
+    os << c.solver << ':' << c.points << (c.completed ? "" : "!");
+    // Drop-policy skips are part of the deterministic result (identical
+    // serial vs pooled), so they belong in the canonical rendering too.
+    if (c.skipped > 0) os << '~' << c.skipped;
+    os << '\n';
   }
   return std::move(os).str();
 }

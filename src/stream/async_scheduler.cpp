@@ -73,21 +73,31 @@ void AsyncScheduler::workerLoop() {
     // (the engine pump, a serve loop) must not serialize the per-request
     // walk that N workers could do in parallel.
     job.identity = service::requestIdentity(job.request);
+    bool ownsKey = false;
     {
       std::lock_guard lock(mutex_);
       const auto it = inflight_.find(job.identity.key);
-      if (it != inflight_.end()) {
+      if (it == inflight_.end()) {
+        inflight_.emplace(job.identity.key, std::vector<Job>{});
+        ownsKey = true;
+      } else if (it->second.size() < config_.maxCoalescedWaiters) {
         // An identical request is being solved right now: park this one on
         // it and go pop the next — its solver fulfills us when done.
         it->second.push_back(std::move(job));
         ++stats_.waitersAttached;
         continue;
+      } else {
+        // Waiter list at its cap: parked jobs escape the channel's capacity
+        // accounting, so instead of buffering this duplicate we solve it
+        // ourselves. The outcome is identical (deterministic portfolio);
+        // memory stays bounded and backpressure reasserts once every
+        // worker is busy.
+        ++stats_.coalesceOverflow;
       }
-      inflight_.emplace(job.identity.key, std::vector<Job>{});
     }
     service::RequestOutcome outcome = solveOne(job);
     std::vector<Job> waiters;
-    {
+    if (ownsKey) {
       std::lock_guard lock(mutex_);
       const auto it = inflight_.find(job.identity.key);
       waiters = std::move(it->second);

@@ -32,6 +32,11 @@ void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
     w.kv("solver", c.solver);
     w.kv("points", c.points);
     w.kv("completed", c.completed);
+    w.kv("units", c.units);
+    w.kv("novel", c.novel);
+    w.kv("merged", c.merged);
+    w.kv("skipped", c.skipped);
+    w.kv("dropped", c.dropped);
     w.endObject();
   }
   w.endArray();

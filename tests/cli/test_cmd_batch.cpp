@@ -3,6 +3,10 @@
 // usage errors.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "cli_test_util.hpp"
 
 namespace pipesched::cli {
@@ -135,6 +139,144 @@ TEST(CliBatch, MissingFileIsARuntimeError) {
   const RunResult r = run({"batch", tempPath("does_not_exist.psi")});
   EXPECT_EQ(r.code, 1);
   EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliBatch, PortfolioMembersAllWidensTheRace) {
+  const RunResult r = run({"batch", "--kind", "E2", "--count", "2", "--stages", "8",
+                           "--processors", "5", "--seed", "3", "--points", "6", "--serial",
+                           "--portfolio-members", "all"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // The member summary reports every catalog member that accepted.
+  EXPECT_NE(r.out.find("ls:H1"), std::string::npos);
+  EXPECT_NE(r.out.find("sa:H6"), std::string::npos);
+  EXPECT_NE(r.out.find("c2c-dp"), std::string::npos);
+  EXPECT_NE(r.out.find("c2c-ls"), std::string::npos);
+  EXPECT_NE(r.out.find("exact"), std::string::npos);
+}
+
+TEST(CliBatch, PortfolioMembersExplicitListRestrictsTheRace) {
+  const RunResult r = run({"batch", "--kind", "E1", "--count", "1", "--stages", "6",
+                           "--processors", "4", "--seed", "2", "--points", "6", "--serial",
+                           "--portfolio-members", "H1,ls:H1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("H1-SpMonoP"), std::string::npos);
+  EXPECT_NE(r.out.find("ls:H1"), std::string::npos);
+  EXPECT_EQ(r.out.find("H2-3ExploMono"), std::string::npos);
+  EXPECT_EQ(r.out.find("sa:H1"), std::string::npos);
+}
+
+TEST(CliBatch, PortfolioMembersDefaultKeywordMatchesNoFlag) {
+  const std::vector<std::string> base = {"batch", "--kind",  "E2", "--count",
+                                         "2",     "--stages", "8",  "--processors",
+                                         "5",     "--seed",  "11", "--points",
+                                         "6",     "--serial"};
+  std::vector<std::string> withDefault = base;
+  withDefault.push_back("--portfolio-members");
+  withDefault.push_back("default");
+  const RunResult a = run(base);
+  const RunResult b = run(withDefault);
+  EXPECT_EQ(a.code, 0) << a.err;
+  // Identical up to the wall-clock summary line.
+  const auto withoutTiming = [](const std::string& text) {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("req/s") == std::string::npos) out << line << '\n';
+    }
+    return out.str();
+  };
+  EXPECT_EQ(withoutTiming(a.out), withoutTiming(b.out));
+}
+
+TEST(CliBatch, UnknownPortfolioMemberIsAUsageError) {
+  const RunResult r = run({"batch", "--kind", "E1", "--count", "1", "--stages", "6",
+                           "--processors", "4", "--portfolio-members", "H1,bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown portfolio member 'bogus'"), std::string::npos);
+}
+
+TEST(CliBatch, DropAfterReportsSkippedUnits) {
+  // A long, narrow sweep on a tiny platform plateaus fast: drop-after=1
+  // must skip units and say so in the member summary ("skipped" column).
+  const RunResult r = run({"batch", "--kind", "E1", "--count", "1", "--stages", "6",
+                           "--processors", "2", "--seed", "7", "--points", "16", "--serial",
+                           "--no-exact", "--drop-after", "1", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"members\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"skipped\""), std::string::npos);
+  // At least one member reports a non-zero skip.
+  bool sawSkip = false;
+  std::istringstream lines(r.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"skipped\"") != std::string::npos &&
+        line.find("\"skipped\": 0") == std::string::npos) {
+      sawSkip = true;
+    }
+  }
+  EXPECT_TRUE(sawSkip);
+}
+
+/// The committed 10-instance suite behind tests/golden/batch_members_all.json
+/// (CI re-runs the same command through the installed binary and diffs).
+std::vector<std::string> goldenArgs() {
+  return {"batch",    "--kind",   "E2", "--count",        "10",  "--stages", "12",
+          "--processors", "6",    "--seed", "1",          "--points", "6",
+          "--serial", "--no-cache", "--portfolio-members", "all", "--drop-after", "4",
+          "--json"};
+}
+
+/// Strips the two wall-clock-dependent stats lines, matching the CI filter
+/// (grep -vE '"(wall_seconds|requests_per_second)"').
+std::string stripTimings(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wall_seconds\"") != std::string::npos) continue;
+    if (line.find("\"requests_per_second\"") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(CliBatch, GoldenWidenedPortfolioSuiteMatchesCommittedFile) {
+  const std::filesystem::path golden = std::filesystem::path(__FILE__).parent_path()
+                                           .parent_path() /
+                                       "golden" / "batch_members_all.json";
+  ASSERT_TRUE(std::filesystem::exists(golden)) << golden;
+  std::ifstream in(golden);
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  const RunResult r = run(goldenArgs());
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(stripTimings(r.out), expected.str());
+}
+
+TEST(CliBatch, GoldenSuiteShowsANonHeuristicFrontContribution) {
+  // The acceptance scenario: the widened portfolio must contribute merged
+  // front points H1..H6 alone do not find — visible as a non-zero "merged"
+  // on a refiner/c2c member row of the golden suite's stats.
+  const RunResult r = run(goldenArgs());
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::size_t members = r.out.find("\"members\"");
+  ASSERT_NE(members, std::string::npos);
+  bool sawNonHeuristicMerge = false;
+  std::istringstream lines(r.out.substr(members));
+  std::string line;
+  std::string currentMember;
+  while (std::getline(lines, line)) {
+    const std::size_t m = line.find("\"member\": \"");
+    if (m != std::string::npos) currentMember = line.substr(m + 11);
+    if (line.find("\"merged\"") != std::string::npos &&
+        line.find("\"merged\": 0") == std::string::npos &&
+        (currentMember.rfind("ls:", 0) == 0 || currentMember.rfind("sa:", 0) == 0 ||
+         currentMember.rfind("c2c", 0) == 0)) {
+      sawNonHeuristicMerge = true;
+    }
+  }
+  EXPECT_TRUE(sawNonHeuristicMerge);
 }
 
 }  // namespace

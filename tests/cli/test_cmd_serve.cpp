@@ -181,5 +181,43 @@ TEST(CliBatchStream, RepeatPassesAreServedByTheCache) {
   EXPECT_EQ(stats->find("cache_hits")->asSize(), 4u);
 }
 
+TEST(CliServe, SolverRowsCarryPerMemberContributionStats) {
+  const std::string input = writeLines(
+      "serve_members.jsonl",
+      {R"({"kind": "E2", "stages": 6, "processors": 4, "seed": 9})"});
+  const RunResult r = run({"serve", "--input", input, "--points", "4", "--serial"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const std::vector<io::JsonValue> lines = parseOutputLines(r.out);
+  ASSERT_GE(lines.size(), 1u);
+  const io::JsonValue* solvers = lines[0].find("solvers");
+  ASSERT_NE(solvers, nullptr);
+  ASSERT_FALSE(solvers->items.empty());
+  for (const io::JsonValue& solver : solvers->items) {
+    ASSERT_NE(solver.find("units"), nullptr);
+    ASSERT_NE(solver.find("novel"), nullptr);
+    ASSERT_NE(solver.find("merged"), nullptr);
+    ASSERT_NE(solver.find("skipped"), nullptr);
+    ASSERT_NE(solver.find("dropped"), nullptr);
+  }
+  // The 4-point grid gives every sweeping member 4 units.
+  EXPECT_EQ(solvers->items.front().find("units")->asSize(), 4u);
+}
+
+TEST(CliServe, PortfolioMembersFlagReachesTheServeLoop) {
+  const std::string input = writeLines(
+      "serve_members_flag.jsonl",
+      {R"({"kind": "E1", "stages": 6, "processors": 3, "seed": 4})"});
+  const RunResult r = run({"serve", "--input", input, "--points", "4", "--serial",
+                           "--portfolio-members", "H1,c2c", "--no-exact"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const std::vector<io::JsonValue> lines = parseOutputLines(r.out);
+  ASSERT_GE(lines.size(), 1u);
+  const io::JsonValue* solvers = lines[0].find("solvers");
+  ASSERT_NE(solvers, nullptr);
+  ASSERT_EQ(solvers->items.size(), 2u);
+  EXPECT_EQ(solvers->items[0].find("solver")->asString(), "H1-SpMonoP");
+  EXPECT_EQ(solvers->items[1].find("solver")->asString(), "c2c-dp");
+}
+
 }  // namespace
 }  // namespace pipesched::cli

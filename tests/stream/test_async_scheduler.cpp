@@ -266,6 +266,171 @@ TEST(AsyncScheduler, DestructorDrainsPendingWork) {
   for (auto& future : futures) EXPECT_TRUE(future.get().ok);
 }
 
+TEST(AsyncScheduler, CoalescedWaiterListIsCappedAndOverflowSolvesDirectly) {
+  // Regression (ROADMAP "bound coalesced-waiter memory"): parked duplicates
+  // escape the channel's capacity accounting, so the per-key waiter list is
+  // capped; past the cap the popping worker solves the duplicate itself.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool released = false;
+  std::atomic<int> solves{0};
+
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 4;
+  config.maxCoalescedWaiters = 2;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    ++solves;
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return released; });
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+
+  // 8 identical requests: one worker owns the key and blocks in the solve;
+  // the other parks exactly maxCoalescedWaiters duplicates, then the next
+  // duplicate overflows the list and is solved directly (blocking too). The
+  // remaining 4 fit the channel, so submission completes.
+  const service::Request request = makeRequest(70);
+  std::vector<std::future<service::RequestOutcome>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(scheduler.submit(request));
+
+  // Poll monotone counters only — no fixed sleeps.
+  while (true) {
+    const StreamStats stats = scheduler.stats();
+    if (stats.waitersAttached == 2 && stats.coalesceOverflow == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(scheduler.stats().completed, 0u);  // everything gated or parked
+  {
+    std::lock_guard lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  scheduler.drain();
+  const StreamStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  // Every parked duplicate became a coalesced copy; everything else (owner,
+  // overflow, post-release pops) went through its own solve.
+  EXPECT_GE(stats.waitersAttached, 2u);
+  EXPECT_EQ(stats.coalesced, stats.waitersAttached);
+  EXPECT_EQ(stats.solved + stats.coalesced, 8u);
+  EXPECT_EQ(stats.solved, static_cast<std::uint64_t>(solves.load()));
+  expectInvariant(stats);
+}
+
+TEST(AsyncScheduler, AllDuplicatesStreamStaysBounded) {
+  // The boundedness proof: with EVERY solve gated, an all-duplicates stream
+  // must come to rest with at most
+  //   1 (owner) + cap (parked) + 1 (overflow on the other worker)
+  //   + queueCapacity (channel) + 1 (producer blocked in push)
+  // requests admitted — with unbounded parking (the old behavior) the
+  // producer would sail through all 50 submissions.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool released = false;
+
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 2;
+  config.maxCoalescedWaiters = 2;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return released; });
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+
+  const service::Request request = makeRequest(71);
+  std::vector<std::future<service::RequestOutcome>> futures;
+  std::thread producer([&] {
+    for (int i = 0; i < 50; ++i) futures.push_back(scheduler.submit(request));
+  });
+
+  // Quiescence: both workers gated (one owner, one overflow), the waiter
+  // list full, the channel full, the producer blocked. All monotone.
+  while (true) {
+    const StreamStats stats = scheduler.stats();
+    if (stats.waitersAttached >= 2 && stats.coalesceOverflow >= 1 &&
+        stats.queue.pushWaits >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    const StreamStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_LE(stats.submitted, 7u);  // 1 + 2 + 1 + 2 + 1 — bounded, not 50
+    EXPECT_LE(stats.waitersAttached, 2u);
+  }
+  {
+    std::lock_guard lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  producer.join();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  scheduler.drain();
+  const StreamStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 50u);
+  EXPECT_EQ(stats.completed, 50u);
+  expectInvariant(stats);
+}
+
+TEST(AsyncScheduler, OverflowOutcomesAreByteIdenticalToCoalescedOnes) {
+  // No override: overflow duplicates go through real portfolio solves, which
+  // must render byte-identically to the coalesced copies (the determinism
+  // contract the cap relies on).
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 8;
+  config.maxCoalescedWaiters = 1;
+  AsyncScheduler scheduler(config);
+  const service::Request request = makeRequest(73);
+  std::vector<std::future<service::RequestOutcome>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(scheduler.submit(request));
+  std::vector<service::RequestOutcome> outcomes;
+  for (auto& future : futures) outcomes.push_back(future.get());
+  scheduler.drain();
+  for (const service::RequestOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(service::describeOutcome(outcome), service::describeOutcome(outcomes.front()));
+    EXPECT_EQ(outcome.fingerprint.hex(), outcomes.front().fingerprint.hex());
+  }
+  expectInvariant(scheduler.stats());
+}
+
+TEST(AsyncScheduler, CapZeroDisablesCoalescingEntirely) {
+  std::atomic<int> solves{0};
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 8;
+  config.maxCoalescedWaiters = 0;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    ++solves;
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+  const service::Request request = makeRequest(72);
+  std::vector<std::future<service::RequestOutcome>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(scheduler.submit(request));
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  scheduler.drain();
+  const StreamStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.waitersAttached, 0u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(solves.load(), 6);  // every duplicate solved on its own
+  expectInvariant(stats);
+}
+
 TEST(AsyncScheduler, BackpressureIsObservableUnderABlockedWorker) {
   std::mutex gate_mutex;
   std::condition_variable gate_cv;
