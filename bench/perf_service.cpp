@@ -10,15 +10,26 @@
 //    "portfolio_members":{"members":"all","drop_after":4,
 //      "requests_per_second":...,
 //      "members_detail":[{"member":"H1-SpMonoP","runs":...,"points":...,
-//                         "novel":...,"merged":...,"skipped":...,"dropped":...},...]}}
+//                         "novel":...,"merged":...,"skipped":...,"dropped":...},...]},
+//    "warm_sweep":{"requests":...,"narrow_points":P,"wide_points":2P-1,
+//      "cold_seconds":...,"warm_seconds":...,"speedup":...,
+//      "sub_hits":...,"sub_units_reused":...}}
 //
 // The portfolio_members section races the full member catalog (refiners +
 // c2c + exact) with budget-aware dropping on a slice of the batch and
 // reports each member's per-member contribution columns.
 //
+// The warm_sweep section measures cross-request work sharing: the same
+// instances swept at P points, then at 2P-1 points over the same range —
+// every narrow-grid threshold reappears in the wide grid, so a sub-result
+// warm service solves only the 2P-1 minus P fresh thresholds. Reported
+// speedup is cold wide-sweep wall over warm wide-sweep wall (same requests,
+// byte-identical fronts).
+//
 // Usage: perf_service [--requests N] [--threads LIST] [--stages N]
 //                     [--processors P] [--points N] [--seed S]
-//                     [--members-requests N] [--drop-after K] [--output FILE]
+//                     [--members-requests N] [--drop-after K]
+//                     [--warm-requests N] [--output FILE]
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -88,12 +99,13 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> threadCounts = {1, 2, 4};
   std::size_t membersRequests = 40;
   std::size_t dropAfter = 4;
+  std::size_t warmRequests = 24;
   std::string output = "BENCH_service.json";
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
               << " [--requests N] [--threads LIST] [--stages N] [--processors P]"
                  " [--points N] [--seed S] [--members-requests N] [--drop-after K]"
-                 " [--output FILE]\n";
+                 " [--warm-requests N] [--output FILE]\n";
     return 2;
   };
   try {
@@ -110,6 +122,7 @@ int main(int argc, char** argv) {
       else if (arg == "--seed") seed = std::stoull(next());
       else if (arg == "--members-requests") membersRequests = std::stoul(next());
       else if (arg == "--drop-after") dropAfter = std::stoul(next());
+      else if (arg == "--warm-requests") warmRequests = std::stoul(next());
       else if (arg == "--output") output = next();
       else if (arg == "--threads") {
         threadCounts.clear();
@@ -187,6 +200,40 @@ int main(int argc, char** argv) {
               << m.skipped << " skipped\n";
   }
 
+  // Warm-sweep pass (cross-request work sharing): the same instances swept
+  // narrow (P points) then wide (2P-1 points, same range — the narrow grid
+  // is a sub-grid of the wide one). Cold reference: a sharing-off service
+  // solving the wide sweep from scratch.
+  const std::size_t narrowPoints = std::max<std::size_t>(points, 2);
+  const std::size_t widePoints = 2 * narrowPoints - 1;
+  std::vector<service::Request> narrowBatch(
+      batch.begin(),
+      batch.begin() + static_cast<std::ptrdiff_t>(std::min(warmRequests, batch.size())));
+  std::vector<service::Request> wideBatch2 = narrowBatch;
+  for (service::Request& r : narrowBatch) r.sweep = service::SweepSpec{narrowPoints, 3};
+  for (service::Request& r : wideBatch2) r.sweep = service::SweepSpec{widePoints, 3};
+
+  service::ServiceConfig coldSweepConfig;
+  coldSweepConfig.threads = 1;
+  coldSweepConfig.cacheCapacity = 0;
+  coldSweepConfig.shareSubResults = false;
+  service::SchedulingService coldSweepSvc(coldSweepConfig);
+  const service::BatchResult coldWide = coldSweepSvc.solveBatch(wideBatch2);
+
+  service::ServiceConfig warmSweepConfig = coldSweepConfig;
+  warmSweepConfig.shareSubResults = true;
+  service::SchedulingService warmSweepSvc(warmSweepConfig);
+  (void)warmSweepSvc.solveBatch(narrowBatch);  // populate the sub-result cache
+  const service::BatchResult warmWide = warmSweepSvc.solveBatch(wideBatch2);
+  const double warmSweepSpeedup =
+      coldWide.stats.wallSeconds > 0 && warmWide.stats.wallSeconds > 0
+          ? coldWide.stats.wallSeconds / warmWide.stats.wallSeconds
+          : 1.0;
+  std::cout << "  warm sweep (" << narrowBatch.size() << " instances, " << narrowPoints
+            << " -> " << widePoints << " points): cold " << coldWide.stats.wallSeconds
+            << " s, warm " << warmWide.stats.wallSeconds << " s, speedup " << warmSweepSpeedup
+            << "x (" << warmWide.stats.subUnitsReused << " unit(s) reused)\n";
+
   std::ofstream os(output);
   if (!os) {
     std::cerr << "cannot write " << output << "\n";
@@ -233,6 +280,16 @@ int main(int argc, char** argv) {
     w.endObject();
   }
   w.endArray();
+  w.endObject();
+  w.key("warm_sweep").beginObject();
+  w.kv("requests", narrowBatch.size());
+  w.kv("narrow_points", narrowPoints);
+  w.kv("wide_points", widePoints);
+  w.kv("cold_seconds", coldWide.stats.wallSeconds);
+  w.kv("warm_seconds", warmWide.stats.wallSeconds);
+  w.kv("speedup", warmSweepSpeedup);
+  w.kv("sub_hits", static_cast<std::size_t>(warmWide.stats.subHits));
+  w.kv("sub_units_reused", static_cast<std::size_t>(warmWide.stats.subUnitsReused));
   w.endObject();
   w.endObject();
   os << "\n";

@@ -37,6 +37,15 @@ struct RequestIdentity {
 
 [[nodiscard]] RequestIdentity requestIdentity(const Request& request);
 
+/// Sweep-independent identity of the request's *instance* (pipeline +
+/// platform + communication model, excluding the sweep spec and the display
+/// name). Two requests that sweep the same instance with different grids
+/// share this identity — it keys the cross-request sub-result cache, where
+/// per-threshold solves are valid for every sweep of the instance.
+[[nodiscard]] std::string instanceKey(const Request& request);
+[[nodiscard]] Fingerprint instanceFingerprint(const Request& request);
+[[nodiscard]] RequestIdentity instanceIdentity(const Request& request);
+
 /// Exact hexfloat rendering used by the canonical form (and by
 /// describeOutcome, which must stay bit-faithful to it).
 [[nodiscard]] std::string renderRealHex(Real value);

@@ -39,10 +39,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "pipesched/heuristics/registry.hpp"
 #include "pipesched/service/request.hpp"
+#include "pipesched/service/result_cache.hpp"
 #include "pipesched/service/thread_pool.hpp"
 
 namespace pipesched::service {
@@ -90,14 +94,86 @@ struct PortfolioConfig {
   PortfolioBudget budget;
 };
 
+// ---------------------------------------------------------------------------
+// Cross-request sub-result sharing.
+//
+// The sub-result cache memoizes the portfolio's *work units* under the
+// sweep-independent instance identity (instanceIdentity in fingerprint.hpp):
+// a (member, threshold) solve is the same computation whichever sweep spec
+// dispatched it, so a new sweep over a seen instance only solves the
+// thresholds it has not met. Three payload kinds share one value type:
+//   * unit outputs — the points a work unit emitted (whole-unit skip);
+//   * seeds — the raw base-heuristic result at a threshold, which the ls/sa
+//     refiners warm-start from instead of re-running the base heuristic;
+//   * scalars — the member's grid anchor (failure threshold / latency
+//     optimum), an instance property every sweep of the instance recomputes.
+//
+// Determinism guarantee (pinned by tests/service/test_subresult_share.cpp):
+// every memoized payload is a pure function of (instance, share key) under a
+// fixed PortfolioConfig, so sharing can only skip redundant work — fronts are
+// byte-identical with sharing on or off, serial or pooled. The store must not
+// be shared across services with different portfolio configs (the keys embed
+// only the config knobs a unit's output depends on: annealing moves, the
+// exact mapping limit). Scope: the guarantee presumes a deterministic run to
+// begin with — a wall-clock budget (PortfolioBudget::timeBudgetMs > 0, off by
+// default and already documented as non-reproducible) cuts sweeps by timing,
+// which sharing changes.
+
+/// One memoized work unit / warm-start payload.
+struct SubResult {
+  std::vector<core::ParetoPoint> points;  ///< the unit's emitted points
+
+  /// Raw base-heuristic result at the unit's threshold (mapping valid even
+  /// on failure — the annealing refiner anneals from failed seeds too).
+  std::optional<heuristics::Result> seed;
+
+  /// Scalar payload (grid anchor).
+  std::optional<Real> scalar;
+};
+
+/// Instance-keyed store of SubResults (see result_cache.hpp for semantics).
+using SubResultCache = ShardedLruStore<SubResult>;
+
+/// Binds one runPortfolio call to the sub-result cache: the instance's
+/// sweep-independent identity plus the store. Copy-cheap view; thread-safe
+/// (the store shards its locks, the identity is immutable).
+///
+/// Entry identity is the 128-bit instance fingerprint (two independently
+/// seeded streams — instanceFingerprint in fingerprint.hpp) plus the unit
+/// key. Unlike the whole-result cache, the canonical instance *text* is not
+/// embedded in every entry key: with thousands of per-threshold units per
+/// instance it would replicate kilobytes of hexfloat rendering per entry
+/// and re-hash it on every unit lookup. The cost is a ~2^-64-per-pair
+/// aliasing chance on a fingerprint collision — accepted for this layer
+/// (the exact-keyed whole-result cache still guards full requests).
+class SubShare {
+ public:
+  SubShare(SubResultCache* cache, Fingerprint instanceFp)
+      : cache_(cache), fp_(instanceFp), prefix_(fp_.hex() + '\x1f') {}
+
+  [[nodiscard]] std::optional<SubResult> load(const std::string& unitKey) const {
+    if (cache_ == nullptr) return std::nullopt;
+    return cache_->get(fp_, prefix_ + unitKey);
+  }
+
+  void store(const std::string& unitKey, SubResult memo) const {
+    if (cache_ != nullptr) cache_->put(fp_, prefix_ + unitKey, std::move(memo));
+  }
+
+ private:
+  SubResultCache* cache_ = nullptr;
+  Fingerprint fp_;
+  std::string prefix_;  ///< fingerprint hex + unit separator, built once
+};
+
 /// One pluggable portfolio member. Implementations must be safe to run
 /// concurrently with every other member (no shared mutable state); one
 /// member instance is driven by exactly one task per runPortfolio call.
 class PortfolioMember {
  public:
   /// Per-instance work session. units() work units are executed in order by
-  /// the portfolio runner, which owns the budget / deadline / drop checks
-  /// between units.
+  /// the portfolio runner, which owns the budget / deadline / drop checks —
+  /// and the sub-result lookup/publish — between units.
   class Run {
    public:
     virtual ~Run() = default;
@@ -105,9 +181,23 @@ class PortfolioMember {
     /// Number of work units this member wants on this instance.
     [[nodiscard]] virtual std::size_t units() const = 0;
 
+    /// Share identity of unit i's output, stable across sweeps of the same
+    /// instance and distinct across units ("" = this unit is not shareable).
+    /// Must embed every config knob the unit's output depends on.
+    [[nodiscard]] virtual std::string unitKey(std::size_t /*i*/) const { return {}; }
+
     /// Executes work unit i (< units()); returns the feasible points it
     /// produced (possibly none). Points must carry their realizing mapping.
     [[nodiscard]] virtual std::vector<core::ParetoPoint> unit(std::size_t i) = 0;
+
+    /// Called right after a fresh unit(i), before the runner publishes its
+    /// memo: attach the member's warm-start payload (e.g. the raw base
+    /// heuristic result other members can seed from).
+    virtual void attachSeed(std::size_t /*i*/, SubResult& /*memo*/) {}
+
+    /// Work units this run warm-started from cached seed payloads (grid
+    /// anchors, base-heuristic seeds) — reported as contribution.seeded.
+    [[nodiscard]] virtual std::size_t seeded() const { return 0; }
 
     /// True when an internal limit (e.g. the exact mapping limit) truncated
     /// the member's own work; reported as contribution.completed == false.
@@ -127,10 +217,14 @@ class PortfolioMember {
   [[nodiscard]] virtual bool accepts(const core::Evaluator& eval,
                                      const PortfolioConfig& config) const = 0;
 
-  /// Starts a work session on one instance.
+  /// Starts a work session on one instance. `share` (nullable) lets the run
+  /// consume and publish warm-start payloads; the runner separately handles
+  /// whole-unit memoization through unitKey(). (No default argument: on a
+  /// virtual it would bind to the static type and overrides don't repeat it.)
   [[nodiscard]] virtual std::unique_ptr<Run> start(const core::Evaluator& eval,
                                                    const SweepSpec& sweep,
-                                                   const PortfolioConfig& config) const = 0;
+                                                   const PortfolioConfig& config,
+                                                   const SubShare* share) const = 0;
 };
 
 /// One catalog row (see portfolioMemberCatalog).
@@ -158,12 +252,15 @@ struct PortfolioMemberInfo {
 /// Runs the portfolio on one instance. With `pool`, members race on its
 /// workers (the call still blocks until all complete — do not invoke with a
 /// pool from inside one of that pool's own tasks); without, they run serially
-/// in member order. Both paths return identical results (see determinism
+/// in member order. With `share`, work units are memoized/reused through the
+/// sub-result cache (see SubShare above — results are byte-identical with or
+/// without it). Both paths return identical results (see determinism
 /// contract above). Throws ModelError on an invalid sweep spec or an unknown
 /// member id.
 [[nodiscard]] PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
                                            const PortfolioConfig& config = {},
-                                           ThreadPool* pool = nullptr);
+                                           ThreadPool* pool = nullptr,
+                                           const SubShare* share = nullptr);
 
 /// True when `config` admits the exact enumerator on this instance size.
 [[nodiscard]] bool exactEligible(std::size_t stages, std::size_t processors,

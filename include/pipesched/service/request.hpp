@@ -67,6 +67,12 @@ struct SolverContribution {
                              ///< (first member in race order with the coordinates)
   std::size_t skipped = 0;   ///< units skipped by budget-aware dropping
   bool dropped = false;      ///< the drop policy fired on this member
+  /// Cross-request work sharing provenance (excluded from describeOutcome,
+  /// like fromCache/deduped: how much work was *saved* depends on cache state
+  /// and timing, while the resulting points are byte-identical either way).
+  std::size_t reused = 0;    ///< whole units served from the sub-result cache
+  std::size_t seeded = 0;    ///< units warm-started from a cached seed payload
+                             ///< (base-heuristic mappings, feasibility ranges)
 };
 
 /// The service's answer for one request: the merged non-dominated front over

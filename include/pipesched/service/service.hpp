@@ -34,6 +34,20 @@ struct ServiceConfig {
   std::size_t cacheCapacity = 1024;
   std::size_t cacheShards = 8;
 
+  /// Cross-request sub-result sharing: memoize per-threshold work units and
+  /// warm-start seeds under the sweep-independent instance identity, so a
+  /// new sweep over a seen instance only solves the thresholds it has not
+  /// met. Fronts are byte-identical with sharing on or off (see the
+  /// determinism guarantee in portfolio.hpp; like every reproducibility
+  /// property here it presumes no wall-clock budget) — only the work
+  /// changes.
+  bool shareSubResults = true;
+
+  /// Sub-result cache entries (work units, much smaller than whole results)
+  /// and shard count. 0 also disables sharing.
+  std::size_t subCacheCapacity = 32768;
+  std::size_t subCacheShards = 8;
+
   PortfolioConfig portfolio;
 };
 
@@ -49,6 +63,8 @@ struct MemberBatchStats {
   std::uint64_t merged = 0;   ///< merged-front points credited to the member
   std::uint64_t skipped = 0;  ///< work units skipped by budget-aware dropping
   std::uint64_t dropped = 0;  ///< runs on which the drop policy fired
+  std::uint64_t reused = 0;   ///< whole units served from the sub-result cache
+  std::uint64_t seeded = 0;   ///< units warm-started from cached seed payloads
 
   /// Folds one solve's contribution into this row (counts one run).
   void add(const SolverContribution& c) {
@@ -58,6 +74,8 @@ struct MemberBatchStats {
     merged += c.merged;
     skipped += c.skipped;
     dropped += c.dropped ? 1 : 0;
+    reused += c.reused;
+    seeded += c.seeded;
   }
 
   /// Folds another row for the same member into this one.
@@ -68,6 +86,8 @@ struct MemberBatchStats {
     merged += other.merged;
     skipped += other.skipped;
     dropped += other.dropped;
+    reused += other.reused;
+    seeded += other.seeded;
   }
 };
 
@@ -82,6 +102,12 @@ struct BatchStats {
   std::size_t deduped = 0;     ///< shared an identical in-batch request's ok solve
   double wallSeconds = 0;
   double requestsPerSecond = 0;
+  /// Cross-request work sharing over the fresh solves: sub-result cache hits
+  /// (whole units + warm-start seeds) and the whole-unit subset. How much is
+  /// shared depends on cache state and, under a pool, timing — the *results*
+  /// never do.
+  std::uint64_t subHits = 0;
+  std::uint64_t subUnitsReused = 0;
   std::vector<MemberBatchStats> members;  ///< per-member totals (fresh solves)
 };
 
@@ -110,13 +136,22 @@ class SchedulingService {
   [[nodiscard]] BatchResult solveBatch(const std::vector<Request>& requests);
 
   [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }
-  void clearCache() { cache_.clear(); }
+
+  /// Counters of the instance-keyed sub-result cache (cross-request work
+  /// sharing); all zero when ServiceConfig::shareSubResults is off.
+  [[nodiscard]] CacheStats subCacheStats() const { return subCache_.stats(); }
+
+  void clearCache() {
+    cache_.clear();
+    subCache_.clear();
+  }
 
  private:
-  [[nodiscard]] RequestOutcome solveUncached(const Request& request, ThreadPool* pool) const;
+  [[nodiscard]] RequestOutcome solveUncached(const Request& request, ThreadPool* pool);
 
   ServiceConfig config_;
   ResultCache cache_;
+  SubResultCache subCache_;
   ThreadPool pool_;
 };
 

@@ -136,6 +136,10 @@ class AsyncScheduler {
   /// The wrapped service's result-cache counters.
   [[nodiscard]] service::CacheStats cacheStats() const { return service_.cacheStats(); }
 
+  /// The wrapped service's sub-result cache counters (cross-request work
+  /// sharing — the serve path benefits automatically on fresh solves).
+  [[nodiscard]] service::CacheStats subCacheStats() const { return service_.subCacheStats(); }
+
  private:
   struct Job {
     service::Request request;

@@ -10,7 +10,10 @@
 #pragma once
 
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <ostream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -54,28 +57,56 @@ class CollectSink : public Sink {
   std::vector<Item> items;
 };
 
+/// Mutex-guarded whole-line writer over one output stream. Every line is
+/// rendered to completion in memory first, then appended + flushed under a
+/// single lock — so lines from different call sites (the sink's outcome
+/// emission, `serve`'s parse-error reporting) can never interleave mid-line
+/// and corrupt the JSONL stream, however those call sites are threaded.
+class JsonlLineWriter {
+ public:
+  explicit JsonlLineWriter(std::ostream& out) : out_(&out) {}
+
+  JsonlLineWriter(const JsonlLineWriter&) = delete;
+  JsonlLineWriter& operator=(const JsonlLineWriter&) = delete;
+
+  /// Writes `line` (without its trailing newline) atomically and flushes.
+  void writeLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    *out_ << line << '\n' << std::flush;
+  }
+
+ private:
+  std::ostream* out_;
+  std::mutex mutex_;
+};
+
 /// Writes one compact JSON object per outcome, flushing after every line —
 /// the incremental half of the `batch --json` report (same per-request
 /// fields, plus "index"). Lines are emitted as results complete, so a
 /// consumer tailing the stream sees fronts without waiting for the batch.
 class JsonlSink : public Sink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  explicit JsonlSink(std::ostream& out)
+      : owned_(std::in_place, out), writer_(&*owned_) {}
 
-  /// With `inputLines`, every outcome line additionally carries
-  /// "line": inputLines->front() (then pops it). The caller's source pushes
-  /// one entry per request it hands the engine, in pull order — emission is
-  /// in the same order, so front() is always this outcome's input line.
-  /// This is how `serve` keeps outcomes correlatable with request lines even
-  /// when malformed lines (reported by line number, not index) interleave.
-  JsonlSink(std::ostream& out, std::deque<std::size_t>* inputLines)
-      : out_(&out), inputLines_(inputLines) {}
+  /// Shares an external line writer — the `serve` shape, where parse-error
+  /// lines from the source side go through the same guarded writer as the
+  /// outcome lines. With `inputLines`, every outcome line additionally
+  /// carries "line": inputLines->front() (then pops it). The caller's source
+  /// pushes one entry per request it hands the engine, in pull order —
+  /// emission is in the same order, so front() is always this outcome's
+  /// input line. This is how `serve` keeps outcomes correlatable with
+  /// request lines even when malformed lines (reported by line number, not
+  /// index) interleave.
+  JsonlSink(JsonlLineWriter& writer, std::deque<std::size_t>* inputLines)
+      : writer_(&writer), inputLines_(inputLines) {}
 
   void emit(std::size_t index, const service::Request& request,
             const service::RequestOutcome& outcome) override;
 
  private:
-  std::ostream* out_;
+  std::optional<JsonlLineWriter> owned_;  ///< backs the ostream constructor
+  JsonlLineWriter* writer_;
   std::deque<std::size_t>* inputLines_ = nullptr;
 };
 

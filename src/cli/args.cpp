@@ -30,13 +30,17 @@ ArgList::ArgList(std::vector<std::string> args, const std::vector<std::string>& 
 }
 
 const ArgList::Option* ArgList::find(const std::string& name) const {
+  // Last occurrence wins (`--workers 2 --workers 4` means 4), and every
+  // occurrence is consumed — earlier ones must not resurface as "unknown
+  // option" in assertConsumed().
+  const Option* found = nullptr;
   for (const Option& o : options_) {
     if (o.name == name) {
       o.consumed = true;
-      return &o;
+      found = &o;
     }
   }
-  return nullptr;
+  return found;
 }
 
 bool ArgList::has(const std::string& name) const { return find(name) != nullptr; }
@@ -97,6 +101,9 @@ std::uint64_t ArgList::getU64(const std::string& name, std::uint64_t fallback) c
   const auto v = get(name);
   if (!v) return fallback;
   try {
+    // std::stoull accepts a leading '-' and wraps silently ("-1" parses as
+    // 2^64-1); a negative value must be rejected, not wrapped.
+    if (v->find('-') != std::string::npos) throw std::invalid_argument(*v);
     std::size_t used = 0;
     const std::uint64_t value = std::stoull(*v, &used);
     if (used != v->size()) throw std::invalid_argument(*v);

@@ -72,6 +72,11 @@ service::ServiceConfig serviceConfigFromArgs(const ArgList& args) {
   config.threads = args.getSize("threads", service::ThreadPool::defaultThreadCount());
   if (args.has("serial")) config.threads = 0;
   config.cacheCapacity = args.has("no-cache") ? 0 : args.getSize("cache-capacity", 1024);
+  const std::string share = args.getOr("share-subresults", "on");
+  if (share != "on" && share != "off") {
+    throw UsageError("option --share-subresults must be 'on' or 'off', not '" + share + "'");
+  }
+  config.shareSubResults = share == "on";
   config.portfolio.useExact = !args.has("no-exact");
   config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
   config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
@@ -122,6 +127,8 @@ commands:
              [--kind E1..E4 [--count N] [--stages N] [--processors P] [--seed S]]
              [--points N] [--range X] [--overlap]
              [--threads N | --serial] [--cache-capacity N | --no-cache]
+             [--share-subresults on|off]  # cross-request sub-result memoization
+                            # (instance-keyed; fronts identical either way)
              [--no-exact] [--budget RUNS] [--time-budget MS] [--json]
              [--portfolio-members default|all|ID,ID,...]  # H1..H6, ls:HN,
                             # sa:HN (refiners), c2c, c2c:ls, exact
@@ -133,7 +140,8 @@ commands:
              JSONL outcome per line out, answered in input order as completed
              [--input FILE] [--threads N | --serial] [--queue-capacity N]
              [--points N] [--range X] [--overlap] [--cache-capacity N |
-             --no-cache] [--no-exact] [--budget RUNS] [--time-budget MS]
+             --no-cache] [--share-subresults on|off]
+             [--no-exact] [--budget RUNS] [--time-budget MS]
              [--portfolio-members default|all|ID,ID,...] [--drop-after K]
              # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
              #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}

@@ -78,7 +78,8 @@ std::vector<service::Request> drainSource(stream::Source& source) {
 }
 
 void printText(std::ostream& out, const std::vector<service::Request>& requests,
-               const service::BatchResult& batch, const service::CacheStats& cache) {
+               const service::BatchResult& batch, const service::CacheStats& cache,
+               const service::CacheStats& sub) {
   exp::TextTable table;
   table.setHeader({"request", "fingerprint", "front", "min period", "min latency", "source"});
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -106,21 +107,27 @@ void printText(std::ostream& out, const std::vector<service::Request>& requests,
   out << "cache: " << cache.entries << " entr" << (cache.entries == 1 ? "y" : "ies") << ", "
       << cache.hits << " hit(s), " << cache.misses << " miss(es), " << cache.evictions
       << " eviction(s)\n";
+  out << "sub-results: " << s.subHits << " hit(s) (" << s.subUnitsReused
+      << " whole unit(s) reused), " << sub.entries << " cached unit(s)\n";
   if (!s.members.empty()) {
     out << "\nportfolio members (fresh solves):\n";
     exp::TextTable members;
-    members.setHeader({"member", "runs", "points", "novel", "merged", "skipped", "dropped"});
+    members.setHeader(
+        {"member", "runs", "points", "novel", "merged", "skipped", "dropped", "reused",
+         "seeded"});
     for (const service::MemberBatchStats& m : s.members) {
       members.addRow({m.solver, std::to_string(m.runs), std::to_string(m.points),
                       std::to_string(m.novel), std::to_string(m.merged),
-                      std::to_string(m.skipped), std::to_string(m.dropped)});
+                      std::to_string(m.skipped), std::to_string(m.dropped),
+                      std::to_string(m.reused), std::to_string(m.seeded)});
     }
     members.print(out);
   }
 }
 
 void printJson(std::ostream& out, const std::vector<service::Request>& requests,
-               const service::BatchResult& batch, const service::CacheStats& cache) {
+               const service::BatchResult& batch, const service::CacheStats& cache,
+               const service::CacheStats& sub) {
   io::JsonWriter w(out, /*pretty=*/true);
   w.beginObject();
   w.key("requests").beginArray();
@@ -139,6 +146,8 @@ void printJson(std::ostream& out, const std::vector<service::Request>& requests,
   w.kv("failed", batch.stats.failed);
   w.kv("wall_seconds", batch.stats.wallSeconds);
   w.kv("requests_per_second", batch.stats.requestsPerSecond);
+  w.kv("sub_hits", static_cast<std::size_t>(batch.stats.subHits));
+  w.kv("sub_units_reused", static_cast<std::size_t>(batch.stats.subUnitsReused));
   w.key("members").beginArray();
   for (const service::MemberBatchStats& m : batch.stats.members) {
     w.beginObject();
@@ -149,6 +158,8 @@ void printJson(std::ostream& out, const std::vector<service::Request>& requests,
     w.kv("merged", static_cast<std::size_t>(m.merged));
     w.kv("skipped", static_cast<std::size_t>(m.skipped));
     w.kv("dropped", static_cast<std::size_t>(m.dropped));
+    w.kv("reused", static_cast<std::size_t>(m.reused));
+    w.kv("seeded", static_cast<std::size_t>(m.seeded));
     w.endObject();
   }
   w.endArray();
@@ -159,6 +170,12 @@ void printJson(std::ostream& out, const std::vector<service::Request>& requests,
   w.kv("misses", cache.misses);
   w.kv("evictions", cache.evictions);
   w.kv("hit_ratio", cache.hitRatio());
+  w.endObject();
+  w.key("sub_cache").beginObject();
+  w.kv("entries", sub.entries);
+  w.kv("hits", sub.hits);
+  w.kv("misses", sub.misses);
+  w.kv("evictions", sub.evictions);
   w.endObject();
   w.endObject();
   out << "\n";
@@ -205,6 +222,7 @@ int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
 
   const stream::StreamStats s = scheduler.stats();
   const service::CacheStats cache = scheduler.cacheStats();
+  const service::CacheStats sub = scheduler.subCacheStats();
   io::JsonWriter w(out, /*pretty=*/false);
   w.beginObject();
   w.key("stats").beginObject();
@@ -212,6 +230,7 @@ int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
   w.kv("solved", s.solved);
   w.kv("cache_hits", s.cacheHits);
   w.kv("coalesced", s.coalesced);
+  w.kv("sub_hits", static_cast<std::size_t>(sub.hits));
   w.kv("failed", s.failed);
   w.kv("wall_seconds", wallSeconds);
   w.kv("requests_per_second", wallSeconds > 0 ? static_cast<double>(requests) / wallSeconds : 0.0);
@@ -223,6 +242,8 @@ int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
   w.kv("entries", cache.entries);
   w.kv("hits", static_cast<std::size_t>(cache.hits));
   w.kv("misses", static_cast<std::size_t>(cache.misses));
+  // sub_hits lives in the stats object above; only residency belongs here.
+  w.kv("sub_entries", sub.entries);
   w.endObject();
   w.endObject();
   out << "\n";
@@ -255,6 +276,8 @@ int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
     total.failed += batch.stats.failed;
     total.cacheHits += batch.stats.cacheHits;
     total.deduped += batch.stats.deduped;
+    total.subHits += batch.stats.subHits;
+    total.subUnitsReused += batch.stats.subUnitsReused;
     total.wallSeconds += batch.stats.wallSeconds;
     for (const service::MemberBatchStats& m : batch.stats.members) {
       auto it = std::find_if(total.members.begin(), total.members.end(),
@@ -273,12 +296,13 @@ int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
   const std::size_t failedFinalPass = batch.stats.failed;
   batch.stats = total;
   const service::CacheStats cache = svc.cacheStats();
+  const service::CacheStats sub = svc.subCacheStats();
 
   // Outcomes carry their fingerprints — no per-request display hashing.
   if (json) {
-    printJson(out, requests, batch, cache);
+    printJson(out, requests, batch, cache, sub);
   } else {
-    printText(out, requests, batch, cache);
+    printText(out, requests, batch, cache, sub);
   }
   return failedFinalPass == 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 
 #include "cli_internal.hpp"
 #include "pipesched/io/json.hpp"
@@ -42,17 +43,23 @@ int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
   }
   args.assertConsumed();
 
+  // Every line of output — outcome lines from the sink's emit side and
+  // parse-error lines from the source-pull side — goes through one guarded
+  // whole-line writer, so the two paths can never interleave mid-line and
+  // corrupt the JSONL stream (pinned by the CliServe garbage-stress test).
+  stream::JsonlLineWriter lineWriter(out);
   std::size_t parseErrors = 0;
   stream::JsonlSource source(*in, defaults,
                              [&](std::size_t line, const std::string& message) {
                                ++parseErrors;
-                               io::JsonWriter w(out, /*pretty=*/false);
+                               std::ostringstream buffer;
+                               io::JsonWriter w(buffer, /*pretty=*/false);
                                w.beginObject();
                                w.kv("line", line);
                                w.kv("ok", false);
                                w.kv("error", message);
                                w.endObject();
-                               out << '\n' << std::flush;
+                               lineWriter.writeLine(std::move(buffer).str());
                              });
 
   // Tag each request with the input line it came from so outcome lines stay
@@ -74,14 +81,16 @@ int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
     std::deque<std::size_t>* lines_;
   };
   TaggingSource tagged(source, inputLines);
-  stream::JsonlSink sink(out, &inputLines);
+  stream::JsonlSink sink(lineWriter, &inputLines);
   stream::AsyncScheduler scheduler(config);
   const stream::EngineStats stats = stream::runStream(tagged, sink, scheduler);
 
   const stream::StreamStats s = scheduler.stats();
+  const service::CacheStats sub = scheduler.subCacheStats();
   err << "serve: " << stats.requests << " request(s) — " << s.solved << " solved, "
-      << s.cacheHits << " cache hit(s), " << s.coalesced << " coalesced, " << stats.failed
-      << " failed, " << parseErrors << " parse error(s) in " << stats.wallSeconds << " s\n";
+      << s.cacheHits << " cache hit(s), " << s.coalesced << " coalesced, "
+      << "sub_hits=" << sub.hits << ", " << stats.failed << " failed, " << parseErrors
+      << " parse error(s) in " << stats.wallSeconds << " s\n";
   return (stats.failed == 0 && parseErrors == 0) ? 0 : 1;
 }
 

@@ -19,12 +19,11 @@ const char* modelTag(core::CommModel model) {
   return model == core::CommModel::kSequential ? "sequential" : "overlapped";
 }
 
-/// Streams every model-relevant field of `request` through one sink. Keeping
-/// the canonical text and the hash on the same field walk guarantees they can
-/// never drift apart.
+/// Streams the sweep-independent *instance* fields (pipeline, platform,
+/// comm model) through one sink. walkRequest layers the sweep spec on top;
+/// the instance identity (sub-result cache key) stops here.
 template <typename Sink>
-void walkRequest(const Request& request, Sink&& sink) {
-  sink.tag("pipesched-request-v1");
+void walkInstance(const Request& request, Sink&& sink) {
   sink.reals("work", request.pipeline.works());
   sink.reals("comm", request.pipeline.comms());
   const core::Platform& plat = request.platform;
@@ -50,8 +49,25 @@ void walkRequest(const Request& request, Sink&& sink) {
     sink.reals("output-bandwidth", out);
   }
   sink.tag(modelTag(request.model));
+}
+
+/// Streams every model-relevant field of `request` through one sink. Keeping
+/// the canonical text and the hash on the same field walk guarantees they can
+/// never drift apart.
+template <typename Sink>
+void walkRequest(const Request& request, Sink&& sink) {
+  sink.tag("pipesched-request-v1");
+  walkInstance(request, sink);
   sink.size("points", request.sweep.points);
   sink.reals("range", {request.sweep.range});
+}
+
+/// The sub-result cache's identity: the instance under its own version tag,
+/// no sweep fields.
+template <typename Sink>
+void walkInstanceOnly(const Request& request, Sink&& sink) {
+  sink.tag("pipesched-instance-v1");
+  walkInstance(request, sink);
 }
 
 struct TextSink {
@@ -130,6 +146,25 @@ struct DualSink {
 RequestIdentity requestIdentity(const Request& request) {
   DualSink sink;
   walkRequest(request, sink);
+  return RequestIdentity{Fingerprint{sink.hash.hi.digest(), sink.hash.lo.digest()},
+                         std::move(sink.text.os).str()};
+}
+
+std::string instanceKey(const Request& request) {
+  TextSink sink;
+  walkInstanceOnly(request, sink);
+  return std::move(sink.os).str();
+}
+
+Fingerprint instanceFingerprint(const Request& request) {
+  HashSink sink;
+  walkInstanceOnly(request, sink);
+  return Fingerprint{sink.hi.digest(), sink.lo.digest()};
+}
+
+RequestIdentity instanceIdentity(const Request& request) {
+  DualSink sink;
+  walkInstanceOnly(request, sink);
   return RequestIdentity{Fingerprint{sink.hash.hi.digest(), sink.hash.lo.digest()},
                          std::move(sink.text.os).str()};
 }

@@ -1,6 +1,7 @@
 #include "pipesched/service/portfolio.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <functional>
 #include <future>
@@ -16,6 +17,7 @@
 #include "pipesched/heuristics/annealing.hpp"
 #include "pipesched/heuristics/local_search.hpp"
 #include "pipesched/heuristics/registry.hpp"
+#include "pipesched/service/fingerprint.hpp"
 
 namespace pipesched::service {
 
@@ -35,6 +37,37 @@ struct Deadline {
   [[nodiscard]] bool expired() const { return active && Clock::now() >= at; }
 };
 
+/// Share identity of a sweeping member's unit at threshold `t`: the member
+/// tag plus the exact hexfloat rendering, so distinct doubles never collide
+/// and equal thresholds from different sweep grids always meet.
+std::string sweepUnitKey(const std::string& memberTag, Real t) {
+  return memberTag + '@' + renderRealHex(t);
+}
+
+/// The grid anchor every sweep of this (instance, heuristic) pair recomputes:
+/// the failure threshold (a full run-to-exhaustion heuristic run) for the
+/// period family, the Lemma-1 latency optimum otherwise. Sweep-independent,
+/// hence memoized under the instance identity when sharing is on.
+Real gridAnchor(const core::Evaluator& eval, const heuristics::MappingHeuristic& h,
+                const SubShare* share, std::size_t& seeded) {
+  const std::string key = "grid:H" + std::to_string(static_cast<int>(h.id()) + 1);
+  if (share != nullptr) {
+    if (const std::optional<SubResult> memo = share->load(key); memo && memo->scalar) {
+      ++seeded;
+      return *memo->scalar;
+    }
+  }
+  const Real lo = h.objective() == heuristics::Objective::kMinLatencyForPeriod
+                      ? h.failureThreshold(eval)
+                      : eval.optimalLatency();
+  if (share != nullptr) {
+    SubResult memo;
+    memo.scalar = lo;
+    share->store(key, memo);
+  }
+  return lo;
+}
+
 /// The grid every threshold-sweeping member shares: from the base
 /// heuristic's failure threshold (resp. the latency optimum) up to that
 /// value times sweep.range — the same formula as exp::runParetoStudy.
@@ -42,10 +75,9 @@ struct Grid {
   Real lo = 0;
   Real hi = 0;
 
-  Grid(const core::Evaluator& eval, const heuristics::MappingHeuristic& h, Real range) {
-    lo = h.objective() == heuristics::Objective::kMinLatencyForPeriod
-             ? h.failureThreshold(eval)
-             : eval.optimalLatency();
+  Grid(const core::Evaluator& eval, const heuristics::MappingHeuristic& h, Real range,
+       const SubShare* share, std::size_t& seeded) {
+    lo = gridAnchor(eval, h, share, seeded);
     hi = lo * range;
   }
 };
@@ -79,30 +111,49 @@ class HeuristicMember final : public PortfolioMember {
   class SweepRun final : public Run {
    public:
     SweepRun(std::unique_ptr<heuristics::MappingHeuristic> h, const core::Evaluator& eval,
-             const SweepSpec& sweep)
-        : h_(std::move(h)), eval_(eval), sweep_(sweep), grid_(eval, *h_, sweep.range) {}
+             const SweepSpec& sweep, const SubShare* share)
+        : h_(std::move(h)),
+          eval_(eval),
+          sweep_(sweep),
+          grid_(eval, *h_, sweep.range, share, seeded_) {}
 
     [[nodiscard]] std::size_t units() const override { return sweep_.points; }
 
+    [[nodiscard]] std::string unitKey(std::size_t i) const override {
+      return sweepUnitKey("H" + std::to_string(static_cast<int>(h_->id()) + 1),
+                          exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i));
+    }
+
     [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
       const Real t = exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i);
-      const heuristics::Result r = h_->run(eval_, t);
-      if (!r.success) return {};
+      last_ = h_->run(eval_, t);
+      if (!last_->success) return {};
       std::vector<core::ParetoPoint> out;
-      out.push_back(makePoint(r.metrics, r.mapping));
+      out.push_back(makePoint(last_->metrics, last_->mapping));
       return out;
     }
+
+    void attachSeed(std::size_t, SubResult& memo) override {
+      // The raw result is the refiners' warm-start seed — published even on
+      // failure (the annealing refiner anneals from infeasible seeds too).
+      if (last_) memo.seed = *last_;
+    }
+
+    [[nodiscard]] std::size_t seeded() const override { return seeded_; }
 
    private:
     std::unique_ptr<heuristics::MappingHeuristic> h_;
     const core::Evaluator& eval_;
     SweepSpec sweep_;
+    std::size_t seeded_ = 0;
     Grid grid_;
+    std::optional<heuristics::Result> last_;
   };
 
   [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec& sweep,
-                                           const PortfolioConfig&) const override {
-    return std::make_unique<SweepRun>(heuristics::makeHeuristic(hid_), eval, sweep);
+                                           const PortfolioConfig&,
+                                           const SubShare* share) const override {
+    return std::make_unique<SweepRun>(heuristics::makeHeuristic(hid_), eval, sweep, share);
   }
 
  private:
@@ -134,31 +185,73 @@ class RefinerMember final : public PortfolioMember {
   class RefineRun final : public Run {
    public:
     RefineRun(RefinerKind kind, std::unique_ptr<heuristics::MappingHeuristic> h,
-              const core::Evaluator& eval, const SweepSpec& sweep, std::size_t annealingMoves)
+              const core::Evaluator& eval, const SweepSpec& sweep, std::size_t annealingMoves,
+              const SubShare* share)
         : kind_(kind),
           h_(std::move(h)),
           eval_(eval),
           sweep_(sweep),
-          grid_(eval, *h_, sweep.range),
+          share_(share),
+          seeded_(0),
+          grid_(eval, *h_, sweep.range, share, seeded_),
           annealingMoves_(std::max<std::size_t>(1, annealingMoves)) {}
 
     [[nodiscard]] std::size_t units() const override { return sweep_.points; }
 
+    [[nodiscard]] std::string unitKey(std::size_t i) const override {
+      const Real t = exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i);
+      // The annealing refiner's output depends on the move budget; embed it
+      // so services configured differently can never alias a unit.
+      return kind_ == RefinerKind::kLocalSearch
+                 ? sweepUnitKey(baseTag("ls:H"), t)
+                 : sweepUnitKey(baseTag("sa:H") + ":m" + std::to_string(annealingMoves_), t);
+    }
+
     [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
       const Real t = exp::sweepThreshold(grid_.lo, grid_.hi, sweep_.points, i);
+      // Seed acquisition: the base heuristic's run at t is itself a shareable
+      // sub-result — reuse the cached one (byte-identical: the heuristics are
+      // deterministic) or compute and publish it for the other refiners.
+      heuristics::Result seed;
+      bool haveSeed = false;
+      const std::string baseKey = sweepUnitKey(baseTag("H"), t);
+      if (share_ != nullptr) {
+        if (const std::optional<SubResult> memo = share_->load(baseKey);
+            memo && memo->seed) {
+          seed = *memo->seed;
+          haveSeed = true;
+          ++seeded_;
+        }
+      }
+      if (!haveSeed) {
+        seed = h_->run(eval_, t);
+        if (share_ != nullptr) {
+          // Publish exactly what the base member itself would have: its unit
+          // points plus the raw result as the seed payload.
+          SubResult memo;
+          if (seed.success) memo.points.push_back(makePoint(seed.metrics, seed.mapping));
+          memo.seed = seed;
+          share_->store(baseKey, std::move(memo));
+        }
+      }
       std::vector<core::ParetoPoint> out;
       if (kind_ == RefinerKind::kLocalSearch) {
-        const heuristics::Result r = heuristics::refineWithLocalSearch(eval_, *h_, t);
-        if (r.success) out.push_back(makePoint(r.metrics, r.mapping));
+        // Mirrors heuristics::refineWithLocalSearch with an injected seed:
+        // polish under the same threshold, report the refined mapping.
+        const heuristics::LocalSearchResult refined =
+            heuristics::localSearch(eval_, seed.mapping, h_->objective(), t);
+        if (refined.feasible) out.push_back(makePoint(refined.metrics, refined.mapping));
       } else {
         // The seed mapping is valid even when the heuristic misses the
         // threshold — the refiner may still reach feasibility from it.
-        const heuristics::Result seed = h_->run(eval_, t);
         heuristics::AnnealingOptions options;
         options.moves = annealingMoves_;
-        // Deterministic but decorrelated across grid points and base
-        // heuristics (a fixed mix, never wall-clock or global state).
-        options.seed = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(i) * 2654435761ULL) ^
+        // Deterministic but decorrelated across thresholds and base
+        // heuristics. Keyed on the *threshold bits*, not the grid index, so
+        // the unit is a pure function of (instance, member, threshold) and
+        // equal thresholds from different sweep grids share one result.
+        options.seed = 0x9e3779b97f4a7c15ULL ^
+                       (std::bit_cast<std::uint64_t>(t) * 2654435761ULL) ^
                        static_cast<std::uint64_t>(h_->id());
         const heuristics::AnnealingResult r =
             heuristics::anneal(eval_, seed.mapping, h_->objective(), t, options);
@@ -167,19 +260,28 @@ class RefinerMember final : public PortfolioMember {
       return out;
     }
 
+    [[nodiscard]] std::size_t seeded() const override { return seeded_; }
+
    private:
+    [[nodiscard]] std::string baseTag(const char* prefix) const {
+      return prefix + std::to_string(static_cast<int>(h_->id()) + 1);
+    }
+
     RefinerKind kind_;
     std::unique_ptr<heuristics::MappingHeuristic> h_;
     const core::Evaluator& eval_;
     SweepSpec sweep_;
+    const SubShare* share_;
+    std::size_t seeded_;
     Grid grid_;
     std::size_t annealingMoves_;
   };
 
   [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec& sweep,
-                                           const PortfolioConfig& config) const override {
+                                           const PortfolioConfig& config,
+                                           const SubShare* share) const override {
     return std::make_unique<RefineRun>(kind_, heuristics::makeHeuristic(base_), eval, sweep,
-                                       config.annealingMoves);
+                                       config.annealingMoves, share);
   }
 
  private:
@@ -225,6 +327,11 @@ class C2cDpMember final : public PortfolioMember {
     // same way the sweep members trace thresholds.
     [[nodiscard]] std::size_t units() const override { return bySpeed_.size(); }
 
+    // Sweep-independent entirely: a warm sweep reuses the whole ladder.
+    [[nodiscard]] std::string unitKey(std::size_t i) const override {
+      return "c2c@k" + std::to_string(i + 1);
+    }
+
     [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t i) override {
       // Restrict the DP to the i+1 fastest processors (the order must cover
       // the whole speed list it is given), then translate its local indices
@@ -247,7 +354,8 @@ class C2cDpMember final : public PortfolioMember {
   };
 
   [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
-                                           const PortfolioConfig&) const override {
+                                           const PortfolioConfig&,
+                                           const SubShare*) const override {
     return std::make_unique<LadderRun>(eval);
   }
 };
@@ -267,6 +375,8 @@ class C2cLocalSearchMember final : public PortfolioMember {
 
     [[nodiscard]] std::size_t units() const override { return 1; }
 
+    [[nodiscard]] std::string unitKey(std::size_t) const override { return "c2c:ls"; }
+
     [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t) override {
       const c2c::HeteroSolution solution =
           c2c::heteroLocalSearch(eval_.pipeline().works(), eval_.platform().speeds());
@@ -278,7 +388,8 @@ class C2cLocalSearchMember final : public PortfolioMember {
   };
 
   [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
-                                           const PortfolioConfig&) const override {
+                                           const PortfolioConfig&,
+                                           const SubShare*) const override {
     return std::make_unique<OrderRun>(eval);
   }
 };
@@ -303,6 +414,13 @@ class ExactMember final : public PortfolioMember {
 
     [[nodiscard]] std::size_t units() const override { return 1; }
 
+    // The enumerated front depends on the mapping limit; embed it. Truncated
+    // units are never published (the runner checks truncated()), so a cached
+    // entry is always a complete enumeration.
+    [[nodiscard]] std::string unitKey(std::size_t) const override {
+      return "exact:L" + std::to_string(mappingLimit_);
+    }
+
     [[nodiscard]] std::vector<core::ParetoPoint> unit(std::size_t) override {
       exact::ExhaustiveOptions options;
       options.mappingLimit = mappingLimit_;
@@ -325,7 +443,8 @@ class ExactMember final : public PortfolioMember {
   };
 
   [[nodiscard]] std::unique_ptr<Run> start(const core::Evaluator& eval, const SweepSpec&,
-                                           const PortfolioConfig& config) const override {
+                                           const PortfolioConfig& config,
+                                           const SubShare*) const override {
     return std::make_unique<EnumRun>(eval, config.budget.exactMappingLimit);
   }
 };
@@ -357,11 +476,15 @@ std::unique_ptr<PortfolioMember> makeMember(const std::string& id) {
 
 /// Drives one member's work session: the shared budget / deadline / drop
 /// loop every member goes through, writing points + stats into its slot.
+/// With `share`, whole units are served from / published to the sub-result
+/// cache — the points that flow into the slot are byte-identical either way
+/// (every memoized unit is a pure function of its share key), so the drop
+/// policy, the budget accounting and the merged front cannot diverge.
 void runMember(const PortfolioMember& member, const core::Evaluator& eval,
                const SweepSpec& sweep, const PortfolioConfig& config, const Deadline& deadline,
-               Slot& slot) {
+               const SubShare* share, Slot& slot) {
   slot.contribution.solver = member.solverName();
-  const std::unique_ptr<PortfolioMember::Run> run = member.start(eval, sweep, config);
+  const std::unique_ptr<PortfolioMember::Run> run = member.start(eval, sweep, config, share);
   const std::size_t units = run->units();
   slot.contribution.units = units;
   slot.contribution.completed = true;
@@ -377,7 +500,29 @@ void runMember(const PortfolioMember& member, const core::Evaluator& eval,
       slot.contribution.skipped = units - i;
       break;
     }
-    std::vector<core::ParetoPoint> points = run->unit(i);
+    std::vector<core::ParetoPoint> points;
+    bool fromShare = false;
+    std::string key;
+    if (share != nullptr) key = run->unitKey(i);
+    if (!key.empty()) {
+      if (std::optional<SubResult> memo = share->load(key)) {
+        points = std::move(memo->points);
+        fromShare = true;
+        slot.contribution.reused += 1;
+      }
+    }
+    if (!fromShare) {
+      points = run->unit(i);
+      // Publish the fresh unit (plus the member's warm-start payload) unless
+      // an internal limit truncated it — a cached unit must always stand for
+      // the complete computation its key names.
+      if (!key.empty() && !run->truncated()) {
+        SubResult memo;
+        memo.points = points;
+        run->attachSeed(i, memo);
+        share->store(key, std::move(memo));
+      }
+    }
     bool contributed = false;
     for (core::ParetoPoint& p : points) {
       // Offer coordinates only: the accept/duplicate decision never reads
@@ -392,6 +537,7 @@ void runMember(const PortfolioMember& member, const core::Evaluator& eval,
   }
   if (run->truncated()) slot.contribution.completed = false;
   slot.contribution.points = slot.points.size();
+  slot.contribution.seeded = run->seeded();
 }
 
 }  // namespace
@@ -450,7 +596,8 @@ std::vector<std::unique_ptr<PortfolioMember>> makePortfolioMembers(
 }
 
 PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
-                             const PortfolioConfig& config, ThreadPool* pool) {
+                             const PortfolioConfig& config, ThreadPool* pool,
+                             const SubShare* share) {
   if (sweep.points == 0) throw ModelError("runPortfolio: sweep.points must be >= 1");
   if (sweep.range <= 1) throw ModelError("runPortfolio: sweep.range must be > 1");
 
@@ -478,8 +625,8 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
   for (std::size_t i = 0; i < members.size(); ++i) {
     const PortfolioMember* member = members[i].get();
     Slot* slot = &slots[i];
-    tasks.push_back([&eval, member, &sweep, &config, &deadline, slot] {
-      runMember(*member, eval, sweep, config, deadline, *slot);
+    tasks.push_back([&eval, member, &sweep, &config, &deadline, share, slot] {
+      runMember(*member, eval, sweep, config, deadline, share, *slot);
     });
   }
 

@@ -1,73 +1,9 @@
 #include "pipesched/service/result_cache.hpp"
 
-#include <algorithm>
-
 namespace pipesched::service {
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards) : capacity_(capacity) {
-  if (shards == 0) shards = 1;
-  shards = std::min(shards, std::max<std::size_t>(capacity, 1));
-  perShardCapacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
-  shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
-}
-
-ResultCache::Shard& ResultCache::shardFor(const Fingerprint& fp) {
-  return *shards_[fp.hi % shards_.size()];
-}
-
-std::optional<PortfolioResult> ResultCache::get(const Fingerprint& fp, const std::string& key) {
-  Shard& shard = shardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    ++shard.misses;
-    return std::nullopt;
-  }
-  ++shard.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
-  return it->second->result;
-}
-
-void ResultCache::put(const Fingerprint& fp, const std::string& key, PortfolioResult result) {
-  if (capacity_ == 0) return;
-  Shard& shard = shardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    it->second->result = std::move(result);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
-  }
-  if (shard.lru.size() >= perShardCapacity_) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    ++shard.evictions;
-  }
-  shard.lru.push_front(Entry{key, std::move(result)});
-  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
-  ++shard.insertions;
-}
-
-CacheStats ResultCache::stats() const {
-  CacheStats total;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.insertions += shard->insertions;
-    total.evictions += shard->evictions;
-    total.entries += shard->lru.size();
-  }
-  return total;
-}
-
-void ResultCache::clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->lru.clear();
-    shard->index.clear();
-  }
-}
+// The whole-result instantiation is compiled once here; the sub-result store
+// (ShardedLruStore<SubResult>, see portfolio.hpp) instantiates where used.
+template class ShardedLruStore<PortfolioResult>;
 
 }  // namespace pipesched::service

@@ -34,13 +34,23 @@ void accumulateMemberStats(std::vector<MemberBatchStats>& members,
 SchedulingService::SchedulingService(ServiceConfig config)
     : config_(config),
       cache_(config.cacheCapacity, config.cacheShards),
+      subCache_(config.shareSubResults ? config.subCacheCapacity : 0, config.subCacheShards),
       pool_(config.threads) {}
 
-RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPool* pool) const {
+RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPool* pool) {
   RequestOutcome outcome;
   try {
     const core::Evaluator eval(request.pipeline, request.platform, request.model);
-    outcome.result = runPortfolio(eval, request.sweep, config_.portfolio, pool);
+    // Cross-request work sharing: bind this solve to the sub-result cache
+    // under the instance's sweep-independent identity. Safe under one fixed
+    // portfolio config (this service's), whatever the pool interleaving —
+    // memoized units are pure functions of their keys.
+    std::optional<SubShare> share;
+    if (subCache_.capacity() > 0) {
+      share.emplace(&subCache_, instanceFingerprint(request));
+    }
+    outcome.result = runPortfolio(eval, request.sweep, config_.portfolio, pool,
+                                  share ? &*share : nullptr);
     outcome.ok = true;
   } catch (const std::exception& e) {
     outcome.ok = false;
@@ -154,6 +164,10 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
       cache_.put(group.fp, *misses[m].key, out.result);
       batch.stats.solved += 1;
       accumulateMemberStats(batch.stats.members, out.result.solvers);
+      for (const SolverContribution& c : out.result.solvers) {
+        batch.stats.subHits += c.reused + c.seeded;
+        batch.stats.subUnitsReused += c.reused;
+      }
     }
     batch.outcomes[group.indices.front()] = std::move(out);
   }

@@ -1,5 +1,7 @@
 #include "pipesched/stream/sink.hpp"
 
+#include <sstream>
+
 namespace pipesched::stream {
 
 void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
@@ -37,6 +39,10 @@ void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
     w.kv("merged", c.merged);
     w.kv("skipped", c.skipped);
     w.kv("dropped", c.dropped);
+    // Work-sharing provenance (like from_cache/deduped above: depends on
+    // cache state and timing; the points themselves never do).
+    w.kv("reused", c.reused);
+    w.kv("seeded", c.seeded);
     w.endObject();
   }
   w.endArray();
@@ -44,7 +50,11 @@ void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
 
 void JsonlSink::emit(std::size_t index, const service::Request& request,
                      const service::RequestOutcome& outcome) {
-  io::JsonWriter w(*out_, /*pretty=*/false);
+  // Render the whole line first, then hand it to the guarded writer in one
+  // piece — emission can never interleave mid-line with other writers (the
+  // serve parse-error path) sharing the same JsonlLineWriter.
+  std::ostringstream line;
+  io::JsonWriter w(line, /*pretty=*/false);
   w.beginObject();
   w.kv("index", index);
   if (inputLines_ != nullptr && !inputLines_->empty()) {
@@ -53,7 +63,7 @@ void JsonlSink::emit(std::size_t index, const service::Request& request,
   }
   writeOutcomeFields(w, request.name, outcome);
   w.endObject();
-  *out_ << '\n' << std::flush;
+  writer_->writeLine(std::move(line).str());
 }
 
 }  // namespace pipesched::stream

@@ -63,5 +63,30 @@ TEST(ArgList, AssertConsumedCatchesTypos) {
   EXPECT_NO_THROW(args.assertConsumed());
 }
 
+TEST(ArgList, RepeatedOptionsAreLastWinsWithAllOccurrencesConsumed) {
+  // `--workers 2 --workers 4` must mean 4 — and the first occurrence must not
+  // resurface as "unknown option --workers" in assertConsumed().
+  const ArgList args({"--workers", "2", "--workers", "4"}, {});
+  EXPECT_EQ(args.getSize("workers", 0), 4u);
+  EXPECT_NO_THROW(args.assertConsumed());
+  // Mixed syntaxes follow the same rule (the `--key=value` form included).
+  const ArgList mixed({"--points=8", "--points", "12", "--points=24"}, {});
+  EXPECT_EQ(mixed.getSize("points", 0), 24u);
+  EXPECT_NO_THROW(mixed.assertConsumed());
+  // Repeated flags stay flags.
+  const ArgList flags({"--verbose", "--verbose"}, {"verbose"});
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_NO_THROW(flags.assertConsumed());
+}
+
+TEST(ArgList, GetU64RejectsNegativeInputsInsteadOfWrapping) {
+  // std::stoull("-1") silently wraps to 2^64-1; the parser must reject it.
+  const ArgList args({"--seed", "-1", "--big", "18446744073709551615"}, {});
+  EXPECT_THROW((void)args.getU64("seed", 0), UsageError);
+  EXPECT_EQ(args.getU64("big", 0), UINT64_MAX);  // the legitimate extreme still parses
+  const ArgList padded({"--seed", " -7"}, {});
+  EXPECT_THROW((void)padded.getU64("seed", 0), UsageError);
+}
+
 }  // namespace
 }  // namespace pipesched::cli

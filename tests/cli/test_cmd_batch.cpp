@@ -218,6 +218,38 @@ TEST(CliBatch, DropAfterReportsSkippedUnits) {
   EXPECT_TRUE(sawSkip);
 }
 
+TEST(CliBatch, SubResultStatsSurfaceInTextAndJson) {
+  // H1 + its refiners on one instance: the refiners warm-start from H1's
+  // published seeds even on a single cold request, so the summary shows
+  // sub-result hits and the member rows carry the reused/seeded columns.
+  const std::vector<std::string> common = {
+      "batch",        "--kind", "E1",     "--count",  "1",       "--stages",
+      "8",            "--processors", "4", "--points", "5",      "--serial",
+      "--no-exact",   "--portfolio-members", "H1,ls:H1,sa:H1"};
+  std::vector<std::string> text = common;
+  const RunResult t = run(text);
+  EXPECT_EQ(t.code, 0) << t.err;
+  EXPECT_NE(t.out.find("sub-results:"), std::string::npos);
+  EXPECT_NE(t.out.find("seeded"), std::string::npos);
+  std::vector<std::string> json = common;
+  json.push_back("--json");
+  const RunResult j = run(json);
+  EXPECT_EQ(j.code, 0) << j.err;
+  EXPECT_NE(j.out.find("\"sub_hits\""), std::string::npos);
+  EXPECT_NE(j.out.find("\"sub_units_reused\""), std::string::npos);
+  EXPECT_NE(j.out.find("\"seeded\""), std::string::npos);
+  EXPECT_NE(j.out.find("\"sub_cache\""), std::string::npos);
+  EXPECT_EQ(j.out.find("\"sub_hits\": 0,"), std::string::npos) << j.out;
+}
+
+TEST(CliBatch, ShareSubresultsOffIsAccepted) {
+  const RunResult r = run({"batch", "--kind", "E1", "--count", "1", "--stages", "5",
+                           "--processors", "3", "--points", "4", "--serial",
+                           "--share-subresults", "off"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sub-results: 0 hit(s)"), std::string::npos) << r.out;
+}
+
 /// The committed 10-instance suite behind tests/golden/batch_members_all.json
 /// (CI re-runs the same command through the installed binary and diffs).
 std::vector<std::string> goldenArgs() {

@@ -203,6 +203,84 @@ TEST(CliServe, SolverRowsCarryPerMemberContributionStats) {
   EXPECT_EQ(solvers->items.front().find("units")->asSize(), 4u);
 }
 
+TEST(CliServe, GarbageAndValidLinesUnderWorkersNeverCorruptTheJsonlStream) {
+  // Parse-error lines are written from the source-pull side while outcome
+  // lines come from the sink side; both must go through the one guarded line
+  // writer — every output line must parse as a complete JSON object, with
+  // garbage and solves interleaved and workers >= 2.
+  std::vector<std::string> lines;
+  std::size_t valid = 0;
+  std::size_t garbage = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (i % 3 == 1) {
+      lines.push_back("{\"broken\": " + std::to_string(i));  // truncated JSON
+      ++garbage;
+    } else if (i % 7 == 3) {
+      lines.push_back("not json at all ###" + std::to_string(i));
+      ++garbage;
+    } else {
+      lines.push_back(R"({"kind": "E1", "stages": 4, "processors": 3, "seed": )" +
+                      std::to_string(i % 5) + "}");
+      ++valid;
+    }
+  }
+  const std::string input = writeLines("serve_stress.jsonl", lines);
+  const RunResult r =
+      run({"serve", "--input", input, "--points", "3", "--threads", "2",
+           "--queue-capacity", "4"});
+  EXPECT_EQ(r.code, 1);  // parse errors fail the exit code
+  // parseOutputLines throws on any torn/interleaved line.
+  const std::vector<io::JsonValue> parsed = parseOutputLines(r.out);
+  ASSERT_EQ(parsed.size(), valid + garbage);
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  for (const io::JsonValue& line : parsed) {
+    ASSERT_NE(line.find("ok"), nullptr);
+    line.find("ok")->asBool() ? ++ok : ++failed;
+  }
+  EXPECT_EQ(ok, valid);
+  EXPECT_EQ(failed, garbage);
+}
+
+TEST(CliServe, WarmSweepsShareSubResultsAcrossRequests) {
+  // The same instance swept at 5 then 9 points: the second request's
+  // even-index thresholds are already solved, so the serve loop reports
+  // sub-result hits — and none with --share-subresults off.
+  const std::string input = writeLines(
+      "serve_share.jsonl",
+      {R"({"kind": "E2", "stages": 10, "processors": 6, "seed": 3, "points": 5})",
+       R"({"kind": "E2", "stages": 10, "processors": 6, "seed": 3, "points": 9})"});
+  const RunResult shared = run({"serve", "--input", input, "--serial"});
+  EXPECT_EQ(shared.code, 0) << shared.err;
+  EXPECT_EQ(shared.err.find("sub_hits=0,"), std::string::npos) << shared.err;
+  EXPECT_NE(shared.err.find("sub_hits="), std::string::npos) << shared.err;
+  const RunResult cold =
+      run({"serve", "--input", input, "--serial", "--share-subresults", "off"});
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("sub_hits=0,"), std::string::npos) << cold.err;
+  // The fronts themselves are byte-identical either way (only provenance
+  // counters may differ) — the differential guarantee, at the CLI level.
+  const auto fronts = [](const std::string& text) {
+    std::vector<std::string> rendered;
+    for (const io::JsonValue& line : parseOutputLines(text)) {
+      std::string s;
+      for (const io::JsonValue& p : line.find("front")->items) {
+        s += std::to_string(p.find("period")->asNumber()) + "," +
+             std::to_string(p.find("latency")->asNumber()) + ";";
+      }
+      rendered.push_back(s);
+    }
+    return rendered;
+  };
+  EXPECT_EQ(fronts(shared.out), fronts(cold.out));
+}
+
+TEST(CliServe, ShareSubresultsRejectsBadValues) {
+  const RunResult r = run({"serve", "--share-subresults", "maybe"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("share-subresults"), std::string::npos);
+}
+
 TEST(CliServe, PortfolioMembersFlagReachesTheServeLoop) {
   const std::string input = writeLines(
       "serve_members_flag.jsonl",

@@ -84,6 +84,28 @@ TEST(Fingerprint, HeterogeneousPlatformIsCovered) {
   EXPECT_NE(fingerprint(a), fingerprint(b));
 }
 
+TEST(Fingerprint, InstanceIdentityExcludesSweepButNotModelContent) {
+  const Request a = baseRequest();
+  Request sweepOnly = baseRequest();
+  sweepOnly.sweep.points += 8;
+  sweepOnly.sweep.range += 1;
+  // Sweep changes separate the request identity but not the instance one.
+  EXPECT_NE(fingerprint(a), fingerprint(sweepOnly));
+  EXPECT_EQ(instanceKey(a), instanceKey(sweepOnly));
+  EXPECT_EQ(instanceFingerprint(a), instanceFingerprint(sweepOnly));
+  // Model content still separates.
+  Request overlapped = baseRequest();
+  overlapped.model = core::CommModel::kOverlapped;
+  EXPECT_NE(instanceKey(a), instanceKey(overlapped));
+  EXPECT_NE(instanceFingerprint(a), instanceFingerprint(overlapped));
+  // The two key families can never collide (distinct version tags).
+  EXPECT_NE(instanceKey(a), canonicalKey(a));
+  // The one-walk pair agrees with the standalone functions.
+  const RequestIdentity identity = instanceIdentity(a);
+  EXPECT_EQ(identity.key, instanceKey(a));
+  EXPECT_EQ(identity.fp, instanceFingerprint(a));
+}
+
 TEST(Fingerprint, HexIs32LowercaseDigits) {
   const std::string hex = fingerprint(baseRequest()).hex();
   ASSERT_EQ(hex.size(), 32u);

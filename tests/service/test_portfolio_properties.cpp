@@ -160,7 +160,7 @@ void expectRefinerNeverWorsens(const std::string& refinerId, heuristics::Heurist
     const core::Evaluator eval(inst.pipeline, inst.platform);
     const auto members = makePortfolioMembers(config);
     ASSERT_EQ(members.size(), 1u);
-    const auto run = members.front()->start(eval, kSweep, config);
+    const auto run = members.front()->start(eval, kSweep, config, /*share=*/nullptr);
     ASSERT_EQ(run->units(), kSweep.points);
     for (std::size_t u = 0; u < run->units(); ++u) {
       const Real t = gridThreshold(eval, *base, kSweep, u);

@@ -1,5 +1,6 @@
-// Sharded LRU cache: hit/miss semantics, eviction order, stats, and safety
-// under concurrent access.
+// Sharded LRU stores: hit/miss semantics, eviction order, stats, safety
+// under concurrent access, and the per-shard capacity semantics — pinned for
+// both instantiations (whole-result cache and sub-result store).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "pipesched/core/mapping.hpp"
+#include "pipesched/service/portfolio.hpp"
 #include "pipesched/service/result_cache.hpp"
 
 namespace pipesched::service {
@@ -157,6 +160,116 @@ TEST(ResultCache, ConcurrentGetPutClearStaysCoherent) {
   // The cache still works after the storm.
   cache.put(fp(1000), "after", resultWithFrontSize(2));
   ASSERT_TRUE(cache.get(fp(1000), "after").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Capacity semantics across shard counts, pinned for BOTH instantiations.
+//
+// Intended semantics: the configured capacity is spread at
+// ceil(capacity/shards) entries *per shard*, so total residency may exceed
+// `capacity` by up to shards-1 entries under an even key spread — the bound
+// is per-shard by design (a global LRU would serialize on one lock).
+
+/// Marker-carrying value factories so the harness can verify round-trips.
+PortfolioResult makeWholeValue(std::size_t marker) { return resultWithFrontSize(marker); }
+
+SubResult makeSubValue(std::size_t marker) {
+  SubResult memo;
+  for (std::size_t i = 0; i < marker; ++i) {
+    memo.points.push_back(core::ParetoPoint{Real(i + 1), Real(marker - i), std::nullopt});
+  }
+  memo.scalar = Real(marker);
+  return memo;
+}
+
+std::size_t markerOf(const PortfolioResult& v) { return v.front.size(); }
+std::size_t markerOf(const SubResult& v) { return v.points.size(); }
+
+/// Targets shard `s` of `shards` directly: shardFor uses fp.hi % shards.
+Fingerprint shardFp(std::size_t s, std::size_t shards, std::size_t salt) {
+  return Fingerprint{s + shards * salt, 0};
+}
+
+template <typename Store, typename Make>
+void expectPerShardCeilDivisionSemantics(Make make) {
+  // ceil(capacity / shards) per shard; shard count clamps to capacity.
+  EXPECT_EQ(Store(8, 2).perShardCapacity(), 4u);
+  EXPECT_EQ(Store(8, 3).perShardCapacity(), 3u);
+  EXPECT_EQ(Store(7, 2).perShardCapacity(), 4u);
+  EXPECT_EQ(Store(1, 8).shardCount(), 1u);
+  EXPECT_EQ(Store(1, 8).perShardCapacity(), 1u);
+  EXPECT_EQ(Store(0, 4).perShardCapacity(), 0u);
+
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kShards = 3;  // ceil(8/3) == 3 per shard
+  Store store(kCapacity, kShards);
+  ASSERT_EQ(store.shardCount(), kShards);
+  ASSERT_EQ(store.perShardCapacity(), 3u);
+
+  // Fill every shard to its per-shard cap: residency reaches
+  // shards * ceil(capacity/shards) = 9 — the configured 8 exceeded (by up to
+  // shards-1 in general) — with zero evictions.
+  const std::size_t kMaxResidency = kShards * store.perShardCapacity();
+  ASSERT_GT(kMaxResidency, kCapacity);
+  ASSERT_LE(kMaxResidency, kCapacity + kShards - 1);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      store.put(shardFp(s, kShards, k), "s" + std::to_string(s) + "k" + std::to_string(k),
+                make(s * 10 + k + 1));
+    }
+  }
+  EXPECT_EQ(store.stats().entries, kMaxResidency);
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  // One more entry in shard 0 evicts shard 0's own LRU ("s0k0"), never a
+  // neighbour shard's entry.
+  store.put(shardFp(0, kShards, 7), "s0extra", make(99));
+  EXPECT_EQ(store.stats().entries, kMaxResidency);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_FALSE(store.get(shardFp(0, kShards, 0), "s0k0").has_value());
+  const auto extra = store.get(shardFp(0, kShards, 7), "s0extra");
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_EQ(markerOf(*extra), 99u);
+  for (std::size_t s = 1; s < kShards; ++s) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto hit =
+          store.get(shardFp(s, kShards, k), "s" + std::to_string(s) + "k" + std::to_string(k));
+      ASSERT_TRUE(hit.has_value()) << "shard " << s << " entry " << k;
+      EXPECT_EQ(markerOf(*hit), s * 10 + k + 1);
+    }
+  }
+}
+
+TEST(ResultCache, PerShardCeilDivisionSemanticsArePinned) {
+  expectPerShardCeilDivisionSemantics<ResultCache>(makeWholeValue);
+}
+
+TEST(SubResultCache, PerShardCeilDivisionSemanticsArePinned) {
+  expectPerShardCeilDivisionSemantics<SubResultCache>(makeSubValue);
+}
+
+TEST(SubResultCache, PayloadsRoundTripByCopy) {
+  SubResultCache store(8, 2);
+  SubResult memo;
+  memo.points.push_back(core::ParetoPoint{Real(2), Real(5), std::nullopt});
+  memo.scalar = Real(1.25);
+  heuristics::Result seed;
+  seed.success = true;
+  seed.mapping = core::IntervalMapping::singleInterval(4, 1);
+  seed.metrics.period = 3;
+  seed.metrics.latency = 7;
+  memo.seed = seed;
+  store.put(fp(1), "unit", std::move(memo));
+  const auto hit = store.get(fp(1), "unit");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->points.size(), 1u);
+  EXPECT_EQ(hit->points.front().period, Real(2));
+  ASSERT_TRUE(hit->scalar.has_value());
+  EXPECT_EQ(*hit->scalar, Real(1.25));
+  ASSERT_TRUE(hit->seed.has_value());
+  EXPECT_TRUE(hit->seed->success);
+  EXPECT_EQ(hit->seed->metrics.latency, Real(7));
+  EXPECT_EQ(hit->seed->mapping.intervalCount(), 1u);
 }
 
 }  // namespace
