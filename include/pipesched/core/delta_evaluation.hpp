@@ -1,0 +1,233 @@
+// Allocation-free incremental evaluation kernel for the solver hot path.
+//
+// The refinement heuristics (local search, annealing, the splitting engine)
+// evaluate thousands of candidate mappings that differ from the current one
+// in at most three intervals. The historical pattern — copy the assignment
+// vector, edit it, rebuild an IntervalMapping (re-checking the ordering
+// invariant) and re-run Evaluator::evaluate over all m intervals — makes
+// every candidate O(m) breakdowns plus an allocation. This kernel instead
+// keeps a *mutable scratch mapping* with flat per-interval phase buffers and
+// re-runs Evaluator::breakdown only for the intervals a move touches plus
+// their link neighbours (<= 4), with one-level undo for rejected candidates
+// and zero steady-state allocation.
+//
+// Bit-identity contract: every phase time is produced by the same
+// Evaluator::breakdown fill the full evaluator uses, and metrics() replays
+// Evaluator::evaluate's exact accumulation order over the cached breakdowns
+// (floating-point addition is order-sensitive, so the final reduction is a
+// cheap O(m) scan over flat buffers rather than an incremental sum). The
+// resulting Metrics are therefore bit-identical to a fresh evaluate() of the
+// materialized mapping — the differential suite in
+// tests/core/test_delta_evaluation.cpp pins this across comm models and
+// platform kinds.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "pipesched/core/evaluation.hpp"
+#include "pipesched/core/mapping.hpp"
+
+namespace pipesched::core {
+
+/// One candidate move over the scratch mapping. Plain data so search loops
+/// can remember the best move of a scan and re-apply it after undoing the
+/// losers.
+struct Move {
+  enum class Kind : unsigned char {
+    kReassign,    ///< interval j -> processor u (u must be unused)
+    kSwap,        ///< swap the processors of intervals j and k
+    kShiftLeft,   ///< interval j gives its last stage to interval j+1
+    kShiftRight,  ///< interval j takes interval j+1's first stage
+    kMerge,       ///< merge intervals j and j+1 (keepLeft picks the owner)
+    kSplit,       ///< split interval j after stage q, tail on processor u
+  };
+
+  Kind kind = Kind::kReassign;
+  std::size_t j = 0;  ///< primary interval index
+  std::size_t k = 0;  ///< swap partner (kSwap) / cut stage q (kSplit)
+  std::size_t u = 0;  ///< target processor (kReassign, kSplit)
+  bool keepLeft = true;  ///< kMerge: keep the left interval's processor
+
+  [[nodiscard]] static Move reassign(std::size_t j, std::size_t u) {
+    return Move{Kind::kReassign, j, 0, u, true};
+  }
+  [[nodiscard]] static Move swapProcessors(std::size_t j, std::size_t k) {
+    return Move{Kind::kSwap, j, k, 0, true};
+  }
+  [[nodiscard]] static Move shiftLeft(std::size_t j) {
+    return Move{Kind::kShiftLeft, j, 0, 0, true};
+  }
+  [[nodiscard]] static Move shiftRight(std::size_t j) {
+    return Move{Kind::kShiftRight, j, 0, 0, true};
+  }
+  [[nodiscard]] static Move merge(std::size_t j, bool keepLeft) {
+    return Move{Kind::kMerge, j, 0, 0, keepLeft};
+  }
+  [[nodiscard]] static Move split(std::size_t j, std::size_t q, std::size_t u) {
+    return Move{Kind::kSplit, j, q, u, true};
+  }
+};
+
+/// Reusable flat buffers behind a DeltaEvaluator. A workspace owns no
+/// instance state of its own and can be re-bound to different instances and
+/// mapping sizes; after the first load at a given size every operation is
+/// allocation-free.
+class EvalWorkspace {
+ public:
+  /// Pre-sizes every buffer for mappings of up to `maxIntervals` intervals on
+  /// up to `processorCount` processors, so not even the first load allocates.
+  void reserve(std::size_t maxIntervals, std::size_t processorCount);
+
+ private:
+  friend class DeltaEvaluator;
+
+  struct SavedEntry {
+    std::size_t index = 0;
+    Assignment part;
+    CycleBreakdown breakdown;
+    Real cycle = 0;
+    Real latTerm = 0;
+  };
+  struct SavedBit {
+    std::size_t processor = 0;
+    bool wasUsed = false;
+  };
+
+  std::vector<Assignment> parts_;          // the scratch mapping
+  std::vector<CycleBreakdown> breakdowns_; // parallel phase buffers
+  std::vector<Real> cycles_;               // cycleOf(breakdowns_[j]), flat
+  std::vector<Real> latTerms_;             // input + compute per interval, flat
+  std::vector<unsigned char> used_;        // per-processor usage bitmap
+  std::vector<SavedEntry> savedEntries_;   // one-level undo: overwritten slots
+  std::vector<SavedBit> savedBits_;        // one-level undo: bitmap changes
+  // Prefix caches of the metrics scan over the *committed* state (valid for
+  // indices < DeltaEvaluator::prefixValid_): running bottleneck max/argmax
+  // and running latency sum after interval j. They let metrics() resume its
+  // bit-exact accumulation at the first touched interval instead of
+  // rescanning from 0.
+  std::vector<Real> prefixPeriod_;
+  std::vector<std::size_t> prefixBottleneck_;
+  std::vector<Real> prefixLat_;
+};
+
+/// Incremental evaluator over one scratch mapping. Holds non-owning
+/// references to the Evaluator (instance + comm model) and the workspace;
+/// both must outlive it.
+///
+/// Usage pattern (one candidate):
+///   if (delta.apply(move)) {            // O(touched) breakdowns
+///     score(delta.metrics());           // O(m) flat-buffer scan, no allocs
+///     delta.undo();                     // restore, bit-exact
+///   }
+/// and for an accepted move: apply + commit() instead of undo().
+///
+/// Invariant maintained for the caller: the scratch mapping is always a
+/// structurally valid interval mapping with pairwise-distinct processors —
+/// apply() refuses (returns false, state untouched) any move that would
+/// break it or that does not apply to the current state.
+class DeltaEvaluator {
+ public:
+  DeltaEvaluator(const Evaluator& eval, EvalWorkspace& workspace);
+
+  /// Loads `mapping` into the scratch state (O(m) breakdowns). Discards any
+  /// pending undo.
+  void load(const IntervalMapping& mapping);
+
+  /// Same, from a raw assignment list that already satisfies the ordering
+  /// invariant (trusted: not re-checked in release builds).
+  void load(const std::vector<Assignment>& parts);
+
+  [[nodiscard]] std::size_t intervalCount() const noexcept { return ws_->parts_.size(); }
+  [[nodiscard]] const Assignment& assignment(std::size_t j) const { return ws_->parts_[j]; }
+  [[nodiscard]] const std::vector<Assignment>& assignments() const noexcept {
+    return ws_->parts_;
+  }
+
+  /// Cycle-time of interval j, read from the flat phase buffer.
+  [[nodiscard]] Real cycle(std::size_t j) const { return ws_->cycles_[j]; }
+
+  /// Phase breakdown of interval j (cached, not recomputed).
+  [[nodiscard]] const CycleBreakdown& breakdown(std::size_t j) const {
+    return ws_->breakdowns_[j];
+  }
+
+  /// True when processor u is used by some interval of the scratch mapping.
+  /// Maintained incrementally (O(1) per move), so search loops no longer
+  /// rebuild a used-processor vector per round.
+  [[nodiscard]] bool processorUsed(std::size_t u) const { return ws_->used_[u] != 0; }
+
+  /// Metrics of the scratch mapping — bit-identical to
+  /// Evaluator::evaluate(mapping()) by construction. Cached between moves.
+  [[nodiscard]] const Metrics& metrics();
+
+  /// Metrics of the mapping `move` would produce, WITHOUT touching the
+  /// scratch state: the phase terms of the touched intervals are computed
+  /// into locals and the metrics fold resumes from the prefix caches with
+  /// those values patched in (index-shifted past a merge/split edit point).
+  /// Bit-identical to apply + metrics + undo, for every move kind; returns
+  /// nullopt when the move does not apply. This is the cheapest way to score
+  /// one candidate: no bookkeeping, no undo, nothing written.
+  [[nodiscard]] std::optional<Metrics> peek(const Move& move) const;
+
+  /// Applies `move` if it is valid for the current state; returns false and
+  /// leaves the state untouched otherwise. A successful apply supersedes any
+  /// previously pending undo (the previous move is committed implicitly).
+  bool apply(const Move& move);
+
+  /// Replaces interval j by `replacement` (which must tile it exactly, like
+  /// IntervalMapping::replaceInterval; 1..3 parts) — the splitting engine's
+  /// candidate primitive. Throws MappingError on a malformed replacement;
+  /// returns false when a replacement processor is already used elsewhere.
+  bool replaceInterval(std::size_t j, const Assignment* replacement, std::size_t count);
+
+  /// Reverts the last successful apply()/replaceInterval(). At most one
+  /// level; throws ModelError when nothing is pending.
+  void undo();
+
+  /// Keeps the last move and forgets its undo state.
+  void commit() noexcept;
+
+  /// Materializes the scratch state as an IntervalMapping (allocates — call
+  /// outside the hot loop).
+  [[nodiscard]] IntervalMapping mapping() const;
+
+ private:
+  void refresh(std::size_t lo, std::size_t hi);  // recompute breakdowns [lo, hi] clamped
+  void refreshCompute(std::size_t i);             // comm-hom processor move: only the
+                                                  // compute phase of i changed
+  void scan(bool writePrefixes);                  // resume the metrics fold
+  void beginMove(std::size_t touchedLo);          // snapshot undo state
+  void saveRange(std::size_t lo, std::size_t hi); // snapshot slots for undo
+  void setUsed(std::size_t processor, bool used); // bitmap write with undo log
+
+  const Evaluator* eval_;
+  EvalWorkspace* ws_;
+  /// On communication-homogeneous platforms an interval's phase times do not
+  /// depend on its neighbours' processors, so processor moves touch only the
+  /// interval itself (reach 0); fully-heterogeneous platforms must also
+  /// refresh the link neighbours (reach 1).
+  std::size_t neighborReach_ = 1;
+
+  Metrics cached_{};
+  bool metricsDirty_ = true;
+  /// Prefix caches in the workspace are valid for indices < prefixValid_.
+  std::size_t prefixValid_ = 0;
+
+  // Pending (single-level) undo state.
+  enum class PendingOp : unsigned char {
+    kNone,      ///< nothing to undo
+    kEntries,   ///< restore saved entries only (size unchanged)
+    kEraseAt,   ///< erase pendingCount_ slots at pendingPos_, then restore
+    kInsertAt,  ///< insert pendingCount_ slots at pendingPos_, then restore
+  };
+  PendingOp pending_ = PendingOp::kNone;
+  std::size_t pendingPos_ = 0;
+  std::size_t pendingCount_ = 0;
+  Metrics savedMetrics_{};
+  bool savedMetricsDirty_ = true;
+  std::size_t savedPrefixValid_ = 0;
+};
+
+}  // namespace pipesched::core

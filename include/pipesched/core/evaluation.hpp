@@ -70,6 +70,19 @@ class Evaluator {
   /// incoming/outgoing link bandwidths from the neighbouring assignments).
   [[nodiscard]] CycleBreakdown breakdown(const IntervalMapping& mapping, std::size_t j) const;
 
+  /// Phase breakdown of one assignment given its neighbouring processors
+  /// (nullptr at the pipeline boundaries, where the world links apply). This
+  /// is the single breakdown fill shared by the mapping-based overload, by
+  /// evaluate()/cycles(), and by the delta-evaluation kernel — so all of
+  /// them produce bit-identical phase times by construction.
+  [[nodiscard]] CycleBreakdown breakdown(const Assignment& a, const std::size_t* prevProc,
+                                         const std::size_t* nextProc) const;
+
+  /// Folds a breakdown into a cycle-time under the active model.
+  [[nodiscard]] Real cycleOf(const CycleBreakdown& b) const noexcept {
+    return model_ == CommModel::kSequential ? b.sequential() : b.overlapped();
+  }
+
   /// Cycle-time of interval j of `mapping` under the active model.
   [[nodiscard]] Real intervalCycle(const IntervalMapping& mapping, std::size_t j) const;
 
@@ -90,8 +103,17 @@ class Evaluator {
   /// Both metrics plus the bottleneck interval in one pass.
   [[nodiscard]] Metrics evaluate(const IntervalMapping& mapping) const;
 
+  /// Same, over a raw assignment list that already satisfies the ordering
+  /// invariant (trusted) — lets buffer-reusing loops evaluate a candidate
+  /// without materializing an IntervalMapping.
+  [[nodiscard]] Metrics evaluate(const std::vector<Assignment>& parts) const;
+
   /// Per-interval cycle-times (same order as the mapping's intervals).
   [[nodiscard]] std::vector<Real> cycles(const IntervalMapping& mapping) const;
+
+  /// Allocation-free overload: resizes `out` to the interval count and fills
+  /// it in place (hot loops reuse one buffer across calls).
+  void cycles(const IntervalMapping& mapping, std::vector<Real>& out) const;
 
   /// Lemma 1: the optimal latency over *all* mappings — everything on the
   /// fastest processor. On fully-heterogeneous platforms the world links of

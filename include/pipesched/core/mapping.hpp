@@ -47,6 +47,12 @@ class IntervalMapping {
   /// validate(); the cheap ordering invariant is checked immediately).
   explicit IntervalMapping(std::vector<Assignment> assignments);
 
+  /// Internal fast path for callers that maintain the ordering invariant
+  /// themselves (the delta-evaluation kernel materializing its scratch
+  /// state): skips checkOrdering in release builds. Debug builds still
+  /// verify, so a corrupted scratch mapping fails loudly under test.
+  [[nodiscard]] static IntervalMapping fromValidated(std::vector<Assignment> assignments);
+
   /// The Lemma-1 initial solution: all n stages on a single processor.
   [[nodiscard]] static IntervalMapping singleInterval(std::size_t n, std::size_t processor);
 

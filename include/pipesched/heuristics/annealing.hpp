@@ -28,6 +28,13 @@ struct AnnealingOptions {
 
   /// Constraint-violation penalty weight, also relative to the seed energy.
   Real penaltyWeight = 10;
+
+  /// Score proposals through the core::DeltaEvaluator kernel (apply/undo,
+  /// O(touched-intervals) per proposal, allocation-free) instead of the
+  /// historical copy-edit-rebuild + full-evaluate pattern. Both paths draw
+  /// the same random sequence and return bit-identical results (pinned by
+  /// test_annealing.cpp); the rebuild path is the bench baseline.
+  bool useDeltaKernel = true;
 };
 
 struct AnnealingResult {

@@ -27,6 +27,14 @@ struct LocalSearchOptions {
 
   /// Include merge moves (may strand processors but shortens latency).
   bool mergeMoves = true;
+
+  /// Score candidates through the core::DeltaEvaluator kernel (apply/undo,
+  /// O(touched-intervals) per candidate, allocation-free) instead of the
+  /// historical copy-edit-rebuild + full-evaluate pattern. The two paths
+  /// return bit-identical results (pinned by test_local_search.cpp); the
+  /// rebuild path is kept as the differential reference and as the
+  /// before/after baseline for bench/perf_eval.
+  bool useDeltaKernel = true;
 };
 
 struct LocalSearchResult {

@@ -52,6 +52,13 @@ struct EngineConfig {
 
   /// Hard safety cap on accepted splits (the theoretical max is n-1).
   std::size_t maxSplits = 1u << 20;
+
+  /// Score split candidates through the core::DeltaEvaluator kernel
+  /// (replace/undo, O(touched-intervals) per candidate, allocation-free)
+  /// instead of the historical copy + replaceInterval + full-evaluate
+  /// pattern. Both paths score bit-identically (pinned by
+  /// test_splitting_engine.cpp); the rebuild path is the bench baseline.
+  bool useDeltaKernel = true;
 };
 
 struct EngineResult {

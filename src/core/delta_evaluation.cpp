@@ -1,0 +1,647 @@
+#include "pipesched/core/delta_evaluation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pipesched::core {
+
+void EvalWorkspace::reserve(std::size_t maxIntervals, std::size_t processorCount) {
+  parts_.reserve(maxIntervals);
+  breakdowns_.reserve(maxIntervals);
+  cycles_.reserve(maxIntervals);
+  latTerms_.reserve(maxIntervals);
+  prefixPeriod_.reserve(maxIntervals);
+  prefixBottleneck_.reserve(maxIntervals);
+  prefixLat_.reserve(maxIntervals);
+  used_.reserve(processorCount);
+  savedEntries_.reserve(8);
+  savedBits_.reserve(8);
+}
+
+DeltaEvaluator::DeltaEvaluator(const Evaluator& eval, EvalWorkspace& workspace)
+    : eval_(&eval),
+      ws_(&workspace),
+      neighborReach_(eval.platform().isCommHomogeneous() ? 0 : 1) {}
+
+void DeltaEvaluator::load(const IntervalMapping& mapping) { load(mapping.assignments()); }
+
+void DeltaEvaluator::load(const std::vector<Assignment>& parts) {
+  if (parts.empty()) throw MappingError("DeltaEvaluator::load: empty mapping");
+  const std::size_t p = eval_->platform().processorCount();
+  // An interval mapping never has more intervals than processors, so one
+  // reservation makes every later structural move allocation-free.
+  const std::size_t cap = std::max(parts.size(), p);
+  ws_->parts_.reserve(cap);
+  ws_->breakdowns_.reserve(cap);
+  ws_->cycles_.reserve(cap);
+  ws_->latTerms_.reserve(cap);
+  ws_->parts_.assign(parts.begin(), parts.end());
+  ws_->breakdowns_.resize(parts.size());
+  ws_->cycles_.resize(parts.size());
+  ws_->latTerms_.resize(parts.size());
+  ws_->prefixPeriod_.resize(cap);
+  ws_->prefixBottleneck_.resize(cap);
+  ws_->prefixLat_.resize(cap);
+  ws_->used_.assign(p, 0);
+  for (const Assignment& a : ws_->parts_) {
+    if (a.processor >= p) throw MappingError("DeltaEvaluator::load: processor out of range");
+    ws_->used_[a.processor] = 1;
+  }
+  ws_->savedEntries_.clear();
+  ws_->savedBits_.clear();
+  ws_->savedEntries_.reserve(8);
+  ws_->savedBits_.reserve(8);
+  pending_ = PendingOp::kNone;
+  refresh(0, ws_->parts_.size() - 1);
+  prefixValid_ = 0;
+  metricsDirty_ = true;
+}
+
+void DeltaEvaluator::refresh(std::size_t lo, std::size_t hi) {
+  const std::size_t m = ws_->parts_.size();
+  hi = std::min(hi, m - 1);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    const std::size_t* prevProc = i > 0 ? &ws_->parts_[i - 1].processor : nullptr;
+    const std::size_t* nextProc = i + 1 < m ? &ws_->parts_[i + 1].processor : nullptr;
+    const CycleBreakdown b = eval_->breakdown(ws_->parts_[i], prevProc, nextProc);
+    ws_->breakdowns_[i] = b;
+    ws_->cycles_[i] = eval_->cycleOf(b);
+    // Same single addition Evaluator::evaluate performs per interval, so the
+    // resumed fold below reproduces its latency bit for bit.
+    ws_->latTerms_[i] = b.input + b.compute;
+  }
+}
+
+void DeltaEvaluator::refreshCompute(std::size_t i) {
+  // Comm-homogeneous + processor-only move: the interval's comm sizes and
+  // every bandwidth are unchanged, so input/output stand; only compute moves
+  // to the new speed (the same expression Evaluator::breakdown uses).
+  CycleBreakdown& b = ws_->breakdowns_[i];
+  b.compute = eval_->computeTime(ws_->parts_[i].interval, ws_->parts_[i].processor);
+  ws_->cycles_[i] = eval_->cycleOf(b);
+  ws_->latTerms_[i] = b.input + b.compute;
+}
+
+void DeltaEvaluator::scan(bool writePrefixes) {
+  const std::size_t m = ws_->parts_.size();
+  if (m == 0) throw MappingError("DeltaEvaluator::metrics: empty mapping");
+  // Replay Evaluator::evaluate's accumulation order exactly (FP addition is
+  // order-sensitive), resuming from the prefix caches at the first interval
+  // touched since they were written. Peeks over a pending move leave the
+  // prefixes untouched; scans over committed state refresh them.
+  if (writePrefixes && ws_->prefixPeriod_.size() < m) {
+    ws_->prefixPeriod_.resize(m);
+    ws_->prefixBottleneck_.resize(m);
+    ws_->prefixLat_.resize(m);
+  }
+  Real period = Real(0);
+  std::size_t bottleneck = 0;
+  Real latency = Real(0);
+  std::size_t start = std::min(prefixValid_, m);
+  if (start > 0) {
+    period = ws_->prefixPeriod_[start - 1];
+    bottleneck = ws_->prefixBottleneck_[start - 1];
+    latency = ws_->prefixLat_[start - 1];
+  }
+  for (std::size_t j = start; j < m; ++j) {
+    const Real cycle = ws_->cycles_[j];
+    if (cycle > period) {
+      period = cycle;
+      bottleneck = j;
+    }
+    latency += ws_->latTerms_[j];
+    if (writePrefixes) {
+      ws_->prefixPeriod_[j] = period;
+      ws_->prefixBottleneck_[j] = bottleneck;
+      ws_->prefixLat_[j] = latency;
+    }
+  }
+  if (writePrefixes) prefixValid_ = m;
+  cached_.period = period;
+  cached_.bottleneckInterval = bottleneck;
+  cached_.latency = latency + ws_->breakdowns_[m - 1].output;
+  metricsDirty_ = false;
+}
+
+const Metrics& DeltaEvaluator::metrics() {
+  if (metricsDirty_) scan(/*writePrefixes=*/pending_ == PendingOp::kNone);
+  return cached_;
+}
+
+namespace {
+
+/// One hypothetically-updated interval for DeltaEvaluator::peek.
+struct Patch {
+  std::size_t index = 0;
+  Real cycle = 0;
+  Real latTerm = 0;
+  Real output = 0;
+};
+
+}  // namespace
+
+std::optional<Metrics> DeltaEvaluator::peek(const Move& move) const {
+  const std::size_t m = ws_->parts_.size();
+  const std::size_t p = ws_->used_.size();
+  const std::vector<Assignment>& parts = ws_->parts_;
+  // Patches are gathered in ascending POST-move index order (<= 6 of them).
+  // Structural moves shift the indices past the edit point: an unpatched
+  // post-move index e past the last patch reads the pre-move arrays at
+  // e + tailShift (+1 after a merge, -1 after a split).
+  Patch patches[6];
+  std::size_t nPatches = 0;
+  std::ptrdiff_t tailShift = 0;
+  std::size_t mEff = m;
+  const auto patch = [&](std::size_t index, const CycleBreakdown& b) {
+    patches[nPatches++] =
+        Patch{index, eval_->cycleOf(b), b.input + b.compute, b.output};
+  };
+  // Compute-only variant: comm-homogeneous platforms + processor-only moves
+  // leave input/output standing (same shortcut refreshCompute() takes).
+  const auto patchCompute = [&](std::size_t index, std::size_t proc) {
+    CycleBreakdown b = ws_->breakdowns_[index];
+    b.compute = eval_->computeTime(parts[index].interval, proc);
+    patch(index, b);
+  };
+
+  switch (move.kind) {
+    case Move::Kind::kReassign: {
+      if (move.j >= m || move.u >= p || ws_->used_[move.u] != 0) return std::nullopt;
+      if (neighborReach_ == 0) {
+        patchCompute(move.j, move.u);
+        break;
+      }
+      // Fully heterogeneous: the neighbours' link bandwidths change too.
+      const std::size_t lo = move.j > 0 ? move.j - 1 : 0;
+      const std::size_t hi = std::min(move.j + 1, m - 1);
+      for (std::size_t i = lo; i <= hi; ++i) {
+        Assignment a = parts[i];
+        if (i == move.j) a.processor = move.u;
+        std::size_t prev = 0;
+        std::size_t next = 0;
+        const std::size_t* prevProc = nullptr;
+        const std::size_t* nextProc = nullptr;
+        if (i > 0) {
+          prev = i - 1 == move.j ? move.u : parts[i - 1].processor;
+          prevProc = &prev;
+        }
+        if (i + 1 < m) {
+          next = i + 1 == move.j ? move.u : parts[i + 1].processor;
+          nextProc = &next;
+        }
+        patch(i, eval_->breakdown(a, prevProc, nextProc));
+      }
+      break;
+    }
+    case Move::Kind::kSwap: {
+      if (move.j >= m || move.k >= m || move.j == move.k) return std::nullopt;
+      const std::size_t a = std::min(move.j, move.k);
+      const std::size_t b = std::max(move.j, move.k);
+      const auto hypProc = [&](std::size_t i) {
+        if (i == a) return parts[b].processor;
+        if (i == b) return parts[a].processor;
+        return parts[i].processor;
+      };
+      if (neighborReach_ == 0) {
+        patchCompute(a, parts[b].processor);
+        patchCompute(b, parts[a].processor);
+        break;
+      }
+      const std::size_t lo = a > 0 ? a - 1 : 0;
+      const std::size_t hi = std::min(b + 1, m - 1);
+      for (std::size_t i = lo; i <= hi; ++i) {
+        const bool nearA = i + 1 >= a && i <= a + 1;
+        const bool nearB = i + 1 >= b && i <= b + 1;
+        if (!nearA && !nearB) continue;
+        Assignment hyp{parts[i].interval, hypProc(i)};
+        std::size_t prev = 0;
+        std::size_t next = 0;
+        const std::size_t* prevProc = nullptr;
+        const std::size_t* nextProc = nullptr;
+        if (i > 0) {
+          prev = hypProc(i - 1);
+          prevProc = &prev;
+        }
+        if (i + 1 < m) {
+          next = hypProc(i + 1);
+          nextProc = &next;
+        }
+        patch(i, eval_->breakdown(hyp, prevProc, nextProc));
+      }
+      break;
+    }
+    case Move::Kind::kShiftLeft:
+    case Move::Kind::kShiftRight: {
+      const std::size_t j = move.j;
+      if (j + 1 >= m) return std::nullopt;
+      Assignment left = parts[j];
+      Assignment right = parts[j + 1];
+      if (move.kind == Move::Kind::kShiftLeft) {
+        if (left.interval.length() < 2) return std::nullopt;
+        --left.interval.last;
+        --right.interval.first;
+      } else {
+        if (right.interval.length() < 2) return std::nullopt;
+        ++left.interval.last;
+        ++right.interval.first;
+      }
+      // Neighbours keep their comm sizes and link processors: only the two
+      // shifted intervals change, on every platform kind.
+      std::size_t prev = 0;
+      std::size_t next = 0;
+      const std::size_t* prevProc = nullptr;
+      const std::size_t* nextProc = nullptr;
+      if (j > 0) {
+        prev = parts[j - 1].processor;
+        prevProc = &prev;
+      }
+      patch(j, eval_->breakdown(left, prevProc, &right.processor));
+      if (j + 2 < m) {
+        next = parts[j + 2].processor;
+        nextProc = &next;
+      }
+      patch(j + 1, eval_->breakdown(right, &left.processor, nextProc));
+      break;
+    }
+    case Move::Kind::kMerge: {
+      const std::size_t j = move.j;
+      if (j + 1 >= m) return std::nullopt;
+      const Assignment merged{
+          Interval{parts[j].interval.first, parts[j + 1].interval.last},
+          move.keepLeft ? parts[j].processor : parts[j + 1].processor};
+      std::size_t prev = 0;
+      std::size_t next = 0;
+      const std::size_t* prevProc = nullptr;
+      const std::size_t* nextProc = nullptr;
+      if (j > 0) {
+        prev = parts[j - 1].processor;
+        prevProc = &prev;
+      }
+      if (j + 2 < m) {
+        next = parts[j + 2].processor;
+        nextProc = &next;
+      }
+      if (neighborReach_ > 0 && j > 0) {
+        // Fully heterogeneous: the left neighbour's outgoing link now ends
+        // at the merged interval's processor.
+        std::size_t prevPrev = 0;
+        const std::size_t* prevPrevProc = nullptr;
+        if (j > 1) {
+          prevPrev = parts[j - 2].processor;
+          prevPrevProc = &prevPrev;
+        }
+        patch(j - 1, eval_->breakdown(parts[j - 1], prevPrevProc, &merged.processor));
+      }
+      patch(j, eval_->breakdown(merged, prevProc, nextProc));
+      if (neighborReach_ > 0 && j + 2 < m) {
+        // ... and the right neighbour's incoming link now starts there. Its
+        // post-move index is j + 1.
+        std::size_t nextNext = 0;
+        const std::size_t* nextNextProc = nullptr;
+        if (j + 3 < m) {
+          nextNext = parts[j + 3].processor;
+          nextNextProc = &nextNext;
+        }
+        patch(j + 1, eval_->breakdown(parts[j + 2], &merged.processor, nextNextProc));
+      }
+      mEff = m - 1;
+      tailShift = 1;
+      break;
+    }
+    case Move::Kind::kSplit: {
+      const std::size_t j = move.j;
+      if (j >= m || move.u >= p || ws_->used_[move.u] != 0) return std::nullopt;
+      const Interval iv = parts[j].interval;
+      if (move.k < iv.first || move.k >= iv.last) return std::nullopt;
+      const std::size_t owner = parts[j].processor;
+      const Assignment head{Interval{iv.first, move.k}, owner};
+      const Assignment tail{Interval{move.k + 1, iv.last}, move.u};
+      std::size_t prev = 0;
+      std::size_t next = 0;
+      const std::size_t* prevProc = nullptr;
+      const std::size_t* nextProc = nullptr;
+      if (j > 0) {
+        prev = parts[j - 1].processor;
+        prevProc = &prev;
+      }
+      if (j + 1 < m) {
+        next = parts[j + 1].processor;
+        nextProc = &next;
+      }
+      // The left neighbour is untouched even on heterogeneous platforms: the
+      // head keeps the owner, so its outgoing link is unchanged.
+      patch(j, eval_->breakdown(head, prevProc, &tail.processor));
+      patch(j + 1, eval_->breakdown(tail, &head.processor, nextProc));
+      if (neighborReach_ > 0 && j + 1 < m) {
+        // The right neighbour's incoming link now starts at the tail's
+        // processor. Its post-move index is j + 2.
+        std::size_t nextNext = 0;
+        const std::size_t* nextNextProc = nullptr;
+        if (j + 2 < m) {
+          nextNext = parts[j + 2].processor;
+          nextNextProc = &nextNext;
+        }
+        patch(j + 2, eval_->breakdown(parts[j + 1], &tail.processor, nextNextProc));
+      }
+      mEff = m + 1;
+      tailShift = -1;
+      break;
+    }
+  }
+
+  // Resume the bit-exact fold from the prefix caches, patching the touched
+  // intervals in as the scan passes them. Prefix entries below the first
+  // patch are unaffected by any index shift.
+  Real period = Real(0);
+  std::size_t bottleneck = 0;
+  Real latency = Real(0);
+  const std::size_t lastPatch = patches[nPatches - 1].index;
+  const std::size_t start = std::min(prefixValid_, patches[0].index);
+  if (start > 0) {
+    period = ws_->prefixPeriod_[start - 1];
+    bottleneck = ws_->prefixBottleneck_[start - 1];
+    latency = ws_->prefixLat_[start - 1];
+  }
+  std::size_t pi = 0;
+  for (std::size_t j = start; j < mEff; ++j) {
+    Real cycle;
+    Real latTerm;
+    if (pi < nPatches && patches[pi].index == j) {
+      cycle = patches[pi].cycle;
+      latTerm = patches[pi].latTerm;
+      ++pi;
+    } else {
+      const std::size_t old =
+          j > lastPatch ? static_cast<std::size_t>(static_cast<std::ptrdiff_t>(j) + tailShift)
+                        : j;
+      cycle = ws_->cycles_[old];
+      latTerm = ws_->latTerms_[old];
+    }
+    if (cycle > period) {
+      period = cycle;
+      bottleneck = j;
+    }
+    latency += latTerm;
+  }
+  Metrics out;
+  out.period = period;
+  out.bottleneckInterval = bottleneck;
+  const Real lastOutput =
+      lastPatch == mEff - 1
+          ? patches[nPatches - 1].output
+          : ws_->breakdowns_[static_cast<std::size_t>(
+                                 static_cast<std::ptrdiff_t>(mEff - 1) + tailShift)]
+                .output;
+  out.latency = latency + lastOutput;
+  return out;
+}
+
+void DeltaEvaluator::beginMove(std::size_t touchedLo) {
+  ws_->savedEntries_.clear();
+  ws_->savedBits_.clear();
+  savedMetrics_ = cached_;
+  savedMetricsDirty_ = metricsDirty_;
+  savedPrefixValid_ = prefixValid_;
+  prefixValid_ = std::min(prefixValid_, touchedLo);
+  pending_ = PendingOp::kEntries;
+  pendingPos_ = 0;
+  pendingCount_ = 0;
+}
+
+void DeltaEvaluator::saveRange(std::size_t lo, std::size_t hi) {
+  hi = std::min(hi, ws_->parts_.size() - 1);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    ws_->savedEntries_.push_back(EvalWorkspace::SavedEntry{
+        i, ws_->parts_[i], ws_->breakdowns_[i], ws_->cycles_[i], ws_->latTerms_[i]});
+  }
+}
+
+void DeltaEvaluator::setUsed(std::size_t processor, bool used) {
+  ws_->savedBits_.push_back(
+      EvalWorkspace::SavedBit{processor, ws_->used_[processor] != 0});
+  ws_->used_[processor] = used ? 1 : 0;
+}
+
+bool DeltaEvaluator::apply(const Move& move) {
+  const std::size_t m = ws_->parts_.size();
+  const std::size_t p = ws_->used_.size();
+  const std::size_t reach = neighborReach_;
+  std::vector<Assignment>& parts = ws_->parts_;
+  switch (move.kind) {
+    case Move::Kind::kReassign: {
+      if (move.j >= m || move.u >= p || ws_->used_[move.u] != 0) return false;
+      const std::size_t lo = move.j > reach ? move.j - reach : 0;
+      beginMove(lo);
+      saveRange(lo, move.j + reach);
+      setUsed(parts[move.j].processor, false);
+      setUsed(move.u, true);
+      parts[move.j].processor = move.u;
+      if (reach == 0) {
+        refreshCompute(move.j);
+      } else {
+        refresh(lo, move.j + reach);
+      }
+      break;
+    }
+    case Move::Kind::kSwap: {
+      if (move.j >= m || move.k >= m || move.j == move.k) return false;
+      const std::size_t jLo = move.j > reach ? move.j - reach : 0;
+      const std::size_t kLo = move.k > reach ? move.k - reach : 0;
+      beginMove(std::min(jLo, kLo));
+      saveRange(jLo, move.j + reach);
+      saveRange(kLo, move.k + reach);
+      std::swap(parts[move.j].processor, parts[move.k].processor);
+      if (reach == 0) {
+        refreshCompute(move.j);
+        refreshCompute(move.k);
+      } else {
+        refresh(jLo, move.j + reach);
+        refresh(kLo, move.k + reach);
+      }
+      break;
+    }
+    case Move::Kind::kShiftLeft: {
+      if (move.j + 1 >= m || parts[move.j].interval.length() < 2) return false;
+      beginMove(move.j);
+      saveRange(move.j, move.j + 1);
+      --parts[move.j].interval.last;
+      --parts[move.j + 1].interval.first;
+      refresh(move.j, move.j + 1);
+      break;
+    }
+    case Move::Kind::kShiftRight: {
+      if (move.j + 1 >= m || parts[move.j + 1].interval.length() < 2) return false;
+      beginMove(move.j);
+      saveRange(move.j, move.j + 1);
+      ++parts[move.j].interval.last;
+      ++parts[move.j + 1].interval.first;
+      refresh(move.j, move.j + 1);
+      break;
+    }
+    case Move::Kind::kMerge: {
+      if (move.j + 1 >= m) return false;
+      const std::size_t lo = move.j > reach ? move.j - reach : 0;
+      beginMove(lo);
+      saveRange(lo, move.j + 1 + reach);  // pre-frame: both halves + neighbours
+      const std::size_t freed =
+          move.keepLeft ? parts[move.j + 1].processor : parts[move.j].processor;
+      setUsed(freed, false);
+      parts[move.j].interval.last = parts[move.j + 1].interval.last;
+      if (!move.keepLeft) parts[move.j].processor = parts[move.j + 1].processor;
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(move.j) + 1);
+      ws_->breakdowns_.erase(ws_->breakdowns_.begin() +
+                             static_cast<std::ptrdiff_t>(move.j) + 1);
+      ws_->cycles_.erase(ws_->cycles_.begin() + static_cast<std::ptrdiff_t>(move.j) + 1);
+      ws_->latTerms_.erase(ws_->latTerms_.begin() + static_cast<std::ptrdiff_t>(move.j) + 1);
+      pending_ = PendingOp::kInsertAt;
+      pendingPos_ = move.j + 1;
+      pendingCount_ = 1;
+      refresh(lo, move.j + reach);
+      break;
+    }
+    case Move::Kind::kSplit: {
+      if (move.j >= m || move.u >= p || ws_->used_[move.u] != 0) return false;
+      const Interval iv = parts[move.j].interval;
+      if (move.k < iv.first || move.k >= iv.last) return false;
+      const std::size_t lo = move.j > reach ? move.j - reach : 0;
+      beginMove(lo);
+      saveRange(lo, move.j + reach);  // pre-frame: victim + neighbours
+      setUsed(move.u, true);
+      Assignment tail;
+      tail.interval = Interval{move.k + 1, iv.last};
+      tail.processor = move.u;
+      parts[move.j].interval.last = move.k;
+      parts.insert(parts.begin() + static_cast<std::ptrdiff_t>(move.j) + 1, tail);
+      ws_->breakdowns_.insert(ws_->breakdowns_.begin() +
+                                  static_cast<std::ptrdiff_t>(move.j) + 1,
+                              CycleBreakdown{});
+      ws_->cycles_.insert(ws_->cycles_.begin() + static_cast<std::ptrdiff_t>(move.j) + 1,
+                          Real(0));
+      ws_->latTerms_.insert(ws_->latTerms_.begin() + static_cast<std::ptrdiff_t>(move.j) + 1,
+                            Real(0));
+      pending_ = PendingOp::kEraseAt;
+      pendingPos_ = move.j + 1;
+      pendingCount_ = 1;
+      refresh(lo, move.j + 1 + reach);
+      break;
+    }
+  }
+  metricsDirty_ = true;
+  return true;
+}
+
+bool DeltaEvaluator::replaceInterval(std::size_t j, const Assignment* replacement,
+                                     std::size_t count) {
+  const std::size_t m = ws_->parts_.size();
+  if (j >= m) throw MappingError("DeltaEvaluator::replaceInterval: index out of range");
+  if (count == 0) throw MappingError("DeltaEvaluator::replaceInterval: empty replacement");
+  const Interval victim = ws_->parts_[j].interval;
+  if (replacement[0].interval.first != victim.first ||
+      replacement[count - 1].interval.last != victim.last) {
+    throw MappingError("DeltaEvaluator::replaceInterval: replacement does not tile the victim");
+  }
+  for (std::size_t r = 0; r < count; ++r) {
+    const Interval& iv = replacement[r].interval;
+    if (iv.last < iv.first ||
+        (r > 0 && iv.first != replacement[r - 1].interval.last + 1)) {
+      throw MappingError("DeltaEvaluator::replaceInterval: replacement intervals not contiguous");
+    }
+  }
+  // Processor feasibility: every replacement processor must be the victim's
+  // own or currently unused, and the replacement must not repeat one.
+  const std::size_t victimProc = ws_->parts_[j].processor;
+  const std::size_t p = ws_->used_.size();
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::size_t u = replacement[r].processor;
+    if (u >= p) return false;
+    if (u != victimProc && ws_->used_[u] != 0) return false;
+    for (std::size_t s = r + 1; s < count; ++s) {
+      if (replacement[s].processor == u) return false;
+    }
+  }
+
+  const std::size_t reach = neighborReach_;
+  const std::size_t lo = j > reach ? j - reach : 0;
+  beginMove(lo);
+  saveRange(lo, j + reach);  // pre-frame: victim + neighbours
+  setUsed(victimProc, false);
+  for (std::size_t r = 0; r < count; ++r) setUsed(replacement[r].processor, true);
+
+  ws_->parts_[j] = replacement[0];
+  if (count > 1) {
+    ws_->parts_.insert(ws_->parts_.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                       replacement + 1, replacement + count);
+    ws_->breakdowns_.insert(ws_->breakdowns_.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                            count - 1, CycleBreakdown{});
+    ws_->cycles_.insert(ws_->cycles_.begin() + static_cast<std::ptrdiff_t>(j) + 1, count - 1,
+                        Real(0));
+    ws_->latTerms_.insert(ws_->latTerms_.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                          count - 1, Real(0));
+    pending_ = PendingOp::kEraseAt;
+    pendingPos_ = j + 1;
+    pendingCount_ = count - 1;
+  }
+  refresh(lo, j + count - 1 + reach);
+  metricsDirty_ = true;
+  return true;
+}
+
+void DeltaEvaluator::undo() {
+  if (pending_ == PendingOp::kNone) {
+    throw ModelError("DeltaEvaluator::undo: no move pending");
+  }
+  if (pending_ == PendingOp::kEraseAt) {
+    const auto at = static_cast<std::ptrdiff_t>(pendingPos_);
+    const auto end = static_cast<std::ptrdiff_t>(pendingPos_ + pendingCount_);
+    ws_->parts_.erase(ws_->parts_.begin() + at, ws_->parts_.begin() + end);
+    ws_->breakdowns_.erase(ws_->breakdowns_.begin() + at, ws_->breakdowns_.begin() + end);
+    ws_->cycles_.erase(ws_->cycles_.begin() + at, ws_->cycles_.begin() + end);
+    ws_->latTerms_.erase(ws_->latTerms_.begin() + at, ws_->latTerms_.begin() + end);
+  } else if (pending_ == PendingOp::kInsertAt) {
+    const auto at = static_cast<std::ptrdiff_t>(pendingPos_);
+    ws_->parts_.insert(ws_->parts_.begin() + at, pendingCount_, Assignment{});
+    ws_->breakdowns_.insert(ws_->breakdowns_.begin() + at, pendingCount_, CycleBreakdown{});
+    ws_->cycles_.insert(ws_->cycles_.begin() + at, pendingCount_, Real(0));
+    ws_->latTerms_.insert(ws_->latTerms_.begin() + at, pendingCount_, Real(0));
+  }
+  // Saved entries are pre-move snapshots in the pre-move index frame, which
+  // the structural inverse above just restored.
+  for (const EvalWorkspace::SavedEntry& e : ws_->savedEntries_) {
+    ws_->parts_[e.index] = e.part;
+    ws_->breakdowns_[e.index] = e.breakdown;
+    ws_->cycles_[e.index] = e.cycle;
+    ws_->latTerms_[e.index] = e.latTerm;
+  }
+  // Bitmap log is chronological and a processor may appear twice (freed then
+  // re-used): walk it backwards so the oldest value wins.
+  for (auto it = ws_->savedBits_.rbegin(); it != ws_->savedBits_.rend(); ++it) {
+    ws_->used_[it->processor] = it->wasUsed ? 1 : 0;
+  }
+  cached_ = savedMetrics_;
+  metricsDirty_ = savedMetricsDirty_;
+  // Peeks never write the prefix caches, so the pre-move prefix is intact.
+  prefixValid_ = savedPrefixValid_;
+  pending_ = PendingOp::kNone;
+  pendingPos_ = 0;
+  pendingCount_ = 0;
+  ws_->savedEntries_.clear();
+  ws_->savedBits_.clear();
+}
+
+void DeltaEvaluator::commit() noexcept {
+  pending_ = PendingOp::kNone;
+  pendingPos_ = 0;
+  pendingCount_ = 0;
+  ws_->savedEntries_.clear();
+  ws_->savedBits_.clear();
+  // Re-warm the prefix caches over the now-committed state: one resumed
+  // fold here makes every subsequent peek O(tail from its own touch point)
+  // instead of O(tail from this move's touch point).
+  if (prefixValid_ < ws_->parts_.size()) scan(/*writePrefixes=*/true);
+}
+
+IntervalMapping DeltaEvaluator::mapping() const {
+  return IntervalMapping::fromValidated(ws_->parts_);
+}
+
+}  // namespace pipesched::core

@@ -8,7 +8,23 @@ Evaluator::Evaluator(const Pipeline& pipeline, const Platform& platform, CommMod
     : pipe_(&pipeline), plat_(&platform), model_(model) {}
 
 CycleBreakdown Evaluator::breakdown(const IntervalMapping& mapping, std::size_t j) const {
-  const Assignment& a = mapping.assignment(j);
+  std::size_t prev = 0;
+  std::size_t next = 0;
+  const std::size_t* prevProc = nullptr;
+  const std::size_t* nextProc = nullptr;
+  if (j > 0) {
+    prev = mapping.processor(j - 1);
+    prevProc = &prev;
+  }
+  if (j + 1 < mapping.intervalCount()) {
+    next = mapping.processor(j + 1);
+    nextProc = &next;
+  }
+  return breakdown(mapping.assignment(j), prevProc, nextProc);
+}
+
+CycleBreakdown Evaluator::breakdown(const Assignment& a, const std::size_t* prevProc,
+                                    const std::size_t* nextProc) const {
   const std::size_t u = a.processor;
   CycleBreakdown out;
   out.compute = computeTime(a.interval, u);
@@ -20,22 +36,20 @@ CycleBreakdown Evaluator::breakdown(const IntervalMapping& mapping, std::size_t 
   // world for the first interval. Zero-size transfers cost nothing even on
   // a heterogeneous platform.
   if (deltaIn > Real(0)) {
-    const Real bIn = (j == 0) ? plat_->inputBandwidth(u)
-                              : plat_->bandwidth(mapping.processor(j - 1), u);
+    const Real bIn = (prevProc == nullptr) ? plat_->inputBandwidth(u)
+                                           : plat_->bandwidth(*prevProc, u);
     out.input = deltaIn / bIn;
   }
   if (deltaOut > Real(0)) {
-    const Real bOut = (j + 1 == mapping.intervalCount())
-                          ? plat_->outputBandwidth(u)
-                          : plat_->bandwidth(u, mapping.processor(j + 1));
+    const Real bOut = (nextProc == nullptr) ? plat_->outputBandwidth(u)
+                                            : plat_->bandwidth(u, *nextProc);
     out.output = deltaOut / bOut;
   }
   return out;
 }
 
 Real Evaluator::intervalCycle(const IntervalMapping& mapping, std::size_t j) const {
-  const CycleBreakdown b = breakdown(mapping, j);
-  return model_ == CommModel::kSequential ? b.sequential() : b.overlapped();
+  return cycleOf(breakdown(mapping, j));
 }
 
 Real Evaluator::cycleTime(Interval iv, std::size_t proc) const {
@@ -60,13 +74,20 @@ Real Evaluator::latency(const IntervalMapping& mapping) const {
 }
 
 Metrics Evaluator::evaluate(const IntervalMapping& mapping) const {
-  if (mapping.empty()) throw MappingError("Evaluator::evaluate: empty mapping");
+  return evaluate(mapping.assignments());
+}
+
+Metrics Evaluator::evaluate(const std::vector<Assignment>& parts) const {
+  if (parts.empty()) throw MappingError("Evaluator::evaluate: empty mapping");
+  const std::size_t count = parts.size();
   Metrics m;
   m.period = Real(0);
   m.latency = Real(0);
-  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
-    const CycleBreakdown b = breakdown(mapping, j);
-    const Real cycle = model_ == CommModel::kSequential ? b.sequential() : b.overlapped();
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t* prevProc = j > 0 ? &parts[j - 1].processor : nullptr;
+    const std::size_t* nextProc = j + 1 < count ? &parts[j + 1].processor : nullptr;
+    const CycleBreakdown b = breakdown(parts[j], prevProc, nextProc);
+    const Real cycle = cycleOf(b);
     if (cycle > m.period) {
       m.period = cycle;
       m.bottleneckInterval = j;
@@ -74,17 +95,22 @@ Metrics Evaluator::evaluate(const IntervalMapping& mapping) const {
     // Eq. (2): every interval pays its input communication and its compute
     // phase; the very last output (delta_n) is added once below.
     m.latency += b.input + b.compute;
-    if (j + 1 == mapping.intervalCount()) m.latency += b.output;
+    if (j + 1 == count) m.latency += b.output;
   }
   return m;
 }
 
 std::vector<Real> Evaluator::cycles(const IntervalMapping& mapping) const {
-  std::vector<Real> out(mapping.intervalCount());
-  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
-    out[j] = intervalCycle(mapping, j);
-  }
+  std::vector<Real> out;
+  cycles(mapping, out);
   return out;
+}
+
+void Evaluator::cycles(const IntervalMapping& mapping, std::vector<Real>& out) const {
+  out.resize(mapping.intervalCount());
+  for (std::size_t j = 0; j < mapping.intervalCount(); ++j) {
+    out[j] = cycleOf(breakdown(mapping, j));
+  }
 }
 
 Real Evaluator::optimalLatency() const {

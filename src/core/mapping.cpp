@@ -28,6 +28,15 @@ IntervalMapping::IntervalMapping(std::vector<Assignment> assignments)
   checkOrdering(parts_);
 }
 
+IntervalMapping IntervalMapping::fromValidated(std::vector<Assignment> assignments) {
+  IntervalMapping out;
+  out.parts_ = std::move(assignments);
+#ifndef NDEBUG
+  checkOrdering(out.parts_);
+#endif
+  return out;
+}
+
 IntervalMapping IntervalMapping::singleInterval(std::size_t n, std::size_t processor) {
   if (n == 0) throw MappingError("IntervalMapping::singleInterval: empty pipeline");
   return IntervalMapping({Assignment{Interval{0, n - 1}, processor}});

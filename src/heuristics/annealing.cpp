@@ -1,10 +1,13 @@
 #include "pipesched/heuristics/annealing.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "pipesched/core/delta_evaluation.hpp"
 #include "pipesched/workload/rng.hpp"
 
 namespace pipesched::heuristics {
@@ -32,6 +35,173 @@ struct EnergyModel {
     return lessOrNearlyEqual(constrained, threshold);
   }
 };
+
+/// Shared annealing schedule derived from the seed metrics.
+struct Schedule {
+  EnergyModel model;
+  Real t0;
+  Real decay;
+
+  Schedule(Objective objective, Real threshold, const Metrics& seedMetrics,
+           const AnnealingOptions& options)
+      : model{objective, threshold, Real(0)} {
+    // Scale both the penalty and the temperature schedule to the seed energy
+    // so the options are instance-size independent.
+    const Real scale =
+        std::max(Real(1), std::max(seedMetrics.period, seedMetrics.latency));
+    model.penalty = options.penaltyWeight * scale;
+    t0 = std::max(kTimeEps, options.initialTemperatureFraction * scale);
+    const Real t1 = std::max(kTimeEps * kTimeEps, t0 * options.finalTemperatureFraction);
+    decay = std::pow(t1 / t0,
+                     Real(1) / static_cast<Real>(std::max<std::size_t>(1, options.moves - 1)));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Delta path. proposeMove() consumes the SAME random sequence as the legacy
+// propose() below — guard order and draw order are in lockstep, so both
+// paths walk identical trajectories (the equivalence tests pin this) while
+// this one applies moves in place through the kernel.
+
+std::optional<core::Move> proposeMove(const core::DeltaEvaluator& delta, std::size_t p,
+                                      std::vector<std::size_t>& unusedScratch, Rng& rng) {
+  using core::Move;
+  const std::size_t m = delta.intervalCount();
+  // Only the reassign and split cases read the unused-processor list; build
+  // it lazily there (it consumes no draws, so the random sequence stays in
+  // lockstep with the legacy path, which builds it unconditionally).
+  const auto refillUnused = [&] {
+    unusedScratch.clear();
+    for (std::size_t u = 0; u < p; ++u) {
+      if (!delta.processorUsed(u)) unusedScratch.push_back(u);
+    }
+  };
+
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // shift a cut
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 2));
+      const bool leftGives = rng.uniformInt(0, 1) == 0;
+      if (leftGives) {
+        if (delta.assignment(j).interval.length() < 2) return std::nullopt;
+        return Move::shiftLeft(j);
+      }
+      if (delta.assignment(j + 1).interval.length() < 2) return std::nullopt;
+      return Move::shiftRight(j);
+    }
+    case 1: {  // swap two processors
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const std::size_t k = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      if (j == k) return std::nullopt;
+      return Move::swapProcessors(j, k);
+    }
+    case 2: {  // reassign to an unused processor
+      refillUnused();
+      if (unusedScratch.empty()) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const std::size_t u = unusedScratch[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(unusedScratch.size()) - 1))];
+      return Move::reassign(j, u);
+    }
+    case 3: {  // merge adjacent intervals
+      if (m < 2) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 2));
+      const bool keepLeft = rng.uniformInt(0, 1) == 0;
+      return Move::merge(j, keepLeft);
+    }
+    default: {  // split an interval
+      refillUnused();
+      if (unusedScratch.empty()) return std::nullopt;
+      const std::size_t j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(m) - 1));
+      const core::Interval iv = delta.assignment(j).interval;
+      if (iv.length() < 2) return std::nullopt;
+      const std::size_t q = static_cast<std::size_t>(
+          rng.uniformInt(static_cast<std::int64_t>(iv.first), static_cast<std::int64_t>(iv.last) - 1));
+      const std::size_t u = unusedScratch[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(unusedScratch.size()) - 1))];
+      return Move::split(j, q, u);
+    }
+  }
+}
+
+AnnealingResult annealDelta(const Evaluator& eval, const IntervalMapping& seedMapping,
+                            Objective objective, Real threshold,
+                            const AnnealingOptions& options) {
+  const std::size_t p = eval.platform().processorCount();
+
+  core::EvalWorkspace workspace;
+  workspace.reserve(p, p);
+  core::DeltaEvaluator delta(eval, workspace);
+  delta.load(seedMapping);
+
+  Metrics currentMetrics = delta.metrics();
+  const Schedule schedule(objective, threshold, currentMetrics, options);
+  const EnergyModel& model = schedule.model;
+  Real currentEnergy = model.energy(currentMetrics);
+
+  // The best state is tracked as a raw parts copy: the buffer's capacity is
+  // reused across improvements, so the steady state allocates nothing.
+  std::vector<core::Assignment> bestParts = delta.assignments();
+  AnnealingResult best;
+  best.metrics = currentMetrics;
+  best.feasible = model.feasible(currentMetrics);
+  Real bestEnergy = currentEnergy;
+
+  std::vector<std::size_t> unusedScratch;
+  unusedScratch.reserve(p);
+
+  Rng rng(options.seed);
+  Real temperature = schedule.t0;
+  for (std::size_t step = 0; step < options.moves; ++step, temperature *= schedule.decay) {
+    const std::optional<core::Move> move = proposeMove(delta, p, unusedScratch, rng);
+    if (!move) continue;
+    // Proposals are scored by peek() without touching the scratch state;
+    // apply/undo remains as a defensive fallback. proposeMove's guards are
+    // exhaustive, so neither can fail — a failure here would desynchronize
+    // the random sequence from the legacy path.
+    Metrics m;
+    bool pendingApply = false;
+    if (const std::optional<Metrics> peeked = delta.peek(*move)) {
+      m = *peeked;
+    } else {
+      [[maybe_unused]] const bool applied = delta.apply(*move);
+      assert(applied);
+      m = delta.metrics();
+      pendingApply = true;
+    }
+    const Real e = model.energy(m);
+    const Real diff = e - currentEnergy;
+    if (diff <= 0 || rng.nextReal() < std::exp(-diff / temperature)) {
+      if (!pendingApply) {
+        [[maybe_unused]] const bool applied = delta.apply(*move);
+        assert(applied);
+      }
+      delta.commit();
+      currentMetrics = m;
+      currentEnergy = e;
+      ++best.accepted;
+      const bool feas = model.feasible(m);
+      // Track the best state: a feasible one always beats an infeasible one;
+      // otherwise compare energies.
+      if ((feas && !best.feasible) || (feas == best.feasible && e < bestEnergy)) {
+        bestParts.assign(delta.assignments().begin(), delta.assignments().end());
+        best.metrics = m;
+        best.feasible = feas;
+        bestEnergy = e;
+      }
+    } else if (pendingApply) {
+      delta.undo();
+    }
+  }
+  best.mapping = IntervalMapping::fromValidated(std::move(bestParts));
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild path: the historical implementation, kept verbatim as the
+// differential reference and the bench baseline. Draw order must stay in
+// lockstep with proposeMove() above.
 
 /// Proposes one random neighbor, or nullopt when the sampled move does not
 /// apply to the current state (caller just samples again).
@@ -108,20 +278,14 @@ std::optional<IntervalMapping> propose(const IntervalMapping& current, std::size
   return IntervalMapping(std::move(parts));
 }
 
-}  // namespace
-
-AnnealingResult anneal(const Evaluator& eval, const IntervalMapping& seedMapping,
-                       Objective objective, Real threshold, const AnnealingOptions& options) {
-  const std::size_t n = eval.pipeline().stageCount();
+AnnealingResult annealRebuild(const Evaluator& eval, const IntervalMapping& seedMapping,
+                              Objective objective, Real threshold,
+                              const AnnealingOptions& options) {
   const std::size_t p = eval.platform().processorCount();
-  seedMapping.validate(n, p);
-  if (options.moves == 0) throw ModelError("anneal: moves must be >= 1");
 
   Metrics currentMetrics = eval.evaluate(seedMapping);
-  // Scale both the penalty and the temperature schedule to the seed energy so
-  // the options are instance-size independent.
-  const Real scale = std::max(Real(1), std::max(currentMetrics.period, currentMetrics.latency));
-  const EnergyModel model{objective, threshold, options.penaltyWeight * scale};
+  const Schedule schedule(objective, threshold, currentMetrics, options);
+  const EnergyModel& model = schedule.model;
 
   IntervalMapping current = seedMapping;
   Real currentEnergy = model.energy(currentMetrics);
@@ -132,20 +296,15 @@ AnnealingResult anneal(const Evaluator& eval, const IntervalMapping& seedMapping
   best.feasible = model.feasible(currentMetrics);
   Real bestEnergy = currentEnergy;
 
-  const Real t0 = std::max(kTimeEps, options.initialTemperatureFraction * scale);
-  const Real t1 = std::max(kTimeEps * kTimeEps, t0 * options.finalTemperatureFraction);
-  const Real decay =
-      std::pow(t1 / t0, Real(1) / static_cast<Real>(std::max<std::size_t>(1, options.moves - 1)));
-
   Rng rng(options.seed);
-  Real temperature = t0;
-  for (std::size_t step = 0; step < options.moves; ++step, temperature *= decay) {
+  Real temperature = schedule.t0;
+  for (std::size_t step = 0; step < options.moves; ++step, temperature *= schedule.decay) {
     std::optional<IntervalMapping> neighbor = propose(current, p, rng);
     if (!neighbor) continue;
     const Metrics m = eval.evaluate(*neighbor);
     const Real e = model.energy(m);
-    const Real delta = e - currentEnergy;
-    if (delta <= 0 || rng.nextReal() < std::exp(-delta / temperature)) {
+    const Real diff = e - currentEnergy;
+    if (diff <= 0 || rng.nextReal() < std::exp(-diff / temperature)) {
       current = std::move(*neighbor);
       currentMetrics = m;
       currentEnergy = e;
@@ -163,6 +322,18 @@ AnnealingResult anneal(const Evaluator& eval, const IntervalMapping& seedMapping
     }
   }
   return best;
+}
+
+}  // namespace
+
+AnnealingResult anneal(const Evaluator& eval, const IntervalMapping& seedMapping,
+                       Objective objective, Real threshold, const AnnealingOptions& options) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  seedMapping.validate(n, p);
+  if (options.moves == 0) throw ModelError("anneal: moves must be >= 1");
+  return options.useDeltaKernel ? annealDelta(eval, seedMapping, objective, threshold, options)
+                                : annealRebuild(eval, seedMapping, objective, threshold, options);
 }
 
 }  // namespace pipesched::heuristics

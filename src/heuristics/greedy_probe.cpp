@@ -5,14 +5,23 @@
 
 namespace pipesched::heuristics {
 
-std::optional<IntervalMapping> greedyProbe(const Evaluator& eval, Real periodTarget) {
+namespace {
+
+void requireCommHomogeneous(const Evaluator& eval) {
   if (!eval.platform().isCommHomogeneous()) {
     throw ModelError("greedyProbe: requires a communication-homogeneous platform");
   }
-  const std::size_t n = eval.pipeline().stageCount();
-  const std::vector<std::size_t> order = eval.platform().processorsBySpeed();
+}
 
-  std::vector<core::Assignment> parts;
+/// Probe core writing into a caller-provided buffer, so the bisection loops
+/// below run allocation-free. `order` is the platform's fastest-first
+/// processor list (hoisted out of the loops — it does not depend on the
+/// target).
+bool greedyProbeInto(const Evaluator& eval, Real periodTarget,
+                     const std::vector<std::size_t>& order,
+                     std::vector<core::Assignment>& parts) {
+  const std::size_t n = eval.pipeline().stageCount();
+  parts.clear();
   std::size_t next = 0;  // first unplaced stage
   for (std::size_t rank = 0; rank < order.size() && next < n; ++rank) {
     const std::size_t proc = order[rank];
@@ -23,7 +32,7 @@ std::optional<IntervalMapping> greedyProbe(const Evaluator& eval, Real periodTar
     if (!lessOrNearlyEqual(eval.cycleTime({next, next}, proc), periodTarget)) {
       // Even a singleton does not fit on the fastest remaining processor;
       // slower ones cannot do better (same comms, less speed).
-      return std::nullopt;
+      return false;
     }
     std::size_t end = next;
     while (end + 1 < n && lessOrNearlyEqual(eval.cycleTime({next, end + 1}, proc), periodTarget)) {
@@ -32,24 +41,41 @@ std::optional<IntervalMapping> greedyProbe(const Evaluator& eval, Real periodTar
     parts.push_back(core::Assignment{{next, end}, proc});
     next = end + 1;
   }
-  if (next < n) return std::nullopt;  // ran out of processors
+  return next >= n;  // false: ran out of processors
+}
+
+}  // namespace
+
+std::optional<IntervalMapping> greedyProbe(const Evaluator& eval, Real periodTarget) {
+  requireCommHomogeneous(eval);
+  const std::vector<std::size_t> order = eval.platform().processorsBySpeed();
+  std::vector<core::Assignment> parts;
+  if (!greedyProbeInto(eval, periodTarget, order, parts)) return std::nullopt;
   return IntervalMapping(std::move(parts));
 }
 
 Real greedyProbeMinPeriod(const Evaluator& eval, const GreedyProbeOptions& options) {
+  requireCommHomogeneous(eval);
+  const std::vector<std::size_t> order = eval.platform().processorsBySpeed();
+  std::vector<core::Assignment> scratch;
+  scratch.reserve(order.size());
+  const auto feasible = [&](Real target) {
+    return greedyProbeInto(eval, target, order, scratch);
+  };
+
   // Upper bound: the single-interval mapping on the fastest processor always
   // exists, so its period is feasible for the probe as well.
   const IntervalMapping lemma1 = eval.optimalLatencyMapping();
   Real hi = eval.period(lemma1);
-  if (!greedyProbe(eval, hi).has_value()) {
+  if (!feasible(hi)) {
     // Defensive: the probe at `hi` places everything on the fastest processor
     // by construction, but keep a widening loop in case of tolerance trouble.
-    for (int i = 0; i < 8 && !greedyProbe(eval, hi).has_value(); ++i) hi *= 2;
+    for (int i = 0; i < 8 && !feasible(hi); ++i) hi *= 2;
   }
   Real lo = 0;
   for (int iter = 0; iter < options.bisectionIterations && definitelyLess(lo, hi); ++iter) {
     const Real mid = Real(0.5) * (lo + hi);
-    if (greedyProbe(eval, mid).has_value()) {
+    if (feasible(mid)) {
       hi = mid;
     } else {
       lo = mid;
@@ -79,36 +105,46 @@ Result greedyProbeHeuristic(const Evaluator& eval, Objective objective, Real thr
   // meets the latency bound. The probe latency is not monotone in the period
   // target, so after the search double-check the bound and fall back to the
   // Lemma-1 solution (the latency optimum) when the bound is tight.
+  // The search loop runs through the reusable probe buffer and the raw-parts
+  // evaluate overload (metrics without materializing a mapping per
+  // iteration).
+  requireCommHomogeneous(eval);
+  const std::vector<std::size_t> order = eval.platform().processorsBySpeed();
+  std::vector<core::Assignment> scratch;
+  scratch.reserve(order.size());
+
   const IntervalMapping lemma1 = eval.optimalLatencyMapping();
   const Metrics lemma1Metrics = eval.evaluate(lemma1);
   Real lo = 0;
   Real hi = lemma1Metrics.period;
-  std::optional<IntervalMapping> bestFeasible;
+  std::vector<core::Assignment> bestParts;
+  bool haveBest = false;
   Metrics bestMetrics;
   for (int iter = 0; iter < options.bisectionIterations && definitelyLess(lo, hi); ++iter) {
     const Real mid = Real(0.5) * (lo + hi);
-    const auto mapping = greedyProbe(eval, mid);
-    if (!mapping) {
+    if (!greedyProbeInto(eval, mid, order, scratch)) {
       lo = mid;
       continue;
     }
-    const Metrics m = eval.evaluate(*mapping);
+    const Metrics m = eval.evaluate(scratch);
     if (lessOrNearlyEqual(m.latency, threshold)) {
-      if (!bestFeasible || m.period < bestMetrics.period) {
-        bestFeasible = *mapping;
+      if (!haveBest || m.period < bestMetrics.period) {
+        bestParts.assign(scratch.begin(), scratch.end());
         bestMetrics = m;
+        haveBest = true;
       }
       hi = mid;
     } else {
       lo = mid;  // need a looser period to shorten the latency
     }
   }
-  if (!bestFeasible && lessOrNearlyEqual(lemma1Metrics.latency, threshold)) {
-    bestFeasible = lemma1;
+  if (!haveBest && lessOrNearlyEqual(lemma1Metrics.latency, threshold)) {
+    bestParts.assign(lemma1.assignments().begin(), lemma1.assignments().end());
     bestMetrics = lemma1Metrics;
+    haveBest = true;
   }
-  if (bestFeasible) {
-    result.mapping = std::move(*bestFeasible);
+  if (haveBest) {
+    result.mapping = IntervalMapping::fromValidated(std::move(bestParts));
     result.metrics = bestMetrics;
     result.success = true;
   } else {

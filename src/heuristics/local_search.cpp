@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "pipesched/core/delta_evaluation.hpp"
+
 namespace pipesched::heuristics {
 
 namespace {
@@ -45,6 +47,114 @@ bool better(const Score& a, const Score& b) {
   return definitelyLess(a.secondary, b.secondary);
 }
 
+// ---------------------------------------------------------------------------
+// Delta path: candidates are scored through the incremental kernel —
+// apply / metrics / undo, O(touched-intervals) per candidate, no allocation.
+// The used-processor bitmap lives in the workspace and is maintained
+// incrementally across accepted moves (no per-round rebuild).
+
+LocalSearchResult localSearchDelta(const Evaluator& eval, const IntervalMapping& seed,
+                                   Objective objective, Real threshold,
+                                   const LocalSearchOptions& options) {
+  using core::Move;
+  const std::size_t p = eval.platform().processorCount();
+
+  core::EvalWorkspace workspace;
+  workspace.reserve(p, p);
+  core::DeltaEvaluator delta(eval, workspace);
+  delta.load(seed);
+
+  Metrics currentMetrics = delta.metrics();
+  Score currentScore = scoreOf(currentMetrics, objective, threshold);
+
+  LocalSearchResult result;
+  for (std::size_t round = 0; round < options.maxRounds; ++round) {
+    Move bestMove;
+    Metrics bestMetrics;
+    Score bestScore = currentScore;
+    bool improved = false;
+
+    // The kernel itself rejects inapplicable moves (too-short intervals,
+    // used processors), mirroring the legacy generator's guards, so the
+    // enumeration below stays a plain loop nest in the legacy order. Every
+    // candidate is scored by peek() — no state change, no undo; apply/undo
+    // remains as a defensive fallback only.
+    const auto scored = [&](const Metrics& m, const Move& move) {
+      const Score s = scoreOf(m, objective, threshold);
+      if (better(s, bestScore)) {
+        bestScore = s;
+        bestMetrics = m;
+        bestMove = move;
+        improved = true;
+      }
+    };
+    const auto consider = [&](const Move& move) {
+      if (const std::optional<Metrics> peeked = delta.peek(move)) {
+        scored(*peeked, move);
+        return;
+      }
+      if (!delta.apply(move)) return;
+      scored(delta.metrics(), move);
+      delta.undo();
+    };
+
+    const std::size_t m = delta.intervalCount();
+
+    // Move class 1: shift the cut between intervals j and j+1 by one stage.
+    for (std::size_t j = 0; j + 1 < m; ++j) {
+      consider(Move::shiftLeft(j));   // give left's last stage to right
+      consider(Move::shiftRight(j));  // take right's first stage into left
+    }
+
+    // Move class 2: swap the processors of intervals j and k.
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t k = j + 1; k < m; ++k) consider(Move::swapProcessors(j, k));
+    }
+
+    // Move class 3: reassign interval j to an unused processor.
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t u = 0; u < p; ++u) consider(Move::reassign(j, u));
+    }
+
+    // Move class 4: merge adjacent intervals onto either processor.
+    if (options.mergeMoves) {
+      for (std::size_t j = 0; j + 1 < m; ++j) {
+        consider(Move::merge(j, /*keepLeft=*/true));
+        consider(Move::merge(j, /*keepLeft=*/false));
+      }
+    }
+
+    // Move class 5: split interval j at stage q, tail to an unused processor.
+    if (options.splitMoves && m < p) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const core::Interval iv = delta.assignment(j).interval;
+        for (std::size_t q = iv.first; q < iv.last; ++q) {
+          for (std::size_t u = 0; u < p; ++u) consider(Move::split(j, q, u));
+        }
+      }
+    }
+
+    if (!improved) break;
+    delta.apply(bestMove);
+    delta.commit();
+    currentMetrics = bestMetrics;
+    currentScore = bestScore;
+    ++result.roundsAccepted;
+  }
+
+  result.mapping = delta.mapping();
+  result.metrics = currentMetrics;
+  result.feasible = currentScore.feasible;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild path: the historical copy-edit-rebuild + full-evaluate pattern,
+// kept verbatim as the differential reference for the delta kernel and as
+// the before/after baseline in bench/perf_eval. Candidate enumeration order
+// must stay in lockstep with localSearchDelta above — the equivalence tests
+// compare the two bit for bit.
+
 /// Bundles the evaluation context shared by the move generators.
 struct SearchContext {
   const core::Evaluator& eval;
@@ -72,15 +182,10 @@ IntervalMapping edited(const IntervalMapping& mapping, Edit&& edit) {
   return IntervalMapping(std::move(parts));
 }
 
-}  // namespace
-
-LocalSearchResult localSearch(const Evaluator& eval, const IntervalMapping& seed,
-                              Objective objective, Real threshold,
-                              const LocalSearchOptions& options) {
-  const std::size_t n = eval.pipeline().stageCount();
+LocalSearchResult localSearchRebuild(const Evaluator& eval, const IntervalMapping& seed,
+                                     Objective objective, Real threshold,
+                                     const LocalSearchOptions& options) {
   const std::size_t p = eval.platform().processorCount();
-  seed.validate(n, p);
-
   const SearchContext ctx{eval, objective, threshold};
 
   IntervalMapping current = seed;
@@ -186,6 +291,18 @@ LocalSearchResult localSearch(const Evaluator& eval, const IntervalMapping& seed
   result.metrics = currentMetrics;
   result.feasible = currentScore.feasible;
   return result;
+}
+
+}  // namespace
+
+LocalSearchResult localSearch(const Evaluator& eval, const IntervalMapping& seed,
+                              Objective objective, Real threshold,
+                              const LocalSearchOptions& options) {
+  const std::size_t n = eval.pipeline().stageCount();
+  const std::size_t p = eval.platform().processorCount();
+  seed.validate(n, p);
+  return options.useDeltaKernel ? localSearchDelta(eval, seed, objective, threshold, options)
+                                : localSearchRebuild(eval, seed, objective, threshold, options);
 }
 
 Result refineWithLocalSearch(const Evaluator& eval, const MappingHeuristic& heuristic,

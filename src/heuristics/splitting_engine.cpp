@@ -1,7 +1,10 @@
 #include "pipesched/heuristics/splitting_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <vector>
+
+#include "pipesched/core/delta_evaluation.hpp"
 
 namespace pipesched::heuristics {
 
@@ -11,7 +14,10 @@ using core::Assignment;
 using core::Interval;
 
 struct Candidate {
-  std::vector<Assignment> replacement;
+  /// Replacement parts inline (2-way and 3-way splits only) so scoring a
+  /// candidate never allocates.
+  std::array<Assignment, 3> parts{};
+  std::size_t count = 0;
   Real maxNewCycle = kInfinity;
   Real latencyAfter = kInfinity;
   Real score = kInfinity;
@@ -35,8 +41,10 @@ void removeValue(std::vector<std::size_t>& v, std::size_t value) {
 class Engine {
  public:
   Engine(const Evaluator& eval, const EngineConfig& config)
-      : eval_(eval), config_(config), mapping_(eval.optimalLatencyMapping()) {
-    const std::size_t owner = mapping_.processor(0);
+      : eval_(eval), config_(config), delta_(eval, workspace_) {
+    workspace_.reserve(eval.platform().processorCount(), eval.platform().processorCount());
+    delta_.load(eval.optimalLatencyMapping());
+    const std::size_t owner = delta_.assignment(0).processor;
     for (std::size_t u : eval.platform().processorsBySpeed()) {
       if (u != owner) available_.push_back(u);
     }
@@ -45,7 +53,7 @@ class Engine {
   EngineResult run() {
     EngineResult result;
     for (;;) {
-      const Metrics metrics = eval_.evaluate(mapping_);
+      const Metrics metrics = delta_.metrics();
       if (config_.periodTarget &&
           lessOrNearlyEqual(metrics.period, *config_.periodTarget)) {
         result.reachedTarget = true;
@@ -57,8 +65,8 @@ class Engine {
       applyCandidate(metrics.bottleneckInterval, *best);
       ++result.splits;
     }
-    result.mapping = mapping_;
-    result.metrics = eval_.evaluate(mapping_);
+    result.mapping = delta_.mapping();
+    result.metrics = delta_.metrics();
     if (!config_.periodTarget) result.reachedTarget = true;  // exhaustion mode
     return result;
   }
@@ -68,9 +76,9 @@ class Engine {
   /// the rule-best one, or nullopt when no admissible split exists.
   std::optional<Candidate> bestCandidate(const Metrics& metrics) {
     const std::size_t j = metrics.bottleneckInterval;
-    const Interval victim = mapping_.interval(j);
-    const std::size_t owner = mapping_.processor(j);
-    const Real cycleBefore = eval_.intervalCycle(mapping_, j);
+    const Interval victim = delta_.assignment(j).interval;
+    const std::size_t owner = delta_.assignment(j).processor;
+    const Real cycleBefore = delta_.cycle(j);
     const Real latencyBefore = metrics.latency;
 
     if (victim.length() < 2 || available_.empty()) return std::nullopt;
@@ -79,10 +87,18 @@ class Engine {
     const std::size_t a2 = haveSecond ? available_[1] : a1;
 
     std::optional<Candidate> best;
-    const auto consider = [&](const std::vector<Assignment>& replacement) {
-      Candidate c = evaluateCandidate(j, replacement, cycleBefore, latencyBefore);
+    const auto consider = [&](const Candidate& replacement) {
+      Candidate c = replacement;
+      scoreCandidate(j, c, cycleBefore, latencyBefore);
       if (c.score == kInfinity) return;  // inadmissible
-      if (!best || c.betterThan(*best)) best = std::move(c);
+      if (!best || c.betterThan(*best)) best = c;
+    };
+    const auto twoWay = [](Interval head, std::size_t pa, Interval tail, std::size_t pb) {
+      Candidate c;
+      c.parts[0] = Assignment{head, pa};
+      c.parts[1] = Assignment{tail, pb};
+      c.count = 2;
+      return c;
     };
 
     const bool threeWay = config_.arity == SplitArity::kThree && victim.length() >= 3 &&
@@ -95,9 +111,12 @@ class Engine {
           const Interval parts[3] = {{victim.first, q1}, {q1 + 1, q2}, {q2 + 1, victim.last}};
           std::size_t perm[3] = {0, 1, 2};
           do {
-            consider({Assignment{parts[0], procs[perm[0]]},
-                      Assignment{parts[1], procs[perm[1]]},
-                      Assignment{parts[2], procs[perm[2]]}});
+            Candidate c;
+            c.parts[0] = Assignment{parts[0], procs[perm[0]]};
+            c.parts[1] = Assignment{parts[1], procs[perm[1]]};
+            c.parts[2] = Assignment{parts[2], procs[perm[2]]};
+            c.count = 3;
+            consider(c);
           } while (std::next_permutation(std::begin(perm), std::end(perm)));
         }
       }
@@ -119,42 +138,54 @@ class Engine {
       const Interval head{victim.first, q};
       const Interval tail{q + 1, victim.last};
       for (const auto& [pa, pb] : pairs) {
-        consider({Assignment{head, pa}, Assignment{tail, pb}});
+        consider(twoWay(head, pa, tail, pb));
       }
     }
     return best;
   }
 
-  /// Scores one replacement of interval j; returns score == kInfinity when
-  /// the candidate is inadmissible (does not strictly improve the bottleneck
-  /// cycle, or violates the latency cap).
-  Candidate evaluateCandidate(std::size_t j, const std::vector<Assignment>& replacement,
-                              Real cycleBefore, Real latencyBefore) {
-    Candidate c;
-    c.replacement = replacement;
-
-    IntervalMapping after = mapping_;
-    after.replaceInterval(j, replacement);
-    const Metrics m = eval_.evaluate(after);
-    c.latencyAfter = m.latency;
-
-    // New cycle-times of the replaced parts (evaluated in context so the
-    // fully-heterogeneous extension picks up the right link bandwidths).
+  /// Scores one replacement of interval j in place; leaves score == kInfinity
+  /// when the candidate is inadmissible (does not strictly improve the
+  /// bottleneck cycle, or violates the latency cap). Dispatches between the
+  /// delta kernel and the legacy rebuild pattern — both produce bit-identical
+  /// scores (the phase times come from the same Evaluator::breakdown fill).
+  void scoreCandidate(std::size_t j, Candidate& c, Real cycleBefore, Real latencyBefore) {
+    Metrics m;
     Real maxCycle = 0;
     Real minGain = kInfinity;
     Real maxGain = 0;
-    for (std::size_t r = 0; r < replacement.size(); ++r) {
-      const Real cycle = eval_.intervalCycle(after, j + r);
-      maxCycle = std::max(maxCycle, cycle);
-      const Real gain = cycleBefore - cycle;
-      minGain = std::min(minGain, gain);
-      maxGain = std::max(maxGain, gain);
+    if (config_.useDeltaKernel) {
+      if (!delta_.replaceInterval(j, c.parts.data(), c.count)) return;
+      m = delta_.metrics();
+      for (std::size_t r = 0; r < c.count; ++r) {
+        const Real cycle = delta_.cycle(j + r);
+        maxCycle = std::max(maxCycle, cycle);
+        const Real gain = cycleBefore - cycle;
+        minGain = std::min(minGain, gain);
+        maxGain = std::max(maxGain, gain);
+      }
+      delta_.undo();
+    } else {
+      // Legacy cost profile: materialize, copy-edit (re-checking ordering),
+      // full evaluate, then per-part breakdowns in context.
+      IntervalMapping after = delta_.mapping();
+      after.replaceInterval(j, std::vector<Assignment>(c.parts.begin(),
+                                                       c.parts.begin() + static_cast<std::ptrdiff_t>(c.count)));
+      m = eval_.evaluate(after);
+      for (std::size_t r = 0; r < c.count; ++r) {
+        const Real cycle = eval_.intervalCycle(after, j + r);
+        maxCycle = std::max(maxCycle, cycle);
+        const Real gain = cycleBefore - cycle;
+        minGain = std::min(minGain, gain);
+        maxGain = std::max(maxGain, gain);
+      }
     }
+    c.latencyAfter = m.latency;
     c.maxNewCycle = maxCycle;
 
     const bool improves = definitelyLess(maxCycle, cycleBefore);
     const bool fitsLatency = lessOrNearlyEqual(m.latency, config_.latencyCap);
-    if (!improves || !fitsLatency) return c;  // score stays kInfinity
+    if (!improves || !fitsLatency) return;  // score stays kInfinity
 
     if (config_.rule == SelectionRule::kMonoMax) {
       c.score = maxCycle;
@@ -163,15 +194,16 @@ class Engine {
       const Real dLat = m.latency - latencyBefore;
       c.score = dLat >= 0 ? dLat / minGain : dLat / maxGain;
     }
-    return c;
   }
 
   void applyCandidate(std::size_t j, const Candidate& candidate) {
-    const std::size_t owner = mapping_.processor(j);
-    mapping_.replaceInterval(j, candidate.replacement);
+    const std::size_t owner = delta_.assignment(j).processor;
+    delta_.replaceInterval(j, candidate.parts.data(), candidate.count);
+    delta_.commit();
 
     bool ownerStillUsed = false;
-    for (const Assignment& a : candidate.replacement) {
+    for (std::size_t r = 0; r < candidate.count; ++r) {
+      const Assignment& a = candidate.parts[r];
       if (a.processor == owner) {
         ownerStillUsed = true;
       } else {
@@ -193,7 +225,8 @@ class Engine {
 
   const Evaluator& eval_;
   EngineConfig config_;
-  IntervalMapping mapping_;
+  core::EvalWorkspace workspace_;
+  core::DeltaEvaluator delta_;
   std::vector<std::size_t> available_;  // unused processors, fastest first
 };
 

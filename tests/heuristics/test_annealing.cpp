@@ -119,6 +119,54 @@ TEST(Annealing, MetricsMatchAFreshEvaluation) {
   EXPECT_DOUBLE_EQ(r.metrics.latency, eval.latency(r.mapping));
 }
 
+TEST(Annealing, DeltaKernelMatchesRebuildPathBitForBit) {
+  // Both paths draw the same random sequence and score through the same
+  // breakdown fill, so trajectories — and hence results — are bit-identical.
+  const ExperimentKind kinds[] = {
+      ExperimentKind::kE1BalancedHomComm, ExperimentKind::kE2BalancedHetComm,
+      ExperimentKind::kE3LargeComputations, ExperimentKind::kE4SmallComputations};
+  Rng rng(515);
+  for (int i = 0; i < 4; ++i) {
+    const auto inst = workload::randomInstance(kinds[i], 9, 5, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto seed = eval.optimalLatencyMapping();
+    const Objective obj =
+        i % 2 == 0 ? Objective::kMinLatencyForPeriod : Objective::kMinPeriodForLatency;
+    const Real base =
+        obj == Objective::kMinLatencyForPeriod ? eval.period(seed) : eval.latency(seed);
+    AnnealingOptions deltaOpts;
+    deltaOpts.seed = 100 + static_cast<std::uint64_t>(i);
+    deltaOpts.moves = 4'000;
+    AnnealingOptions rebuildOpts = deltaOpts;
+    rebuildOpts.useDeltaKernel = false;
+    const auto a = anneal(eval, seed, obj, base * 0.75, deltaOpts);
+    const auto b = anneal(eval, seed, obj, base * 0.75, rebuildOpts);
+    EXPECT_EQ(a.mapping, b.mapping);
+    EXPECT_EQ(a.metrics, b.metrics);  // Metrics compares the doubles exactly
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.accepted, b.accepted);
+  }
+}
+
+TEST(Annealing, DeltaKernelMatchesRebuildOnFullyHeterogeneousPlatforms) {
+  const Pipeline pipe({3, 7, 2, 5}, {1, 4, 2, 3, 1});
+  const auto plat = Platform::fullyHeterogeneous(
+      {2, 3, 1}, {1, 5, 2, 4, 1, 8, 3, 6, 1}, {9, 2, 4}, {3, 7, 5});
+  const Evaluator eval(pipe, plat);
+  const auto seed = eval.optimalLatencyMapping();
+  AnnealingOptions deltaOpts;
+  deltaOpts.seed = 99;
+  deltaOpts.moves = 4'000;
+  AnnealingOptions rebuildOpts = deltaOpts;
+  rebuildOpts.useDeltaKernel = false;
+  const auto a = anneal(eval, seed, Objective::kMinPeriodForLatency, kInfinity, deltaOpts);
+  const auto b = anneal(eval, seed, Objective::kMinPeriodForLatency, kInfinity, rebuildOpts);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
 TEST(Annealing, WorksOnFullyHeterogeneousPlatforms) {
   const Pipeline pipe({3, 7, 2, 5}, {1, 4, 2, 3, 1});
   const auto plat = Platform::fullyHeterogeneous(

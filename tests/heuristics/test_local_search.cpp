@@ -174,6 +174,49 @@ TEST(LocalSearch, DisablingMoveClassesStillReturnsValidMappings) {
   EXPECT_EQ(r.mapping.intervalCount(), 1u);
 }
 
+TEST(LocalSearch, DeltaKernelMatchesRebuildPathBitForBit) {
+  const ExperimentKind kinds[] = {
+      ExperimentKind::kE1BalancedHomComm, ExperimentKind::kE2BalancedHetComm,
+      ExperimentKind::kE3LargeComputations, ExperimentKind::kE4SmallComputations};
+  Rng rng(4242);
+  for (int i = 0; i < 8; ++i) {
+    const auto inst = workload::randomInstance(kinds[i % 4], 10, 5, rng);
+    const Evaluator eval(inst.pipeline, inst.platform);
+    const auto seed = eval.optimalLatencyMapping();
+    const Objective obj =
+        i % 2 == 0 ? Objective::kMinLatencyForPeriod : Objective::kMinPeriodForLatency;
+    const Real base = obj == Objective::kMinLatencyForPeriod ? eval.period(seed)
+                                                             : eval.latency(seed);
+    LocalSearchOptions rebuildOpts;
+    rebuildOpts.useDeltaKernel = false;
+    const auto a = localSearch(eval, seed, obj, base * 0.8);
+    const auto b = localSearch(eval, seed, obj, base * 0.8, rebuildOpts);
+    EXPECT_EQ(a.mapping, b.mapping);
+    EXPECT_EQ(a.metrics, b.metrics);  // Metrics compares the doubles exactly
+    EXPECT_EQ(a.roundsAccepted, b.roundsAccepted);
+    EXPECT_EQ(a.feasible, b.feasible);
+  }
+}
+
+TEST(LocalSearch, DeltaKernelMatchesRebuildOnFullyHeterogeneousPlatforms) {
+  const Pipeline pipe({3, 7, 2, 5, 4, 6}, {1, 4, 0, 3, 1, 2, 1});
+  const auto plat = Platform::fullyHeterogeneous(
+      {2, 3, 1, 2.5}, {1, 5, 2, 3, 4, 1, 8, 2, 3, 6, 1, 4, 2, 5, 3, 1}, {9, 2, 4, 3},
+      {3, 7, 5, 2});
+  const Evaluator eval(pipe, plat);
+  const auto seed = eval.optimalLatencyMapping();
+  LocalSearchOptions rebuildOpts;
+  rebuildOpts.useDeltaKernel = false;
+  const Real threshold = eval.period(seed) * 0.7;
+  const auto a = localSearch(eval, seed, Objective::kMinLatencyForPeriod, threshold);
+  const auto b = localSearch(eval, seed, Objective::kMinLatencyForPeriod, threshold,
+                             rebuildOpts);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.roundsAccepted, b.roundsAccepted);
+  EXPECT_EQ(a.feasible, b.feasible);
+}
+
 TEST(LocalSearch, MaxRoundsCapsTheDescent) {
   const Pipeline pipe({5, 5, 5, 5}, {0, 0, 0, 0, 0});
   const Platform plat = Platform::homogeneous(4, 1, 1);

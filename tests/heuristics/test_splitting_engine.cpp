@@ -204,5 +204,33 @@ TEST(SplittingEngine, LatencyCapAlwaysRespectedWhenInitialFits) {
   EXPECT_LE(r.metrics.latency, cap + kTimeEps);
 }
 
+TEST(SplittingEngine, DeltaKernelMatchesRebuildPathBitForBit) {
+  // The delta-kernel scoring path and the legacy copy-edit-rebuild path must
+  // agree bit for bit (H1..H6 are built on this engine, and the committed
+  // portfolio goldens pin its output byte-identically).
+  const Pipeline pipe({3, 1, 4, 1, 5, 9, 2, 6}, {2, 1, 3, 2, 1, 4, 2, 3, 1});
+  const Platform plat({9, 7, 5, 3, 2}, 10);
+  const Evaluator eval(pipe, plat);
+  const Real exhaustPeriod =
+      runSplittingEngine(eval, config(SelectionRule::kMonoMax, SplitArity::kTwo))
+          .metrics.period;
+  for (const SelectionRule rule : {SelectionRule::kMonoMax, SelectionRule::kBiRatio}) {
+    for (const SplitArity arity : {SplitArity::kTwo, SplitArity::kThree}) {
+      for (const std::optional<Real> target :
+           {std::optional<Real>{}, std::optional<Real>{exhaustPeriod * 1.3}}) {
+        EngineConfig deltaConfig = config(rule, arity, target, eval.optimalLatency() * 1.4);
+        EngineConfig rebuildConfig = deltaConfig;
+        rebuildConfig.useDeltaKernel = false;
+        const EngineResult a = runSplittingEngine(eval, deltaConfig);
+        const EngineResult b = runSplittingEngine(eval, rebuildConfig);
+        EXPECT_EQ(a.mapping, b.mapping);
+        EXPECT_EQ(a.metrics, b.metrics);  // Metrics compares the doubles exactly
+        EXPECT_EQ(a.splits, b.splits);
+        EXPECT_EQ(a.reachedTarget, b.reachedTarget);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pipesched::heuristics
