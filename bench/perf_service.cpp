@@ -7,6 +7,8 @@
 //    "throughput":[{"threads":1,"requests_per_second":...},...],
 //    "speedup_max_threads_vs_1":...,
 //    "cache":{"hit_ratio":...,"warm_requests_per_second":...,"warm_speedup":...},
+//    "observability":{"warm_disabled_rps":...,"warm_enabled_rps":...,
+//      "enabled_over_disabled":...},
 //    "portfolio_members":{"members":"all","drop_after":4,
 //      "requests_per_second":...,
 //      "members_detail":[{"member":"H1-SpMonoP","runs":...,"points":...,
@@ -38,6 +40,8 @@
 #include <vector>
 
 #include "pipesched/io/json.hpp"
+#include "pipesched/obs/metrics.hpp"
+#include "pipesched/obs/trace.hpp"
 #include "pipesched/service/service.hpp"
 #include "pipesched/workload/generator.hpp"
 
@@ -181,6 +185,26 @@ int main(int argc, char** argv) {
   std::cout << "  warm pass: " << warmPass.stats.requestsPerSecond << " req/s, hit ratio "
             << hitRatio << ", speedup vs cold " << warmSpeedup << "x\n";
 
+  // Observability overhead: the same warm all-cache-hit batch with metrics +
+  // tracing fully enabled vs fully disabled. Cache hits are the cheapest
+  // requests the service serves, so this pass is the worst case for relative
+  // instrumentation cost; best-of-3 per mode to damp scheduler noise.
+  const auto warmObsRps = [&](bool enabled) {
+    obs::ScopedMetricsEnabled metricsScope(enabled);
+    obs::ScopedTracingEnabled tracingScope(enabled);
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      best = std::max(best, warmSvc.solveBatch(batch).stats.requestsPerSecond);
+    }
+    return best;
+  };
+  const double warmDisabledRps = warmObsRps(false);
+  const double warmEnabledRps = warmObsRps(true);
+  const double enabledOverDisabled =
+      warmDisabledRps > 0 ? warmEnabledRps / warmDisabledRps : 1.0;
+  std::cout << "  observability: warm disabled " << warmDisabledRps << " req/s, enabled "
+            << warmEnabledRps << " req/s (ratio " << enabledOverDisabled << ")\n";
+
   // Widened-portfolio contribution pass: the full member catalog with
   // budget-aware dropping on a slice of the batch, reported member by member.
   service::ServiceConfig wideConfig;
@@ -261,6 +285,11 @@ int main(int argc, char** argv) {
   w.kv("warm_requests_per_second", warmPass.stats.requestsPerSecond);
   w.kv("warm_speedup", warmSpeedup);
   w.kv("entries", cacheStats.entries);
+  w.endObject();
+  w.key("observability").beginObject();
+  w.kv("warm_disabled_rps", warmDisabledRps);
+  w.kv("warm_enabled_rps", warmEnabledRps);
+  w.kv("enabled_over_disabled", enabledOverDisabled);
   w.endObject();
   w.key("portfolio_members").beginObject();
   w.kv("members", "all");

@@ -127,6 +127,20 @@ class EvalWorkspace {
 /// structurally valid interval mapping with pairwise-distinct processors —
 /// apply() refuses (returns false, state untouched) any move that would
 /// break it or that does not apply to the current state.
+/// Operation counts of one DeltaEvaluator (plain integers: the evaluator is
+/// a single-threaded object). Search loops fold these into the process-wide
+/// obs registry at the end of a run via recordDeltaKernelStats().
+struct DeltaStats {
+  std::uint64_t peeks = 0;     ///< peek() calls (applicable or not)
+  std::uint64_t applies = 0;   ///< successful apply() moves
+  std::uint64_t replaces = 0;  ///< successful replaceInterval() edits
+  std::uint64_t undos = 0;     ///< undo() reverts
+};
+
+/// Adds `stats` to the eval.delta.* registry counters when metrics are
+/// enabled; a cheap no-op otherwise. Call once per search run, not per move.
+void recordDeltaKernelStats(const DeltaStats& stats);
+
 class DeltaEvaluator {
  public:
   DeltaEvaluator(const Evaluator& eval, EvalWorkspace& workspace);
@@ -193,6 +207,10 @@ class DeltaEvaluator {
   /// outside the hot loop).
   [[nodiscard]] IntervalMapping mapping() const;
 
+  /// Cumulative operation counts since construction (load() does not reset
+  /// them: one evaluator may serve many restarts within a run).
+  [[nodiscard]] const DeltaStats& stats() const noexcept { return stats_; }
+
  private:
   void refresh(std::size_t lo, std::size_t hi);  // recompute breakdowns [lo, hi] clamped
   void refreshCompute(std::size_t i);             // comm-hom processor move: only the
@@ -204,6 +222,9 @@ class DeltaEvaluator {
 
   const Evaluator* eval_;
   EvalWorkspace* ws_;
+  /// Operation tally; mutable because peek() is logically const (it never
+  /// touches the scratch state) yet still counts as kernel work.
+  mutable DeltaStats stats_;
   /// On communication-homogeneous platforms an interval's phase times do not
   /// depend on its neighbours' processors, so processor moves touch only the
   /// interval itself (reach 0); fully-heterogeneous platforms must also

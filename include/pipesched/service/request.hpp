@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "pipesched/core/pareto.hpp"
 #include "pipesched/core/pipeline.hpp"
 #include "pipesched/core/platform.hpp"
+#include "pipesched/obs/trace.hpp"
 
 namespace pipesched::service {
 
@@ -53,6 +55,11 @@ struct Request {
   /// Display-only label (batch reports, logs). NOT part of the fingerprint:
   /// two requests differing only by name dedupe to one solve.
   std::string name;
+
+  /// Seconds the source spent parsing this request's text form; 0 when the
+  /// request was built in memory or observability is off. Display-only, like
+  /// `name`: excluded from the fingerprint and every canonical rendering.
+  double parseSeconds = 0;
 };
 
 /// What one portfolio member contributed to a solved request.
@@ -73,6 +80,10 @@ struct SolverContribution {
   std::size_t reused = 0;    ///< whole units served from the sub-result cache
   std::size_t seeded = 0;    ///< units warm-started from a cached seed payload
                              ///< (base-heuristic mappings, feasibility ranges)
+  /// Wall seconds this member's run took inside the race. Timing-only
+  /// provenance (excluded from describeOutcome and canonical JSON, like
+  /// reused/seeded): the points are identical whatever the clock said.
+  double wallSeconds = 0;
 };
 
 /// The service's answer for one request: the merged non-dominated front over
@@ -83,6 +94,10 @@ struct PortfolioResult {
   std::vector<SolverContribution> solvers;  ///< fixed member race order (accepted members)
   bool exactUsed = false;        ///< the exact enumerator joined the race
   bool budgetExhausted = false;  ///< some member was cut short by the budget
+  /// Stage timings for this solve (timing-only, excluded from canonical
+  /// renderings): the member race wall and the merge/attribution wall.
+  double memberRaceSeconds = 0;
+  double mergeSeconds = 0;
 };
 
 /// Batch outcome slot; `ok == false` carries the error text instead of a
@@ -97,6 +112,11 @@ struct RequestOutcome {
   /// stream solve path (failures included); excluded from describeOutcome,
   /// so the byte-identity contract is unaffected.
   Fingerprint fingerprint;
+  /// Per-request latency breakdown, set only when obs::tracingEnabled() was
+  /// on while this outcome was produced. Shared (not copied) by dedup and
+  /// coalesce fan-out; excluded from describeOutcome and from JSON output
+  /// unless the caller asked for traces.
+  std::shared_ptr<const obs::RequestTrace> trace;
 };
 
 }  // namespace pipesched::service

@@ -131,6 +131,13 @@ class SchedulingService {
   /// canonicalization walk per request.
   [[nodiscard]] RequestOutcome solve(const Request& request, const RequestIdentity& identity);
 
+  /// As above, continuing a caller-assembled per-request trace (the stream
+  /// worker pre-fills parse/queue-wait/fingerprint stages). The service adds
+  /// its own stages, folds its wall time into `trace->totalSeconds`, and
+  /// attaches the finished trace to the outcome. `trace` may be null.
+  [[nodiscard]] RequestOutcome solve(const Request& request, const RequestIdentity& identity,
+                                     obs::RequestTrace* trace);
+
   /// Batch entry point (see file comment for the parallelism/determinism
   /// contract). Output ordering matches `requests`.
   [[nodiscard]] BatchResult solveBatch(const std::vector<Request>& requests);

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pipesched/obs/trace.hpp"
 #include "pipesched/service/service.hpp"
 #include "pipesched/stream/channel.hpp"
 
@@ -97,6 +98,20 @@ struct StreamStats {
   ChannelStats queue;           ///< channel counters (pushWaits = backpressure)
 };
 
+/// One coherent poll of the scheduler (see AsyncScheduler::snapshot()).
+/// The scheduler's own counters are copied under a single lock, so the
+/// derived quantities can never go inconsistent: inFlight is computed as
+/// submitted - completed *inside* that critical section (no negative values,
+/// no in-flight > submitted), and queueDepth is clamped to queueCapacity.
+struct SchedulerSnapshot {
+  StreamStats stream;
+  std::uint64_t inFlight = 0;      ///< submitted - completed at snapshot time
+  std::size_t inflightKeys = 0;    ///< canonical keys currently being solved
+  std::size_t parkedWaiters = 0;   ///< duplicates parked across those keys
+  std::size_t queueDepth = 0;      ///< jobs waiting in the channel, <= capacity
+  std::size_t queueCapacity = 0;
+};
+
 class AsyncScheduler {
  public:
   using Callback =
@@ -133,6 +148,14 @@ class AsyncScheduler {
 
   [[nodiscard]] StreamStats stats() const;
 
+  /// Coherent stats poll for observability emitters. stats() reads the
+  /// counter block and the channel independently — fine for monotone
+  /// counters, but a poller correlating them could see in-flight < 0 or
+  /// depth > capacity. snapshot() derives every cross-counter quantity
+  /// under one lock (and clamps the independently-locked channel depth), so
+  /// its invariants hold on every poll, mid-burst included.
+  [[nodiscard]] SchedulerSnapshot snapshot() const;
+
   /// The wrapped service's result-cache counters.
   [[nodiscard]] service::CacheStats cacheStats() const { return service_.cacheStats(); }
 
@@ -150,11 +173,16 @@ class AsyncScheduler {
     service::RequestIdentity identity;
     std::promise<service::RequestOutcome> promise;
     Callback callback;
+    /// Enqueue timestamp for the queue-wait stage; stamped in submit() only
+    /// while observability is on (`timed`), so the disabled path never reads
+    /// the clock.
+    obs::TraceClock::time_point enqueuedAt{};
+    bool timed = false;
   };
 
   void workerLoop();
   std::future<service::RequestOutcome> submitJob(Job job);
-  [[nodiscard]] service::RequestOutcome solveOne(const Job& job);
+  [[nodiscard]] service::RequestOutcome solveOne(const Job& job, obs::RequestTrace* trace);
   void finish(Job& job, service::RequestOutcome outcome, bool coalescedCopy);
   void runInline(Job job);
 

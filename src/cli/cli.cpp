@@ -10,6 +10,24 @@ namespace pipesched::cli {
 
 namespace detail {
 
+bool parseOnOff(const ArgList& args, const std::string& name, bool fallback) {
+  const std::string value = args.getOr(name, fallback ? "on" : "off");
+  if (value != "on" && value != "off") {
+    throw UsageError("option --" + name + " must be 'on' or 'off', not '" + value + "'");
+  }
+  return value == "on";
+}
+
+void writeCacheStatsJson(io::JsonWriter& w, const service::CacheStats& stats) {
+  w.beginObject();
+  w.kv("entries", stats.entries);
+  w.kv("hits", static_cast<std::size_t>(stats.hits));
+  w.kv("misses", static_cast<std::size_t>(stats.misses));
+  w.kv("evictions", static_cast<std::size_t>(stats.evictions));
+  w.kv("hit_ratio", stats.hitRatio());
+  w.endObject();
+}
+
 workload::ExperimentKind parseKind(const std::string& text) {
   if (const auto kind = workload::experimentKindFromName(text)) return *kind;
   throw UsageError("unknown experiment kind '" + text + "' (expected E1..E4)");
@@ -72,11 +90,7 @@ service::ServiceConfig serviceConfigFromArgs(const ArgList& args) {
   config.threads = args.getSize("threads", service::ThreadPool::defaultThreadCount());
   if (args.has("serial")) config.threads = 0;
   config.cacheCapacity = args.has("no-cache") ? 0 : args.getSize("cache-capacity", 1024);
-  const std::string share = args.getOr("share-subresults", "on");
-  if (share != "on" && share != "off") {
-    throw UsageError("option --share-subresults must be 'on' or 'off', not '" + share + "'");
-  }
-  config.shareSubResults = share == "on";
+  config.shareSubResults = parseOnOff(args, "share-subresults", true);
   config.portfolio.useExact = !args.has("no-exact");
   config.portfolio.budget.maxRunsPerSolver = args.getU64("budget", UINT64_MAX);
   config.portfolio.budget.timeBudgetMs = args.getReal("time-budget", 0);
@@ -136,6 +150,9 @@ commands:
              [--repeat N]   # submit the batch N times; later passes hit the cache
              [--stream [--queue-capacity N]]  # async engine: lazy ingest,
                             # incremental JSONL output, bounded memory
+             [--trace on|off]    # per-request "trace" stage breakdowns in the
+                            # JSON/JSONL output (implies --metrics on)
+             [--metrics on|off]  # record registry metrics during the run
   serve      streaming loop: JSONL requests in (stdin or --input FILE), one
              JSONL outcome per line out, answered in input order as completed
              [--input FILE] [--threads N | --serial] [--queue-capacity N]
@@ -143,6 +160,11 @@ commands:
              --no-cache] [--share-subresults on|off]
              [--no-exact] [--budget RUNS] [--time-budget MS]
              [--portfolio-members default|all|ID,ID,...] [--drop-after K]
+             [--trace on|off]  # attach "trace" stage breakdowns to outcome lines
+             [--metrics on|off] [--stats-interval SECS [--stats-output FILE]]
+             # --stats-interval emits one JSONL observability snapshot per
+             # interval (stderr unless --stats-output): scheduler queue/in-flight
+             # state, cache + sub-cache hit/miss/eviction counts, metric registry
              # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
              #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}
              #   (+ optional "name", "points", "range", "overlap")
@@ -166,6 +188,11 @@ commands:
              [--seed S] [--overlap] [--csv]
   table1     regenerate one experiment column block of paper Table 1
              --kind E1..E4 [--processors P] [--pairs N] [--stages N,N,...]
+  stats      observability snapshot as pretty JSON: the full metric registry
+             (counters, gauges, latency histograms with p50/p90/p99), plus
+             cache stats when traffic was pumped through the service
+             [--input FILE.jsonl]  # solve these requests first, then snapshot
+             [--points N] [--range X] [--overlap] [service knobs as in serve]
   help       print this text
 
 files use the pipesched-instance / pipesched-mapping v1 text formats
@@ -199,6 +226,7 @@ int runCli(const std::vector<std::string>& args, std::ostream& out, std::ostream
       {"pareto", {detail::cmdPareto, {"exact"}}},
       {"sweep", {detail::cmdSweep, {"overlap", "csv"}}},
       {"table1", {detail::cmdTable1, {}}},
+      {"stats", {detail::cmdStats, {"serial", "no-cache", "no-exact", "overlap"}}},
   };
 
   if (command == "help" || command == "--help" || command == "-h") {

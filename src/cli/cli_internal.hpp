@@ -10,10 +10,20 @@
 #include "pipesched/cli/args.hpp"
 #include "pipesched/heuristics/registry.hpp"
 #include "pipesched/io/format.hpp"
+#include "pipesched/io/json.hpp"
 #include "pipesched/service/service.hpp"
 #include "pipesched/workload/generator.hpp"
 
 namespace pipesched::cli::detail {
+
+/// Reads an on/off option: absent -> `fallback`; any value other than
+/// "on"/"off" is a UsageError.
+[[nodiscard]] bool parseOnOff(const ArgList& args, const std::string& name, bool fallback);
+
+/// {entries, hits, misses, evictions, hit_ratio} as one JSON object — the
+/// cache block shared by `batch --json`, `stats`, and the serve snapshot
+/// emitter, so eviction counts surface identically everywhere.
+void writeCacheStatsJson(io::JsonWriter& w, const service::CacheStats& stats);
 
 /// "E1".."E4" (case-insensitive) -> ExperimentKind; UsageError otherwise.
 [[nodiscard]] workload::ExperimentKind parseKind(const std::string& text);
@@ -54,5 +64,6 @@ int cmdSimulate(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdPareto(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdTable1(const ArgList& args, std::ostream& out, std::ostream& err);
+int cmdStats(const ArgList& args, std::ostream& out, std::ostream& err);
 
 }  // namespace pipesched::cli::detail

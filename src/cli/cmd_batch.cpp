@@ -17,6 +17,7 @@
 #include "cli_internal.hpp"
 #include "pipesched/exp/report.hpp"
 #include "pipesched/io/json.hpp"
+#include "pipesched/obs/metrics.hpp"
 #include "pipesched/service/service.hpp"
 #include "pipesched/stream/engine.hpp"
 
@@ -108,7 +109,8 @@ void printText(std::ostream& out, const std::vector<service::Request>& requests,
       << cache.hits << " hit(s), " << cache.misses << " miss(es), " << cache.evictions
       << " eviction(s)\n";
   out << "sub-results: " << s.subHits << " hit(s) (" << s.subUnitsReused
-      << " whole unit(s) reused), " << sub.entries << " cached unit(s)\n";
+      << " whole unit(s) reused), " << sub.entries << " cached unit(s), " << sub.evictions
+      << " eviction(s)\n";
   if (!s.members.empty()) {
     out << "\nportfolio members (fresh solves):\n";
     exp::TextTable members;
@@ -242,8 +244,10 @@ int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
   w.kv("entries", cache.entries);
   w.kv("hits", static_cast<std::size_t>(cache.hits));
   w.kv("misses", static_cast<std::size_t>(cache.misses));
+  w.kv("evictions", static_cast<std::size_t>(cache.evictions));
   // sub_hits lives in the stats object above; only residency belongs here.
   w.kv("sub_entries", sub.entries);
+  w.kv("sub_evictions", static_cast<std::size_t>(sub.evictions));
   w.endObject();
   w.endObject();
   out << "\n";
@@ -254,6 +258,13 @@ int runStreamMode(const ArgList& args, std::ostream& out, std::size_t threads,
 
 int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
   const std::size_t repeat = std::max<std::size_t>(1, args.getSize("repeat", 1));
+  // --trace attaches per-request stage breakdowns to the JSON/JSONL output
+  // and implies --metrics (registry recording). Raise-only: an externally
+  // enabled flag (in-process caller) is never lowered by "off".
+  const bool traceOn = parseOnOff(args, "trace", false);
+  const bool metricsOn = parseOnOff(args, "metrics", traceOn);
+  obs::ScopedTracingEnabled tracingScope(traceOn || obs::tracingEnabled());
+  obs::ScopedMetricsEnabled metricsScope(metricsOn || obs::metricsEnabled());
   const service::ServiceConfig config = serviceConfigFromArgs(args);
   const bool json = args.has("json");  // stream mode is JSONL regardless
 

@@ -8,20 +8,86 @@
 // Malformed lines are reported as {"line": N, "ok": false, "error": ...} and
 // skipped — a server must not die because one client sent garbage. Exit code
 // is 0 only when every line parsed and every request solved.
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "cli_internal.hpp"
 #include "pipesched/io/json.hpp"
+#include "pipesched/obs/metrics.hpp"
 #include "pipesched/stream/engine.hpp"
 
 namespace pipesched::cli::detail {
 
+namespace {
+
+/// One observability snapshot line: coherent scheduler poll (queue depth,
+/// in-flight, parked waiters — invariants hold mid-burst, see
+/// AsyncScheduler::snapshot()), cache + sub-cache counters (hits, misses,
+/// evictions), and the full metric registry.
+std::string renderServeSnapshot(const stream::AsyncScheduler& scheduler,
+                                std::size_t sequence, double uptimeSeconds) {
+  const stream::SchedulerSnapshot snap = scheduler.snapshot();
+  std::ostringstream buffer;
+  io::JsonWriter w(buffer, /*pretty=*/false);
+  w.beginObject();
+  w.kv("type", "stats");
+  w.kv("sequence", sequence);
+  w.kv("uptime_seconds", uptimeSeconds);
+  w.key("scheduler").beginObject();
+  w.kv("submitted", static_cast<std::size_t>(snap.stream.submitted));
+  w.kv("completed", static_cast<std::size_t>(snap.stream.completed));
+  w.kv("in_flight", static_cast<std::size_t>(snap.inFlight));
+  w.kv("inflight_keys", snap.inflightKeys);
+  w.kv("parked_waiters", snap.parkedWaiters);
+  w.kv("queue_depth", snap.queueDepth);
+  w.kv("queue_capacity", snap.queueCapacity);
+  w.kv("queue_high_water", snap.stream.queue.highWater);
+  w.kv("backpressure_waits", static_cast<std::size_t>(snap.stream.queue.pushWaits));
+  w.kv("solved", static_cast<std::size_t>(snap.stream.solved));
+  w.kv("cache_hits", static_cast<std::size_t>(snap.stream.cacheHits));
+  w.kv("coalesced", static_cast<std::size_t>(snap.stream.coalesced));
+  w.kv("failed", static_cast<std::size_t>(snap.stream.failed));
+  w.kv("max_in_flight", snap.stream.maxInFlight);
+  w.endObject();
+  w.key("cache");
+  writeCacheStatsJson(w, scheduler.cacheStats());
+  w.key("sub_cache");
+  writeCacheStatsJson(w, scheduler.subCacheStats());
+  w.key("metrics");
+  obs::writeSnapshotJson(obs::registry().snapshot(), w);
+  w.endObject();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
 int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
+  // --trace attaches per-request "trace" breakdowns to outcome lines;
+  // --stats-interval SECS emits one observability snapshot line per interval
+  // (stderr unless --stats-output FILE). Both default --metrics to on.
+  // Raise-only, like `batch`: an externally enabled flag is never lowered.
+  const bool traceOn = parseOnOff(args, "trace", false);
+  const double statsInterval = args.getReal("stats-interval", 0);
+  if (statsInterval < 0) throw UsageError("--stats-interval must be >= 0");
+  const bool metricsOn = parseOnOff(args, "metrics", traceOn || statsInterval > 0);
+  obs::ScopedTracingEnabled tracingScope(traceOn || obs::tracingEnabled());
+  obs::ScopedMetricsEnabled metricsScope(metricsOn || obs::metricsEnabled());
+  std::unique_ptr<std::ofstream> statsFile;
+  std::ostream* statsStream = &err;
+  if (const auto path = args.get("stats-output")) {
+    statsFile = std::make_unique<std::ofstream>(*path);
+    if (!*statsFile) throw std::runtime_error("cannot open stats output: " + *path);
+    statsStream = statsFile.get();
+  }
+
   stream::JsonlDefaults defaults;
   defaults.sweep =
       service::SweepSpec{args.getSize("points", 24), args.getReal("range", 3)};
@@ -83,13 +149,71 @@ int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
   TaggingSource tagged(source, inputLines);
   stream::JsonlSink sink(lineWriter, &inputLines);
   stream::AsyncScheduler scheduler(config);
-  const stream::EngineStats stats = stream::runStream(tagged, sink, scheduler);
+
+  // Periodic snapshot emitter: a background thread that wakes every
+  // --stats-interval seconds and writes one JSONL snapshot line, plus one
+  // final snapshot after the stream ends (so even a short run yields at
+  // least one line). Snapshot lines share a guarded whole-line writer so
+  // they can never interleave mid-line — but note they go to stderr (or the
+  // --stats-output file), never into the stdout outcome stream.
+  stream::JsonlLineWriter statsWriter(*statsStream);
+  const auto startedAt = std::chrono::steady_clock::now();
+  std::size_t statsSequence = 0;
+  const auto emitSnapshot = [&] {
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - startedAt).count();
+    statsWriter.writeLine(renderServeSnapshot(scheduler, statsSequence++, uptime));
+  };
+  std::mutex emitterMutex;
+  std::condition_variable emitterCv;
+  bool emitterDone = false;
+  std::thread emitter;
+  if (statsInterval > 0) {
+    emitter = std::thread([&] {
+      std::unique_lock<std::mutex> lock(emitterMutex);
+      for (;;) {
+        if (emitterCv.wait_for(lock, std::chrono::duration<double>(statsInterval),
+                               [&] { return emitterDone; })) {
+          return;
+        }
+        lock.unlock();
+        emitSnapshot();
+        lock.lock();
+      }
+    });
+  }
+
+  stream::EngineStats stats;
+  try {
+    stats = stream::runStream(tagged, sink, scheduler);
+  } catch (...) {
+    if (emitter.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(emitterMutex);
+        emitterDone = true;
+      }
+      emitterCv.notify_all();
+      emitter.join();
+    }
+    throw;
+  }
+  if (emitter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(emitterMutex);
+      emitterDone = true;
+    }
+    emitterCv.notify_all();
+    emitter.join();
+  }
+  if (statsInterval > 0) emitSnapshot();  // final (possibly only) snapshot
 
   const stream::StreamStats s = scheduler.stats();
+  const service::CacheStats cache = scheduler.cacheStats();
   const service::CacheStats sub = scheduler.subCacheStats();
   err << "serve: " << stats.requests << " request(s) — " << s.solved << " solved, "
       << s.cacheHits << " cache hit(s), " << s.coalesced << " coalesced, "
-      << "sub_hits=" << sub.hits << ", " << stats.failed << " failed, " << parseErrors
+      << "sub_hits=" << sub.hits << ", evictions=" << cache.evictions << "+" << sub.evictions
+      << ", " << stats.failed << " failed, " << parseErrors
       << " parse error(s) in " << stats.wallSeconds << " s\n";
   return (stats.failed == 0 && parseErrors == 0) ? 0 : 1;
 }

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "pipesched/obs/metrics.hpp"
+
 namespace pipesched::core {
+
+void recordDeltaKernelStats(const DeltaStats& stats) {
+  if (!obs::metricsEnabled()) return;
+  static obs::Counter& peeks = obs::registry().counter(obs::names::kDeltaPeeks);
+  static obs::Counter& applies = obs::registry().counter(obs::names::kDeltaApplies);
+  static obs::Counter& replaces = obs::registry().counter(obs::names::kDeltaReplaces);
+  static obs::Counter& undos = obs::registry().counter(obs::names::kDeltaUndos);
+  peeks.add(stats.peeks);
+  applies.add(stats.applies);
+  replaces.add(stats.replaces);
+  undos.add(stats.undos);
+}
 
 void EvalWorkspace::reserve(std::size_t maxIntervals, std::size_t processorCount) {
   parts_.reserve(maxIntervals);
@@ -141,6 +155,7 @@ struct Patch {
 }  // namespace
 
 std::optional<Metrics> DeltaEvaluator::peek(const Move& move) const {
+  ++stats_.peeks;
   const std::size_t m = ws_->parts_.size();
   const std::size_t p = ws_->used_.size();
   const std::vector<Assignment>& parts = ws_->parts_;
@@ -526,6 +541,7 @@ bool DeltaEvaluator::apply(const Move& move) {
       break;
     }
   }
+  ++stats_.applies;
   metricsDirty_ = true;
   return true;
 }
@@ -582,6 +598,7 @@ bool DeltaEvaluator::replaceInterval(std::size_t j, const Assignment* replacemen
     pendingCount_ = count - 1;
   }
   refresh(lo, j + count - 1 + reach);
+  ++stats_.replaces;
   metricsDirty_ = true;
   return true;
 }
@@ -590,6 +607,7 @@ void DeltaEvaluator::undo() {
   if (pending_ == PendingOp::kNone) {
     throw ModelError("DeltaEvaluator::undo: no move pending");
   }
+  ++stats_.undos;
   if (pending_ == PendingOp::kEraseAt) {
     const auto at = static_cast<std::ptrdiff_t>(pendingPos_);
     const auto end = static_cast<std::ptrdiff_t>(pendingPos_ + pendingCount_);

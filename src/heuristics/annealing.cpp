@@ -195,6 +195,7 @@ AnnealingResult annealDelta(const Evaluator& eval, const IntervalMapping& seedMa
     }
   }
   best.mapping = IntervalMapping::fromValidated(std::move(bestParts));
+  core::recordDeltaKernelStats(delta.stats());
   return best;
 }
 

@@ -145,6 +145,7 @@ LocalSearchResult localSearchDelta(const Evaluator& eval, const IntervalMapping&
   result.mapping = delta.mapping();
   result.metrics = currentMetrics;
   result.feasible = currentScore.feasible;
+  core::recordDeltaKernelStats(delta.stats());
   return result;
 }
 

@@ -68,6 +68,7 @@ class Engine {
     result.mapping = delta_.mapping();
     result.metrics = delta_.metrics();
     if (!config_.periodTarget) result.reachedTarget = true;  // exhaustion mode
+    core::recordDeltaKernelStats(delta_.stats());
     return result;
   }
 

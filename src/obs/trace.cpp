@@ -1,0 +1,41 @@
+#include "pipesched/obs/trace.hpp"
+
+namespace pipesched::obs {
+
+const char* stageName(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kFingerprint:
+      return "fingerprint";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kMemberSolve:
+      return "member_solve";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kEmit:
+      return "emit";
+    case Stage::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+Histogram& stageHistogram(Stage stage) {
+  // One-time registration of every stage histogram; thereafter a plain
+  // array read, so hot paths pay no registry lookup.
+  static const std::array<Histogram*, kStageCount> table = [] {
+    std::array<Histogram*, kStageCount> t{};
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const std::string name = std::string("stage.") + stageName(static_cast<Stage>(i));
+      t[i] = &registry().histogram(name, Unit::kNanoseconds);
+    }
+    return t;
+  }();
+  return *table[static_cast<std::size_t>(stage)];
+}
+
+}  // namespace pipesched::obs

@@ -17,6 +17,7 @@
 #include "pipesched/heuristics/annealing.hpp"
 #include "pipesched/heuristics/local_search.hpp"
 #include "pipesched/heuristics/registry.hpp"
+#include "pipesched/obs/trace.hpp"
 #include "pipesched/service/fingerprint.hpp"
 
 namespace pipesched::service {
@@ -483,6 +484,10 @@ std::unique_ptr<PortfolioMember> makeMember(const std::string& id) {
 void runMember(const PortfolioMember& member, const core::Evaluator& eval,
                const SweepSpec& sweep, const PortfolioConfig& config, const Deadline& deadline,
                const SubShare* share, Slot& slot) {
+  // Always timed: two clock reads against a per-member run that is at least
+  // microseconds of work, and the trace path needs the value even when the
+  // registry is off.
+  const Clock::time_point memberStart = Clock::now();
   slot.contribution.solver = member.solverName();
   const std::unique_ptr<PortfolioMember::Run> run = member.start(eval, sweep, config, share);
   const std::size_t units = run->units();
@@ -538,6 +543,13 @@ void runMember(const PortfolioMember& member, const core::Evaluator& eval,
   if (run->truncated()) slot.contribution.completed = false;
   slot.contribution.points = slot.points.size();
   slot.contribution.seeded = run->seeded();
+  slot.contribution.wallSeconds =
+      std::chrono::duration<double>(Clock::now() - memberStart).count();
+  if (obs::metricsEnabled()) {
+    static obs::Histogram& memberRuns =
+        obs::registry().histogram(obs::names::kMemberRun, obs::Unit::kNanoseconds);
+    memberRuns.recordSeconds(slot.contribution.wallSeconds);
+  }
 }
 
 }  // namespace
@@ -630,6 +642,7 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
     });
   }
 
+  const Clock::time_point raceStart = Clock::now();
   if (pool != nullptr && pool->threadCount() > 0) {
     std::vector<std::future<void>> futures;
     futures.reserve(tasks.size());
@@ -650,8 +663,11 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
     for (auto& task : tasks) task();
   }
 
+  const Clock::time_point mergeStart = Clock::now();
+
   PortfolioResult result;
   result.exactUsed = exactUsed;
+  result.memberRaceSeconds = std::chrono::duration<double>(mergeStart - raceStart).count();
   // Remember each slot's coordinates before the merge consumes its points:
   // paretoFront keeps the FIRST representative of duplicate coordinates, so
   // the first slot (race order) holding a front point's coordinates is the
@@ -678,6 +694,11 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
         break;
       }
     }
+  }
+  result.mergeSeconds = std::chrono::duration<double>(Clock::now() - mergeStart).count();
+  if (obs::metricsEnabled()) {
+    obs::stageHistogram(obs::Stage::kMemberSolve).recordSeconds(result.memberRaceSeconds);
+    obs::stageHistogram(obs::Stage::kMerge).recordSeconds(result.mergeSeconds);
   }
   return result;
 }

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#include "pipesched/obs/metrics.hpp"
+#include "pipesched/obs/trace.hpp"
 
 namespace pipesched::service {
 
@@ -26,6 +30,33 @@ void accumulateMemberStats(std::vector<MemberBatchStats>& members,
       it = std::prev(members.end());
     }
     it->add(c);
+  }
+}
+
+/// Adds a fresh solve's stage timings and per-member walls to `trace`.
+/// Cache hits never come through here: a hit repeats a prior solve's result,
+/// not its work, so its trace carries only the lookup.
+void addSolveStages(obs::RequestTrace& trace, const PortfolioResult& result) {
+  trace.add(obs::Stage::kMemberSolve, result.memberRaceSeconds);
+  trace.add(obs::Stage::kMerge, result.mergeSeconds);
+  trace.members.reserve(result.solvers.size());
+  for (const SolverContribution& c : result.solvers) {
+    trace.members.emplace_back(c.solver, c.wallSeconds);
+  }
+}
+
+/// Registry counters mirroring the solved/cache-hit/failed outcome buckets.
+void countOutcome(const RequestOutcome& outcome) {
+  if (!obs::metricsEnabled()) return;
+  static obs::Counter& solved = obs::registry().counter(obs::names::kRequestsSolved);
+  static obs::Counter& cacheHits = obs::registry().counter(obs::names::kRequestsCacheHit);
+  static obs::Counter& failed = obs::registry().counter(obs::names::kRequestsFailed);
+  if (!outcome.ok) {
+    failed.add();
+  } else if (outcome.fromCache) {
+    cacheHits.add();
+  } else {
+    solved.add();
   }
 }
 
@@ -67,22 +98,59 @@ RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPo
 }
 
 RequestOutcome SchedulingService::solve(const Request& request) {
-  return solve(request, requestIdentity(request));
+  if (!obs::tracingEnabled()) {
+    return solve(request, requestIdentity(request), nullptr);
+  }
+  obs::RequestTrace trace;
+  trace.totalSeconds = request.parseSeconds;
+  if (request.parseSeconds > 0) trace.add(obs::Stage::kParse, request.parseSeconds);
+  obs::TraceSpan fingerprintSpan(obs::Stage::kFingerprint, &trace);
+  const RequestIdentity identity = requestIdentity(request);
+  trace.totalSeconds += fingerprintSpan.stop();
+  return solve(request, identity, &trace);
 }
 
 RequestOutcome SchedulingService::solve(const Request& request,
                                         const RequestIdentity& identity) {
-  if (auto cached = cache_.get(identity.fp, identity.key)) {
+  if (!obs::tracingEnabled()) {
+    return solve(request, identity, nullptr);
+  }
+  // The identity walk happened outside; its cost is the caller's to report.
+  obs::RequestTrace trace;
+  trace.totalSeconds = request.parseSeconds;
+  if (request.parseSeconds > 0) trace.add(obs::Stage::kParse, request.parseSeconds);
+  return solve(request, identity, &trace);
+}
+
+RequestOutcome SchedulingService::solve(const Request& request,
+                                        const RequestIdentity& identity,
+                                        obs::RequestTrace* trace) {
+  obs::TraceSpan lookupSpan(obs::Stage::kCacheLookup, trace);
+  auto cached = cache_.get(identity.fp, identity.key);
+  const double lookupSeconds = lookupSpan.stop();
+  if (trace != nullptr) trace->totalSeconds += lookupSeconds;
+  if (cached) {
     RequestOutcome outcome;
     outcome.ok = true;
     outcome.result = std::move(*cached);
     outcome.fromCache = true;
     outcome.fingerprint = identity.fp;
+    if (trace != nullptr) {
+      outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(*trace));
+    }
+    countOutcome(outcome);
     return outcome;
   }
+  const Clock::time_point solveStart = trace != nullptr ? Clock::now() : Clock::time_point{};
   RequestOutcome outcome = solveUncached(request, &pool_);
   outcome.fingerprint = identity.fp;
   if (outcome.ok) cache_.put(identity.fp, identity.key, outcome.result);
+  if (trace != nullptr) {
+    trace->totalSeconds += std::chrono::duration<double>(Clock::now() - solveStart).count();
+    if (outcome.ok) addSolveStages(*trace, outcome.result);
+    outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(*trace));
+  }
+  countOutcome(outcome);
   return outcome;
 }
 
@@ -93,19 +161,33 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   batch.outcomes.resize(requests.size());
   batch.stats.requests = requests.size();
 
+  const bool tracing = obs::tracingEnabled();
+
   // Group identical requests: each canonical key is solved exactly once.
   struct Group {
     Fingerprint fp;
     std::vector<std::size_t> indices;  // input slots sharing this key
+    obs::RequestTrace trace;           // assembled only when tracing
   };
   std::unordered_map<std::string, Group> groups;
   std::vector<const std::string*> keyOrder;  // deterministic iteration order
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    obs::TraceSpan fingerprintSpan(obs::Stage::kFingerprint);
     RequestIdentity identity = requestIdentity(requests[i]);  // one walk: key + hash
+    const double fingerprintSeconds = fingerprintSpan.stop();
     auto [it, inserted] = groups.try_emplace(std::move(identity.key));
     if (inserted) {
       it->second.fp = identity.fp;
       keyOrder.push_back(&it->first);
+      if (tracing) {
+        // The group's trace describes the representative slot's journey; a
+        // duplicate slot shares it (like the result it shares).
+        obs::RequestTrace& trace = it->second.trace;
+        const double parse = requests[i].parseSeconds;
+        if (parse > 0) trace.add(obs::Stage::kParse, parse);
+        trace.add(obs::Stage::kFingerprint, fingerprintSeconds);
+        trace.totalSeconds = parse + fingerprintSeconds;
+      }
     }
     it->second.indices.push_back(i);
   }
@@ -115,18 +197,25 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   // task blocking on sub-tasks could deadlock a saturated pool).
   struct Miss {
     const std::string* key;  // stable pointer into `groups`
-    const Group* group;
+    Group* group;            // non-const: the accounting loop moves its trace out
   };
   std::vector<Miss> misses;
   std::vector<RequestOutcome> missOutcomes;
   for (const std::string* key : keyOrder) {
     Group& group = groups.at(*key);
-    if (auto cached = cache_.get(group.fp, *key)) {
+    obs::TraceSpan lookupSpan(obs::Stage::kCacheLookup, tracing ? &group.trace : nullptr);
+    auto cached = cache_.get(group.fp, *key);
+    const double lookupSeconds = lookupSpan.stop();
+    if (tracing) group.trace.totalSeconds += lookupSeconds;
+    if (cached) {
       RequestOutcome outcome;
       outcome.ok = true;
       outcome.result = std::move(*cached);
       outcome.fromCache = true;
       outcome.fingerprint = group.fp;
+      if (tracing) {
+        outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(group.trace));
+      }
       batch.outcomes[group.indices.front()] = std::move(outcome);
       batch.stats.cacheHits += 1;
     } else {
@@ -134,14 +223,22 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
     }
   }
   missOutcomes.resize(misses.size());
+  // Per-miss solve wall, measured inside each task (only read when tracing:
+  // it feeds totalSeconds, whose invariant is stages sum <= total).
+  std::vector<double> missSolveSeconds(misses.size(), 0.0);
   {
     std::vector<std::future<void>> futures;
     futures.reserve(misses.size());
     for (std::size_t m = 0; m < misses.size(); ++m) {
       const Request* request = &requests[misses[m].group->indices.front()];
       RequestOutcome* out = &missOutcomes[m];
-      futures.push_back(pool_.submit([this, request, out] {
+      double* solveSeconds = &missSolveSeconds[m];
+      futures.push_back(pool_.submit([this, request, out, solveSeconds, tracing] {
+        const Clock::time_point solveStart = tracing ? Clock::now() : Clock::time_point{};
         *out = solveUncached(*request, nullptr);
+        if (tracing) {
+          *solveSeconds = std::chrono::duration<double>(Clock::now() - solveStart).count();
+        }
       }));
     }
     // Join every task before any unwind: they write through pointers into
@@ -157,9 +254,14 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
     if (firstError) std::rethrow_exception(firstError);
   }
   for (std::size_t m = 0; m < misses.size(); ++m) {
-    const Group& group = *misses[m].group;
+    Group& group = *misses[m].group;
     RequestOutcome& out = missOutcomes[m];
     out.fingerprint = group.fp;
+    if (tracing) {
+      group.trace.totalSeconds += missSolveSeconds[m];
+      if (out.ok) addSolveStages(group.trace, out.result);
+      out.trace = std::make_shared<const obs::RequestTrace>(std::move(group.trace));
+    }
     if (out.ok) {
       cache_.put(group.fp, *misses[m].key, out.result);
       batch.stats.solved += 1;
@@ -194,6 +296,14 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   if (batch.stats.wallSeconds > 0) {
     batch.stats.requestsPerSecond =
         static_cast<double>(batch.stats.requests) / batch.stats.wallSeconds;
+  }
+  if (obs::metricsEnabled()) {
+    static obs::Counter& solved = obs::registry().counter(obs::names::kRequestsSolved);
+    static obs::Counter& cacheHits = obs::registry().counter(obs::names::kRequestsCacheHit);
+    static obs::Counter& failed = obs::registry().counter(obs::names::kRequestsFailed);
+    solved.add(batch.stats.solved);
+    cacheHits.add(batch.stats.cacheHits);
+    failed.add(batch.stats.failed);
   }
   return batch;
 }

@@ -1,7 +1,11 @@
 #include "pipesched/stream/async_scheduler.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 
+#include "pipesched/obs/metrics.hpp"
 #include "pipesched/service/fingerprint.hpp"
 
 namespace pipesched::stream {
@@ -18,16 +22,21 @@ AsyncScheduler::AsyncScheduler(StreamConfig config)
 
 AsyncScheduler::~AsyncScheduler() { close(); }
 
-service::RequestOutcome AsyncScheduler::solveOne(const Job& job) {
+service::RequestOutcome AsyncScheduler::solveOne(const Job& job, obs::RequestTrace* trace) {
   // Never let an exception escape into a worker: a throwing solve (or
   // override) becomes a failed outcome, exactly like solveBatch's per-slot
   // error isolation.
   service::RequestOutcome outcome;
   try {
     if (config_.solveOverride) {
+      const obs::TraceClock::time_point start =
+          trace != nullptr ? obs::TraceClock::now() : obs::TraceClock::time_point{};
       outcome = config_.solveOverride(job.request);
+      if (trace != nullptr) trace->totalSeconds += obs::secondsSince(start);
     } else {
-      outcome = service_.solve(job.request, job.identity);
+      // The three-arg overload folds its wall time into the trace and
+      // attaches it to the outcome.
+      outcome = service_.solve(job.request, job.identity, trace);
     }
   } catch (const std::exception& e) {
     outcome.ok = false;
@@ -35,6 +44,10 @@ service::RequestOutcome AsyncScheduler::solveOne(const Job& job) {
   } catch (...) {
     outcome.ok = false;
     outcome.error = "unknown exception while solving";
+  }
+  if (trace != nullptr && outcome.trace == nullptr) {
+    // Override and exception paths: the service never consumed the trace.
+    outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(*trace));
   }
   outcome.fingerprint = job.identity.fp;  // overrides/failures included
   return outcome;
@@ -63,16 +76,43 @@ void AsyncScheduler::finish(Job& job, service::RequestOutcome outcome, bool coal
     else if (fromCache) ++stats_.cacheHits;
     else ++stats_.solved;
   }
+  if (coalescedCopy && obs::metricsEnabled()) {
+    static obs::Counter& coalesced = obs::registry().counter(obs::names::kCoalesced);
+    coalesced.add();
+  }
   allDone_.notify_all();
 }
 
 void AsyncScheduler::workerLoop() {
   while (std::optional<Job> popped = channel_.pop()) {
     Job job = std::move(*popped);
+    // Observability prologue: queue wait (submit -> this pop) and a sample
+    // of the post-pop queue depth. `job.timed` gates the clock read, the
+    // metrics flag gates the registry — both off costs two branches.
+    double queueWait = 0;
+    if (job.timed) queueWait = obs::secondsSince(job.enqueuedAt);
+    if (obs::metricsEnabled()) {
+      if (job.timed) obs::stageHistogram(obs::Stage::kQueueWait).recordSeconds(queueWait);
+      static obs::Histogram& depth =
+          obs::registry().histogram(obs::names::kQueueDepth, obs::Unit::kCount);
+      depth.record(channel_.size());
+    }
+    std::optional<obs::RequestTrace> trace;
+    if (obs::tracingEnabled()) {
+      trace.emplace();
+      trace->totalSeconds = job.request.parseSeconds + queueWait;
+      if (job.request.parseSeconds > 0) {
+        trace->add(obs::Stage::kParse, job.request.parseSeconds);
+      }
+      if (job.timed) trace->add(obs::Stage::kQueueWait, queueWait);
+    }
     // Canonicalize on the worker, not in submit(): a single producer thread
     // (the engine pump, a serve loop) must not serialize the per-request
     // walk that N workers could do in parallel.
+    obs::TraceSpan fingerprintSpan(obs::Stage::kFingerprint, trace ? &*trace : nullptr);
     job.identity = service::requestIdentity(job.request);
+    const double fingerprintSeconds = fingerprintSpan.stop();
+    if (trace) trace->totalSeconds += fingerprintSeconds;
     bool ownsKey = false;
     {
       std::lock_guard lock(mutex_);
@@ -95,7 +135,7 @@ void AsyncScheduler::workerLoop() {
         ++stats_.coalesceOverflow;
       }
     }
-    service::RequestOutcome outcome = solveOne(job);
+    service::RequestOutcome outcome = solveOne(job, trace ? &*trace : nullptr);
     std::vector<Job> waiters;
     if (ownsKey) {
       std::lock_guard lock(mutex_);
@@ -114,12 +154,27 @@ void AsyncScheduler::workerLoop() {
 }
 
 void AsyncScheduler::runInline(Job job) {
+  std::optional<obs::RequestTrace> trace;
+  if (obs::tracingEnabled()) {
+    trace.emplace();
+    trace->totalSeconds = job.request.parseSeconds;  // no queue in inline mode
+    if (job.request.parseSeconds > 0) {
+      trace->add(obs::Stage::kParse, job.request.parseSeconds);
+    }
+  }
+  obs::TraceSpan fingerprintSpan(obs::Stage::kFingerprint, trace ? &*trace : nullptr);
   job.identity = service::requestIdentity(job.request);
-  finish(job, solveOne(job), /*coalescedCopy=*/false);
+  const double fingerprintSeconds = fingerprintSpan.stop();
+  if (trace) trace->totalSeconds += fingerprintSeconds;
+  finish(job, solveOne(job, trace ? &*trace : nullptr), /*coalescedCopy=*/false);
 }
 
 std::future<service::RequestOutcome> AsyncScheduler::submitJob(Job job) {
   std::future<service::RequestOutcome> future = job.promise.get_future();
+  if (obs::metricsEnabled() || obs::tracingEnabled()) {
+    job.enqueuedAt = obs::TraceClock::now();
+    job.timed = true;
+  }
   {
     std::lock_guard lock(mutex_);
     if (!accepting_) throw ModelError("AsyncScheduler: submit after close");
@@ -183,6 +238,25 @@ StreamStats AsyncScheduler::stats() const {
   }
   snapshot.queue = channel_.stats();
   return snapshot;
+}
+
+SchedulerSnapshot AsyncScheduler::snapshot() const {
+  SchedulerSnapshot snap;
+  {
+    // One critical section for every scheduler-owned counter: inFlight and
+    // the parked-waiter tallies are derived while nothing can move.
+    std::lock_guard lock(mutex_);
+    snap.stream = stats_;
+    snap.inFlight = stats_.submitted - stats_.completed;
+    snap.inflightKeys = inflight_.size();
+    for (const auto& [key, waiters] : inflight_) snap.parkedWaiters += waiters.size();
+  }
+  // The channel has its own lock; its size is instantaneously consistent but
+  // not atomic with the block above, so clamp to the documented invariant.
+  snap.queueCapacity = config_.queueCapacity;
+  snap.queueDepth = std::min(channel_.size(), snap.queueCapacity);
+  snap.stream.queue = channel_.stats();
+  return snap;
 }
 
 }  // namespace pipesched::stream

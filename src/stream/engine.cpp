@@ -5,6 +5,9 @@
 #include <deque>
 #include <utility>
 
+#include "pipesched/obs/metrics.hpp"
+#include "pipesched/obs/trace.hpp"
+
 namespace pipesched::stream {
 
 namespace {
@@ -35,7 +38,13 @@ EngineStats runStream(Source& source, Sink& sink, AsyncScheduler& scheduler) {
     pending.pop_front();
     const service::RequestOutcome outcome = slot.future.get();
     if (!outcome.ok) ++stats.failed;
-    sink.emit(nextIndex++, slot.request, outcome);
+    {
+      // Registry-only span: the outcome's per-request trace was sealed when
+      // the solve completed, so emission cost shows up in stage.emit rather
+      // than retroactively inside breakdowns already handed out.
+      obs::TraceSpan emitSpan(obs::Stage::kEmit);
+      sink.emit(nextIndex++, slot.request, outcome);
+    }
     ++stats.requests;
   };
 
@@ -70,7 +79,15 @@ EngineStats runStream(Source& source, Sink& sink, AsyncScheduler& scheduler) {
   // Futures become ready slightly before the scheduler's completion counters
   // are bumped; drain() waits on the counters, so the snapshot below is
   // settled for everything this pass submitted.
-  scheduler.drain();
+  if (obs::metricsEnabled()) {
+    const obs::TraceClock::time_point drainStart = obs::TraceClock::now();
+    scheduler.drain();
+    static obs::Histogram& drainHist =
+        obs::registry().histogram(obs::names::kDrain, obs::Unit::kNanoseconds);
+    drainHist.recordSeconds(obs::secondsSince(drainStart));
+  } else {
+    scheduler.drain();
+  }
   stats.wallSeconds = std::chrono::duration<double>(Clock::now() - start).count();
   if (stats.wallSeconds > 0 && stats.requests > 0) {
     stats.requestsPerSecond = static_cast<double>(stats.requests) / stats.wallSeconds;

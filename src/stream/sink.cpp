@@ -46,6 +46,29 @@ void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
     w.endObject();
   }
   w.endArray();
+  // Per-request stage breakdown, present only when the producing path ran
+  // with tracing on (--trace on): default output stays byte-stable for the
+  // golden-diff and byte-identity contracts.
+  if (outcome.trace != nullptr) {
+    const obs::RequestTrace& trace = *outcome.trace;
+    w.key("trace").beginObject();
+    w.kv("total_seconds", trace.totalSeconds);
+    w.key("stages").beginObject();
+    for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+      if (trace.stageCounts[i] == 0) continue;
+      w.kv(obs::stageName(static_cast<obs::Stage>(i)), trace.stageSeconds[i]);
+    }
+    w.endObject();
+    w.key("members").beginArray();
+    for (const auto& [solver, seconds] : trace.members) {
+      w.beginObject();
+      w.kv("solver", solver);
+      w.kv("seconds", seconds);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
 }
 
 void JsonlSink::emit(std::size_t index, const service::Request& request,

@@ -8,10 +8,21 @@
 
 #include "pipesched/io/format.hpp"
 #include "pipesched/io/json_reader.hpp"
+#include "pipesched/obs/trace.hpp"
 
 namespace pipesched::stream {
 
 namespace {
+
+/// Stamps the just-parsed request with its parse wall time and feeds the
+/// stage.parse histogram. Callers read the clock only when observability is
+/// on (the returned requests otherwise keep parseSeconds == 0).
+void recordParse(service::Request& request, obs::TraceClock::time_point start) {
+  request.parseSeconds = obs::secondsSince(start);
+  if (obs::metricsEnabled()) {
+    obs::stageHistogram(obs::Stage::kParse).recordSeconds(request.parseSeconds);
+  }
+}
 
 workload::ExperimentKind kindFromString(const std::string& text) {
   if (const auto kind = workload::experimentKindFromName(text)) return *kind;
@@ -157,9 +168,14 @@ std::vector<std::string> expandInstancePaths(const std::vector<std::string>& pat
 std::optional<service::Request> FileListSource::next() {
   if (cursor_ >= paths_.size()) return std::nullopt;
   const std::string& path = paths_[cursor_++];
+  const bool timed = obs::metricsEnabled() || obs::tracingEnabled();
+  const obs::TraceClock::time_point start =
+      timed ? obs::TraceClock::now() : obs::TraceClock::time_point{};
   const io::Instance instance = io::readInstanceFromFile(path);
-  return service::Request{instance.pipeline, instance.platform, model_, sweep_,
-                          instance.name.empty() ? path : instance.name};
+  service::Request request{instance.pipeline, instance.platform, model_, sweep_,
+                           instance.name.empty() ? path : instance.name};
+  if (timed) recordParse(request, start);
+  return request;
 }
 
 ScenarioSource::ScenarioSource(service::SweepSpec sweep, core::CommModel model)
@@ -192,8 +208,13 @@ std::optional<service::Request> JsonlSource::next() {
   while (std::getline(*in_, line)) {
     ++lineNo_;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank
+    const bool timed = obs::metricsEnabled() || obs::tracingEnabled();
+    const obs::TraceClock::time_point start =
+        timed ? obs::TraceClock::now() : obs::TraceClock::time_point{};
     try {
-      return requestFromJsonLine(line, defaults_, lineNo_);
+      service::Request request = requestFromJsonLine(line, defaults_, lineNo_);
+      if (timed) recordParse(request, start);
+      return request;
     } catch (const std::exception& e) {
       // Line-local position prefixes were already normalized inside
       // requestFromJsonLine; re-anchor to the stream line number only.

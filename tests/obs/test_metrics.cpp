@@ -1,0 +1,275 @@
+// obs metrics primitives: histogram bucket boundaries, quantiles against a
+// sorted reference, merge-of-shards equivalence, deterministic concurrent
+// recording, and registry identity/reset semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "pipesched/obs/metrics.hpp"
+
+namespace pipesched::obs {
+namespace {
+
+// Deterministic 64-bit generator (splitmix64) — no std random machinery, so
+// the reference sequences are identical on every platform.
+class Mix {
+ public:
+  explicit Mix(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+TEST(HistogramBuckets, ZeroGetsItsOwnBucket) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketLow(0), 0u);
+  EXPECT_EQ(Histogram::bucketHigh(0), 0u);
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket i > 0 covers [2^(i-1), 2^i - 1]: each power of two opens a new
+  // bucket and the value just below it closes the previous one.
+  EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+  for (std::size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    const std::uint64_t low = Histogram::bucketLow(i);
+    const std::uint64_t high = Histogram::bucketHigh(i);
+    EXPECT_EQ(high, 2 * low - 1);
+    EXPECT_EQ(Histogram::bucketIndex(low), i) << "low of bucket " << i;
+    EXPECT_EQ(Histogram::bucketIndex(high), i) << "high of bucket " << i;
+    EXPECT_EQ(Histogram::bucketIndex(high + 1), i + 1) << "past bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, OverflowBucketAbsorbsEverythingAbove) {
+  const std::size_t last = kHistogramBuckets - 1;
+  EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketLow(last)), last);
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), last);
+}
+
+TEST(Histogram, CountSumAndMeanAreExact) {
+  Histogram h;
+  std::uint64_t expectedSum = 0;
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+    h.record(v);
+    expectedSum += v;
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, expectedSum);
+  EXPECT_DOUBLE_EQ(snap.mean(), static_cast<double>(expectedSum) / 5.0);
+}
+
+TEST(Histogram, RecordSecondsClampsNegativeToZero) {
+  Histogram h(Unit::kNanoseconds);
+  h.recordSeconds(-1.0);
+  h.recordSeconds(0.0);
+  h.recordSeconds(1e-9);  // exactly 1 ns
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  EXPECT_EQ(Histogram().snapshot().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantilesBracketTheSortedReference) {
+  // The quantile estimate interpolates within the bucket that holds the
+  // exact order statistic, so it must land in that bucket's value range
+  // (inclusive low, exclusive high+1).
+  Mix rng(20070628);
+  std::vector<std::uint64_t> values;
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed magnitudes: log-uniform over ~12 orders of binary magnitude.
+    const std::uint64_t v = rng.next() >> (rng.next() % 40);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+    const std::uint64_t exact = sorted[rank - 1];
+    const std::size_t bucket = Histogram::bucketIndex(exact);
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, static_cast<double>(Histogram::bucketLow(bucket))) << "q=" << q;
+    EXPECT_LE(estimate, static_cast<double>(Histogram::bucketHigh(bucket)) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeOfShardsEqualsSingleHistogram) {
+  Mix rng(7);
+  Histogram whole;
+  Histogram shards[3];
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.next() >> (rng.next() % 50);
+    whole.record(v);
+    shards[i % 3].record(v);
+  }
+  HistogramSnapshot merged = shards[0].snapshot();
+  merged.merge(shards[1].snapshot());
+  merged.merge(shards[2].snapshot());
+  const HistogramSnapshot reference = whole.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), reference.quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), reference.quantile(0.99));
+}
+
+TEST(Histogram, ConcurrentRecordingIsDeterministic) {
+  // Integer counts and sums: whatever the interleaving, the final snapshot
+  // is exactly the serial one.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Mix rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) h.record(rng.next() % 1024);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Histogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    Mix rng(static_cast<std::uint64_t>(t) + 1);
+    for (int i = 0; i < kPerThread; ++i) serial.record(rng.next() % 1024);
+  }
+  const HistogramSnapshot a = h.snapshot();
+  const HistogramSnapshot b = serial.snapshot();
+  EXPECT_EQ(a.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST(CounterGauge, Basics) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(5);
+  g.add(-8);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Registry, SameNameReturnsTheSameMetric) {
+  Registry r;
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  // Kinds are separate namespaces: a gauge named "x" is a different metric.
+  Gauge& g = r.gauge("x");
+  g.set(7);
+  a.add(3);
+  const Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "x");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+TEST(Registry, ReferencesStayValidAsMoreMetricsRegister) {
+  Registry r;
+  Counter& first = r.counter("first");
+  for (int i = 0; i < 200; ++i) r.counter("c" + std::to_string(i));
+  first.add(9);
+  EXPECT_EQ(r.counter("first").value(), 9u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsNames) {
+  Registry r;
+  r.counter("a").add(2);
+  r.histogram("h", Unit::kNanoseconds).record(10);
+  r.reset();
+  const Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 0u);
+  EXPECT_EQ(snap.histograms[0].hist.unit, Unit::kNanoseconds);
+}
+
+TEST(Flags, ScopedSettersRestoreThePreviousState) {
+  const bool metricsBefore = metricsEnabled();
+  const bool tracingBefore = tracingEnabled();
+  {
+    ScopedMetricsEnabled m(true);
+    ScopedTracingEnabled t(true);
+    EXPECT_TRUE(metricsEnabled());
+    EXPECT_TRUE(tracingEnabled());
+    {
+      ScopedMetricsEnabled inner(false);
+      EXPECT_FALSE(metricsEnabled());
+    }
+    EXPECT_TRUE(metricsEnabled());
+  }
+  EXPECT_EQ(metricsEnabled(), metricsBefore);
+  EXPECT_EQ(tracingEnabled(), tracingBefore);
+}
+
+TEST(Preregister, StandardCatalogShowsUpInSnapshots) {
+  ScopedMetricsEnabled on(true);
+  preregisterStandardMetrics();
+  const Snapshot snap = registry().snapshot();
+  const auto hasCounter = [&](const char* name) {
+    for (const auto& row : snap.counters) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  const auto hasHistogram = [&](const std::string& name) {
+    for (const auto& row : snap.histograms) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(hasCounter(names::kRequestsSolved));
+  EXPECT_TRUE(hasCounter(names::kDeltaPeeks));
+  EXPECT_TRUE(hasCounter(names::kCoalesced));
+  EXPECT_TRUE(hasHistogram(names::kQueueDepth));
+  EXPECT_TRUE(hasHistogram(names::kMemberRun));
+  EXPECT_TRUE(hasHistogram("stage.parse"));
+  EXPECT_TRUE(hasHistogram("stage.queue_wait"));
+  EXPECT_TRUE(hasHistogram("stage.emit"));
+}
+
+}  // namespace
+}  // namespace pipesched::obs

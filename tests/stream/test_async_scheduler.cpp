@@ -468,5 +468,102 @@ TEST(AsyncScheduler, BackpressureIsObservableUnderABlockedWorker) {
   for (auto& future : futures) EXPECT_TRUE(future.get().ok);
 }
 
+void expectCoherent(const SchedulerSnapshot& snap) {
+  // The invariants a poller may rely on at ANY instant: derived quantities
+  // are computed inside one critical section, and the independently-locked
+  // channel depth is clamped to the configured capacity.
+  EXPECT_GE(snap.stream.submitted, snap.stream.completed);
+  EXPECT_EQ(snap.inFlight, snap.stream.submitted - snap.stream.completed);
+  EXPECT_LE(snap.queueDepth, snap.queueCapacity);
+  EXPECT_LE(snap.inflightKeys, snap.inFlight);
+}
+
+TEST(AsyncScheduler, SnapshotIsCoherentWhilePolledConcurrently) {
+  std::atomic<bool> released{false};
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 4;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    // Slow solve: keep work genuinely in flight while the poller hammers
+    // snapshot(); spin-wait so release is immediate once flipped.
+    while (!released.load()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      expectCoherent(scheduler.snapshot());
+    }
+  });
+  std::vector<std::future<service::RequestOutcome>> futures;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    futures.push_back(scheduler.submit(makeRequest(70 + i)));
+  }
+  // Provably mid-burst: workers hold two jobs, the queue holds the rest.
+  while (scheduler.snapshot().inFlight < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  expectCoherent(scheduler.snapshot());
+  released.store(true);
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  stop.store(true);
+  poller.join();
+
+  scheduler.drain();
+  const SchedulerSnapshot done = scheduler.snapshot();
+  expectCoherent(done);
+  EXPECT_EQ(done.inFlight, 0u);
+  EXPECT_EQ(done.queueDepth, 0u);
+  EXPECT_EQ(done.inflightKeys, 0u);
+  EXPECT_EQ(done.parkedWaiters, 0u);
+  EXPECT_EQ(done.stream.submitted, 6u);
+}
+
+TEST(AsyncScheduler, SnapshotCountsParkedWaiters) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool released = false;
+  StreamConfig config;
+  // Two workers: one blocks inside the gated solve while the other pops and
+  // parks both duplicates (a single worker could never reach them).
+  config.workers = 2;
+  config.queueCapacity = 8;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return released; });
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+  std::vector<std::future<service::RequestOutcome>> futures;
+  futures.push_back(scheduler.submit(makeRequest(80)));
+  futures.push_back(scheduler.submit(makeRequest(80)));  // identical: parks
+  futures.push_back(scheduler.submit(makeRequest(80)));  // identical: parks
+  // Wait until the worker owns the key and both duplicates are parked on it.
+  while (scheduler.stats().waitersAttached < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const SchedulerSnapshot mid = scheduler.snapshot();
+  expectCoherent(mid);
+  EXPECT_EQ(mid.inflightKeys, 1u);
+  EXPECT_EQ(mid.parkedWaiters, 2u);
+  EXPECT_EQ(mid.inFlight, 3u);
+  {
+    std::lock_guard lock(gate_mutex);
+    released = true;
+  }
+  gate_cv.notify_all();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+  scheduler.drain();
+  const SchedulerSnapshot done = scheduler.snapshot();
+  EXPECT_EQ(done.parkedWaiters, 0u);
+  EXPECT_EQ(done.inflightKeys, 0u);
+}
+
 }  // namespace
 }  // namespace pipesched::stream
