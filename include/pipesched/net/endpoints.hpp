@@ -1,0 +1,52 @@
+// The serving tier's HTTP surface: wires an HttpServer to an AsyncScheduler
+// and the observability plane. Installed by `pipesched serve --listen` and
+// driven directly by tests/benches against an in-process server.
+//
+//   POST /solve    body = JSONL request lines (the stdio serve protocol);
+//                  response body = one JSONL outcome line per input line, in
+//                  input order, byte-identical to what stdio serve prints
+//                  for the same lines. Admission-controlled: when the
+//                  scheduler queue is full the whole POST answers 503 and
+//                  net.shed_total increments — the accept loop never blocks.
+//   GET /stats     one JSONL observability snapshot (the --stats-interval
+//                  line: scheduler poll + cache counters + metric registry).
+//   GET /healthz   liveness + drain state: 200 {"status":"ok",...} while
+//                  serving, 503 {"status":"draining",...} once shutdown
+//                  has been requested.
+//   GET /metrics   Prometheus text exposition of the metric registry.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pipesched/stream/source.hpp"
+
+namespace pipesched::stream {
+class AsyncScheduler;
+}
+
+namespace pipesched::net {
+
+class HttpServer;
+
+struct ServeEndpointsConfig {
+  /// Per-line fallbacks for JSONL request parsing (sweep, comm model) —
+  /// mirror the stdio serve flags so both transports parse identically.
+  stream::JsonlDefaults defaults;
+
+  /// Renders the /stats body (one JSONL snapshot line, newline-terminated).
+  std::function<std::string()> statsSnapshot;
+
+  /// Drain state for /healthz and for refusing new /solve work on shutdown.
+  std::function<bool()> draining;
+
+  /// Uptime reported by /healthz.
+  std::function<double()> uptimeSeconds;
+};
+
+/// Registers the four routes above on `server`. The scheduler and the config
+/// callbacks must outlive the server's run() loop.
+void installServeEndpoints(HttpServer& server, stream::AsyncScheduler& scheduler,
+                           ServeEndpointsConfig config);
+
+}  // namespace pipesched::net

@@ -1,0 +1,36 @@
+// Prometheus text exposition (format 0.0.4) of an obs::Snapshot — the body
+// `pipesched serve --listen` answers on GET /metrics and `pipesched stats
+// --format prometheus` prints offline.
+//
+// Fidelity contract (pinned by tests/obs/test_exposition.cpp): the rendered
+// document is an exact re-encoding of the snapshot it was given. Counter and
+// gauge sample values equal Snapshot values verbatim; histogram `_count` and
+// `_sum` lines equal HistogramSnapshot::count/sum; `_bucket` lines are the
+// cumulative prefix sums of HistogramSnapshot::buckets with `le` set to the
+// bucket's inclusive upper bound (the overflow bucket renders as le="+Inf").
+// Nanosecond histograms keep their raw integer nanosecond values — no lossy
+// seconds conversion — with the unit noted on the HELP line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace pipesched::obs {
+
+struct Snapshot;
+
+/// Maps a registry metric name onto the Prometheus name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, prefixed "pipesched_": every run of invalid
+/// characters (the registry's dots included) collapses to one underscore,
+/// so "net.endpoint.solve" -> "pipesched_net_endpoint_solve".
+[[nodiscard]] std::string sanitizeMetricName(const std::string& name);
+
+/// Renders the snapshot as one exposition document: `# HELP` + `# TYPE` +
+/// sample lines per metric, counters first, then gauges, then histograms —
+/// registration order within each kind, matching writeSnapshotJson.
+void writeSnapshotPrometheus(const Snapshot& snapshot, std::ostream& out);
+
+/// Convenience: writeSnapshotPrometheus into a string.
+[[nodiscard]] std::string renderSnapshotPrometheus(const Snapshot& snapshot);
+
+}  // namespace pipesched::obs

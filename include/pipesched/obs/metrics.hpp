@@ -241,7 +241,23 @@ inline constexpr const char* kDeltaPeeks = "eval.delta.peeks";
 inline constexpr const char* kDeltaApplies = "eval.delta.applies";
 inline constexpr const char* kDeltaReplaces = "eval.delta.replaces";
 inline constexpr const char* kDeltaUndos = "eval.delta.undos";
+// Network transport (pipesched::net). Connection lifecycle counters, byte
+// counters, admission-control sheds, and the drain-state gauge /healthz
+// reports. Per-endpoint latency histograms are "net.endpoint.<name>".
+inline constexpr const char* kNetAccepted = "net.connections_accepted";
+inline constexpr const char* kNetActive = "net.connections_active";
+inline constexpr const char* kNetClosed = "net.connections_closed";
+inline constexpr const char* kNetErrored = "net.connections_errored";
+inline constexpr const char* kNetBytesRead = "net.bytes_read";
+inline constexpr const char* kNetBytesWritten = "net.bytes_written";
+inline constexpr const char* kNetRequests = "net.http_requests";
+inline constexpr const char* kNetShed = "net.shed_total";
+inline constexpr const char* kNetDraining = "net.draining";
 }  // namespace names
+
+/// "net.endpoint.<name>" nanosecond histogram: request-line parsed ->
+/// response enqueued for one named endpoint (solve/stats/healthz/metrics).
+Histogram& endpointHistogram(const std::string& endpoint);
 
 /// Registers the full standard metric catalog (stage histograms plus the
 /// names above) so snapshots enumerate every metric even before traffic

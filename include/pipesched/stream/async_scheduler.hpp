@@ -138,6 +138,14 @@ class AsyncScheduler {
   /// counted in StreamStats::callbackExceptions.
   void submit(service::Request request, Callback callback);
 
+  /// Admission-controlled submit: never blocks. Returns false — without
+  /// accepting the request — when the channel is full or the scheduler is
+  /// closed; the caller sheds load instead of stalling (the serving tier
+  /// answers 503). On true the request is accepted exactly like submit().
+  /// With workers == 0 the request solves inline (there is no queue to
+  /// fill), so only close() can make this return false.
+  [[nodiscard]] bool trySubmit(service::Request request, Callback callback);
+
   /// Blocks until completed == submitted. Does not stop admission — other
   /// threads may keep submitting (drain() then waits for those too while
   /// they keep arriving; quiesce your producers first).

@@ -168,6 +168,13 @@ commands:
              # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
              #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}
              #   (+ optional "name", "points", "range", "overlap")
+             [--listen HOST:PORT [--port-file FILE] [--max-connections N]]
+             # network mode: multi-client HTTP/1.1 server (port 0 = ephemeral;
+             # --port-file publishes "HOST PORT" once bound). POST /solve takes
+             # the JSONL bodies above (responses byte-identical to stdio mode,
+             # 503 + net.shed_total when the queue is saturated); GET /stats,
+             # /healthz, /metrics (Prometheus) expose the observability plane.
+             # SIGINT/SIGTERM drain gracefully in both modes and exit 0.
   generate   make a random instance file
              --kind E1..E4 --stages N --processors P [--seed S] [--name TEXT]
              [--hetero] [--bw-min X --bw-max Y] [--output FILE]
@@ -192,6 +199,8 @@ commands:
              (counters, gauges, latency histograms with p50/p90/p99), plus
              cache stats when traffic was pumped through the service
              [--input FILE.jsonl]  # solve these requests first, then snapshot
+             [--format json|prometheus]  # prometheus = the same text exposition
+             #   serve --listen answers on GET /metrics
              [--points N] [--range X] [--overlap] [service knobs as in serve]
   help       print this text
 

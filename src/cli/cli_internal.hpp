@@ -54,6 +54,11 @@ void writeToFileOr(const ArgList& args, const std::string& name, std::ostream& f
 /// is a UsageError here, not a per-request failure later.
 [[nodiscard]] std::vector<std::string> parsePortfolioMembers(const std::string& spec);
 
+/// Test seam for serve's graceful shutdown: performs exactly what the
+/// SIGINT/SIGTERM handler does (stop flag + listen-server wake), without
+/// delivering a real signal. Safe from any thread.
+void requestServeShutdown();
+
 // Command entry points (one per subcommand).
 int cmdBatch(const ArgList& args, std::ostream& out, std::ostream& err);
 int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err);

@@ -11,12 +11,21 @@
 
 #include "cli_internal.hpp"
 #include "pipesched/io/json.hpp"
+#include "pipesched/obs/exposition.hpp"
 #include "pipesched/obs/metrics.hpp"
 #include "pipesched/stream/source.hpp"
 
 namespace pipesched::cli::detail {
 
 int cmdStats(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
+  // --format json (default): pretty JSON with cache stats; --format
+  // prometheus: the same registry as text exposition — the offline twin of
+  // serve --listen's GET /metrics.
+  const std::string format = args.getOr("format", "json");
+  if (format != "json" && format != "prometheus") {
+    throw UsageError("--format must be 'json' or 'prometheus', not '" + format + "'");
+  }
+
   // Metrics on for the duration of the command only (the CLI is re-entered
   // in-process by tests); reset first so the snapshot reflects this run.
   obs::ScopedMetricsEnabled metricsOn(true);
@@ -51,6 +60,11 @@ int cmdStats(const ArgList& args, std::ostream& out, std::ostream& /*err*/) {
     ranService = true;
   }
   args.assertConsumed();
+
+  if (format == "prometheus") {
+    out << obs::renderSnapshotPrometheus(obs::registry().snapshot());
+    return failed == 0 ? 0 : 1;
+  }
 
   io::JsonWriter w(out, /*pretty=*/true);
   w.beginObject();

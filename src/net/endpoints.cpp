@@ -1,0 +1,191 @@
+#include "pipesched/net/endpoints.hpp"
+
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "pipesched/io/json.hpp"
+#include "pipesched/net/server.hpp"
+#include "pipesched/obs/exposition.hpp"
+#include "pipesched/obs/metrics.hpp"
+#include "pipesched/stream/async_scheduler.hpp"
+#include "pipesched/stream/sink.hpp"
+
+namespace pipesched::net {
+
+namespace {
+
+/// Shared state of one in-flight POST /solve: a slot per input line, filled
+/// by scheduler workers as outcomes land (parse-error slots are prefilled at
+/// parse time). The last outcome to land completes the HTTP response; a shed
+/// mid-body abandons the batch (503 already sent) and late outcomes are
+/// simply dropped. Held by shared_ptr from every callback so it outlives the
+/// connection whatever order workers finish in.
+struct PendingSolve {
+  std::mutex mutex;
+  std::vector<std::string> lines;  ///< rendered JSONL lines, input order
+  std::size_t remaining = 0;       ///< outcomes not yet landed
+  bool abandoned = false;          ///< shed: 503 sent, drop late outcomes
+  HttpServer::Done done;
+
+  /// Joins the slots into the response body. Caller holds `mutex`.
+  [[nodiscard]] std::string body() const {
+    std::string joined;
+    for (const std::string& line : lines) {
+      joined += line;
+      joined += '\n';
+    }
+    return joined;
+  }
+};
+
+/// One outcome line, byte-identical to stdio serve's JsonlSink::emit:
+/// {"index": I, "line": N, <writeOutcomeFields>}. `index` counts requests
+/// (0-based, parse errors excluded) and `line` is the 1-based input line —
+/// both scoped to this POST body, exactly like one stdio serve run over the
+/// same lines.
+std::string renderOutcomeLine(std::size_t index, std::size_t line,
+                              const service::Request& request,
+                              const service::RequestOutcome& outcome) {
+  std::ostringstream buffer;
+  io::JsonWriter w(buffer, /*pretty=*/false);
+  w.beginObject();
+  w.kv("index", index);
+  w.kv("line", line);
+  stream::writeOutcomeFields(w, request.name, outcome);
+  w.endObject();
+  return std::move(buffer).str();
+}
+
+/// A parse-error line, byte-identical to the stdio serve error handler:
+/// {"line": N, "ok": false, "error": MSG}.
+std::string renderParseErrorLine(std::size_t line, const std::string& message) {
+  std::ostringstream buffer;
+  io::JsonWriter w(buffer, /*pretty=*/false);
+  w.beginObject();
+  w.kv("line", line);
+  w.kv("ok", false);
+  w.kv("error", message);
+  w.endObject();
+  return std::move(buffer).str();
+}
+
+void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,
+                 const ServeEndpointsConfig& config, const HttpRequest& request,
+                 HttpServer::Done done) {
+  if (config.draining && config.draining()) {
+    done(503, "application/json", "{\"draining\":true}\n");
+    return;
+  }
+
+  // Parse the whole body up front: slots for every line (errors prefilled),
+  // plus the list of well-formed requests to submit. Parsing is synchronous
+  // and cheap next to solving; it also means a shed can be decided before
+  // any response bytes are promised.
+  auto pending = std::make_shared<PendingSolve>();
+  struct Parsed {
+    Parsed(service::Request r, std::size_t s, std::size_t i, std::size_t l)
+        : request(std::move(r)), slot(s), index(i), line(l) {}
+    service::Request request;
+    std::size_t slot;   ///< position among all body lines
+    std::size_t index;  ///< request index (parse errors excluded)
+    std::size_t line;   ///< 1-based input line within the body
+  };
+  std::vector<Parsed> requests;
+  std::istringstream body(request.body);
+  stream::JsonlSource source(body, config.defaults,
+                             [&](std::size_t line, const std::string& message) {
+                               pending->lines.push_back(renderParseErrorLine(line, message));
+                             });
+  while (auto next = source.next()) {
+    const std::size_t slot = pending->lines.size();
+    pending->lines.emplace_back();  // filled when the outcome lands
+    requests.emplace_back(std::move(*next), slot, requests.size(), source.linesRead());
+  }
+
+  pending->remaining = requests.size();
+  if (pending->remaining == 0) {
+    // Nothing to solve (empty body or all lines malformed): answer now.
+    done(200, "application/x-ndjson", pending->body());
+    return;
+  }
+  pending->done = std::move(done);
+
+  for (Parsed& parsed : requests) {
+    const std::size_t slot = parsed.slot;
+    const std::size_t index = parsed.index;
+    const std::size_t line = parsed.line;
+    const bool accepted = scheduler.trySubmit(
+        std::move(parsed.request),
+        [pending, slot, index, line](const service::Request& req,
+                                     const service::RequestOutcome& outcome) {
+          std::string rendered = renderOutcomeLine(index, line, req, outcome);
+          std::unique_lock<std::mutex> lock(pending->mutex);
+          pending->lines[slot] = std::move(rendered);
+          const bool last = --pending->remaining == 0;
+          if (!last || pending->abandoned) return;
+          std::string responseBody = pending->body();
+          HttpServer::Done complete = std::move(pending->done);
+          lock.unlock();  // never invoke the transport under our lock
+          complete(200, "application/x-ndjson", responseBody);
+        });
+    if (!accepted) {
+      // Queue saturated: shed the whole POST. Outcomes of lines already
+      // submitted still complete into the abandoned batch and are dropped.
+      server.noteShed();
+      std::unique_lock<std::mutex> lock(pending->mutex);
+      pending->abandoned = true;
+      HttpServer::Done complete = std::move(pending->done);
+      lock.unlock();
+      complete(503, "text/plain", "scheduler queue full — request shed\n");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void installServeEndpoints(HttpServer& server, stream::AsyncScheduler& scheduler,
+                           ServeEndpointsConfig config) {
+  auto shared = std::make_shared<ServeEndpointsConfig>(std::move(config));
+
+  server.handle("POST", "/solve",
+                [&server, &scheduler, shared](const HttpRequest& request,
+                                              HttpServer::Done done) {
+                  handleSolve(server, scheduler, *shared, request, std::move(done));
+                });
+
+  server.handle("GET", "/stats",
+                [shared](const HttpRequest&, HttpServer::Done done) {
+                  std::string body =
+                      shared->statsSnapshot ? shared->statsSnapshot() : std::string();
+                  if (body.empty() || body.back() != '\n') body += '\n';
+                  done(200, "application/json", std::move(body));
+                });
+
+  server.handle("GET", "/healthz",
+                [shared](const HttpRequest&, HttpServer::Done done) {
+                  const bool draining = shared->draining && shared->draining();
+                  std::ostringstream buffer;
+                  io::JsonWriter w(buffer, /*pretty=*/false);
+                  w.beginObject();
+                  w.kv("status", draining ? "draining" : "ok");
+                  w.kv("draining", draining);
+                  if (shared->uptimeSeconds) {
+                    w.kv("uptime_seconds", shared->uptimeSeconds());
+                  }
+                  w.endObject();
+                  done(draining ? 503 : 200, "application/json",
+                       std::move(buffer).str() + "\n");
+                });
+
+  server.handle("GET", "/metrics",
+                [](const HttpRequest&, HttpServer::Done done) {
+                  done(200, "text/plain; version=0.0.4",
+                       obs::renderSnapshotPrometheus(obs::registry().snapshot()));
+                });
+}
+
+}  // namespace pipesched::net

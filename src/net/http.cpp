@@ -1,0 +1,181 @@
+#include "pipesched/net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pipesched::net {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool equalsIgnoreCase(const std::string& a, const std::string& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (equalsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string message) {
+  status_ = Status::kError;
+  errorStatus_ = status;
+  error_ = std::move(message);
+  return status_;
+}
+
+HttpParser::Status HttpParser::consume(const char* data, std::size_t n) {
+  // Always buffer: bytes arriving after kComplete belong to the next
+  // pipelined request and must survive until reset() re-arms on them.
+  buffer_.append(data, n);
+  if (status_ != Status::kNeedMore) return status_;
+  return advance();
+}
+
+HttpParser::Status HttpParser::advance() {
+  if (!headersDone_) {
+    const std::size_t headersEnd = buffer_.find("\r\n\r\n");
+    if (headersEnd == std::string::npos) {
+      if (buffer_.size() > maxHeaderBytes_) {
+        return fail(431, "request head exceeds " + std::to_string(maxHeaderBytes_) +
+                             " bytes");
+      }
+      return status_;
+    }
+    if (headersEnd > maxHeaderBytes_) {
+      return fail(431,
+                  "request head exceeds " + std::to_string(maxHeaderBytes_) + " bytes");
+    }
+
+    // Request line: METHOD SP target SP HTTP-version.
+    std::size_t lineEnd = buffer_.find("\r\n");
+    const std::string requestLine = buffer_.substr(0, lineEnd);
+    const std::size_t firstSpace = requestLine.find(' ');
+    const std::size_t lastSpace = requestLine.rfind(' ');
+    if (firstSpace == std::string::npos || lastSpace == firstSpace) {
+      return fail(400, "malformed request line");
+    }
+    request_.method = requestLine.substr(0, firstSpace);
+    request_.target = requestLine.substr(firstSpace + 1, lastSpace - firstSpace - 1);
+    request_.version = requestLine.substr(lastSpace + 1);
+    if (request_.method.empty() || request_.target.empty()) {
+      return fail(400, "malformed request line");
+    }
+    if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+      return fail(505, "unsupported protocol version '" + request_.version + "'");
+    }
+    request_.keepAlive = request_.version == "HTTP/1.1";
+
+    // Header fields up to the blank line.
+    std::size_t cursor = lineEnd + 2;
+    while (cursor < headersEnd) {
+      lineEnd = buffer_.find("\r\n", cursor);
+      const std::string line = buffer_.substr(cursor, lineEnd - cursor);
+      cursor = lineEnd + 2;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return fail(400, "malformed header field");
+      }
+      request_.headers.emplace_back(line.substr(0, colon), trim(line.substr(colon + 1)));
+    }
+
+    if (const std::string* connection = request_.header("Connection")) {
+      if (equalsIgnoreCase(*connection, "close")) request_.keepAlive = false;
+      if (equalsIgnoreCase(*connection, "keep-alive")) request_.keepAlive = true;
+    }
+    if (request_.header("Transfer-Encoding") != nullptr) {
+      return fail(501, "Transfer-Encoding is not supported; send Content-Length");
+    }
+    contentLength_ = 0;
+    if (const std::string* length = request_.header("Content-Length")) {
+      if (length->empty() ||
+          length->find_first_not_of("0123456789") != std::string::npos) {
+        return fail(400, "malformed Content-Length");
+      }
+      // stoull cannot throw past the digits-only check except on overflow,
+      // which the 20-digit guard below rules out before conversion.
+      if (length->size() > 19) return fail(413, "Content-Length too large");
+      contentLength_ = static_cast<std::size_t>(std::stoull(*length));
+      if (contentLength_ > maxBodyBytes_) {
+        return fail(413, "body of " + *length + " bytes exceeds limit of " +
+                             std::to_string(maxBodyBytes_));
+      }
+    }
+    bodyStart_ = headersEnd + 4;
+    headersDone_ = true;
+  }
+
+  if (buffer_.size() - bodyStart_ < contentLength_) return status_;
+  request_.body = buffer_.substr(bodyStart_, contentLength_);
+  status_ = Status::kComplete;
+  return status_;
+}
+
+HttpParser::Status HttpParser::reset() {
+  std::string leftover;
+  if (status_ == Status::kComplete) {
+    leftover = buffer_.substr(bodyStart_ + contentLength_);
+  }
+  buffer_ = std::move(leftover);
+  bodyStart_ = 0;
+  contentLength_ = 0;
+  headersDone_ = false;
+  status_ = Status::kNeedMore;
+  request_ = HttpRequest{};
+  errorStatus_ = 400;
+  error_.clear();
+  if (!buffer_.empty()) return advance();
+  return status_;
+}
+
+const char* httpStatusText(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string renderHttpResponse(int status, const std::string& contentType,
+                               const std::string& body, bool keepAlive,
+                               const std::string& extraHeaders) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + httpStatusText(status) +
+                    "\r\n";
+  out += "Content-Type: " + contentType + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += extraHeaders;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace pipesched::net

@@ -1,0 +1,81 @@
+#include "pipesched/obs/exposition.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "pipesched/obs/metrics.hpp"
+
+namespace pipesched::obs {
+
+namespace {
+
+bool validLeading(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+}
+
+bool validBody(char c) { return validLeading(c) || (c >= '0' && c <= '9'); }
+
+void writeHeader(std::ostream& out, const std::string& name, const char* type,
+                 const char* help) {
+  out << "# HELP " << name << ' ' << help << '\n';
+  out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string sanitizeMetricName(const std::string& name) {
+  std::string result = "pipesched_";
+  bool pendingSeparator = false;
+  for (const char c : name) {
+    if (validBody(c)) {
+      if (pendingSeparator) result.push_back('_');
+      pendingSeparator = false;
+      result.push_back(c);
+    } else if (result.size() > 10) {  // runs of invalid chars collapse; no
+      pendingSeparator = true;        // leading separator after the prefix
+    }
+  }
+  return result;
+}
+
+void writeSnapshotPrometheus(const Snapshot& snapshot, std::ostream& out) {
+  for (const Snapshot::CounterRow& row : snapshot.counters) {
+    const std::string name = sanitizeMetricName(row.name);
+    writeHeader(out, name, "counter", "monotonic event count");
+    out << name << ' ' << row.value << '\n';
+  }
+  for (const Snapshot::GaugeRow& row : snapshot.gauges) {
+    const std::string name = sanitizeMetricName(row.name);
+    writeHeader(out, name, "gauge", "instantaneous level");
+    out << name << ' ' << row.value << '\n';
+  }
+  for (const Snapshot::HistogramRow& row : snapshot.histograms) {
+    const std::string name = sanitizeMetricName(row.name);
+    const HistogramSnapshot& h = row.hist;
+    writeHeader(out, name, "histogram",
+                h.unit == Unit::kNanoseconds
+                    ? "latency histogram (raw integer nanoseconds)"
+                    : "value histogram (power-of-two buckets)");
+    // Cumulative buckets over the inclusive upper bound of each power-of-two
+    // bucket; empty buckets are skipped (cumulative counts stay correct and
+    // non-decreasing), the mandatory +Inf bucket always equals `count`.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      out << name << "_bucket{le=\"" << Histogram::bucketHigh(i) << "\"} " << cumulative
+          << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << name << "_sum " << h.sum << '\n';
+    out << name << "_count " << h.count << '\n';
+  }
+}
+
+std::string renderSnapshotPrometheus(const Snapshot& snapshot) {
+  std::ostringstream out;
+  writeSnapshotPrometheus(snapshot, out);
+  return std::move(out).str();
+}
+
+}  // namespace pipesched::obs

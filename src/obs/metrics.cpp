@@ -176,6 +176,22 @@ void preregisterStandardMetrics() {
   (void)reg.counter(names::kDeltaApplies);
   (void)reg.counter(names::kDeltaReplaces);
   (void)reg.counter(names::kDeltaUndos);
+  (void)reg.counter(names::kNetAccepted);
+  (void)reg.gauge(names::kNetActive);
+  (void)reg.counter(names::kNetClosed);
+  (void)reg.counter(names::kNetErrored);
+  (void)reg.counter(names::kNetBytesRead);
+  (void)reg.counter(names::kNetBytesWritten);
+  (void)reg.counter(names::kNetRequests);
+  (void)reg.counter(names::kNetShed);
+  (void)reg.gauge(names::kNetDraining);
+  for (const char* endpoint : {"solve", "stats", "healthz", "metrics"}) {
+    (void)endpointHistogram(endpoint);
+  }
+}
+
+Histogram& endpointHistogram(const std::string& endpoint) {
+  return registry().histogram("net.endpoint." + endpoint, Unit::kNanoseconds);
 }
 
 void writeSnapshotJson(const Snapshot& snapshot, io::JsonWriter& w) {

@@ -210,6 +210,38 @@ void AsyncScheduler::submit(service::Request request, Callback callback) {
   (void)submitJob(std::move(job));  // completion is reported via the callback
 }
 
+bool AsyncScheduler::trySubmit(service::Request request, Callback callback) {
+  Job job{std::move(request)};
+  job.callback = std::move(callback);
+  if (obs::metricsEnabled() || obs::tracingEnabled()) {
+    job.enqueuedAt = obs::TraceClock::now();
+    job.timed = true;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_) return false;
+    ++stats_.submitted;
+    stats_.maxInFlight =
+        std::max<std::size_t>(stats_.maxInFlight, stats_.submitted - stats_.completed);
+  }
+  if (workers_.empty()) {
+    runInline(std::move(job));
+    return true;
+  }
+  if (!channel_.tryPush(job)) {
+    // Full (or closed mid-flight): roll the admission back, exactly like the
+    // blocking path's close race, and re-wake drain() waiters in case the
+    // rollback just made completed == submitted.
+    {
+      std::lock_guard lock(mutex_);
+      --stats_.submitted;
+    }
+    allDone_.notify_all();
+    return false;
+  }
+  return true;
+}
+
 void AsyncScheduler::drain() {
   std::unique_lock lock(mutex_);
   allDone_.wait(lock, [&] { return stats_.completed == stats_.submitted; });

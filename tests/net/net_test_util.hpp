@@ -1,0 +1,98 @@
+// Shared helpers for the pipesched::net tests: a minimal blocking HTTP/1.1
+// client over net::connectTcp — just enough to drive HttpServer end to end
+// from gtest (request rendering, response parsing with Content-Length).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "pipesched/net/socket.hpp"
+
+namespace pipesched::net::testutil {
+
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+inline std::string renderRequest(const std::string& method, const std::string& target,
+                                 const std::string& body = {},
+                                 const std::string& extraHeaders = {}) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: test\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += extraHeaders;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads one full response off a blocking socket (headers + Content-Length
+/// body). Fails the test on a connection that dies mid-response.
+inline ClientResponse readResponse(Socket& socket) {
+  ClientResponse response;
+  std::string data;
+  char buffer[4096];
+  std::size_t headerEnd = std::string::npos;
+  while ((headerEnd = data.find("\r\n\r\n")) == std::string::npos) {
+    const IoResult r = socket.read(buffer, sizeof buffer);
+    if (r.bytes == 0) {
+      ADD_FAILURE() << "connection closed before response headers; got: " << data;
+      return response;
+    }
+    data.append(buffer, r.bytes);
+  }
+
+  // Status line: "HTTP/1.1 NNN reason".
+  const std::size_t firstSpace = data.find(' ');
+  response.status = std::stoi(data.substr(firstSpace + 1, 3));
+
+  // Headers, lower-cased names.
+  std::size_t cursor = data.find("\r\n") + 2;
+  while (cursor < headerEnd) {
+    const std::size_t lineEnd = data.find("\r\n", cursor);
+    const std::string line = data.substr(cursor, lineEnd - cursor);
+    cursor = lineEnd + 2;
+    const std::size_t colon = line.find(':');
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::size_t valueStart = colon + 1;
+    while (valueStart < line.size() && line[valueStart] == ' ') ++valueStart;
+    response.headers[name] = line.substr(valueStart);
+  }
+
+  std::size_t contentLength = 0;
+  if (const auto it = response.headers.find("content-length"); it != response.headers.end()) {
+    contentLength = std::stoul(it->second);
+  }
+  std::string body = data.substr(headerEnd + 4);
+  while (body.size() < contentLength) {
+    const IoResult r = socket.read(buffer, sizeof buffer);
+    if (r.bytes == 0) {
+      ADD_FAILURE() << "connection closed mid-body (" << body.size() << "/"
+                    << contentLength << " bytes)";
+      break;
+    }
+    body.append(buffer, r.bytes);
+  }
+  response.body = body.substr(0, contentLength);
+  return response;
+}
+
+/// One-shot request on a fresh connection.
+inline ClientResponse fetch(const Endpoint& endpoint, const std::string& method,
+                            const std::string& target, const std::string& body = {},
+                            const std::string& extraHeaders = {}) {
+  Socket socket = connectTcp(endpoint);
+  const std::string request = renderRequest(method, target, body, extraHeaders);
+  socket.writeAll(request.data(), request.size());
+  return readResponse(socket);
+}
+
+}  // namespace pipesched::net::testutil

@@ -1,0 +1,180 @@
+// The serve HTTP surface end to end: POST /solve byte-identity with stdio
+// serve, admission-control shedding (503 + counters), and the /stats,
+// /healthz, /metrics read endpoints — all against an in-process HttpServer
+// wired to a real AsyncScheduler.
+#include "pipesched/net/endpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "../cli/cli_test_util.hpp"
+#include "net_test_util.hpp"
+#include "pipesched/net/server.hpp"
+#include "pipesched/obs/metrics.hpp"
+#include "pipesched/stream/async_scheduler.hpp"
+
+namespace pipesched::net {
+namespace {
+
+using testutil::ClientResponse;
+using testutil::fetch;
+
+constexpr const char* kBody =
+    "{\"kind\":\"E1\",\"stages\":4,\"processors\":3,\"seed\":1}\n"
+    "not json at all\n"
+    "{\"kind\":\"E2\",\"stages\":5,\"processors\":4,\"seed\":2}\n";
+
+/// In-process serving stack: scheduler + server + endpoints + run() thread.
+class EndpointsFixture {
+ public:
+  explicit EndpointsFixture(stream::StreamConfig config = makeDefaultConfig(),
+                            HttpServerConfig serverConfig = {}) {
+    scheduler_ = std::make_unique<stream::AsyncScheduler>(config);
+    serverConfig.endpoint = Endpoint{"127.0.0.1", 0};
+    server_ = std::make_unique<HttpServer>(serverConfig);
+    ServeEndpointsConfig endpoints;
+    endpoints.statsSnapshot = [] { return std::string("{\"type\":\"stats\"}"); };
+    endpoints.draining = [this] { return server_->draining(); };
+    endpoints.uptimeSeconds = [] { return 1.5; };
+    installServeEndpoints(*server_, *scheduler_, endpoints);
+    server_->bind();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~EndpointsFixture() {
+    server_->requestStop();
+    thread_.join();
+    scheduler_->close();
+  }
+
+  static stream::StreamConfig makeDefaultConfig() {
+    stream::StreamConfig config;
+    config.workers = 2;
+    return config;
+  }
+
+  Endpoint endpoint() const { return server_->local(); }
+  HttpServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<stream::AsyncScheduler> scheduler_;
+  std::unique_ptr<HttpServer> server_;
+  std::thread thread_;
+};
+
+TEST(ServeEndpoints, SolveBodyIsByteIdenticalToStdioServe) {
+  // Reference: the stdio transport over the same three lines (one of them
+  // malformed), single-threaded so outcome order is the input order on a
+  // fresh scheduler — exactly the conditions the HTTP body promises.
+  namespace cli = pipesched::cli::testutil;
+  const std::string input = cli::tempPath("net_solve_input.jsonl");
+  {
+    std::ofstream f(input);
+    f << kBody;
+  }
+  const cli::RunResult stdio = cli::run({"serve", "--input", input, "--serial"});
+
+  EndpointsFixture fixture;
+  const ClientResponse r = fetch(fixture.endpoint(), "POST", "/solve", kBody);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, stdio.out);
+  EXPECT_NE(r.body.find("\"line\":2,\"ok\":false"), std::string::npos);
+}
+
+TEST(ServeEndpoints, EmptyAndAllMalformedBodiesAnswerImmediately) {
+  EndpointsFixture fixture;
+  const ClientResponse empty = fetch(fixture.endpoint(), "POST", "/solve", "");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_EQ(empty.body, "");
+
+  const ClientResponse garbage = fetch(fixture.endpoint(), "POST", "/solve", "nope\n");
+  EXPECT_EQ(garbage.status, 200);
+  EXPECT_NE(garbage.body.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ServeEndpoints, SaturatedQueueShedsWith503) {
+  // One worker parked inside a solve on a latch + capacity-1 queue: the
+  // third submit of a POST cannot be admitted, so the whole POST sheds.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+
+  stream::StreamConfig config;
+  config.workers = 1;
+  config.queueCapacity = 1;
+  config.maxCoalescedWaiters = 0;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    service::RequestOutcome outcome;
+    outcome.ok = false;
+    outcome.error = "latched";
+    return outcome;
+  };
+
+  std::uint64_t shedBefore = 0;
+  {
+    EndpointsFixture fixture(config);
+    shedBefore = fixture.server().stats().shed;
+
+    // Distinct seeds so coalescing can't merge them; enough lines that the
+    // worker (1) + queue (1) can't hold them all.
+    std::string body;
+    for (int seed = 1; seed <= 4; ++seed) {
+      body += "{\"kind\":\"E1\",\"stages\":4,\"processors\":3,\"seed\":" +
+              std::to_string(seed) + "}\n";
+    }
+    const ClientResponse r = fetch(fixture.endpoint(), "POST", "/solve", body);
+    EXPECT_EQ(r.status, 503);
+    EXPECT_EQ(fixture.server().stats().shed, shedBefore + 1);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+    // Fixture teardown drains the abandoned solves.
+  }
+}
+
+TEST(ServeEndpoints, StatsHealthzAndMetricsAnswer) {
+  obs::ScopedMetricsEnabled metricsOn(true);
+  EndpointsFixture fixture;
+
+  const ClientResponse stats = fetch(fixture.endpoint(), "GET", "/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_EQ(stats.body, "{\"type\":\"stats\"}\n");
+  EXPECT_EQ(stats.headers.at("content-type"), "application/json");
+
+  const ClientResponse health = fetch(fixture.endpoint(), "GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"draining\":false"), std::string::npos);
+  EXPECT_NE(health.body.find("\"uptime_seconds\":1.5"), std::string::npos);
+
+  const ClientResponse metrics = fetch(fixture.endpoint(), "GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.headers.at("content-type"), "text/plain; version=0.0.4");
+  // The transport instruments itself: by the time /metrics renders, the
+  // earlier requests on this fixture have been counted.
+  EXPECT_NE(metrics.body.find("pipesched_net_http_requests"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE pipesched_net_connections_accepted counter"),
+            std::string::npos);
+}
+
+TEST(ServeEndpoints, MethodMismatchesAreRejected) {
+  EndpointsFixture fixture;
+  EXPECT_EQ(fetch(fixture.endpoint(), "GET", "/solve").status, 405);
+  EXPECT_EQ(fetch(fixture.endpoint(), "POST", "/metrics", "x").status, 405);
+  EXPECT_EQ(fetch(fixture.endpoint(), "GET", "/nothing-here").status, 404);
+}
+
+}  // namespace
+}  // namespace pipesched::net

@@ -1,0 +1,141 @@
+// HttpParser/renderHttpResponse: incremental parsing, keep-alive semantics,
+// pipelining via reset(), and the status-coded error paths.
+#include "pipesched/net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pipesched::net {
+namespace {
+
+using Status = HttpParser::Status;
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser parser;
+  EXPECT_EQ(parser.consume("GET /stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Status::kComplete);
+  const HttpRequest& r = parser.request();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/stats?verbose=1");
+  EXPECT_EQ(r.path(), "/stats");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_TRUE(r.keepAlive);
+  EXPECT_TRUE(r.body.empty());
+  ASSERT_NE(r.header("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*r.header("HOST"), "x");
+  EXPECT_EQ(r.header("absent"), nullptr);
+}
+
+TEST(HttpParser, ParsesByteAtATimeWithBody) {
+  const std::string wire =
+      "POST /solve HTTP/1.1\r\nContent-Length: 11\r\nHost: t\r\n\r\nhello world";
+  HttpParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const Status status = parser.consume(wire.data() + i, 1);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(status, Status::kNeedMore) << "at byte " << i;
+    } else {
+      ASSERT_EQ(status, Status::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "hello world");
+  EXPECT_EQ(parser.request().method, "POST");
+}
+
+TEST(HttpParser, ConnectionCloseAndHttp10Defaults) {
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_FALSE(parser.request().keepAlive);
+
+  HttpParser old;
+  ASSERT_EQ(old.consume("GET / HTTP/1.0\r\n\r\n"), Status::kComplete);
+  EXPECT_FALSE(old.request().keepAlive);
+
+  HttpParser oldKeep;
+  ASSERT_EQ(oldKeep.consume("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_TRUE(oldKeep.request().keepAlive);
+}
+
+TEST(HttpParser, PipelinedRequestsSurviveReset) {
+  HttpParser parser;
+  const std::string two =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parser.consume(two), Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_EQ(parser.request().body, "abc");
+
+  // reset() re-arms on the buffered leftover and immediately completes.
+  ASSERT_EQ(parser.reset(), Status::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_TRUE(parser.request().body.empty());
+
+  ASSERT_EQ(parser.reset(), Status::kNeedMore);
+}
+
+TEST(HttpParser, BytesAfterCompleteAreBufferedForReset) {
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("GET /a HTTP/1.1\r\n\r\n"), Status::kComplete);
+  // The next pipelined request arrives while the first is still unanswered.
+  ASSERT_EQ(parser.consume("GET /late HTTP/1.1\r\n\r\n"), Status::kComplete);
+  ASSERT_EQ(parser.reset(), Status::kComplete);
+  EXPECT_EQ(parser.request().target, "/late");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("NONSENSE\r\n\r\n"), Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 400);
+  // Error status is sticky until reset.
+  EXPECT_EQ(parser.consume("GET / HTTP/1.1\r\n\r\n"), Status::kError);
+}
+
+TEST(HttpParser, OversizeBodyIs413) {
+  HttpParser parser(/*maxBodyBytes=*/8);
+  ASSERT_EQ(parser.consume("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpParser, OversizeHeadersAre431) {
+  HttpParser parser(/*maxBodyBytes=*/1024, /*maxHeaderBytes=*/64);
+  const std::string huge = "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'x');
+  ASSERT_EQ(parser.consume(huge), Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpParser, TransferEncodingIs501AndBadVersionIs505) {
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 501);
+
+  HttpParser version;
+  ASSERT_EQ(version.consume("GET / HTTP/2.0\r\n\r\n"), Status::kError);
+  EXPECT_EQ(version.errorStatus(), 505);
+
+  HttpParser badLength;
+  ASSERT_EQ(badLength.consume("POST / HTTP/1.1\r\nContent-Length: two\r\n\r\n"),
+            Status::kError);
+  EXPECT_EQ(badLength.errorStatus(), 400);
+}
+
+TEST(RenderHttpResponse, CarriesLengthAndConnection) {
+  const std::string ok = renderHttpResponse(200, "text/plain", "hi", /*keepAlive=*/true);
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(ok.substr(ok.size() - 2), "hi");
+
+  const std::string gone =
+      renderHttpResponse(503, "application/json", "{}", /*keepAlive=*/false);
+  EXPECT_NE(gone.find("HTTP/1.1 503 Service Unavailable\r\n"), std::string::npos);
+  EXPECT_NE(gone.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipesched::net

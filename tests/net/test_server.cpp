@@ -1,0 +1,227 @@
+// HttpServer event loop: multi-client dispatch, keep-alive, async completion
+// from worker threads, routing errors, graceful drain, transport counters.
+#include "pipesched/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net_test_util.hpp"
+
+namespace pipesched::net {
+namespace {
+
+using testutil::ClientResponse;
+using testutil::fetch;
+using testutil::readResponse;
+using testutil::renderRequest;
+
+/// A server on an ephemeral loopback port with its run() loop on a thread;
+/// stops and joins on destruction.
+class ServerFixture {
+ public:
+  explicit ServerFixture(HttpServerConfig config = {}) {
+    config.endpoint = Endpoint{"127.0.0.1", 0};
+    server_ = std::make_unique<HttpServer>(config);
+  }
+
+  ~ServerFixture() { stop(); }
+
+  HttpServer& server() { return *server_; }
+
+  void start() {
+    server_->bind();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    server_->requestStop();
+    thread_.join();
+  }
+
+  Endpoint endpoint() const { return server_->local(); }
+
+ private:
+  std::unique_ptr<HttpServer> server_;
+  std::thread thread_;
+};
+
+TEST(HttpServer, EchoRoundTrip) {
+  ServerFixture fixture;
+  fixture.server().handle("POST", "/echo",
+                          [](const HttpRequest& request, HttpServer::Done done) {
+                            done(200, "text/plain", request.body);
+                          });
+  fixture.start();
+
+  const ClientResponse r = fetch(fixture.endpoint(), "POST", "/echo", "payload bytes");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "payload bytes");
+  EXPECT_EQ(r.headers.at("content-type"), "text/plain");
+}
+
+TEST(HttpServer, KeepAliveServesSequentialRequestsOnOneConnection) {
+  ServerFixture fixture;
+  std::atomic<int> hits{0};
+  fixture.server().handle("GET", "/count",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            done(200, "text/plain", std::to_string(++hits));
+                          });
+  fixture.start();
+
+  Socket socket = connectTcp(fixture.endpoint());
+  for (int i = 1; i <= 3; ++i) {
+    const std::string request = renderRequest("GET", "/count");
+    socket.writeAll(request.data(), request.size());
+    const ClientResponse r = readResponse(socket);
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, std::to_string(i));
+    EXPECT_EQ(r.headers.at("connection"), "keep-alive");
+  }
+
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+}
+
+TEST(HttpServer, TwoConcurrentClientsProgressTogether) {
+  // The handler parks each request's Done and completes both only once BOTH
+  // clients' requests have been parsed — if the loop serialized connections,
+  // neither response would ever be sent.
+  ServerFixture fixture;
+  std::mutex mutex;
+  std::vector<HttpServer::Done> parked;
+  fixture.server().handle("GET", "/pair",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            std::lock_guard<std::mutex> lock(mutex);
+                            parked.push_back(std::move(done));
+                            if (parked.size() == 2) {
+                              for (auto& d : parked) d(200, "text/plain", "both");
+                              parked.clear();
+                            }
+                          });
+  fixture.start();
+
+  std::thread first([&] {
+    const ClientResponse r = fetch(fixture.endpoint(), "GET", "/pair");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "both");
+  });
+  const ClientResponse r = fetch(fixture.endpoint(), "GET", "/pair");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "both");
+  first.join();
+
+  EXPECT_EQ(fixture.server().stats().accepted, 2u);
+}
+
+TEST(HttpServer, AsyncCompletionFromAnotherThread) {
+  ServerFixture fixture;
+  std::thread completer;
+  fixture.server().handle("GET", "/slow",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            completer = std::thread([done = std::move(done)]() mutable {
+                              std::this_thread::sleep_for(std::chrono::milliseconds(30));
+                              done(200, "text/plain", "late");
+                            });
+                          });
+  fixture.start();
+
+  const ClientResponse r = fetch(fixture.endpoint(), "GET", "/slow");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "late");
+  completer.join();
+}
+
+TEST(HttpServer, UnknownPathAndMethodAre404And405) {
+  ServerFixture fixture;
+  fixture.server().handle("GET", "/known",
+                          [](const HttpRequest&, HttpServer::Done done) {
+                            done(200, "text/plain", "ok");
+                          });
+  fixture.start();
+
+  EXPECT_EQ(fetch(fixture.endpoint(), "GET", "/missing").status, 404);
+  EXPECT_EQ(fetch(fixture.endpoint(), "POST", "/known", "x").status, 405);
+  EXPECT_EQ(fetch(fixture.endpoint(), "GET", "/known").status, 200);
+}
+
+TEST(HttpServer, MalformedRequestGets400AndConnectionCloses) {
+  ServerFixture fixture;
+  fixture.start();
+
+  Socket socket = connectTcp(fixture.endpoint());
+  const std::string garbage = "NOT-HTTP\r\n\r\n";
+  socket.writeAll(garbage.data(), garbage.size());
+  const ClientResponse r = readResponse(socket);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(r.headers.at("connection"), "close");
+}
+
+TEST(HttpServer, GracefulDrainAnswersInFlightRequestThenStops) {
+  ServerFixture fixture;
+  std::mutex mutex;
+  std::condition_variable cv;
+  HttpServer::Done parked;
+  bool have = false;
+  fixture.server().handle("GET", "/park",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            std::lock_guard<std::mutex> lock(mutex);
+                            parked = std::move(done);
+                            have = true;
+                            cv.notify_all();
+                          });
+  fixture.start();
+
+  Socket socket = connectTcp(fixture.endpoint());
+  const std::string request = renderRequest("GET", "/park");
+  socket.writeAll(request.data(), request.size());
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return have; }));
+  }
+
+  // Stop while the request is in flight, then complete it from here: the
+  // drain must deliver this response before run() returns.
+  fixture.server().requestStop();
+  parked(200, "text/plain", "drained");
+  const ClientResponse r = readResponse(socket);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "drained");
+
+  fixture.stop();  // run() must return promptly now
+  EXPECT_TRUE(fixture.server().draining());
+}
+
+TEST(HttpServer, StatsCountersTrackTraffic) {
+  ServerFixture fixture;
+  fixture.server().handle("GET", "/ping",
+                          [](const HttpRequest&, HttpServer::Done done) {
+                            done(200, "text/plain", "pong");
+                          });
+  fixture.start();
+
+  (void)fetch(fixture.endpoint(), "GET", "/ping");
+  (void)fetch(fixture.endpoint(), "GET", "/ping");
+  fixture.server().noteShed();
+
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_GT(stats.bytesRead, 0u);
+  EXPECT_GT(stats.bytesWritten, 0u);
+  fixture.stop();
+  const ServerStats after = fixture.server().stats();
+  EXPECT_EQ(after.accepted, after.closed + after.errored);  // all connections released
+}
+
+}  // namespace
+}  // namespace pipesched::net

@@ -1,0 +1,147 @@
+// pipesched::net socket primitives: endpoint parsing, listener + client
+// round trips, non-blocking accept, the self-pipe, and the poll multiplexer.
+#include "pipesched/net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::net {
+namespace {
+
+TEST(ParseEndpoint, AcceptsHostPort) {
+  const Endpoint e = parseEndpoint("127.0.0.1:8080");
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 8080);
+  EXPECT_EQ(e.str(), "127.0.0.1:8080");
+
+  const Endpoint any = parseEndpoint("0.0.0.0:0");
+  EXPECT_EQ(any.host, "0.0.0.0");
+  EXPECT_EQ(any.port, 0);
+}
+
+TEST(ParseEndpoint, RejectsMalformed) {
+  EXPECT_THROW(parseEndpoint("no-port"), ModelError);
+  EXPECT_THROW(parseEndpoint(":8080"), ModelError);
+  EXPECT_THROW(parseEndpoint("127.0.0.1:"), ModelError);
+  EXPECT_THROW(parseEndpoint("127.0.0.1:abc"), ModelError);
+  EXPECT_THROW(parseEndpoint("127.0.0.1:70000"), ModelError);
+}
+
+TEST(TcpListener, EphemeralPortResolvesAndEchoes) {
+  TcpListener listener;
+  listener.listen(Endpoint{"127.0.0.1", 0});
+  const Endpoint bound = listener.local();
+  EXPECT_EQ(bound.host, "127.0.0.1");
+  EXPECT_GT(bound.port, 0);
+
+  Socket client = connectTcp(bound);
+  ASSERT_TRUE(client.valid());
+
+  // Accept may race the connect's completion: poll for it briefly.
+  std::optional<Socket> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    if (!server) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(server.has_value());
+
+  const std::string ping = "ping";
+  client.writeAll(ping.data(), ping.size());
+  char buffer[16];
+  std::string got;
+  while (got.size() < ping.size()) {
+    const IoResult r = server->read(buffer, sizeof buffer);
+    if (r.wouldBlock) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    ASSERT_FALSE(r.closed || r.error);
+    got.append(buffer, r.bytes);
+  }
+  EXPECT_EQ(got, ping);
+
+  // And back the other way (accepted socket is non-blocking; small writes
+  // always fit the kernel buffer).
+  const IoResult wrote = server->write(got.data(), got.size());
+  ASSERT_EQ(wrote.bytes, got.size());
+  std::string echo;
+  while (echo.size() < got.size()) {
+    const IoResult r = client.read(buffer, sizeof buffer);
+    ASSERT_FALSE(r.closed || r.error);
+    echo.append(buffer, r.bytes);
+  }
+  EXPECT_EQ(echo, ping);
+}
+
+TEST(TcpListener, AcceptWithoutPendingConnectionReturnsNullopt) {
+  TcpListener listener;
+  listener.listen(Endpoint{"127.0.0.1", 0});
+  EXPECT_FALSE(listener.accept().has_value());
+}
+
+TEST(TcpListener, ReadReportsPeerClose) {
+  TcpListener listener;
+  listener.listen(Endpoint{"127.0.0.1", 0});
+  {
+    Socket client = connectTcp(listener.local());
+  }  // closes immediately
+  std::optional<Socket> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    if (!server) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(server.has_value());
+  char buffer[8];
+  IoResult r;
+  for (int i = 0; i < 200; ++i) {
+    r = server->read(buffer, sizeof buffer);
+    if (!r.wouldBlock) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(r.closed);
+}
+
+TEST(WakePipe, NotifyWakesPollerAndDrainClears) {
+  WakePipe pipe;
+  Poller poller;
+
+  // Without a notify: timeout, no readiness.
+  poller.clear();
+  poller.watch(pipe.readFd(), /*read=*/true, /*write=*/false);
+  EXPECT_EQ(poller.wait(10), 0);
+  EXPECT_EQ(poller.events(pipe.readFd()), 0u);
+
+  pipe.notify();
+  pipe.notify();  // coalesces, never blocks
+  poller.clear();
+  poller.watch(pipe.readFd(), /*read=*/true, /*write=*/false);
+  EXPECT_GT(poller.wait(1000), 0);
+  EXPECT_TRUE(poller.events(pipe.readFd()) & Poller::kReadable);
+
+  pipe.drain();
+  poller.clear();
+  poller.watch(pipe.readFd(), /*read=*/true, /*write=*/false);
+  EXPECT_EQ(poller.wait(10), 0);
+}
+
+TEST(Poller, ReportsWritableOnConnectedSocket) {
+  TcpListener listener;
+  listener.listen(Endpoint{"127.0.0.1", 0});
+  Socket client = connectTcp(listener.local());
+
+  Poller poller;
+  poller.watch(client.fd(), /*read=*/false, /*write=*/true);
+  EXPECT_GT(poller.wait(1000), 0);
+  EXPECT_TRUE(poller.events(client.fd()) & Poller::kWritable);
+  EXPECT_EQ(poller.events(client.fd()) & Poller::kReadable, 0u);
+  // An unwatched fd reports no events.
+  EXPECT_EQ(poller.events(listener.fd()), 0u);
+}
+
+}  // namespace
+}  // namespace pipesched::net

@@ -1,0 +1,161 @@
+// Prometheus text exposition: name sanitization against the exposition
+// grammar, exact bucket/count/sum fidelity vs HistogramSnapshot, and a
+// parseable document under concurrent recording.
+#include "pipesched/obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipesched/obs/metrics.hpp"
+
+namespace pipesched::obs {
+namespace {
+
+TEST(SanitizeMetricName, MapsRegistryNamesOntoPrometheusGrammar) {
+  EXPECT_EQ(sanitizeMetricName("net.endpoint.solve"), "pipesched_net_endpoint_solve");
+  EXPECT_EQ(sanitizeMetricName("stream.queue_depth"), "pipesched_stream_queue_depth");
+  EXPECT_EQ(sanitizeMetricName("stage.H1-SpMonoP"), "pipesched_stage_H1_SpMonoP");
+}
+
+TEST(SanitizeMetricName, CollapsesRunsAndDropsLeadingSeparators) {
+  // A run of invalid characters becomes ONE underscore...
+  EXPECT_EQ(sanitizeMetricName("a..//b"), "pipesched_a_b");
+  // ...and invalid characters before the first valid one add nothing after
+  // the prefix (no "pipesched__x").
+  EXPECT_EQ(sanitizeMetricName("..x"), "pipesched_x");
+  EXPECT_EQ(sanitizeMetricName("métric"), "pipesched_m_tric");
+}
+
+TEST(SanitizeMetricName, OutputAlwaysMatchesTheGrammar) {
+  const auto validLeading = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  const auto validBody = [&](char c) {
+    return validLeading(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  for (const std::string name :
+       {"", "...", "123", "net.endpoint.solve", "weird !@# name", "ok"}) {
+    const std::string sanitized = sanitizeMetricName(name);
+    ASSERT_FALSE(sanitized.empty());
+    EXPECT_TRUE(validLeading(sanitized.front())) << sanitized;
+    for (const char c : sanitized) EXPECT_TRUE(validBody(c)) << sanitized;
+  }
+}
+
+TEST(WriteSnapshotPrometheus, CountersAndGaugesRenderVerbatim) {
+  Registry registry;
+  registry.counter("net.shed_total").add(7);
+  registry.gauge("net.draining").set(1);
+  registry.gauge("depth").set(-3);
+
+  const std::string doc = renderSnapshotPrometheus(registry.snapshot());
+  EXPECT_NE(doc.find("# TYPE pipesched_net_shed_total counter\n"), std::string::npos);
+  EXPECT_NE(doc.find("\npipesched_net_shed_total 7\n"), std::string::npos);
+  EXPECT_NE(doc.find("# TYPE pipesched_net_draining gauge\n"), std::string::npos);
+  EXPECT_NE(doc.find("\npipesched_net_draining 1\n"), std::string::npos);
+  EXPECT_NE(doc.find("\npipesched_depth -3\n"), std::string::npos);
+}
+
+TEST(WriteSnapshotPrometheus, HistogramLinesMatchSnapshotExactly) {
+  Registry registry;
+  Histogram& h = registry.histogram("net.endpoint.solve", Unit::kNanoseconds);
+  // Values chosen to hit distinct power-of-two buckets, plus an exact zero
+  // (bucket 0) and a duplicate (cumulative counts must accumulate).
+  const std::uint64_t values[] = {0, 1, 5, 5, 1000, 123456789};
+  for (const std::uint64_t v : values) h.record(v);
+
+  const Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snapshot.histograms[0].hist;
+
+  const std::string doc = renderSnapshotPrometheus(snapshot);
+  const std::string name = "pipesched_net_endpoint_solve";
+
+  // _count and _sum are the snapshot's exact integers (raw nanoseconds, no
+  // seconds conversion).
+  EXPECT_NE(doc.find(name + "_count " + std::to_string(hs.count) + "\n"),
+            std::string::npos);
+  EXPECT_NE(doc.find(name + "_sum " + std::to_string(hs.sum) + "\n"), std::string::npos);
+  EXPECT_EQ(hs.count, 6u);
+  EXPECT_EQ(hs.sum, 0u + 1 + 5 + 5 + 1000 + 123456789);
+
+  // Every non-empty bucket renders one cumulative line with le = the
+  // bucket's inclusive upper bound; the +Inf line equals count.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+    if (hs.buckets[i] == 0) continue;
+    cumulative += hs.buckets[i];
+    const std::string line = name + "_bucket{le=\"" +
+                             std::to_string(Histogram::bucketHigh(i)) + "\"} " +
+                             std::to_string(cumulative) + "\n";
+    EXPECT_NE(doc.find(line), std::string::npos) << line;
+  }
+  EXPECT_NE(doc.find(name + "_bucket{le=\"+Inf\"} " + std::to_string(hs.count) + "\n"),
+            std::string::npos);
+}
+
+TEST(WriteSnapshotPrometheus, ConcurrentRecordingYieldsParseableDocument) {
+  Registry registry;
+  (void)registry.counter("hits");
+  (void)registry.histogram("lat", Unit::kNanoseconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      std::uint64_t v = static_cast<std::uint64_t>(t) + 1;
+      while (!stop.load()) {
+        registry.counter("hits").add(1);
+        registry.histogram("lat", Unit::kNanoseconds).record(v = v * 2654435761u % 100000);
+      }
+    });
+  }
+
+  // Render repeatedly mid-traffic; every document must be line-parseable:
+  // comments, or "name[{le="..."}] value" with numeric value.
+  for (int round = 0; round < 20; ++round) {
+    const std::string doc = renderSnapshotPrometheus(registry.snapshot());
+    std::istringstream lines(doc);
+    std::string line;
+    while (std::getline(lines, line)) {
+      ASSERT_FALSE(line.empty());
+      if (line[0] == '#') {
+        EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+            << line;
+        continue;
+      }
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string value = line.substr(space + 1);
+      EXPECT_FALSE(value.empty()) << line;
+      EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+      EXPECT_TRUE(line.rfind("pipesched_", 0) == 0) << line;
+    }
+    // Cumulative bucket invariant: within one render, _bucket counts are
+    // non-decreasing and the +Inf bucket equals _count.
+    const std::size_t inf = doc.find("pipesched_lat_bucket{le=\"+Inf\"} ");
+    const std::size_t count = doc.find("pipesched_lat_count ");
+    if (inf != std::string::npos && count != std::string::npos) {
+      const auto numberAt = [&](std::size_t pos) {
+        const std::size_t start = doc.find("} ", pos) != std::string::npos &&
+                                          doc.find("} ", pos) < doc.find('\n', pos)
+                                      ? doc.find("} ", pos) + 2
+                                      : doc.find(' ', pos) + 1;
+        return std::stoull(doc.substr(start));
+      };
+      EXPECT_EQ(numberAt(inf), numberAt(count));
+    }
+  }
+
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+}  // namespace
+}  // namespace pipesched::obs
