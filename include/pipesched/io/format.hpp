@@ -76,6 +76,12 @@ struct Instance {
 /// Convenience: parse from a string.
 [[nodiscard]] Instance readInstanceFromString(const std::string& text);
 
+/// Parses an instance straight out of an in-memory character range — same
+/// grammar, token semantics and error messages as readInstance (the two share
+/// one templated implementation), without the istream per-character cost.
+/// The zero-copy JSONL ingestion path feeds inline "text" payloads here.
+[[nodiscard]] Instance readInstanceInPlace(const char* data, std::size_t size);
+
 /// Reads an instance from the file at `path`. Throws ParseError (line numbers
 /// relative to the file) or std::runtime_error when the file cannot be opened.
 [[nodiscard]] Instance readInstanceFromFile(const std::string& path);

@@ -3,7 +3,8 @@
 // path; JSON serves dashboards, plotting scripts and log pipelines.
 #pragma once
 
-#include <iosfwd>
+#include <ostream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,45 @@ class JsonWriter {
   bool rootWritten_ = false;
   std::vector<Frame> stack_;
   std::vector<bool> hasItems_;
+};
+
+/// std::streambuf appending into a caller-owned std::string. The warm-path
+/// emitters build every outcome line through one of these over a *reused*
+/// string (clear() keeps capacity), so steady-state emission allocates
+/// nothing — unlike std::ostringstream, which buys a fresh buffer per
+/// instance.
+class StringOutBuf final : public std::streambuf {
+ public:
+  explicit StringOutBuf(std::string& target) : target_(&target) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      target_->push_back(traits_type::to_char_type(ch));
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    target_->append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string* target_;
+};
+
+/// std::ostream over a StringOutBuf: `StringOutStream out(buffer);` then
+/// write as usual — bytes land appended to `buffer` with no intermediate
+/// copy or flush step.
+class StringOutStream final : public std::ostream {
+ public:
+  explicit StringOutStream(std::string& target) : std::ostream(nullptr), buf_(target) {
+    rdbuf(&buf_);
+  }
+
+ private:
+  StringOutBuf buf_;
 };
 
 /// {"name": ..., "pipeline": {...}, "platform": {...}}

@@ -237,6 +237,9 @@ inline constexpr const char* kMemberRun = "portfolio.member_run";
 inline constexpr const char* kRequestsSolved = "service.requests_solved";
 inline constexpr const char* kRequestsCacheHit = "service.requests_cache_hit";
 inline constexpr const char* kRequestsFailed = "service.requests_failed";
+/// Malformed ingestion lines (JSONL request protocol); errored lines also
+/// record their wall time into the stage.parse histogram.
+inline constexpr const char* kParseErrors = "parse.errors";
 inline constexpr const char* kDeltaPeeks = "eval.delta.peeks";
 inline constexpr const char* kDeltaApplies = "eval.delta.applies";
 inline constexpr const char* kDeltaReplaces = "eval.delta.replaces";

@@ -108,6 +108,7 @@ class JsonlSink : public Sink {
   std::optional<JsonlLineWriter> owned_;  ///< backs the ostream constructor
   JsonlLineWriter* writer_;
   std::deque<std::size_t>* inputLines_ = nullptr;
+  std::string buffer_;  ///< reused line render buffer (capacity persists)
 };
 
 }  // namespace pipesched::stream

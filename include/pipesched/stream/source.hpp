@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "pipesched/io/jsonl_fast.hpp"
 #include "pipesched/service/request.hpp"
 #include "pipesched/workload/generator.hpp"
 #include "pipesched/workload/scenarios.hpp"
@@ -127,6 +128,13 @@ struct JsonlDefaults {
   core::CommModel model = core::CommModel::kSequential;
 };
 
+/// Which reader backs a JsonlSource. kFast is the zero-copy path
+/// (io::BlockLineReader + io::LiteParser); kLegacy is the original
+/// getline + io::parseJson tree walk, kept as the differential reference
+/// (the suite in tests/io/test_jsonl_fast.cpp drives both and asserts
+/// identical requests and error classification).
+enum class JsonlReader { kFast, kLegacy };
+
 // JSONL REQUEST LINES — one JSON object per line; blank lines are skipped.
 //
 //   {"file": "app.psi"}                         instance from a file
@@ -136,23 +144,33 @@ struct JsonlDefaults {
 //
 // Exactly one of file/text/kind per line. Optional on any line:
 //   "name" (display label), "points"/"range" (sweep overrides),
-//   "overlap" (bool comm-model override). Unknown fields are errors.
+//   "overlap" (bool comm-model override). Unknown and duplicate fields are
+//   errors.
 class JsonlSource : public Source {
  public:
   /// Called for a malformed line with its 1-based number; the line is then
   /// skipped. Without a handler, malformed lines throw io::ParseError.
   using ErrorHandler = std::function<void(std::size_t line, const std::string& message)>;
 
-  JsonlSource(std::istream& in, JsonlDefaults defaults = {}, ErrorHandler onError = {})
-      : in_(&in), defaults_(std::move(defaults)), onError_(std::move(onError)) {}
+  JsonlSource(std::istream& in, JsonlDefaults defaults = {}, ErrorHandler onError = {},
+              JsonlReader reader = JsonlReader::kFast)
+      : in_(&in),
+        defaults_(std::move(defaults)),
+        onError_(std::move(onError)),
+        mode_(reader) {
+    if (mode_ == JsonlReader::kFast) lines_.emplace(*in_);
+  }
 
   /// Owning overload (e.g. an ifstream the caller opened for us).
   JsonlSource(std::unique_ptr<std::istream> in, JsonlDefaults defaults = {},
-              ErrorHandler onError = {})
+              ErrorHandler onError = {}, JsonlReader reader = JsonlReader::kFast)
       : owned_(std::move(in)),
         in_(owned_.get()),
         defaults_(std::move(defaults)),
-        onError_(std::move(onError)) {}
+        onError_(std::move(onError)),
+        mode_(reader) {
+    if (mode_ == JsonlReader::kFast) lines_.emplace(*in_);
+  }
 
   [[nodiscard]] std::optional<service::Request> next() override;
 
@@ -160,10 +178,16 @@ class JsonlSource : public Source {
   [[nodiscard]] std::size_t linesRead() const noexcept { return lineNo_; }
 
  private:
+  [[nodiscard]] std::optional<service::Request> nextFast();
+  [[nodiscard]] std::optional<service::Request> nextLegacy();
+
   std::unique_ptr<std::istream> owned_;
   std::istream* in_;
   JsonlDefaults defaults_;
   ErrorHandler onError_;
+  JsonlReader mode_;
+  std::optional<io::BlockLineReader> lines_;  ///< kFast only
+  io::LiteParser parser_;                     ///< kFast only; arena reused per line
   std::size_t lineNo_ = 0;
 };
 

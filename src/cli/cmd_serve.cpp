@@ -215,17 +215,21 @@ int serveStdio(const ArgList& args, std::ostream& out, std::ostream& err) {
   // corrupt the JSONL stream (pinned by the CliServe garbage-stress test).
   stream::JsonlLineWriter lineWriter(out);
   std::size_t parseErrors = 0;
+  // The error handler runs only on the source-pull (pump) thread, so one
+  // reused render buffer suffices — capacity persists across errors.
+  std::string errorBuffer;
   stream::JsonlSource source(*in, defaults,
                              [&](std::size_t line, const std::string& message) {
                                ++parseErrors;
-                               std::ostringstream buffer;
+                               errorBuffer.clear();
+                               io::StringOutStream buffer(errorBuffer);
                                io::JsonWriter w(buffer, /*pretty=*/false);
                                w.beginObject();
                                w.kv("line", line);
                                w.kv("ok", false);
                                w.kv("error", message);
                                w.endObject();
-                               lineWriter.writeLine(std::move(buffer).str());
+                               lineWriter.writeLine(errorBuffer);
                              });
 
   // Tag each request with the input line it came from so outcome lines stay

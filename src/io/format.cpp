@@ -1,5 +1,8 @@
 #include "pipesched/io/format.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -73,32 +76,140 @@ class Lexer {
   std::size_t line_ = 1;
 };
 
-[[noreturn]] void fail(const Lexer& lex, const std::string& what) {
+/// Lexer twin over an in-memory character range — same token/comment/line
+/// semantics, direct indexing instead of istream per-char virtual calls.
+/// Tokens are string_views into the caller's buffer: the warm ingestion path
+/// reads a dozen real literals per instance, and a 17-significant-digit
+/// double outgrows SSO, so materializing them would put an allocation on
+/// every number.
+class MemLexer {
+ public:
+  MemLexer(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// std::isspace in the classic locale, inlined — the locale-aware libc
+  /// call is an out-of-line lookup paid twice per scanned byte here.
+  [[nodiscard]] static bool isSpace(char c) noexcept {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f';
+  }
+
+  std::optional<std::string_view> next() {
+    skipSpaceAndComments();
+    if (pos_ >= size_) return std::nullopt;
+    const std::size_t start = pos_;
+    while (pos_ < size_) {
+      const char c = data_[pos_];
+      if (isSpace(c) || c == '#') break;
+      ++pos_;
+    }
+    return std::string_view(data_ + start, pos_ - start);
+  }
+
+  std::string restOfLine() {
+    const std::size_t start = pos_;
+    while (pos_ < size_ && data_[pos_] != '\n') ++pos_;
+    std::string text(data_ + start, pos_ - start);
+    if (pos_ < size_) {
+      ++pos_;  // consume the newline
+      ++line_;
+    }
+    if (const auto hash = text.find('#'); hash != std::string::npos) text.resize(hash);
+    const auto first = text.find_first_not_of(" \t\r");
+    const auto last = text.find_last_not_of(" \t\r");
+    if (first == std::string::npos) return {};
+    return text.substr(first, last - first + 1);
+  }
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  void skipSpaceAndComments() {
+    while (pos_ < size_) {
+      const char c = data_[pos_];
+      if (c == '#') {
+        while (pos_ < size_ && data_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (!isSpace(c)) return;
+      if (c == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+template <typename Lex>
+[[noreturn]] void fail(const Lex& lex, const std::string& what) {
   throw ParseError(lex.line(), what);
 }
 
-std::string expectToken(Lexer& lex, const std::string& context) {
+template <typename Lex>
+auto expectToken(Lex& lex, const std::string& context) {
   auto token = lex.next();
   if (!token) throw ParseError(lex.line(), "unexpected end of input while reading " + context);
   return *token;
 }
 
-Real expectReal(Lexer& lex, const std::string& context) {
-  const std::string token = expectToken(lex, context);
+/// std::stod for the istream lexer's owned tokens — the historical number
+/// semantics the whole format is defined by.
+Real tokenToReal(const std::string& token, std::size_t& used) {
+  return std::stod(token, &used);
+}
+
+/// The same semantics for borrowed tokens, without materializing them:
+/// strtod on a NUL-terminated stack copy (a view into the middle of a line
+/// buffer must not let strtod run past the token), with std::stod's exact
+/// exception mapping — invalid_argument when nothing converts, out_of_range
+/// whenever strtod sets ERANGE (overflow and underflow alike).
+Real tokenToReal(std::string_view token, std::size_t& used) {
+  char local[64];
+  if (token.size() >= sizeof(local)) {  // absurd-length literal: take the copy
+    const std::string copy(token);
+    return std::stod(copy, &used);
+  }
+  std::memcpy(local, token.data(), token.size());
+  local[token.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(local, &end);
+  if (end == local) throw std::invalid_argument("tokenToReal");
+  if (errno == ERANGE) throw std::out_of_range("tokenToReal");
+  used = static_cast<std::size_t>(end - local);
+  return value;
+}
+
+/// `context` is a callable so the happy path never pays for the error
+/// message — expectReals would otherwise concatenate "… entry N" for every
+/// real it reads.
+template <typename Lex, typename ContextFn>
+Real expectRealWith(Lex& lex, ContextFn&& context) {
+  auto token = lex.next();
+  if (!token) {
+    throw ParseError(lex.line(), "unexpected end of input while reading " + context());
+  }
   std::size_t used = 0;
   Real value = 0;
   try {
-    value = std::stod(token, &used);
+    value = tokenToReal(*token, used);
   } catch (const std::exception&) {
-    fail(lex, "expected a number for " + context + ", got '" + token + "'");
+    fail(lex, "expected a number for " + context() + ", got '" + std::string(*token) + "'");
   }
-  if (used != token.size()) {
-    fail(lex, "trailing garbage in number for " + context + ": '" + token + "'");
+  if (used != token->size()) {
+    fail(lex, "trailing garbage in number for " + context() + ": '" + std::string(*token) + "'");
   }
   return value;
 }
 
-std::size_t expectCount(Lexer& lex, const std::string& context) {
+template <typename Lex>
+Real expectReal(Lex& lex, const std::string& context) {
+  return expectRealWith(lex, [&]() -> const std::string& { return context; });
+}
+
+template <typename Lex>
+std::size_t expectCount(Lex& lex, const std::string& context) {
   const Real value = expectReal(lex, context);
   if (value < 0 || value != static_cast<Real>(static_cast<std::size_t>(value))) {
     fail(lex, context + " must be a non-negative integer");
@@ -106,26 +217,29 @@ std::size_t expectCount(Lexer& lex, const std::string& context) {
   return static_cast<std::size_t>(value);
 }
 
-std::vector<Real> expectReals(Lexer& lex, std::size_t count, const std::string& context) {
+template <typename Lex>
+std::vector<Real> expectReals(Lex& lex, std::size_t count, const std::string& context) {
   std::vector<Real> values;
   values.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    values.push_back(expectReal(lex, context + " entry " + std::to_string(i)));
+    values.push_back(expectRealWith(
+        lex, [&] { return context + " entry " + std::to_string(i); }));
   }
   return values;
 }
 
-void expectHeader(Lexer& lex, const std::string& kind) {
-  const std::string magic = expectToken(lex, "header");
-  if (magic != kind) fail(lex, "expected header '" + kind + " v1', got '" + magic + "'");
-  const std::string version = expectToken(lex, "format version");
-  if (version != "v1") fail(lex, "unsupported " + kind + " version '" + version + "'");
+template <typename Lex>
+void expectHeader(Lex& lex, const std::string& kind) {
+  const auto magic = expectToken(lex, "header");
+  if (magic != kind) {
+    fail(lex, "expected header '" + kind + " v1', got '" + std::string(magic) + "'");
+  }
+  const auto version = expectToken(lex, "format version");
+  if (version != "v1") fail(lex, "unsupported " + kind + " version '" + std::string(version) + "'");
 }
 
-}  // namespace
-
-Instance readInstance(std::istream& in) {
-  Lexer lex(in);
+template <typename Lex>
+Instance readInstanceImpl(Lex& lex) {
   expectHeader(lex, "pipesched-instance");
 
   std::string name;
@@ -141,7 +255,7 @@ Instance readInstance(std::istream& in) {
   bool sawName = false;
 
   while (auto token = lex.next()) {
-    const std::string& key = *token;
+    const auto& key = *token;
     if (key == "name") {
       if (sawName) fail(lex, "duplicate 'name'");
       sawName = true;
@@ -182,7 +296,7 @@ Instance readInstance(std::istream& in) {
       if (!processors) fail(lex, "'output-bandwidth' must come after 'processors'");
       outputBw = expectReals(lex, *processors, "output-bandwidth");
     } else {
-      fail(lex, "unknown keyword '" + key + "'");
+      fail(lex, "unknown keyword '" + std::string(key) + "'");
     }
   }
 
@@ -212,9 +326,21 @@ Instance readInstance(std::istream& in) {
   return Instance{std::move(pipeline), std::move(platform), std::move(name)};
 }
 
+}  // namespace
+
+Instance readInstance(std::istream& in) {
+  Lexer lex(in);
+  return readInstanceImpl(lex);
+}
+
 Instance readInstanceFromString(const std::string& text) {
   std::istringstream in(text);
   return readInstance(in);
+}
+
+Instance readInstanceInPlace(const char* data, std::size_t size) {
+  MemLexer lex(data, size);
+  return readInstanceImpl(lex);
 }
 
 Instance readInstanceFromFile(const std::string& path) {

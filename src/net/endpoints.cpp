@@ -41,6 +41,16 @@ struct PendingSolve {
   }
 };
 
+/// Render buffer reused across lines. Outcome lines are rendered from
+/// whichever scheduler worker lands the outcome, so the reuse is per-thread:
+/// each worker keeps one buffer whose capacity persists, and warm rendering
+/// allocates only the returned copy.
+std::string& renderBuffer() {
+  thread_local std::string buffer;
+  buffer.clear();
+  return buffer;
+}
+
 /// One outcome line, byte-identical to stdio serve's JsonlSink::emit:
 /// {"index": I, "line": N, <writeOutcomeFields>}. `index` counts requests
 /// (0-based, parse errors excluded) and `line` is the 1-based input line —
@@ -49,27 +59,29 @@ struct PendingSolve {
 std::string renderOutcomeLine(std::size_t index, std::size_t line,
                               const service::Request& request,
                               const service::RequestOutcome& outcome) {
-  std::ostringstream buffer;
-  io::JsonWriter w(buffer, /*pretty=*/false);
+  std::string& buffer = renderBuffer();
+  io::StringOutStream out(buffer);
+  io::JsonWriter w(out, /*pretty=*/false);
   w.beginObject();
   w.kv("index", index);
   w.kv("line", line);
   stream::writeOutcomeFields(w, request.name, outcome);
   w.endObject();
-  return std::move(buffer).str();
+  return buffer;
 }
 
 /// A parse-error line, byte-identical to the stdio serve error handler:
 /// {"line": N, "ok": false, "error": MSG}.
 std::string renderParseErrorLine(std::size_t line, const std::string& message) {
-  std::ostringstream buffer;
-  io::JsonWriter w(buffer, /*pretty=*/false);
+  std::string& buffer = renderBuffer();
+  io::StringOutStream out(buffer);
+  io::JsonWriter w(out, /*pretty=*/false);
   w.beginObject();
   w.kv("line", line);
   w.kv("ok", false);
   w.kv("error", message);
   w.endObject();
-  return std::move(buffer).str();
+  return buffer;
 }
 
 void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,

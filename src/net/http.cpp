@@ -23,6 +23,27 @@ bool equalsIgnoreCase(const std::string& a, const std::string& b) {
          });
 }
 
+/// RFC 7230 §6.1: Connection carries a comma-separated list of
+/// case-insensitive tokens ("close, TE", "keep-alive, Upgrade"), and
+/// repeated Connection header fields combine into one list. The option is
+/// present when any element of any field equals it.
+bool connectionListContains(const HttpRequest& request, const std::string& option) {
+  for (const auto& [key, value] : request.headers) {
+    if (!equalsIgnoreCase(key, "Connection")) continue;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+      const std::size_t comma = value.find(',', start);
+      const std::string token = trim(
+          value.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start));
+      if (equalsIgnoreCase(token, option)) return true;
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string HttpRequest::path() const {
@@ -99,15 +120,27 @@ HttpParser::Status HttpParser::advance() {
       request_.headers.emplace_back(line.substr(0, colon), trim(line.substr(colon + 1)));
     }
 
-    if (const std::string* connection = request_.header("Connection")) {
-      if (equalsIgnoreCase(*connection, "close")) request_.keepAlive = false;
-      if (equalsIgnoreCase(*connection, "keep-alive")) request_.keepAlive = true;
-    }
+    // Tokenized per RFC 7230 — "close, TE" must still close, and the tokens
+    // are matched case-insensitively wherever they sit in the list. "close"
+    // is checked last so it wins when both appear.
+    if (connectionListContains(request_, "keep-alive")) request_.keepAlive = true;
+    if (connectionListContains(request_, "close")) request_.keepAlive = false;
     if (request_.header("Transfer-Encoding") != nullptr) {
       return fail(501, "Transfer-Encoding is not supported; send Content-Length");
     }
     contentLength_ = 0;
-    if (const std::string* length = request_.header("Content-Length")) {
+    const std::string* length = nullptr;
+    for (const auto& [key, value] : request_.headers) {
+      if (!equalsIgnoreCase(key, "Content-Length")) continue;
+      // Mismatched duplicates are the classic request-smuggling vector
+      // (different intermediaries picking different occurrences) — reject.
+      // Byte-identical duplicates are harmless and accepted.
+      if (length != nullptr && *length != value) {
+        return fail(400, "conflicting Content-Length headers");
+      }
+      length = &value;
+    }
+    if (length != nullptr) {
       if (length->empty() ||
           length->find_first_not_of("0123456789") != std::string::npos) {
         return fail(400, "malformed Content-Length");

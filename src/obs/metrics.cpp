@@ -172,6 +172,7 @@ void preregisterStandardMetrics() {
   (void)reg.counter(names::kRequestsSolved);
   (void)reg.counter(names::kRequestsCacheHit);
   (void)reg.counter(names::kRequestsFailed);
+  (void)reg.counter(names::kParseErrors);
   (void)reg.counter(names::kDeltaPeeks);
   (void)reg.counter(names::kDeltaApplies);
   (void)reg.counter(names::kDeltaReplaces);

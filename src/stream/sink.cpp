@@ -1,7 +1,5 @@
 #include "pipesched/stream/sink.hpp"
 
-#include <sstream>
-
 namespace pipesched::stream {
 
 void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
@@ -75,8 +73,12 @@ void JsonlSink::emit(std::size_t index, const service::Request& request,
                      const service::RequestOutcome& outcome) {
   // Render the whole line first, then hand it to the guarded writer in one
   // piece — emission can never interleave mid-line with other writers (the
-  // serve parse-error path) sharing the same JsonlLineWriter.
-  std::ostringstream line;
+  // serve parse-error path) sharing the same JsonlLineWriter. The render
+  // buffer is a member: clear() keeps its capacity, so warm emission makes
+  // no allocations. emit() arrives only from the engine's pump thread (the
+  // Sink contract), so the single buffer is safe.
+  buffer_.clear();
+  io::StringOutStream line(buffer_);
   io::JsonWriter w(line, /*pretty=*/false);
   w.beginObject();
   w.kv("index", index);
@@ -86,7 +88,7 @@ void JsonlSink::emit(std::size_t index, const service::Request& request,
   }
   writeOutcomeFields(w, request.name, outcome);
   w.endObject();
-  writer_->writeLine(std::move(line).str());
+  writer_->writeLine(buffer_);
 }
 
 }  // namespace pipesched::stream

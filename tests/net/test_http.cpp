@@ -59,6 +59,71 @@ TEST(HttpParser, ConnectionCloseAndHttp10Defaults) {
   EXPECT_TRUE(oldKeep.request().keepAlive);
 }
 
+TEST(HttpParser, ConnectionHeaderIsACaseInsensitiveTokenList) {
+  // RFC 7230 §6.1: the option may sit anywhere in a comma-separated list and
+  // tokens match case-insensitively — "close, TE" must still close.
+  HttpParser closeList;
+  ASSERT_EQ(closeList.consume("GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_FALSE(closeList.request().keepAlive);
+
+  HttpParser mixedCase;
+  ASSERT_EQ(mixedCase.consume("GET / HTTP/1.1\r\nConnection: TE , ClOsE\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_FALSE(mixedCase.request().keepAlive);
+
+  HttpParser oldKeepList;
+  ASSERT_EQ(oldKeepList.consume(
+                "GET / HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_TRUE(oldKeepList.request().keepAlive);
+
+  // Substrings must NOT match: "closed" is not the "close" token.
+  HttpParser notAToken;
+  ASSERT_EQ(notAToken.consume("GET / HTTP/1.1\r\nConnection: closed\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_TRUE(notAToken.request().keepAlive);
+
+  // Repeated Connection fields combine into one list; close always wins,
+  // whichever field carries it.
+  HttpParser repeated;
+  ASSERT_EQ(repeated.consume("GET / HTTP/1.1\r\nConnection: keep-alive\r\n"
+                             "Connection: close\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_FALSE(repeated.request().keepAlive);
+
+  HttpParser bothInOne;
+  ASSERT_EQ(bothInOne.consume(
+                "GET / HTTP/1.0\r\nConnection: close, keep-alive\r\n\r\n"),
+            Status::kComplete);
+  EXPECT_FALSE(bothInOne.request().keepAlive);
+}
+
+TEST(HttpParser, DuplicateContentLengthMismatchIsRejected) {
+  // Mismatched duplicates are the request-smuggling vector — hard 400.
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("POST /solve HTTP/1.1\r\nContent-Length: 3\r\n"
+                           "Content-Length: 5\r\n\r\nabc"),
+            Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 400);
+  EXPECT_NE(parser.error().find("conflicting Content-Length"), std::string::npos);
+
+  // Case-insensitive field names still collide.
+  HttpParser mixed;
+  ASSERT_EQ(mixed.consume("POST /solve HTTP/1.1\r\ncontent-length: 3\r\n"
+                          "Content-Length: 4\r\n\r\nabc"),
+            Status::kError);
+  EXPECT_EQ(mixed.errorStatus(), 400);
+}
+
+TEST(HttpParser, ByteIdenticalDuplicateContentLengthIsAccepted) {
+  HttpParser parser;
+  ASSERT_EQ(parser.consume("POST /solve HTTP/1.1\r\nContent-Length: 3\r\n"
+                           "Content-Length: 3\r\n\r\nabc"),
+            Status::kComplete);
+  EXPECT_EQ(parser.request().body, "abc");
+}
+
 TEST(HttpParser, PipelinedRequestsSurviveReset) {
   HttpParser parser;
   const std::string two =
