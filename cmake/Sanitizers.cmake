@@ -1,0 +1,60 @@
+# Sanitizer toolchain layer — one interface target every build product links.
+#
+# PIPESCHED_SANITIZE is a semicolon list of -fsanitize names. Supported
+# presets (what CI runs, see .github/workflows/ci.yml):
+#
+#   -DPIPESCHED_SANITIZE=address;undefined   # ASan + UBSan, full ctest
+#   -DPIPESCHED_SANITIZE=thread              # TSan, stress + concurrency suites
+#
+# The flags ride on the pipesched_sanitize INTERFACE target, which the core
+# library links PUBLIC — so every test, tool, bench and example inherits the
+# instrumentation transitively, and a target added tomorrow cannot silently
+# build uninstrumented. Mixing instrumented and plain TUs is a classic source
+# of false negatives (ASan interceptors miss, TSan misses synchronization);
+# the single choke point rules that out.
+#
+# Runtime options (halt_on_error, suppressions) are NOT baked in here — they
+# live in tools/sanitize/sanitize.env so local runs and CI share one set of
+# defaults without rebuilding to change them.
+
+set(PIPESCHED_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to build with (address;undefined | thread | leak)")
+
+add_library(pipesched_sanitize INTERFACE)
+add_library(pipesched::sanitize ALIAS pipesched_sanitize)
+
+if(PIPESCHED_SANITIZE)
+  set(_allowed address undefined thread leak)
+  foreach(_san IN LISTS PIPESCHED_SANITIZE)
+    if(NOT _san IN_LIST _allowed)
+      message(FATAL_ERROR
+          "PIPESCHED_SANITIZE: unknown sanitizer '${_san}' (allowed: ${_allowed})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST PIPESCHED_SANITIZE AND
+     ("address" IN_LIST PIPESCHED_SANITIZE OR "leak" IN_LIST PIPESCHED_SANITIZE))
+    message(FATAL_ERROR
+        "PIPESCHED_SANITIZE: 'thread' cannot be combined with 'address'/'leak' "
+        "(the runtimes conflict; run them as separate builds like CI does)")
+  endif()
+
+  string(REPLACE ";" "," _fsanitize "${PIPESCHED_SANITIZE}")
+  target_compile_options(pipesched_sanitize INTERFACE
+      -fsanitize=${_fsanitize}
+      # Usable stacks in reports, and no recovery: any report is a hard
+      # failure at the instruction that raised it (UBSan would otherwise log
+      # and continue, letting a red run exit 0).
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all
+      -g)
+  target_link_options(pipesched_sanitize INTERFACE -fsanitize=${_fsanitize})
+
+  # Sanitized tests run ~2-20x slower than native; the ctest TIMEOUT
+  # properties multiply by this so slow instrumentation doesn't masquerade
+  # as a deadlock (real deadlocks still fail, just later).
+  set(PIPESCHED_TEST_TIMEOUT_MULTIPLIER 3)
+  message(STATUS "pipesched: building with -fsanitize=${_fsanitize} "
+                 "(test timeouts x${PIPESCHED_TEST_TIMEOUT_MULTIPLIER})")
+else()
+  set(PIPESCHED_TEST_TIMEOUT_MULTIPLIER 1)
+endif()

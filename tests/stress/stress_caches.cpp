@@ -1,0 +1,188 @@
+// ShardedLruStore (ResultCache / SubResultCache) under concurrent put/get/
+// evict/stats/clear storms. Capacities are tiny relative to the key space so
+// eviction runs constantly — the LRU splice/erase paths, not just the happy
+// lookup, are what TSan needs to watch. Values are checked for integrity on
+// every hit: a returned copy must be exactly what some thread stored under
+// that key, never a torn mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipesched/service/portfolio.hpp"
+#include "pipesched/service/result_cache.hpp"
+
+namespace pipesched::service {
+namespace {
+
+Fingerprint fpFor(std::uint64_t k) {
+  // Spread hi so keys land on every shard; keep it deterministic.
+  return Fingerprint{k * 0x9e3779b97f4a7c15ull, k};
+}
+
+/// A PortfolioResult whose contents encode `tag` redundantly: the checker
+/// can detect a torn or cross-key value on any hit.
+PortfolioResult taggedResult(std::uint64_t tag) {
+  PortfolioResult result;
+  result.front.resize(1 + tag % 3);
+  for (auto& point : result.front) {
+    point.period = static_cast<double>(tag);
+    point.latency = static_cast<double>(tag) * 2.0;
+  }
+  result.solvers.resize(1);
+  result.solvers[0].solver = "stress-" + std::to_string(tag);
+  result.solvers[0].points = static_cast<std::size_t>(tag);
+  return result;
+}
+
+void checkTagged(const PortfolioResult& result, std::uint64_t tag) {
+  ASSERT_EQ(result.front.size(), 1 + tag % 3);
+  for (const auto& point : result.front) {
+    EXPECT_EQ(point.period, static_cast<double>(tag));
+    EXPECT_EQ(point.latency, static_cast<double>(tag) * 2.0);
+  }
+  ASSERT_EQ(result.solvers.size(), 1u);
+  EXPECT_EQ(result.solvers[0].solver, "stress-" + std::to_string(tag));
+  EXPECT_EQ(result.solvers[0].points, static_cast<std::size_t>(tag));
+}
+
+/// 4 writers + 4 readers over 64 keys in a 16-entry cache: every get that
+/// hits must return an internally consistent value for its key, and the
+/// aggregate counters must balance with what the threads observed.
+TEST(StressCaches, ResultCachePutGetEvictStorm) {
+  ResultCache cache(16, /*shards=*/4);
+  constexpr std::uint64_t kKeys = 64;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kOpsPerThread = 3000;
+  std::atomic<std::uint64_t> observedHits{0};
+  std::atomic<std::uint64_t> observedMisses{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = (w * 17 + i * 7) % kKeys;
+        cache.put(fpFor(k), "key-" + std::to_string(k), taggedResult(k));
+      }
+    });
+  }
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = (r * 13 + i * 11) % kKeys;
+        const std::optional<PortfolioResult> hit =
+            cache.get(fpFor(k), "key-" + std::to_string(k));
+        if (hit) {
+          checkTagged(*hit, k);
+          observedHits.fetch_add(1);
+        } else {
+          observedMisses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observedHits.load());
+  EXPECT_EQ(stats.misses, observedMisses.load());
+  EXPECT_EQ(stats.hits + stats.misses, kReaders * kOpsPerThread);
+  EXPECT_EQ(stats.insertions, stats.evictions + stats.entries);
+  EXPECT_LE(stats.entries, cache.shardCount() * cache.perShardCapacity());
+}
+
+/// clear() racing the storm: entries vanish wholesale while writers refill
+/// and readers look up. Counters must stay coherent (hits+misses == lookups)
+/// and hit values intact — clear() is how an operator flushes a poisoned
+/// cache on a live serve process, so it gets raced here on purpose.
+TEST(StressCaches, ClearRacingTrafficKeepsAccountingCoherent) {
+  ResultCache cache(8, /*shards=*/2);
+  constexpr std::uint64_t kKeys = 16;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      std::uint64_t i = 0;
+      while (!stop.load()) {
+        const std::uint64_t k = (w * 5 + i++ * 3) % kKeys;
+        cache.put(fpFor(k), "key-" + std::to_string(k), taggedResult(k));
+      }
+    });
+  }
+  for (std::size_t r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      std::uint64_t i = 0;
+      while (!stop.load()) {
+        const std::uint64_t k = (r * 9 + i++ * 7) % kKeys;
+        if (const auto hit = cache.get(fpFor(k), "key-" + std::to_string(k))) {
+          checkTagged(*hit, k);
+        }
+        lookups.fetch_add(1);
+      }
+    });
+  }
+  std::thread clearer([&] {
+    for (int i = 0; i < 200; ++i) {
+      cache.clear();
+      std::this_thread::yield();
+    }
+    stop.store(true);
+  });
+
+  clearer.join();
+  for (std::thread& t : threads) t.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_LE(stats.entries, cache.shardCount() * cache.perShardCapacity());
+}
+
+/// The SubResultCache through its SubShare view — the exact access pattern
+/// concurrent portfolio solves use: per-instance prefixed unit keys, loads
+/// warm-starting from stores made by other threads. Payload integrity is the
+/// assertion: a loaded seed/scalar must match what was stored for that unit.
+TEST(StressCaches, SubShareConcurrentUnitTraffic) {
+  SubResultCache cache(32, /*shards=*/4);
+  constexpr std::size_t kInstances = 3;
+  constexpr std::size_t kUnits = 24;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 1500;
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kRounds; ++i) {
+        const std::uint64_t instance = (t + i) % kInstances;
+        const std::uint64_t unit = (t * 7 + i * 5) % kUnits;
+        const SubShare share(&cache, fpFor(instance));
+        const std::string unitKey = "unit-" + std::to_string(unit);
+        if (const std::optional<SubResult> hit = share.load(unitKey)) {
+          // The scalar encodes (instance, unit): a value leaking across
+          // prefixes or keys is caught right here.
+          ASSERT_TRUE(hit->scalar.has_value());
+          EXPECT_EQ(*hit->scalar,
+                    static_cast<double>(instance * 1000 + unit));
+        } else {
+          SubResult memo;
+          memo.scalar = static_cast<double>(instance * 1000 + unit);
+          share.store(unitKey, std::move(memo));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
+  EXPECT_LE(stats.entries, cache.shardCount() * cache.perShardCapacity());
+}
+
+}  // namespace
+}  // namespace pipesched::service

@@ -1,0 +1,181 @@
+// BoundedChannel under deliberate adversity: MPMC storms at tiny capacities
+// (maximum lock contention), mid-stream close() racing blocked producers and
+// consumers, and mixed blocking/try traffic. Every test asserts the
+// accounting invariant the channel promises — nothing accepted is ever lost
+// or delivered twice — while TSan/ASan watch the synchronization itself.
+//
+// Sizing: thread counts and iteration budgets are chosen so the whole file
+// runs in seconds natively and low minutes under TSan on one core.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pipesched/stream/channel.hpp"
+
+namespace pipesched::stream {
+namespace {
+
+constexpr std::size_t kProducers = 4;
+constexpr std::size_t kConsumers = 4;
+constexpr std::size_t kPerProducer = 2000;
+
+/// Exactly-once MPMC delivery at capacity 2: every pushed value pops exactly
+/// once, per-producer FIFO order survives interleaving, and the counters
+/// balance. Capacity 2 forces constant full/empty transitions — the
+/// condition-variable paths run thousands of times, not once.
+TEST(StressChannel, MpmcStormDeliversExactlyOnceInProducerOrder) {
+  BoundedChannel<std::uint64_t> channel(2);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.push((static_cast<std::uint64_t>(p) << 32) | i));
+      }
+    });
+  }
+
+  std::mutex seenMutex;
+  std::vector<std::vector<std::uint64_t>> perProducerSeen(kProducers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::vector<std::uint64_t>> local(kProducers);
+      while (const std::optional<std::uint64_t> value = channel.pop()) {
+        local[*value >> 32].push_back(*value & 0xffffffffu);
+      }
+      std::lock_guard lock(seenMutex);
+      for (std::size_t p = 0; p < kProducers; ++p) {
+        perProducerSeen[p].insert(perProducerSeen[p].end(), local[p].begin(),
+                                  local[p].end());
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  channel.close();
+  for (std::thread& t : consumers) t.join();
+
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    // Exactly once: each producer's full sequence arrived, no duplicates.
+    ASSERT_EQ(perProducerSeen[p].size(), kPerProducer);
+    std::vector<bool> seen(kPerProducer, false);
+    for (const std::uint64_t v : perProducerSeen[p]) {
+      ASSERT_LT(v, kPerProducer);
+      ASSERT_FALSE(seen[v]) << "value delivered twice";
+      seen[v] = true;
+    }
+    total += perProducerSeen[p].size();
+  }
+  const ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.pushed, total);
+  EXPECT_EQ(stats.popped, total);
+  EXPECT_LE(stats.highWater, 2u);
+}
+
+/// close() fired mid-storm from a foreign thread: blocked producers unblock
+/// with false, blocked consumers drain the backlog then get nullopt, and
+/// accepted == delivered still holds exactly. Repeated rounds hit the race
+/// window (close between the full-check and the wait) from fresh states.
+TEST(StressChannel, MidStreamCloseNeverLosesAcceptedValues) {
+  for (int round = 0; round < 20; ++round) {
+    BoundedChannel<int> channel(3);
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> delivered{0};
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          if (channel.push(i)) {
+            accepted.fetch_add(1);
+          } else {
+            rejected.fetch_add(1);
+            return;  // closed: every later push would also be refused
+          }
+        }
+      });
+    }
+    std::vector<std::thread> consumers;
+    for (std::size_t c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        while (channel.pop()) delivered.fetch_add(1);
+      });
+    }
+
+    // Let some traffic through, then slam the door from a fifth thread.
+    while (accepted.load() < 50) std::this_thread::yield();
+    std::thread closer([&] { channel.close(); });
+
+    closer.join();
+    for (std::thread& t : producers) t.join();
+    for (std::thread& t : consumers) t.join();
+
+    EXPECT_EQ(delivered.load(), accepted.load());
+    const ChannelStats stats = channel.stats();
+    EXPECT_EQ(stats.pushed, accepted.load());
+    EXPECT_EQ(stats.popped, delivered.load());
+    EXPECT_TRUE(channel.closed());
+    EXPECT_EQ(channel.size(), 0u);
+  }
+}
+
+/// Blocking and non-blocking traffic mixed on one channel, with stats() and
+/// size() polled concurrently: try variants must stay lock-correct under
+/// contention and the snapshot reads must never tear.
+TEST(StressChannel, MixedTryAndBlockingTrafficBalances) {
+  BoundedChannel<int> channel(4);
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<bool> stopPolling{false};
+
+  std::thread blockingProducer([&] {
+    for (int i = 0; i < 3000; ++i) {
+      if (channel.push(i)) accepted.fetch_add(1);
+    }
+  });
+  std::thread tryProducer([&] {
+    for (int i = 0; i < 3000; ++i) {
+      int value = i;
+      if (channel.tryPush(value)) accepted.fetch_add(1);
+    }
+  });
+  std::thread blockingConsumer([&] {
+    while (channel.pop()) delivered.fetch_add(1);
+  });
+  std::thread tryConsumer([&] {
+    while (!channel.closed() || channel.size() > 0) {
+      if (channel.tryPop()) delivered.fetch_add(1);
+    }
+    while (channel.tryPop()) delivered.fetch_add(1);
+  });
+  std::thread poller([&] {
+    while (!stopPolling.load()) {
+      const ChannelStats stats = channel.stats();
+      EXPECT_GE(stats.pushed, stats.popped);  // can't pop what wasn't pushed
+      EXPECT_LE(channel.size(), channel.capacity());
+      EXPECT_LE(stats.highWater, channel.capacity());
+    }
+  });
+
+  blockingProducer.join();
+  tryProducer.join();
+  channel.close();
+  blockingConsumer.join();
+  tryConsumer.join();
+  stopPolling.store(true);
+  poller.join();
+
+  EXPECT_EQ(delivered.load(), accepted.load());
+  const ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.pushed, accepted.load());
+  EXPECT_EQ(stats.popped, delivered.load());
+}
+
+}  // namespace
+}  // namespace pipesched::stream

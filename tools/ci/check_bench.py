@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI bench gates with diagnosable failures.
+
+The gates used to be inline `python3 -c` one-liners in ci.yml; when a bench
+binary crashed or a partial run wrote a file without some section, the step
+died with an opaque KeyError and no hint of which file or section was
+missing. Every lookup here goes through helpers that name the file, the
+missing section, and the sections that *are* present before failing.
+
+Usage (one subcommand per gate):
+  check_bench.py observability BENCH.json --min-ratio 0.9
+  check_bench.py eval BENCH.json --m 16 --min-speedup 2
+  check_bench.py parse-path BENCH.json --min-speedup 2
+  check_bench.py warm-sweep BENCH.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.9 container
+    print(f"bench gate: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_bench(path: str) -> dict:
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"bench file '{path}' does not exist — did the bench step run?")
+    except json.JSONDecodeError as e:
+        fail(f"bench file '{path}' is not valid JSON ({e}) — truncated bench run?")
+    if not isinstance(data, dict):
+        fail(f"bench file '{path}' holds {type(data).__name__}, expected an object")
+    return data
+
+
+def section(data: dict, path: str, name: str) -> dict:
+    if name not in data:
+        have = ", ".join(sorted(data)) or "<none>"
+        fail(f"section '{name}' missing from {path} (sections present: {have}) — "
+             f"partial bench run?")
+    return data[name]
+
+
+def field(sec, path: str, section_name: str, name: str):
+    if name not in sec:
+        have = ", ".join(sorted(sec)) or "<none>"
+        fail(f"field '{name}' missing from section '{section_name}' of {path} "
+             f"(fields present: {have})")
+    return sec[name]
+
+
+def gate_observability(args) -> None:
+    data = load_bench(args.bench)
+    obs = section(data, args.bench, "observability")
+    ratio = field(obs, args.bench, "observability", "enabled_over_disabled")
+    print(f"observability enabled/disabled ratio: {ratio:.3f} "
+          f"(gate: >= {args.min_ratio})")
+    if ratio < args.min_ratio:
+        fail(f"instrumented throughput ratio {ratio:.3f} below {args.min_ratio}: {obs}")
+
+
+def gate_eval(args) -> None:
+    data = load_bench(args.bench)
+    kernel = section(data, args.bench, "kernel")
+    rows = [k for k in kernel if k.get("m") == args.m]
+    if not rows:
+        sizes = sorted({k.get("m") for k in kernel})
+        fail(f"no kernel row with m={args.m} in {args.bench} (sizes present: {sizes})")
+    speedup = field(rows[0], args.bench, f"kernel[m={args.m}]", "speedup")
+    print(f"m={args.m} delta-vs-rebuild speedup: {speedup:.2f}x "
+          f"(gate: > {args.min_speedup})")
+    if speedup <= args.min_speedup:
+        fail(f"kernel speedup {speedup:.2f}x not above {args.min_speedup}x: {rows[0]}")
+
+
+def gate_parse_path(args) -> None:
+    data = load_bench(args.bench)
+    pp = section(data, args.bench, "parse_path")
+    speedup = field(pp, args.bench, "parse_path", "speedup")
+    identical = field(pp, args.bench, "parse_path", "outputs_identical")
+    print(f"parse-path fast/legacy speedup: {speedup:.2f}x "
+          f"(gate: > {args.min_speedup}, outputs identical: {identical})")
+    if not identical:
+        fail(f"fast and legacy parse paths produced different outputs: {pp}")
+    if speedup <= args.min_speedup:
+        fail(f"parse-path speedup {speedup:.2f}x not above {args.min_speedup}x: {pp}")
+
+
+def gate_warm_sweep(args) -> None:
+    data = load_bench(args.bench)
+    ws = section(data, args.bench, "warm_sweep")
+    reused = field(ws, args.bench, "warm_sweep", "sub_units_reused")
+    print(f"warm_sweep: {ws}")
+    if reused <= 0:
+        fail(f"warm sweep reused no sub-result units: {ws}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="gate", required=True)
+
+    p = sub.add_parser("observability", help="instrumented-overhead gate")
+    p.add_argument("bench")
+    p.add_argument("--min-ratio", type=float, default=0.9)
+    p.set_defaults(run=gate_observability)
+
+    p = sub.add_parser("eval", help="delta-kernel speedup gate")
+    p.add_argument("bench")
+    p.add_argument("--m", type=int, default=16)
+    p.add_argument("--min-speedup", type=float, default=2.0)
+    p.set_defaults(run=gate_eval)
+
+    p = sub.add_parser("parse-path", help="fast-vs-legacy ingestion gate")
+    p.add_argument("bench")
+    p.add_argument("--min-speedup", type=float, default=2.0)
+    p.set_defaults(run=gate_parse_path)
+
+    p = sub.add_parser("warm-sweep", help="sub-result sharing gate")
+    p.add_argument("bench")
+    p.set_defaults(run=gate_warm_sweep)
+
+    args = parser.parse_args()
+    args.run(args)
+
+
+if __name__ == "__main__":
+    main()
