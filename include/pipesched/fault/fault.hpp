@@ -1,0 +1,121 @@
+#pragma once
+
+// Process-wide fault-injection registry: named failure points ("sites")
+// scattered through the serving stack (socket I/O, HTTP parse, scheduler
+// admission, cache access, portfolio members) that can be armed to fail,
+// stall, or both, under probability/count/latency triggers.
+//
+// Disarmed cost is one relaxed atomic load and a predictable branch per
+// site — the same pattern as obs::metricsEnabled() — so the hooks stay in
+// production builds. Arming happens via `--fault-spec` on serve/batch or
+// the PIPESCHED_FAULT_SPEC environment variable.
+//
+// Spec grammar (clauses separated by ';', actions by ','):
+//
+//   spec    := clause (';' clause)*
+//   clause  := site ['=' action (',' action)*]   bare site = always fail
+//   action  := 'p' ':' FLOAT     probability gate in [0,1] (default 1)
+//            | 'count' ':' N     fire at most N times (default unlimited)
+//            | 'after' ':' N     skip the first N evaluations (default 0)
+//            | 'latency' ':' MS  sleep MS milliseconds when firing
+//            | 'noerror'         latency-only: delay but do not fail
+//
+// A site ending in '*' is a prefix glob: `member.*=p:0.1` matches every
+// portfolio member, `*=p:0.01` matches every registered site. Examples:
+//
+//   net.read=p:0.05
+//   member.H3=count:2;sched.submit=p:0.5,latency:20
+//   *=p:0.02,latency:5
+//
+// Probability draws use a deterministic splitmix64 stream seeded at arm
+// time, so a given spec replays the same decision sequence run to run
+// (modulo thread interleaving of the evaluation order).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipesched::fault {
+
+/// Canonical site names. Call sites pass these so specs and docs agree;
+/// dynamic sites (portfolio members) are spelled "member.<id>".
+namespace sites {
+inline constexpr std::string_view kNetRead = "net.read";
+inline constexpr std::string_view kNetWrite = "net.write";
+inline constexpr std::string_view kNetAccept = "net.accept";
+inline constexpr std::string_view kHttpParse = "http.parse";
+inline constexpr std::string_view kSchedSubmit = "sched.submit";
+inline constexpr std::string_view kCacheGet = "cache.get";
+inline constexpr std::string_view kCachePut = "cache.put";
+inline constexpr std::string_view kMemberPrefix = "member.";
+}  // namespace sites
+
+/// One parsed spec clause.
+struct FaultRule {
+  std::string site;                 ///< exact name, or prefix glob ending in '*'
+  double probability = 1.0;         ///< chance each eligible evaluation fires
+  std::uint64_t maxCount = 0;       ///< fire at most this many times; 0 = unlimited
+  std::uint64_t after = 0;          ///< skip the first N evaluations of this rule
+  double latencyMs = 0.0;           ///< injected delay when firing
+  bool fail = true;                 ///< false = latency-only ('noerror')
+};
+
+/// Parses the spec grammar above. Throws ModelError naming the offending
+/// clause on malformed input. An empty spec yields an empty rule list.
+[[nodiscard]] std::vector<FaultRule> parseFaultSpec(const std::string& spec);
+
+/// Parses `spec` and arms the process-wide registry (replacing any prior
+/// arming). Evaluation counters start at zero; the probability stream is
+/// seeded from `seed`.
+void arm(const std::string& spec, std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+void arm(std::vector<FaultRule> rules, std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+/// Disarms the registry; evaluation reverts to the one-branch fast path.
+void disarm() noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+/// Slow path: matches `site` against the armed rules, applies latency,
+/// bumps fault.* counters. Returns true when the site should fail.
+bool evaluate(std::string_view site) noexcept;
+}  // namespace detail
+
+/// True when a fault spec is armed.
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// The per-site hook: returns true when the armed spec says this site
+/// should fail now. Latency-only rules sleep here and return false.
+/// Disarmed, this is one relaxed load and a not-taken branch.
+[[nodiscard]] inline bool injected(std::string_view site) noexcept {
+  if (!armed()) return false;
+  return detail::evaluate(site);
+}
+
+/// Per-rule observability for tests and the chaos harness.
+struct RuleStats {
+  std::string site;            ///< rule's site pattern as written in the spec
+  std::uint64_t evaluations = 0;  ///< times a call site matched this rule
+  std::uint64_t injected = 0;     ///< times the rule fired (failed or stalled)
+};
+
+/// Snapshot of per-rule counters, in spec order. Empty when disarmed.
+[[nodiscard]] std::vector<RuleStats> stats();
+
+/// Arms in the constructor, disarms in the destructor. Test/CLI scoping so
+/// in-process reentry (runCli in tests) never leaks an armed spec.
+class ScopedFaultSpec {
+ public:
+  explicit ScopedFaultSpec(const std::string& spec,
+                           std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    arm(spec, seed);
+  }
+  ~ScopedFaultSpec() { disarm(); }
+  ScopedFaultSpec(const ScopedFaultSpec&) = delete;
+  ScopedFaultSpec& operator=(const ScopedFaultSpec&) = delete;
+};
+
+}  // namespace pipesched::fault

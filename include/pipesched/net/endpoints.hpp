@@ -8,6 +8,13 @@
 //                  for the same lines. Admission-controlled: when the
 //                  scheduler queue is full the whole POST answers 503 and
 //                  net.shed_total increments — the accept loop never blocks.
+//                  An `X-Deadline-Ms` request header (non-negative number)
+//                  sets the default deadline for body lines that carry no
+//                  `deadline_ms` of their own; a malformed value answers
+//                  400. When every solvable line misses its deadline the
+//                  whole POST answers 504 (body still carries the per-line
+//                  outcomes); a mixed batch answers 200 and each timed-out
+//                  line is flagged `"timed_out":true`.
 //   GET /stats     one JSONL observability snapshot (the --stats-interval
 //                  line: scheduler poll + cache counters + metric registry).
 //   GET /healthz   liveness + drain state: 200 {"status":"ok",...} while

@@ -52,6 +52,11 @@ class HttpParser {
   [[nodiscard]] Status status() const noexcept { return status_; }
   [[nodiscard]] const HttpRequest& request() const noexcept { return request_; }
 
+  /// True once any bytes of the in-progress request are buffered — the
+  /// slowloris guard's "mid-request" test (an idle keep-alive connection
+  /// has started() == false after reset()).
+  [[nodiscard]] bool started() const noexcept { return !buffer_.empty() || headersDone_; }
+
   /// On kError: the HTTP status to answer with (400 bad request, 413 body
   /// too large, 431 headers too large, 501 unsupported) and a short reason.
   [[nodiscard]] int errorStatus() const noexcept { return errorStatus_; }

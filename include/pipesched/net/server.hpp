@@ -41,6 +41,13 @@ struct HttpServerConfig {
   std::size_t maxBodyBytes = 16u << 20;    ///< request bodies above this get 413
   int pollTimeoutMs = 200;                 ///< loop heartbeat (stop-flag latency)
   int drainTimeoutMs = 5000;               ///< max wait for in-flight work on stop
+  /// Slowloris guard: a connection that started a request but has made no
+  /// read progress for this long is answered 408 and closed. 0 = disabled.
+  /// Enforced on the poll heartbeat, so expiry lands within pollTimeoutMs.
+  int requestTimeoutMs = 30000;
+  /// Idle keep-alive connections (no request in progress, nothing queued)
+  /// are closed silently after this long. 0 = disabled.
+  int idleTimeoutMs = 60000;
 };
 
 /// Monotonic transport counters, readable from any thread while run() loops.
@@ -53,6 +60,8 @@ struct ServerStats {
   std::uint64_t bytesWritten = 0;
   std::uint64_t shed = 0;    ///< admission-control rejections (see noteShed)
   std::uint64_t active = 0;  ///< currently open connections (gauge)
+  std::uint64_t requestTimeouts = 0;  ///< 408s from the slowloris guard
+  std::uint64_t idleClosed = 0;       ///< idle keep-alive sweeps
 };
 
 class HttpServer {
@@ -118,6 +127,8 @@ class HttpServer {
     bool awaitingResponse = false; ///< a dispatched request has no response yet
     bool closeAfterFlush = false;
     bool peerClosed = false;
+    /// Last accept/read progress — drives the idle/slowloris sweeps.
+    std::chrono::steady_clock::time_point lastActivity{};
   };
 
   /// A finished response travelling from whatever thread called Done back to
@@ -133,6 +144,7 @@ class HttpServer {
   };
 
   void acceptPending();
+  void sweepTimeouts();
   void readFrom(std::uint64_t id, Connection& conn);
   void processParsed(std::uint64_t id, Connection& conn);
   void dispatch(std::uint64_t id, Connection& conn);
@@ -161,6 +173,8 @@ class HttpServer {
   std::atomic<std::uint64_t> bytesRead_{0};
   std::atomic<std::uint64_t> bytesWritten_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> requestTimeouts_{0};
+  std::atomic<std::uint64_t> idleClosed_{0};
 };
 
 }  // namespace pipesched::net

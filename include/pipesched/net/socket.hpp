@@ -11,6 +11,7 @@
 // loop — a peer resetting its connection is routine, not exceptional).
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -20,6 +21,21 @@
 #include "pipesched/core/types.hpp"
 
 namespace pipesched::net {
+
+/// Runs a POSIX-style call (returns >= 0 on success, -1 + errno on failure)
+/// until it stops failing with EINTR. The single EINTR policy for every raw
+/// read/write/accept in this subsystem — a signal storm must never surface
+/// as an I/O error (pinned by SocketEintr.* in tests/net/test_socket.cpp).
+/// Note connect(2) is deliberately NOT routed through this: a connect
+/// interrupted by a signal completes asynchronously, so retrying the call
+/// yields EALREADY — connectTcp() waits via poll() instead.
+template <typename Op>
+auto retryOnEintr(Op op) -> decltype(op()) {
+  for (;;) {
+    const auto r = op();
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
 
 /// "host:port" pair. Host is a numeric IPv4 address or a name the resolver
 /// accepts; port 0 asks the kernel for an ephemeral port (the bound value is
@@ -102,8 +118,25 @@ class TcpListener {
   Socket socket_;
 };
 
-/// Blocking client connect — the test/bench/CLI-probe side of the wire.
-[[nodiscard]] Socket connectTcp(const Endpoint& endpoint);
+/// Client connect — the test/bench/CLI-probe side of the wire. With
+/// `timeoutMs >= 0` the connect is bounded: a peer that neither accepts nor
+/// refuses within the budget raises ModelError (ETIMEDOUT) instead of
+/// blocking for the kernel's (minutes-long) SYN retry cycle. -1 = wait
+/// indefinitely. The returned socket is in blocking mode either way.
+[[nodiscard]] Socket connectTcp(const Endpoint& endpoint, int timeoutMs = -1);
+
+/// Bounded retry with jittered exponential backoff for transient connect
+/// failures (refused/reset/timed out/unreachable — the peer may be mid-
+/// restart). Non-transient errors (e.g. unresolvable host) throw on first
+/// sight; exhausting `attempts` rethrows the last transient error.
+struct RetryPolicy {
+  int attempts = 3;        ///< total tries, >= 1
+  int baseDelayMs = 10;    ///< first backoff step (doubled per retry)
+  int maxDelayMs = 200;    ///< backoff ceiling
+  std::uint64_t seed = 1;  ///< jitter stream seed (deterministic per policy)
+};
+[[nodiscard]] Socket connectTcpRetry(const Endpoint& endpoint, const RetryPolicy& policy,
+                                     int timeoutMs = -1);
 
 /// Self-pipe: poll()-able read end plus an async-signal-safe notify().
 /// notify() is a single write(2) of one byte on a non-blocking fd, so it is

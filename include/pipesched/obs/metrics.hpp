@@ -256,6 +256,23 @@ inline constexpr const char* kNetBytesWritten = "net.bytes_written";
 inline constexpr const char* kNetRequests = "net.http_requests";
 inline constexpr const char* kNetShed = "net.shed_total";
 inline constexpr const char* kNetDraining = "net.draining";
+/// Requests whose deadline expired over the HTTP transport (each one also
+/// answers 504 when every solvable line in its POST timed out).
+inline constexpr const char* kNetTimeout = "net.timeout_total";
+/// Mid-request connections cut with 408 by the slowloris guard.
+inline constexpr const char* kNetRequestTimeouts = "net.request_timeouts";
+/// Idle keep-alive connections closed silently by the idle sweep.
+inline constexpr const char* kNetIdleClosed = "net.idle_closed";
+// Resilience layer (pipesched::fault + deadline propagation).
+inline constexpr const char* kFaultInjected = "fault.injected_total";
+/// Requests whose deadline expired while queued (never solved).
+inline constexpr const char* kTimeoutQueueExpired = "timeout.queue_expired";
+/// Coalesced waiters whose deadline expired before the owner finished.
+inline constexpr const char* kTimeoutCoalescedExpired = "timeout.coalesced_expired";
+/// Responses served with a partial (deadline- or failure-cut) front.
+inline constexpr const char* kDegradedResponses = "degraded.responses";
+/// Portfolio members dropped or cut short by deadline/failure.
+inline constexpr const char* kDegradedMembers = "degraded.members_dropped";
 }  // namespace names
 
 /// "net.endpoint.<name>" nanosecond histogram: request-line parsed ->

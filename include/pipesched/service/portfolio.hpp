@@ -257,10 +257,19 @@ struct PortfolioMemberInfo {
 /// without it). Both paths return identical results (see determinism
 /// contract above). Throws ModelError on an invalid sweep spec or an unknown
 /// member id.
+///
+/// `requestDeadline` (inactive by default) is the caller's absolute
+/// completion deadline: the runner takes the earlier of it and the
+/// config's wall-clock budget, drops not-yet-started members and cuts unit
+/// loops as it nears, and flags the result `degraded` — a partial front is
+/// returned promptly instead of hanging or silently truncating. A member
+/// that throws (or hits an armed `member.<id>` fault site) is contained the
+/// same way: its partial points merge, the result is flagged degraded.
 [[nodiscard]] PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
                                            const PortfolioConfig& config = {},
                                            ThreadPool* pool = nullptr,
-                                           const SubShare* share = nullptr);
+                                           const SubShare* share = nullptr,
+                                           const Deadline& requestDeadline = {});
 
 /// True when `config` admits the exact enumerator on this instance size.
 [[nodiscard]] bool exactEligible(std::size_t stages, std::size_t processors,

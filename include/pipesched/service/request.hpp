@@ -8,6 +8,7 @@
 // display name) are explicitly excluded.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,6 +46,48 @@ struct SweepSpec {
   [[nodiscard]] bool operator==(const SweepSpec&) const noexcept = default;
 };
 
+/// Absolute per-request deadline, stamped when the request is admitted
+/// (parse time for JSONL lines, submit time for in-memory requests).
+/// Inactive by default; an inactive deadline never expires. QoS-only, like
+/// `Request::name`: excluded from the fingerprint, so requests differing
+/// only by deadline still dedupe, coalesce, and share cache entries.
+struct Deadline {
+  std::chrono::steady_clock::time_point at{};
+  bool active = false;
+
+  /// Deadline `ms` milliseconds from now; inactive when `ms <= 0`.
+  [[nodiscard]] static Deadline in(double ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.active = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return active && std::chrono::steady_clock::now() >= at;
+  }
+
+  /// Milliseconds until expiry (negative when past); a large sentinel when
+  /// inactive so `remainingMs() > x` reads naturally for both cases.
+  [[nodiscard]] double remainingMs() const {
+    if (!active) return 1e18;
+    return std::chrono::duration<double, std::milli>(
+               at - std::chrono::steady_clock::now())
+        .count();
+  }
+
+  /// The earlier of two deadlines (inactive ones never win).
+  [[nodiscard]] static Deadline earlier(const Deadline& a, const Deadline& b) {
+    if (!a.active) return b;
+    if (!b.active) return a;
+    return a.at <= b.at ? a : b;
+  }
+};
+
 /// One scheduling problem submitted to the service.
 struct Request {
   core::Pipeline pipeline;
@@ -60,6 +103,12 @@ struct Request {
   /// request was built in memory or observability is off. Display-only, like
   /// `name`: excluded from the fingerprint and every canonical rendering.
   double parseSeconds = 0;
+
+  /// Absolute completion deadline (see Deadline). Inactive by default.
+  /// QoS-only: excluded from the fingerprint and canonical renderings; an
+  /// expired deadline turns the outcome into a flagged timeout or a
+  /// `degraded` partial front, never a silent truncation.
+  Deadline deadline;
 };
 
 /// What one portfolio member contributed to a solved request.
@@ -74,6 +123,11 @@ struct SolverContribution {
                              ///< (first member in race order with the coordinates)
   std::size_t skipped = 0;   ///< units skipped by budget-aware dropping
   bool dropped = false;      ///< the drop policy fired on this member
+  /// The member aborted on an internal error (thrown exception or an armed
+  /// fault-injection site): its partial points still merge, the front is
+  /// flagged degraded. Timing/fault provenance — excluded from
+  /// describeOutcome and canonical JSON, like reused/wallSeconds.
+  bool failed = false;
   /// Cross-request work sharing provenance (excluded from describeOutcome,
   /// like fromCache/deduped: how much work was *saved* depends on cache state
   /// and timing, while the resulting points are byte-identical either way).
@@ -94,6 +148,13 @@ struct PortfolioResult {
   std::vector<SolverContribution> solvers;  ///< fixed member race order (accepted members)
   bool exactUsed = false;        ///< the exact enumerator joined the race
   bool budgetExhausted = false;  ///< some member was cut short by the budget
+  /// The front is partial for a *non-deterministic* reason: the request
+  /// deadline cut members short or a member failed mid-run. Distinct from
+  /// budgetExhausted (a deterministic config property): degraded results are
+  /// never cached, and JSON emits `"degraded":true` only when set (so
+  /// healthy outputs stay byte-identical). Excluded from describeOutcome,
+  /// which only renders timing-independent content.
+  bool degraded = false;
   /// Stage timings for this solve (timing-only, excluded from canonical
   /// renderings): the member race wall and the merge/attribution wall.
   double memberRaceSeconds = 0;
@@ -108,6 +169,11 @@ struct RequestOutcome {
   std::string error;
   bool fromCache = false;  ///< served from the result cache
   bool deduped = false;    ///< shared another identical request's solve
+  /// The request's deadline expired before a result could be produced
+  /// (queued past the deadline, or a coalesced owner finished too late).
+  /// Always paired with ok == false and an explanatory error; JSON emits
+  /// `"timed_out":true` only when set.
+  bool timedOut = false;
   /// Identity of the request this outcome answers. Set by every service and
   /// stream solve path (failures included); excluded from describeOutcome,
   /// so the byte-identity contract is unaffected.

@@ -126,6 +126,9 @@ class GeneratorSource : public Source {
 struct JsonlDefaults {
   service::SweepSpec sweep;
   core::CommModel model = core::CommModel::kSequential;
+  /// Default per-request deadline in milliseconds (0 = none). Stamped as an
+  /// absolute deadline at parse time; a line's own "deadline_ms" overrides.
+  double deadlineMs = 0;
 };
 
 /// Which reader backs a JsonlSource. kFast is the zero-copy path
@@ -144,8 +147,9 @@ enum class JsonlReader { kFast, kLegacy };
 //
 // Exactly one of file/text/kind per line. Optional on any line:
 //   "name" (display label), "points"/"range" (sweep overrides),
-//   "overlap" (bool comm-model override). Unknown and duplicate fields are
-//   errors.
+//   "overlap" (bool comm-model override), "deadline_ms" (completion
+//   deadline in milliseconds from parse time, >= 0; 0 disables the
+//   configured default). Unknown and duplicate fields are errors.
 class JsonlSource : public Source {
  public:
   /// Called for a malformed line with its 1-based number; the line is then

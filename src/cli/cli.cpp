@@ -167,13 +167,25 @@ commands:
              # state, cache + sub-cache hit/miss/eviction counts, metric registry
              # request lines: {"file": "app.psi"} | {"text": "pipesched-instance v1..."}
              #   | {"kind": "E2", "stages": 8, "processors": 5, "seed": 7}
-             #   (+ optional "name", "points", "range", "overlap")
-             [--listen HOST:PORT [--port-file FILE] [--max-connections N]]
+             #   (+ optional "name", "points", "range", "overlap", "deadline_ms")
+             [--deadline-ms MS]  # default per-request deadline for lines without
+             # their own "deadline_ms" (0 = none). An expired request answers
+             # {"ok": false, "timed_out": true, ...}; a request whose deadline
+             # lands mid-solve returns the partial front flagged "degraded".
+             [--fault-spec SPEC]  # arm fault injection (see README Resilience;
+             # also via the PIPESCHED_FAULT_SPEC environment variable), e.g.
+             # 'net.read=p:0.05;member.H3=count:2;sched.submit=latency:20,noerror'
+             [--listen HOST:PORT [--port-file FILE] [--max-connections N]
+              [--request-timeout-ms MS] [--idle-timeout-ms MS]]
              # network mode: multi-client HTTP/1.1 server (port 0 = ephemeral;
-             # --port-file publishes "HOST PORT" once bound). POST /solve takes
-             # the JSONL bodies above (responses byte-identical to stdio mode,
-             # 503 + net.shed_total when the queue is saturated); GET /stats,
-             # /healthz, /metrics (Prometheus) expose the observability plane.
+             # --port-file publishes "HOST PORT" once bound, removed on drain).
+             # POST /solve takes the JSONL bodies above (responses byte-identical
+             # to stdio mode, 503 + net.shed_total when the queue is saturated;
+             # X-Deadline-Ms sets a per-POST default deadline, 504 when every
+             # line times out); GET /stats, /healthz, /metrics (Prometheus)
+             # expose the observability plane. Stalled mid-request connections
+             # get 408 after --request-timeout-ms; idle keep-alive connections
+             # close after --idle-timeout-ms (0 disables either).
              # SIGINT/SIGTERM drain gracefully in both modes and exit 0.
   generate   make a random instance file
              --kind E1..E4 --stages N --processors P [--seed S] [--name TEXT]

@@ -27,6 +27,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -37,6 +39,7 @@
 #include <thread>
 
 #include "cli_internal.hpp"
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/io/json.hpp"
 #include "pipesched/net/endpoints.hpp"
 #include "pipesched/net/server.hpp"
@@ -123,6 +126,30 @@ class ScopedSignalHandlers {
   struct sigaction previousTerm_ {};
 };
 
+/// Removes the published --port-file when the serve run ends — graceful
+/// drain, signal-initiated stop, or error unwind alike — so scripts polling
+/// for the file never read a port that no longer answers.
+class PortFileGuard {
+ public:
+  explicit PortFileGuard(std::string path) : path_(std::move(path)) {}
+  ~PortFileGuard() {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  PortFileGuard(const PortFileGuard&) = delete;
+  PortFileGuard& operator=(const PortFileGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
+/// --deadline-ms N: default per-request deadline applied to input lines that
+/// carry no deadline_ms of their own. 0 (the default) disables it.
+double deadlineDefaultFromArgs(const ArgList& args) {
+  const double deadlineMs = args.getReal("deadline-ms", 0);
+  if (deadlineMs < 0) throw UsageError("--deadline-ms must be >= 0");
+  return deadlineMs;
+}
+
 /// Periodic snapshot emitter: a background thread that wakes every
 /// `intervalSeconds` and emits one snapshot line. stop() is idempotent.
 class SnapshotEmitter {
@@ -191,6 +218,7 @@ int serveStdio(const ArgList& args, std::ostream& out, std::ostream& err) {
       service::SweepSpec{args.getSize("points", 24), args.getReal("range", 3)};
   defaults.model =
       args.has("overlap") ? core::CommModel::kOverlapped : core::CommModel::kSequential;
+  defaults.deadlineMs = deadlineDefaultFromArgs(args);
 
   stream::StreamConfig config;
   config.service = serviceConfigFromArgs(args);
@@ -327,6 +355,7 @@ int serveListen(const ArgList& args, const std::string& listenSpec, std::ostream
       service::SweepSpec{args.getSize("points", 24), args.getReal("range", 3)};
   defaults.model =
       args.has("overlap") ? core::CommModel::kOverlapped : core::CommModel::kSequential;
+  defaults.deadlineMs = deadlineDefaultFromArgs(args);
 
   stream::StreamConfig config;
   config.service = serviceConfigFromArgs(args);
@@ -339,6 +368,11 @@ int serveListen(const ArgList& args, const std::string& listenSpec, std::ostream
   net::HttpServerConfig serverConfig;
   serverConfig.endpoint = net::parseEndpoint(listenSpec);
   serverConfig.maxConnections = args.getSize("max-connections", 64);
+  serverConfig.requestTimeoutMs = static_cast<int>(
+      args.getSize("request-timeout-ms",
+                   static_cast<std::size_t>(serverConfig.requestTimeoutMs)));
+  serverConfig.idleTimeoutMs = static_cast<int>(args.getSize(
+      "idle-timeout-ms", static_cast<std::size_t>(serverConfig.idleTimeoutMs)));
   const auto portFile = args.get("port-file");
   args.assertConsumed();
 
@@ -373,6 +407,9 @@ int serveListen(const ArgList& args, const std::string& listenSpec, std::ostream
     if (!f) throw std::runtime_error("cannot open port file: " + *portFile);
     f << bound.host << ' ' << bound.port << '\n';
   }
+  // The port file is a liveness signal: published once the port answers,
+  // removed as part of the graceful drain (SIGTERM and normal exit alike).
+  PortFileGuard portFileGuard(portFile ? *portFile : std::string());
 
   // Publish the server to the signal handler only while run() owns it.
   g_listenServer.store(&server);
@@ -402,6 +439,23 @@ int serveListen(const ArgList& args, const std::string& listenSpec, std::ostream
 }  // namespace
 
 int cmdServe(const ArgList& args, std::ostream& out, std::ostream& err) {
+  // --fault-spec SPEC (or the PIPESCHED_FAULT_SPEC environment variable)
+  // arms the fault-injection registry for the lifetime of this run. Scoped
+  // so in-process reentry (tests driving runCli) never leaks an armed spec.
+  std::string faultSpec;
+  if (const auto spec = args.get("fault-spec")) {
+    faultSpec = *spec;
+  } else if (const char* env = std::getenv("PIPESCHED_FAULT_SPEC")) {
+    faultSpec = env;
+  }
+  std::unique_ptr<fault::ScopedFaultSpec> faults;
+  if (!faultSpec.empty()) {
+    try {
+      faults = std::make_unique<fault::ScopedFaultSpec>(faultSpec);
+    } catch (const ModelError& error) {
+      throw UsageError(error.what());
+    }
+  }
   if (const auto listen = args.get("listen")) {
     return serveListen(args, *listen, out, err);
   }

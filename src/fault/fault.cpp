@@ -1,0 +1,205 @@
+#include "pipesched/fault/fault.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "pipesched/core/types.hpp"
+#include "pipesched/obs/metrics.hpp"
+
+namespace pipesched::fault {
+namespace {
+
+/// splitmix64: the deterministic probability stream. Good enough mixing for
+/// fault dice, stateless apart from one counter word.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One armed rule plus its live counters. Counters are plain integers
+/// guarded by g_mutex — the armed path is chaos-testing territory where a
+/// mutex hop is noise next to the injected latencies themselves.
+struct ArmedRule {
+  FaultRule rule;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fired = 0;
+};
+
+struct State {
+  std::vector<ArmedRule> rules;
+  std::uint64_t rng = 0;
+};
+
+std::mutex g_mutex;
+State* g_state = nullptr;  // owned; non-null exactly while armed
+
+bool matches(const std::string& pattern, std::string_view site) noexcept {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return site.substr(0, prefix.size()) == prefix;
+  }
+  return site == pattern;
+}
+
+[[noreturn]] void badClause(const std::string& clause, const std::string& why) {
+  throw ModelError("fault-spec: bad clause \"" + clause + "\": " + why);
+}
+
+FaultRule parseClause(const std::string& clause) {
+  const auto eq = clause.find('=');
+  if (eq == 0) badClause(clause, "expected site[=action[,action...]]");
+  FaultRule rule;
+  rule.site = clause.substr(0, eq == std::string::npos ? clause.size() : eq);
+  if (rule.site.find('*') != std::string::npos && rule.site.find('*') != rule.site.size() - 1) {
+    badClause(clause, "'*' is only allowed as a trailing glob");
+  }
+  // A bare site is shorthand for "always fail": `member.H3` == `member.H3=p:1`.
+  if (eq == std::string::npos) return rule;
+  std::string rest = clause.substr(eq + 1);
+  if (rest.empty()) badClause(clause, "empty action list");
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const auto comma = rest.find(',', pos);
+    const std::string action =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+    if (action.empty()) badClause(clause, "empty action");
+    if (action == "noerror") {
+      rule.fail = false;
+      continue;
+    }
+    const auto colon = action.find(':');
+    if (colon == std::string::npos) badClause(clause, "unknown action \"" + action + "\"");
+    const std::string key = action.substr(0, colon);
+    const std::string value = action.substr(colon + 1);
+    std::size_t used = 0;
+    try {
+      if (key == "p") {
+        rule.probability = std::stod(value, &used);
+        if (used != value.size() || rule.probability < 0.0 || rule.probability > 1.0) {
+          badClause(clause, "p wants a probability in [0,1], got \"" + value + "\"");
+        }
+      } else if (key == "count") {
+        rule.maxCount = std::stoull(value, &used);
+        if (used != value.size() || rule.maxCount == 0) {
+          badClause(clause, "count wants a positive integer, got \"" + value + "\"");
+        }
+      } else if (key == "after") {
+        rule.after = std::stoull(value, &used);
+        if (used != value.size()) badClause(clause, "after wants an integer, got \"" + value + "\"");
+      } else if (key == "latency") {
+        rule.latencyMs = std::stod(value, &used);
+        if (used != value.size() || rule.latencyMs < 0.0) {
+          badClause(clause, "latency wants milliseconds >= 0, got \"" + value + "\"");
+        }
+      } else {
+        badClause(clause, "unknown action \"" + action + "\"");
+      }
+    } catch (const ModelError&) {
+      throw;
+    } catch (const std::exception&) {
+      badClause(clause, "malformed number \"" + value + "\"");
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::vector<FaultRule> parseFaultSpec(const std::string& spec) {
+  std::vector<FaultRule> rules;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto semi = spec.find(';', pos);
+    std::string clause =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    // Trim surrounding whitespace so shell-quoted specs with spaces parse.
+    const auto begin = clause.find_first_not_of(" \t");
+    const auto end = clause.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;  // blank / "a=p:1;;b" / trailing ';'
+    clause = clause.substr(begin, end - begin + 1);
+    rules.push_back(parseClause(clause));
+  }
+  return rules;
+}
+
+void arm(const std::string& spec, std::uint64_t seed) { arm(parseFaultSpec(spec), seed); }
+
+void arm(std::vector<FaultRule> rules, std::uint64_t seed) {
+  auto state = std::make_unique<State>();
+  state->rng = seed;
+  state->rules.reserve(rules.size());
+  for (auto& rule : rules) state->rules.push_back(ArmedRule{std::move(rule), 0, 0});
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  delete g_state;
+  g_state = state.release();
+  detail::g_armed.store(!g_state->rules.empty(), std::memory_order_relaxed);
+}
+
+void disarm() noexcept {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  delete g_state;
+  g_state = nullptr;
+}
+
+std::vector<RuleStats> stats() {
+  std::vector<RuleStats> out;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state == nullptr) return out;
+  out.reserve(g_state->rules.size());
+  for (const auto& armed : g_state->rules) {
+    out.push_back(RuleStats{armed.rule.site, armed.evaluations, armed.fired});
+  }
+  return out;
+}
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool evaluate(std::string_view site) noexcept {
+  bool fail = false;
+  double latencyMs = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_state == nullptr) return false;  // raced a disarm; benign
+    for (auto& armed : g_state->rules) {
+      if (!matches(armed.rule.site, site)) continue;
+      const std::uint64_t ordinal = armed.evaluations++;
+      if (ordinal < armed.rule.after) continue;
+      if (armed.rule.maxCount != 0 && armed.fired >= armed.rule.maxCount) continue;
+      if (armed.rule.probability < 1.0) {
+        // Top 53 bits -> uniform double in [0,1).
+        const double draw =
+            static_cast<double>(splitmix64(g_state->rng) >> 11) * 0x1.0p-53;
+        if (draw >= armed.rule.probability) continue;
+      }
+      ++armed.fired;
+      fail = fail || armed.rule.fail;
+      if (armed.rule.latencyMs > latencyMs) latencyMs = armed.rule.latencyMs;
+    }
+  }
+  if (fail || latencyMs > 0.0) {
+    if (obs::metricsEnabled()) {
+      obs::registry().counter(obs::names::kFaultInjected).add();
+      obs::registry().counter("fault.site." + std::string(site)).add();
+    }
+  }
+  if (latencyMs > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latencyMs));
+  }
+  return fail;
+}
+
+}  // namespace detail
+}  // namespace pipesched::fault

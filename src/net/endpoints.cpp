@@ -1,5 +1,8 @@
 #include "pipesched/net/endpoints.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -27,6 +30,8 @@ struct PendingSolve {
   std::mutex mutex;
   std::vector<std::string> lines;  ///< rendered JSONL lines, input order
   std::size_t remaining = 0;       ///< outcomes not yet landed
+  std::size_t solvable = 0;        ///< well-formed lines submitted
+  std::size_t timedOut = 0;        ///< outcomes that missed their deadline
   bool abandoned = false;          ///< shed: 503 sent, drop late outcomes
   HttpServer::Done done;
 
@@ -92,6 +97,23 @@ void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,
     return;
   }
 
+  // X-Deadline-Ms sets the default deadline for body lines without their own
+  // deadline_ms — the HTTP spelling of `serve --deadline-ms`. The defaults
+  // copy means the header scopes to this one POST.
+  stream::JsonlDefaults defaults = config.defaults;
+  if (const std::string* header = request.header("X-Deadline-Ms")) {
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(header->c_str(), &end);
+    if (errno != 0 || end == header->c_str() || *end != '\0' ||
+        !std::isfinite(value) || value < 0) {
+      done(400, "text/plain",
+           "X-Deadline-Ms must be a non-negative number of milliseconds\n");
+      return;
+    }
+    defaults.deadlineMs = value;
+  }
+
   // Parse the whole body up front: slots for every line (errors prefilled),
   // plus the list of well-formed requests to submit. Parsing is synchronous
   // and cheap next to solving; it also means a shed can be decided before
@@ -107,7 +129,7 @@ void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,
   };
   std::vector<Parsed> requests;
   std::istringstream body(request.body);
-  stream::JsonlSource source(body, config.defaults,
+  stream::JsonlSource source(body, defaults,
                              [&](std::size_t line, const std::string& message) {
                                pending->lines.push_back(renderParseErrorLine(line, message));
                              });
@@ -118,6 +140,7 @@ void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,
   }
 
   pending->remaining = requests.size();
+  pending->solvable = requests.size();
   if (pending->remaining == 0) {
     // Nothing to solve (empty body or all lines malformed): answer now.
     done(200, "application/x-ndjson", pending->body());
@@ -134,14 +157,23 @@ void handleSolve(HttpServer& server, stream::AsyncScheduler& scheduler,
         [pending, slot, index, line](const service::Request& req,
                                      const service::RequestOutcome& outcome) {
           std::string rendered = renderOutcomeLine(index, line, req, outcome);
+          if (outcome.timedOut) {
+            obs::registry().counter(obs::names::kNetTimeout).add();
+          }
           std::unique_lock<std::mutex> lock(pending->mutex);
           pending->lines[slot] = std::move(rendered);
+          if (outcome.timedOut) ++pending->timedOut;
           const bool last = --pending->remaining == 0;
           if (!last || pending->abandoned) return;
+          // 504 only when the entire batch missed its deadline — a mixed
+          // batch stays 200 with per-line timed_out flags, matching the
+          // per-line error contract everywhere else in the protocol.
+          const bool allTimedOut =
+              pending->timedOut > 0 && pending->timedOut == pending->solvable;
           std::string responseBody = pending->body();
           HttpServer::Done complete = std::move(pending->done);
           lock.unlock();  // never invoke the transport under our lock
-          complete(200, "application/x-ndjson", responseBody);
+          complete(allTimedOut ? 504 : 200, "application/x-ndjson", responseBody);
         });
     if (!accepted) {
       // Queue saturated: shed the whole POST. Outcomes of lines already

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "pipesched/fault/fault.hpp"
+
 namespace pipesched::net {
 
 namespace {
@@ -70,6 +72,11 @@ HttpParser::Status HttpParser::consume(const char* data, std::size_t n) {
   // pipelined request and must survive until reset() re-arms on them.
   buffer_.append(data, n);
   if (status_ != Status::kNeedMore) return status_;
+  // Armed `http.parse` faults surface as a parse failure — the connection
+  // answers 400 and closes, exactly like genuinely malformed bytes.
+  if (fault::injected(fault::sites::kHttpParse)) {
+    return fail(400, "fault injected: http.parse");
+  }
   return advance();
 }
 
@@ -187,11 +194,13 @@ const char* httpStatusText(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 505: return "HTTP Version Not Supported";
     default: return "Unknown";
   }

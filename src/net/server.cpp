@@ -83,6 +83,8 @@ ServerStats HttpServer::stats() const {
   s.bytesWritten = bytesWritten_.load();
   s.shed = shed_.load();
   s.active = accepted_.load() - closed_.load() - errored_.load();
+  s.requestTimeouts = requestTimeouts_.load();
+  s.idleClosed = idleClosed_.load();
   return s;
 }
 
@@ -119,11 +121,52 @@ void HttpServer::acceptPending() {
     Connection conn;
     conn.socket = std::move(*socket);
     conn.parser = HttpParser(config_.maxBodyBytes);
+    conn.lastActivity = std::chrono::steady_clock::now();
     connections_.emplace(nextConnectionId_++, std::move(conn));
   }
   if (obs::metricsEnabled()) {
     obs::registry().gauge(obs::names::kNetActive).set(
         static_cast<std::int64_t>(connections_.size()));
+  }
+}
+
+void HttpServer::sweepTimeouts() {
+  if (config_.requestTimeoutMs <= 0 && config_.idleTimeoutMs <= 0) return;
+  if (connections_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Collect first: queueDirect/destroy mutate the map and the poll set.
+  std::vector<std::uint64_t> stalled;
+  std::vector<std::uint64_t> idle;
+  for (auto& [id, conn] : connections_) {
+    // A connection with a dispatched request or queued bytes is the
+    // handler's/flusher's responsibility, not the sweep's.
+    if (conn.awaitingResponse || !conn.outbox.empty()) continue;
+    const auto quiet = now - conn.lastActivity;
+    if (config_.requestTimeoutMs > 0 && conn.parser.started() &&
+        quiet >= std::chrono::milliseconds(config_.requestTimeoutMs)) {
+      stalled.push_back(id);
+    } else if (config_.idleTimeoutMs > 0 && !conn.parser.started() &&
+               quiet >= std::chrono::milliseconds(config_.idleTimeoutMs)) {
+      idle.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : stalled) {
+    // Slowloris guard: answer 408 and close. The response flushes through
+    // the normal outbox path on the next writable edge.
+    Connection& conn = connections_.at(id);
+    queueDirect(conn, 408, "request timeout\n", /*keepAlive=*/false);
+    requestTimeouts_.fetch_add(1);
+    if (obs::metricsEnabled()) {
+      obs::registry().counter(obs::names::kNetRequestTimeouts).add(1);
+    }
+  }
+  for (const std::uint64_t id : idle) {
+    // Idle keep-alive: nothing in flight, nothing owed — close silently.
+    idleClosed_.fetch_add(1);
+    if (obs::metricsEnabled()) {
+      obs::registry().counter(obs::names::kNetIdleClosed).add(1);
+    }
+    destroy(id, /*errored=*/false);
   }
 }
 
@@ -218,6 +261,7 @@ void HttpServer::readFrom(std::uint64_t id, Connection& conn) {
   for (;;) {
     const IoResult r = conn.socket.read(buffer, sizeof buffer);
     if (r.bytes > 0) {
+      conn.lastActivity = std::chrono::steady_clock::now();
       bytesRead_.fetch_add(r.bytes);
       if (obs::metricsEnabled()) {
         obs::registry().counter(obs::names::kNetBytesRead).add(r.bytes);
@@ -330,6 +374,10 @@ void HttpServer::run() {
         destroy(id, /*errored=*/false);
       }
     }
+
+    // Idle/slowloris sweep rides the poll heartbeat: worst-case detection
+    // latency is one pollTimeoutMs tick past the configured timeout.
+    sweepTimeouts();
 
     if (draining_.load()) {
       bool outboxesEmpty = true;

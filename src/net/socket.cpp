@@ -10,14 +10,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "pipesched/fault/fault.hpp"
 
 namespace pipesched::net {
 
 namespace {
 
 [[noreturn]] void throwErrno(const std::string& what) {
-  throw ModelError("net: " + what + ": " + std::strerror(errno));
+  // Snapshot errno before the message construction (which may allocate) and
+  // restore it on the way out: connectTcpRetry classifies the caught error
+  // by errno, which must still name the failing call.
+  const int err = errno;
+  std::string message = "net: " + what + ": " + std::strerror(err);
+  errno = err;
+  throw ModelError(std::move(message));
 }
 
 sockaddr_in resolveIpv4(const Endpoint& endpoint) {
@@ -88,42 +98,44 @@ void Socket::setNonBlocking(bool on) {
 
 IoResult Socket::read(char* buffer, std::size_t n) noexcept {
   IoResult result;
-  for (;;) {
-    const ssize_t got = ::read(fd_, buffer, n);
-    if (got > 0) {
-      result.bytes = static_cast<std::size_t>(got);
-      return result;
-    }
-    if (got == 0) {
-      result.closed = true;
-      return result;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      result.wouldBlock = true;
-      return result;
-    }
+  if (fault::injected(fault::sites::kNetRead)) {
     result.error = true;
     return result;
   }
+  const ssize_t got = retryOnEintr([&] { return ::read(fd_, buffer, n); });
+  if (got > 0) {
+    result.bytes = static_cast<std::size_t>(got);
+    return result;
+  }
+  if (got == 0) {
+    result.closed = true;
+    return result;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    result.wouldBlock = true;
+    return result;
+  }
+  result.error = true;
+  return result;
 }
 
 IoResult Socket::write(const char* buffer, std::size_t n) noexcept {
   IoResult result;
-  for (;;) {
-    const ssize_t wrote = ::send(fd_, buffer, n, MSG_NOSIGNAL);
-    if (wrote >= 0) {
-      result.bytes = static_cast<std::size_t>(wrote);
-      return result;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      result.wouldBlock = true;
-      return result;
-    }
+  if (fault::injected(fault::sites::kNetWrite)) {
     result.error = true;
     return result;
   }
+  const ssize_t wrote = retryOnEintr([&] { return ::send(fd_, buffer, n, MSG_NOSIGNAL); });
+  if (wrote >= 0) {
+    result.bytes = static_cast<std::size_t>(wrote);
+    return result;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    result.wouldBlock = true;
+    return result;
+  }
+  result.error = true;
+  return result;
 }
 
 void Socket::writeAll(const char* buffer, std::size_t n) {
@@ -158,20 +170,20 @@ void TcpListener::listen(const Endpoint& endpoint, int backlog) {
 
 std::optional<Socket> TcpListener::accept() {
   if (!socket_.valid()) throw ModelError("net: accept on a closed listener");
-  for (;;) {
-    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
-    if (fd >= 0) {
-      Socket conn(fd);
-      conn.setNonBlocking(true);
-      const int one = 1;
-      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      return conn;
-    }
-    if (errno == EINTR) continue;
+  // An injected accept fault presents as "nothing queued" — the event loop
+  // simply retries on the next readiness edge.
+  if (fault::injected(fault::sites::kNetAccept)) return std::nullopt;
+  const int fd = retryOnEintr([&] { return ::accept(socket_.fd(), nullptr, nullptr); });
+  if (fd < 0) {
     // EAGAIN and the transient per-connection accept errors (a peer that
     // reset before we got to it) all mean "nothing usable right now".
     return std::nullopt;
   }
+  Socket conn(fd);
+  conn.setNonBlocking(true);
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return conn;
 }
 
 Endpoint TcpListener::local() const {
@@ -186,20 +198,84 @@ Endpoint TcpListener::local() const {
   return Endpoint{host, ntohs(addr.sin_port)};
 }
 
-Socket connectTcp(const Endpoint& endpoint) {
+Socket connectTcp(const Endpoint& endpoint, int timeoutMs) {
   const sockaddr_in addr = resolveIpv4(endpoint);
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throwErrno("socket");
-  for (;;) {
-    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
-      break;
-    }
-    if (errno == EINTR) continue;
+  // Always connect non-blocking and wait via poll(): one code path covers
+  // the bounded and unbounded cases, and an EINTR during the wait retries
+  // the poll instead of re-issuing connect(2) (which would yield EALREADY).
+  sock.setNonBlocking(true);
+  const int rc =
+      ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     throwErrno("connect " + endpoint.str());
   }
+  if (rc != 0) {
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      int remaining = -1;
+      if (timeoutMs >= 0) {
+        const auto elapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        remaining = timeoutMs - static_cast<int>(elapsedMs);
+        if (remaining < 0) remaining = 0;
+      }
+      pollfd pfd{sock.fd(), POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, remaining);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {
+        errno = ETIMEDOUT;
+        throwErrno("connect " + endpoint.str() + " (timeout " +
+                   std::to_string(timeoutMs) + "ms)");
+      }
+      if (ready < 0) throwErrno("poll during connect " + endpoint.str());
+      break;
+    }
+    int soError = 0;
+    socklen_t len = sizeof soError;
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soError, &len) != 0) {
+      throwErrno("getsockopt(SO_ERROR) " + endpoint.str());
+    }
+    if (soError != 0) {
+      errno = soError;
+      throwErrno("connect " + endpoint.str());
+    }
+  }
+  sock.setNonBlocking(false);
   const int one = 1;
   (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return sock;
+}
+
+Socket connectTcpRetry(const Endpoint& endpoint, const RetryPolicy& policy, int timeoutMs) {
+  // Transient = the peer might exist shortly (mid-restart, listen backlog
+  // overflow, kernel resource blip). Everything else fails fast.
+  const auto transient = [](int err) {
+    return err == ECONNREFUSED || err == ECONNRESET || err == ETIMEDOUT ||
+           err == EHOSTUNREACH || err == ENETUNREACH || err == EAGAIN || err == ENOBUFS;
+  };
+  std::uint64_t jitter = policy.seed;
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  int delayMs = policy.baseDelayMs;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return connectTcp(endpoint, timeoutMs);
+    } catch (const ModelError&) {
+      // throwErrno restored errno to the failing call's code.
+      if (attempt >= attempts || !transient(errno)) throw;
+    }
+    // Jittered backoff: uniform in [delay/2, delay], then double up to the
+    // cap — retries from many clients de-synchronize instead of thundering.
+    jitter = jitter * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int capped = delayMs > policy.maxDelayMs ? policy.maxDelayMs : delayMs;
+    const int lower = capped / 2;
+    const int sleepMs =
+        capped <= 0 ? 0 : lower + static_cast<int>(jitter % static_cast<std::uint64_t>(capped - lower + 1));
+    if (sleepMs > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    if (delayMs <= policy.maxDelayMs) delayMs *= 2;
+  }
 }
 
 WakePipe::WakePipe() {
@@ -226,7 +302,7 @@ void WakePipe::notify() noexcept {
 
 void WakePipe::drain() noexcept {
   char buffer[64];
-  while (::read(fds_[0], buffer, sizeof buffer) > 0) {
+  while (retryOnEintr([&] { return ::read(fds_[0], buffer, sizeof buffer); }) > 0) {
   }
 }
 

@@ -186,6 +186,14 @@ void preregisterStandardMetrics() {
   (void)reg.counter(names::kNetRequests);
   (void)reg.counter(names::kNetShed);
   (void)reg.gauge(names::kNetDraining);
+  (void)reg.counter(names::kNetTimeout);
+  (void)reg.counter(names::kNetRequestTimeouts);
+  (void)reg.counter(names::kNetIdleClosed);
+  (void)reg.counter(names::kFaultInjected);
+  (void)reg.counter(names::kTimeoutQueueExpired);
+  (void)reg.counter(names::kTimeoutCoalescedExpired);
+  (void)reg.counter(names::kDegradedResponses);
+  (void)reg.counter(names::kDegradedMembers);
   for (const char* endpoint : {"solve", "stats", "healthz", "metrics"}) {
     (void)endpointHistogram(endpoint);
   }

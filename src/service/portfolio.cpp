@@ -14,6 +14,7 @@
 #include "pipesched/core/pareto.hpp"
 #include "pipesched/exact/exhaustive.hpp"
 #include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/heuristics/annealing.hpp"
 #include "pipesched/heuristics/local_search.hpp"
 #include "pipesched/heuristics/registry.hpp"
@@ -29,13 +30,9 @@ using Clock = std::chrono::steady_clock;
 struct Slot {
   std::vector<core::ParetoPoint> points;
   SolverContribution contribution;
-};
-
-struct Deadline {
-  bool active = false;
-  Clock::time_point at;
-
-  [[nodiscard]] bool expired() const { return active && Clock::now() >= at; }
+  /// The wall-clock deadline (request deadline or timeBudgetMs) cut this
+  /// member short or dropped it before it started — the run is degraded.
+  bool deadlineCut = false;
 };
 
 /// Share identity of a sweeping member's unit at threshold `t`: the member
@@ -489,14 +486,44 @@ void runMember(const PortfolioMember& member, const core::Evaluator& eval,
   // registry is off.
   const Clock::time_point memberStart = Clock::now();
   slot.contribution.solver = member.solverName();
-  const std::unique_ptr<PortfolioMember::Run> run = member.start(eval, sweep, config, share);
+  // Fault site "member.<id>", e.g. member.H3. Site-name built only when a
+  // spec is armed so the disarmed path stays allocation-free.
+  const std::string faultSite =
+      fault::armed() ? std::string(fault::sites::kMemberPrefix) + member.id() : std::string();
+  // Drop a not-yet-started member outright when the deadline already passed:
+  // start() itself can be a full heuristic run (the grid anchor).
+  if (deadline.expired()) {
+    slot.contribution.completed = false;
+    slot.deadlineCut = true;
+    return;
+  }
+  std::unique_ptr<PortfolioMember::Run> run;
+  try {
+    run = member.start(eval, sweep, config, share);
+  } catch (const std::exception&) {
+    // Contain member failures: this member contributes nothing, the others'
+    // merged front ships flagged degraded instead of failing the request.
+    slot.contribution.failed = true;
+    slot.contribution.completed = false;
+    return;
+  }
   const std::size_t units = run->units();
   slot.contribution.units = units;
   slot.contribution.completed = true;
   core::ParetoFrontBuilder own;  // the member's own running front (drop policy)
   std::size_t stale = 0;
   for (std::size_t i = 0; i < units; ++i) {
-    if (i >= config.budget.maxRunsPerSolver || deadline.expired()) {
+    if (i >= config.budget.maxRunsPerSolver) {
+      slot.contribution.completed = false;
+      break;
+    }
+    if (deadline.expired()) {
+      slot.contribution.completed = false;
+      slot.deadlineCut = true;
+      break;
+    }
+    if (!faultSite.empty() && fault::injected(faultSite)) {
+      slot.contribution.failed = true;
       slot.contribution.completed = false;
       break;
     }
@@ -517,7 +544,13 @@ void runMember(const PortfolioMember& member, const core::Evaluator& eval,
       }
     }
     if (!fromShare) {
-      points = run->unit(i);
+      try {
+        points = run->unit(i);
+      } catch (const std::exception&) {
+        slot.contribution.failed = true;
+        slot.contribution.completed = false;
+        break;
+      }
       // Publish the fresh unit (plus the member's warm-start payload) unless
       // an internal limit truncated it — a cached unit must always stand for
       // the complete computation its key names.
@@ -609,17 +642,14 @@ std::vector<std::unique_ptr<PortfolioMember>> makePortfolioMembers(
 
 PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep,
                              const PortfolioConfig& config, ThreadPool* pool,
-                             const SubShare* share) {
+                             const SubShare* share, const Deadline& requestDeadline) {
   if (sweep.points == 0) throw ModelError("runPortfolio: sweep.points must be >= 1");
   if (sweep.range <= 1) throw ModelError("runPortfolio: sweep.range must be > 1");
 
-  Deadline deadline;
-  if (config.budget.timeBudgetMs > 0) {
-    deadline.active = true;
-    deadline.at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double, std::milli>(
-                                         config.budget.timeBudgetMs));
-  }
+  // Effective deadline: the earlier of the config's wall-clock budget
+  // (relative, anchored here) and the caller's absolute request deadline.
+  const Deadline deadline =
+      Deadline::earlier(Deadline::in(config.budget.timeBudgetMs), requestDeadline);
 
   // The accepted-member list is a pure function of (instance, config), so
   // slot order — and with it the merge — is identical serial vs pooled.
@@ -681,6 +711,12 @@ PortfolioResult runPortfolio(const core::Evaluator& eval, const SweepSpec& sweep
     all.insert(all.end(), std::make_move_iterator(slot.points.begin()),
                std::make_move_iterator(slot.points.end()));
     result.budgetExhausted |= !slot.contribution.completed;
+    if (slot.deadlineCut || slot.contribution.failed) {
+      result.degraded = true;
+      if (obs::metricsEnabled()) {
+        obs::registry().counter(obs::names::kDegradedMembers).add();
+      }
+    }
     result.solvers.push_back(std::move(slot.contribution));
   }
   result.front = core::paretoFront(std::move(all));

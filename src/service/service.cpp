@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/obs/metrics.hpp"
 #include "pipesched/obs/trace.hpp"
 
@@ -57,6 +58,9 @@ void countOutcome(const RequestOutcome& outcome) {
     cacheHits.add();
   } else {
     solved.add();
+    if (outcome.result.degraded) {
+      obs::registry().counter(obs::names::kDegradedResponses).add();
+    }
   }
 }
 
@@ -81,7 +85,7 @@ RequestOutcome SchedulingService::solveUncached(const Request& request, ThreadPo
       share.emplace(&subCache_, instanceFingerprint(request));
     }
     outcome.result = runPortfolio(eval, request.sweep, config_.portfolio, pool,
-                                  share ? &*share : nullptr);
+                                  share ? &*share : nullptr, request.deadline);
     outcome.ok = true;
   } catch (const std::exception& e) {
     outcome.ok = false;
@@ -126,7 +130,12 @@ RequestOutcome SchedulingService::solve(const Request& request,
                                         const RequestIdentity& identity,
                                         obs::RequestTrace* trace) {
   obs::TraceSpan lookupSpan(obs::Stage::kCacheLookup, trace);
-  auto cached = cache_.get(identity.fp, identity.key);
+  // Armed `cache.get` faults force a miss — the solve path must stay correct
+  // (if slower) when the cache tier misbehaves.
+  std::optional<PortfolioResult> cached;
+  if (!fault::injected(fault::sites::kCacheGet)) {
+    cached = cache_.get(identity.fp, identity.key);
+  }
   const double lookupSeconds = lookupSpan.stop();
   if (trace != nullptr) trace->totalSeconds += lookupSeconds;
   if (cached) {
@@ -144,7 +153,12 @@ RequestOutcome SchedulingService::solve(const Request& request,
   const Clock::time_point solveStart = trace != nullptr ? Clock::now() : Clock::time_point{};
   RequestOutcome outcome = solveUncached(request, &pool_);
   outcome.fingerprint = identity.fp;
-  if (outcome.ok) cache_.put(identity.fp, identity.key, outcome.result);
+  // Degraded (deadline/failure-cut) fronts are partial by timing accident —
+  // caching one would serve the truncation to every later identical request.
+  if (outcome.ok && !outcome.result.degraded &&
+      !fault::injected(fault::sites::kCachePut)) {
+    cache_.put(identity.fp, identity.key, outcome.result);
+  }
   if (trace != nullptr) {
     trace->totalSeconds += std::chrono::duration<double>(Clock::now() - solveStart).count();
     if (outcome.ok) addSolveStages(*trace, outcome.result);
@@ -204,7 +218,10 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
   for (const std::string* key : keyOrder) {
     Group& group = groups.at(*key);
     obs::TraceSpan lookupSpan(obs::Stage::kCacheLookup, tracing ? &group.trace : nullptr);
-    auto cached = cache_.get(group.fp, *key);
+    std::optional<PortfolioResult> cached;
+    if (!fault::injected(fault::sites::kCacheGet)) {
+      cached = cache_.get(group.fp, *key);
+    }
     const double lookupSeconds = lookupSpan.stop();
     if (tracing) group.trace.totalSeconds += lookupSeconds;
     if (cached) {
@@ -263,7 +280,9 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
       out.trace = std::make_shared<const obs::RequestTrace>(std::move(group.trace));
     }
     if (out.ok) {
-      cache_.put(group.fp, *misses[m].key, out.result);
+      if (!out.result.degraded && !fault::injected(fault::sites::kCachePut)) {
+        cache_.put(group.fp, *misses[m].key, out.result);
+      }
       batch.stats.solved += 1;
       accumulateMemberStats(batch.stats.members, out.result.solvers);
       for (const SolverContribution& c : out.result.solvers) {
@@ -288,8 +307,13 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
     }
   }
 
+  std::size_t degradedResponses = 0;
   for (const RequestOutcome& outcome : batch.outcomes) {
-    if (!outcome.ok) batch.stats.failed += 1;
+    if (!outcome.ok) {
+      batch.stats.failed += 1;
+    } else if (outcome.result.degraded) {
+      degradedResponses += 1;
+    }
   }
   batch.stats.wallSeconds =
       std::chrono::duration<double>(Clock::now() - start).count();
@@ -304,6 +328,9 @@ BatchResult SchedulingService::solveBatch(const std::vector<Request>& requests) 
     solved.add(batch.stats.solved);
     cacheHits.add(batch.stats.cacheHits);
     failed.add(batch.stats.failed);
+    if (degradedResponses > 0) {
+      obs::registry().counter(obs::names::kDegradedResponses).add(degradedResponses);
+    }
   }
   return batch;
 }

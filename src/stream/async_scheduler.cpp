@@ -5,10 +5,26 @@
 #include <optional>
 #include <utility>
 
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/obs/metrics.hpp"
 #include "pipesched/service/fingerprint.hpp"
 
 namespace pipesched::stream {
+
+namespace {
+
+/// The flagged timeout every expiry path hands to finish(): never a hang,
+/// never a silent drop — ok == false, timedOut == true, explanatory error.
+service::RequestOutcome timeoutOutcome(const service::Fingerprint& fp, const char* where) {
+  service::RequestOutcome outcome;
+  outcome.ok = false;
+  outcome.timedOut = true;
+  outcome.error = std::string("deadline exceeded ") + where;
+  outcome.fingerprint = fp;
+  return outcome;
+}
+
+}  // namespace
 
 AsyncScheduler::AsyncScheduler(StreamConfig config)
     : config_(std::move(config)),
@@ -113,6 +129,21 @@ void AsyncScheduler::workerLoop() {
     job.identity = service::requestIdentity(job.request);
     const double fingerprintSeconds = fingerprintSpan.stop();
     if (trace) trace->totalSeconds += fingerprintSeconds;
+    // A request that expired while queued is answered with a flagged timeout
+    // and never solved: under saturation, burning a worker on a result
+    // nobody can use anymore only pushes every later deadline over too.
+    if (job.request.deadline.expired()) {
+      service::RequestOutcome outcome =
+          timeoutOutcome(job.identity.fp, "while queued");
+      if (trace) {
+        outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(*trace));
+      }
+      if (obs::metricsEnabled()) {
+        obs::registry().counter(obs::names::kTimeoutQueueExpired).add();
+      }
+      finish(job, std::move(outcome), /*coalescedCopy=*/false);
+      continue;
+    }
     bool ownsKey = false;
     {
       std::lock_guard lock(mutex_);
@@ -144,6 +175,18 @@ void AsyncScheduler::workerLoop() {
       inflight_.erase(it);
     }
     for (Job& waiter : waiters) {
+      // A waiter whose own deadline passed while the owner solved gets a
+      // flagged timeout, not a result delivered past its deadline.
+      if (waiter.request.deadline.expired()) {
+        service::RequestOutcome expiredCopy =
+            timeoutOutcome(job.identity.fp, "while coalesced on an in-flight solve");
+        expiredCopy.trace = outcome.trace;
+        if (obs::metricsEnabled()) {
+          obs::registry().counter(obs::names::kTimeoutCoalescedExpired).add();
+        }
+        finish(waiter, std::move(expiredCopy), /*coalescedCopy=*/true);
+        continue;
+      }
       service::RequestOutcome copy = outcome;
       copy.deduped = true;
       copy.fromCache = false;
@@ -166,10 +209,26 @@ void AsyncScheduler::runInline(Job job) {
   job.identity = service::requestIdentity(job.request);
   const double fingerprintSeconds = fingerprintSpan.stop();
   if (trace) trace->totalSeconds += fingerprintSeconds;
+  if (job.request.deadline.expired()) {
+    // Inline mode has no queue, but a caller can still hand over an already
+    // expired deadline — same contract as the worker path.
+    service::RequestOutcome outcome = timeoutOutcome(job.identity.fp, "before solving");
+    if (trace) {
+      outcome.trace = std::make_shared<const obs::RequestTrace>(std::move(*trace));
+    }
+    if (obs::metricsEnabled()) {
+      obs::registry().counter(obs::names::kTimeoutQueueExpired).add();
+    }
+    finish(job, std::move(outcome), /*coalescedCopy=*/false);
+    return;
+  }
   finish(job, solveOne(job, trace ? &*trace : nullptr), /*coalescedCopy=*/false);
 }
 
 std::future<service::RequestOutcome> AsyncScheduler::submitJob(Job job) {
+  if (fault::injected(fault::sites::kSchedSubmit)) {
+    throw ModelError("fault injected: sched.submit");
+  }
   std::future<service::RequestOutcome> future = job.promise.get_future();
   if (obs::metricsEnabled() || obs::tracingEnabled()) {
     job.enqueuedAt = obs::TraceClock::now();
@@ -211,6 +270,9 @@ void AsyncScheduler::submit(service::Request request, Callback callback) {
 }
 
 bool AsyncScheduler::trySubmit(service::Request request, Callback callback) {
+  // An armed `sched.submit` fault presents as admission refusal — callers
+  // already handle the queue-full shed path, so injection exercises it.
+  if (fault::injected(fault::sites::kSchedSubmit)) return false;
   Job job{std::move(request)};
   job.callback = std::move(callback);
   if (obs::metricsEnabled() || obs::tracingEnabled()) {

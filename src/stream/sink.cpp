@@ -11,12 +11,20 @@ void writeOutcomeFields(io::JsonWriter& w, const std::string& name,
   w.kv("ok", outcome.ok);
   if (!outcome.ok) {
     w.kv("error", outcome.error);
+    // Deadline expiries are machine-distinguishable from parse/solve errors
+    // (clients retry them differently). Emitted only when set, like `trace`
+    // below, so healthy output stays byte-stable.
+    if (outcome.timedOut) w.kv("timed_out", true);
     return;
   }
   w.kv("from_cache", outcome.fromCache);
   w.kv("deduped", outcome.deduped);
   w.kv("exact_used", outcome.result.exactUsed);
   w.kv("budget_exhausted", outcome.result.budgetExhausted);
+  // A deadline- or failure-cut partial front is explicitly flagged — never a
+  // silent truncation. Key present only when true: healthy outputs keep the
+  // golden-diff / byte-identity contracts.
+  if (outcome.result.degraded) w.kv("degraded", true);
   w.key("front").beginArray();
   for (const core::ParetoPoint& p : outcome.result.front) {
     w.beginObject();

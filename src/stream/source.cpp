@@ -63,8 +63,9 @@ service::Request requestFromDoc(const Doc& v, const JsonlDefaults& defaults,
                                 std::size_t lineNo) {
   if (!v.isObject()) throw std::runtime_error("request line must be a JSON object");
 
-  static const char* const known[] = {"file", "text", "kind",  "stages",  "processors",
-                                      "seed", "name", "points", "range",  "overlap"};
+  static const char* const known[] = {"file",   "text",  "kind",    "stages",
+                                      "processors", "seed",  "name",    "points",
+                                      "range",  "overlap", "deadline_ms"};
   for (std::size_t i = 0; i < v.members.size(); ++i) {
     const std::string_view name = memberName(v.members[i]);
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
@@ -170,6 +171,17 @@ service::Request requestFromDoc(const Doc& v, const JsonlDefaults& defaults,
     request.model =
         overlap->asBool() ? core::CommModel::kOverlapped : core::CommModel::kSequential;
   }
+  // Deadlines anchor at parse time: queue wait counts against them. An
+  // explicit "deadline_ms" (0 allowed — it disables the default) overrides
+  // the source-wide default.
+  double deadlineMs = defaults.deadlineMs;
+  if (const auto* deadline = v.find("deadline_ms")) {
+    deadlineMs = deadline->asNumber();
+    if (deadlineMs < 0) {
+      throw std::runtime_error("\"deadline_ms\" must be >= 0");
+    }
+  }
+  request.deadline = service::Deadline::in(deadlineMs);
   return request;
 }
 

@@ -4,7 +4,10 @@
 // socket, and the offline Prometheus twin (`stats --format prometheus`).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -142,6 +145,65 @@ TEST(CliServeListen, ServesSolveOverLoopbackThenDrainsOnShutdown) {
       << result.err;
   EXPECT_NE(result.err.find("serve: drained — "), std::string::npos) << result.err;
   EXPECT_NE(result.err.find("2 http request(s)"), std::string::npos) << result.err;
+  // The drain removed the published port file: scripts polling it never
+  // find a port that no longer answers.
+  EXPECT_FALSE(std::ifstream(portPath).good()) << "port file survived the drain";
+}
+
+TEST(CliServeListen, PortFileIsRemovedAfterRealSigtermDrain) {
+  const std::string portPath = tempPath("sigterm_port_file.txt");
+  RunResult result;
+  std::thread server([&result, &portPath] {
+    result = run({"serve", "--listen", "127.0.0.1:0", "--port-file", portPath,
+                  "--serial"});
+  });
+
+  net::Endpoint endpoint;
+  bool published = false;
+  for (int tries = 0; tries < 500 && !published; ++tries) {
+    std::ifstream f(portPath);
+    published = static_cast<bool>(f >> endpoint.host >> endpoint.port);
+    if (!published) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(published) << "port file never appeared";
+
+  // A served response proves run() is active, which in turn proves the
+  // scoped SIGTERM handler is installed — only then is the real signal safe.
+  const net::testutil::ClientResponse health =
+      net::testutil::fetch(endpoint, "GET", "/healthz");
+  ASSERT_EQ(health.status, 200);
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  server.join();
+
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("serve: drained — "), std::string::npos) << result.err;
+  EXPECT_FALSE(std::ifstream(portPath).good()) << "port file survived SIGTERM drain";
+}
+
+TEST(CliServeFaults, BadFaultSpecIsAUsageError) {
+  const std::string input = writeInput("bad_fault_input.jsonl", 1);
+  const RunResult r =
+      run({"serve", "--input", input, "--serial", "--fault-spec", "net.read=p:nope"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("fault-spec"), std::string::npos) << r.err;
+}
+
+TEST(CliServeFaults, MemberFaultStormDegradesOutcomesButServeSurvives) {
+  // Every portfolio member fails on every request: outcomes are flagged
+  // degraded, nothing crashes, and the exit code stays 0 (ok outcomes).
+  const std::string input = writeInput("fault_storm_input.jsonl", 3);
+  const RunResult r =
+      run({"serve", "--input", input, "--serial", "--fault-spec", "member.*"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::istringstream outcomes(r.out);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(outcomes, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"degraded\":true"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 3u) << r.out;
 }
 
 TEST(CliStats, PrometheusFormatRendersTheRegistry) {

@@ -1,0 +1,198 @@
+// Fault-injection registry: spec grammar, trigger semantics (probability,
+// count, after, latency, noerror), prefix globs, per-rule stats, and the
+// disarmed fast path. The registry is process-wide, so every test scopes its
+// arming with ScopedFaultSpec (or arm/disarm pairs) to avoid leaking state.
+#include "pipesched/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "pipesched/core/types.hpp"
+
+namespace pipesched::fault {
+namespace {
+
+TEST(FaultSpec, EmptySpecYieldsNoRules) {
+  EXPECT_TRUE(parseFaultSpec("").empty());
+  EXPECT_TRUE(parseFaultSpec("  ").empty());
+}
+
+TEST(FaultSpec, ParsesSingleClauseWithDefaults) {
+  const std::vector<FaultRule> rules = parseFaultSpec("net.read");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].site, "net.read");
+  EXPECT_DOUBLE_EQ(rules[0].probability, 1.0);
+  EXPECT_EQ(rules[0].maxCount, 0u);
+  EXPECT_EQ(rules[0].after, 0u);
+  EXPECT_DOUBLE_EQ(rules[0].latencyMs, 0.0);
+  EXPECT_TRUE(rules[0].fail);
+}
+
+TEST(FaultSpec, ParsesAllActions) {
+  const std::vector<FaultRule> rules =
+      parseFaultSpec("member.H3=p:0.25,count:7,after:2,latency:15,noerror");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].site, "member.H3");
+  EXPECT_DOUBLE_EQ(rules[0].probability, 0.25);
+  EXPECT_EQ(rules[0].maxCount, 7u);
+  EXPECT_EQ(rules[0].after, 2u);
+  EXPECT_DOUBLE_EQ(rules[0].latencyMs, 15.0);
+  EXPECT_FALSE(rules[0].fail);
+}
+
+TEST(FaultSpec, ParsesMultipleClauses) {
+  const std::vector<FaultRule> rules =
+      parseFaultSpec("net.read=p:0.5;cache.put;sched.submit=count:1");
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].site, "net.read");
+  EXPECT_EQ(rules[1].site, "cache.put");
+  EXPECT_EQ(rules[2].site, "sched.submit");
+  EXPECT_EQ(rules[2].maxCount, 1u);
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parseFaultSpec("=p:0.5"), ModelError);       // empty site
+  EXPECT_THROW(parseFaultSpec("net.read=p:1.5"), ModelError);  // p out of range
+  EXPECT_THROW(parseFaultSpec("net.read=p:-0.1"), ModelError);
+  EXPECT_THROW(parseFaultSpec("net.read=p:abc"), ModelError);
+  EXPECT_THROW(parseFaultSpec("net.read=count:0"), ModelError);  // count >= 1
+  EXPECT_THROW(parseFaultSpec("net.read=latency:-3"), ModelError);
+  EXPECT_THROW(parseFaultSpec("net.read=bogus:1"), ModelError);  // unknown action
+  EXPECT_THROW(parseFaultSpec("net.read="), ModelError);         // empty action
+  EXPECT_THROW(parseFaultSpec("a*b=p:0.5"), ModelError);  // '*' only trailing
+}
+
+TEST(Fault, DisarmedInjectsNothing) {
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(injected(sites::kNetRead));
+  EXPECT_TRUE(stats().empty());
+}
+
+TEST(Fault, AlwaysOnRuleFiresEveryEvaluation) {
+  ScopedFaultSpec scope("net.read");
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(injected(sites::kNetRead));
+  EXPECT_FALSE(injected(sites::kNetWrite));  // other sites untouched
+  const std::vector<RuleStats> s = stats();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].evaluations, 8u);
+  EXPECT_EQ(s[0].injected, 8u);
+}
+
+TEST(Fault, ScopedSpecDisarmsOnExit) {
+  {
+    ScopedFaultSpec scope("net.read");
+    EXPECT_TRUE(injected(sites::kNetRead));
+  }
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(injected(sites::kNetRead));
+}
+
+TEST(Fault, CountLimitsTotalInjections) {
+  ScopedFaultSpec scope("cache.put=count:3");
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += injected(sites::kCachePut) ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Fault, AfterSkipsLeadingEvaluations) {
+  ScopedFaultSpec scope("cache.get=after:4");
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(injected(sites::kCacheGet));
+  EXPECT_TRUE(injected(sites::kCacheGet));
+}
+
+TEST(Fault, AfterAndCountCompose) {
+  // Skip 2, then fire exactly twice: evaluations 3 and 4 fail, the rest pass.
+  ScopedFaultSpec scope("sched.submit=after:2,count:2");
+  std::vector<bool> results;
+  for (int i = 0; i < 6; ++i) results.push_back(injected(sites::kSchedSubmit));
+  EXPECT_EQ(results, (std::vector<bool>{false, false, true, true, false, false}));
+}
+
+TEST(Fault, ProbabilityStreamIsDeterministicPerSeed) {
+  const auto draw = [](std::uint64_t seed) {
+    arm("net.read=p:0.5", seed);
+    std::vector<bool> results;
+    for (int i = 0; i < 64; ++i) results.push_back(injected(sites::kNetRead));
+    disarm();
+    return results;
+  };
+  const std::vector<bool> a = draw(42);
+  const std::vector<bool> b = draw(42);
+  EXPECT_EQ(a, b);  // same seed replays the same decisions
+  // And p:0.5 over 64 draws neither never nor always fires.
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST(Fault, NoerrorRuleDelaysButDoesNotFail) {
+  ScopedFaultSpec scope("net.write=latency:30,noerror");
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(injected(sites::kNetWrite));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_GE(elapsed.count(), 25);  // slept, with scheduler slack
+  const std::vector<RuleStats> s = stats();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].injected, 1u);  // a stall still counts as an injection
+}
+
+TEST(Fault, PrefixGlobMatchesMemberSites) {
+  ScopedFaultSpec scope("member.*");
+  EXPECT_TRUE(injected("member.H1"));
+  EXPECT_TRUE(injected("member.sa:H5"));
+  EXPECT_FALSE(injected(sites::kNetRead));
+}
+
+TEST(Fault, StarMatchesEverySite) {
+  ScopedFaultSpec scope("*");
+  EXPECT_TRUE(injected(sites::kNetRead));
+  EXPECT_TRUE(injected(sites::kHttpParse));
+  EXPECT_TRUE(injected("member.H2"));
+}
+
+TEST(Fault, MatchingRulesEvaluateIndependently) {
+  // Both clauses match member.H1: the count-limited rule exhausts after one
+  // shot while the glob counts every matching evaluation toward its `after`
+  // gate — rule counters advance per rule, not per site.
+  ScopedFaultSpec scope("member.H1=count:1;member.*=after:3");
+  EXPECT_TRUE(injected("member.H1"));   // count rule fires; glob ordinal 0
+  EXPECT_FALSE(injected("member.H1"));  // count exhausted; glob ordinal 1
+  EXPECT_FALSE(injected("member.H2"));  // glob ordinal 2, still skipped
+  EXPECT_TRUE(injected("member.H2"));   // glob ordinal 3 >= after:3 — fires
+}
+
+TEST(Fault, RearmingReplacesRulesAndResetsCounters) {
+  arm("net.read=count:1");
+  EXPECT_TRUE(injected(sites::kNetRead));
+  EXPECT_FALSE(injected(sites::kNetRead));
+  arm("net.read=count:1");  // re-arm: counters restart
+  EXPECT_TRUE(injected(sites::kNetRead));
+  disarm();
+}
+
+TEST(Fault, ConcurrentEvaluationIsSafeAndBounded) {
+  ScopedFaultSpec scope("net.read=count:100");
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (injected(sites::kNetRead)) fired.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 100);  // count gate holds under contention
+}
+
+}  // namespace
+}  // namespace pipesched::fault

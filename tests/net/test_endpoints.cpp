@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <fstream>
 #include <memory>
@@ -167,6 +168,79 @@ TEST(ServeEndpoints, StatsHealthzAndMetricsAnswer) {
   EXPECT_NE(metrics.body.find("pipesched_net_http_requests"), std::string::npos);
   EXPECT_NE(metrics.body.find("# TYPE pipesched_net_connections_accepted counter"),
             std::string::npos);
+}
+
+TEST(ServeEndpoints, MalformedDeadlineHeaderAnswers400) {
+  EndpointsFixture fixture;
+  const ClientResponse bad = fetch(fixture.endpoint(), "POST", "/solve", kBody,
+                                   "X-Deadline-Ms: soon\r\n");
+  EXPECT_EQ(bad.status, 400);
+  const ClientResponse negative = fetch(fixture.endpoint(), "POST", "/solve", kBody,
+                                        "X-Deadline-Ms: -5\r\n");
+  EXPECT_EQ(negative.status, 400);
+  // 0 disables the default deadline — a valid, full solve.
+  const ClientResponse zero = fetch(fixture.endpoint(), "POST", "/solve", kBody,
+                                    "X-Deadline-Ms: 0\r\n");
+  EXPECT_EQ(zero.status, 200);
+}
+
+TEST(ServeEndpoints, WholeBatchPastDeadlineAnswers504) {
+  // One worker latched inside a blocker solve; a deadlined POST queues behind
+  // it and expires before the worker frees. Every solvable line times out, so
+  // the whole POST answers 504 with per-line {"ok":false,"timed_out":true}.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+
+  stream::StreamConfig config;
+  config.workers = 1;
+  config.queueCapacity = 8;
+  config.solveOverride = [&](const service::Request& request) -> service::RequestOutcome {
+    service::RequestOutcome outcome;
+    if (request.name == "blocker") {
+      std::unique_lock<std::mutex> lock(mutex);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    outcome.ok = true;
+    return outcome;
+  };
+
+  EndpointsFixture fixture(config);
+  std::thread blocker([&] {
+    const ClientResponse r = fetch(
+        fixture.endpoint(), "POST", "/solve",
+        "{\"kind\":\"E1\",\"stages\":4,\"processors\":3,\"seed\":9,\"name\":\"blocker\"}\n");
+    EXPECT_EQ(r.status, 200);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return entered; }));
+  }
+  // Release the latch only after the deadlined lines are sure to be expired.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+    cv.notify_all();
+  });
+
+  const std::string body =
+      "{\"kind\":\"E1\",\"stages\":4,\"processors\":3,\"seed\":1}\n"
+      "{\"kind\":\"E2\",\"stages\":5,\"processors\":4,\"seed\":2}\n";
+  const ClientResponse r =
+      fetch(fixture.endpoint(), "POST", "/solve", body, "X-Deadline-Ms: 50\r\n");
+  blocker.join();
+  releaser.join();
+
+  EXPECT_EQ(r.status, 504);
+  EXPECT_NE(r.body.find("\"timed_out\":true"), std::string::npos);
+  EXPECT_NE(r.body.find("deadline exceeded"), std::string::npos);
+  // Both lines still got their outcome line — degraded, never silent.
+  EXPECT_NE(r.body.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"line\":2"), std::string::npos);
 }
 
 TEST(ServeEndpoints, MethodMismatchesAreRejected) {

@@ -200,6 +200,130 @@ TEST(HttpServer, GracefulDrainAnswersInFlightRequestThenStops) {
   EXPECT_TRUE(fixture.server().draining());
 }
 
+TEST(HttpServer, SlowlorisConnectionGets408AndIsClosed) {
+  // A client that starts a request but trickles nothing more is answered 408
+  // within requestTimeoutMs + one poll heartbeat, and the connection closes.
+  HttpServerConfig config;
+  config.requestTimeoutMs = 100;
+  config.pollTimeoutMs = 20;
+  ServerFixture fixture(config);
+  fixture.start();
+
+  Socket socket = connectTcp(fixture.endpoint());
+  const std::string partial = "GET /never HTTP/1.1\r\n";  // headers never finish
+  socket.writeAll(partial.data(), partial.size());
+
+  const ClientResponse r = readResponse(socket);
+  EXPECT_EQ(r.status, 408);
+  EXPECT_EQ(r.headers.at("connection"), "close");
+  EXPECT_EQ(fixture.server().stats().requestTimeouts, 1u);
+}
+
+TEST(HttpServer, IdleKeepAliveConnectionIsSweptSilently) {
+  HttpServerConfig config;
+  config.idleTimeoutMs = 100;
+  config.pollTimeoutMs = 20;
+  ServerFixture fixture(config);
+  fixture.server().handle("GET", "/ping",
+                          [](const HttpRequest&, HttpServer::Done done) {
+                            done(200, "text/plain", "pong");
+                          });
+  fixture.start();
+
+  // Complete one request, then go idle on the keep-alive connection: the
+  // sweep closes it (EOF on our side) without writing anything first.
+  Socket socket = connectTcp(fixture.endpoint());
+  const std::string request = renderRequest("GET", "/ping");
+  socket.writeAll(request.data(), request.size());
+  EXPECT_EQ(readResponse(socket).status, 200);
+
+  char buffer[64];
+  bool sawEof = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  socket.setNonBlocking(true);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const IoResult r = socket.read(buffer, sizeof buffer);
+    if (r.closed) {
+      sawEof = true;
+      break;
+    }
+    ASSERT_EQ(r.bytes, 0u) << "idle close must not write bytes";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(sawEof);
+  EXPECT_EQ(fixture.server().stats().idleClosed, 1u);
+  EXPECT_EQ(fixture.server().stats().requestTimeouts, 0u);
+}
+
+TEST(HttpServer, ActiveRequestIsNotSweptBySlowlorisGuard) {
+  // A dispatched request whose handler is slow must NOT trip the guard: the
+  // stall is the handler's, not the client's. Idle sweeping is disabled —
+  // after the response lands the connection is legitimately idle, and on a
+  // slow (sanitized) run it would be swept before the stats assertions.
+  HttpServerConfig config;
+  config.requestTimeoutMs = 80;
+  config.idleTimeoutMs = 0;
+  config.pollTimeoutMs = 20;
+  ServerFixture fixture(config);
+  std::thread completer;
+  fixture.server().handle("GET", "/slow",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            completer = std::thread([done = std::move(done)]() mutable {
+                              std::this_thread::sleep_for(std::chrono::milliseconds(300));
+                              done(200, "text/plain", "worth the wait");
+                            });
+                          });
+  fixture.start();
+
+  const ClientResponse r = fetch(fixture.endpoint(), "GET", "/slow");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "worth the wait");
+  completer.join();
+  EXPECT_EQ(fixture.server().stats().requestTimeouts, 0u);
+  EXPECT_EQ(fixture.server().stats().idleClosed, 0u);
+}
+
+TEST(HttpServer, DrainDeadlinePassesWhenAHandlerNeverCompletes) {
+  // Stop requested while a handler holds its Done forever: run() must return
+  // once drainTimeoutMs expires instead of waiting on the lost response.
+  HttpServerConfig config;
+  config.drainTimeoutMs = 150;
+  config.pollTimeoutMs = 20;
+  ServerFixture fixture(config);
+  std::mutex mutex;
+  std::condition_variable cv;
+  HttpServer::Done leaked;  // parked and never called
+  bool have = false;
+  fixture.server().handle("GET", "/blackhole",
+                          [&](const HttpRequest&, HttpServer::Done done) {
+                            std::lock_guard<std::mutex> lock(mutex);
+                            leaked = std::move(done);
+                            have = true;
+                            cv.notify_all();
+                          });
+  fixture.start();
+
+  Socket socket = connectTcp(fixture.endpoint());
+  const std::string request = renderRequest("GET", "/blackhole");
+  socket.writeAll(request.data(), request.size());
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return have; }));
+  }
+
+  const auto before = std::chrono::steady_clock::now();
+  fixture.stop();  // requestStop + join: must not hang on the leaked Done
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_GE(elapsed.count(), 100);  // the drain deadline was actually honoured
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // The abandoned connection was force-closed; late completion is a no-op.
+  const ServerStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.accepted, stats.closed + stats.errored);
+  leaked(200, "text/plain", "too late");  // must not crash
+}
+
 TEST(HttpServer, StatsCountersTrackTraffic) {
   ServerFixture fixture;
   fixture.server().handle("GET", "/ping",

@@ -2,8 +2,12 @@
 // membership on small instances, budget degradation.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "pipesched/exact/exhaustive.hpp"
 #include "pipesched/exp/pareto_study.hpp"
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/service/portfolio.hpp"
 #include "pipesched/workload/generator.hpp"
 
@@ -155,6 +159,89 @@ TEST(Portfolio, RejectsInvalidSweep) {
   const core::Evaluator eval(inst.pipeline, inst.platform);
   EXPECT_THROW((void)runPortfolio(eval, SweepSpec{0, 3}), ModelError);
   EXPECT_THROW((void)runPortfolio(eval, SweepSpec{8, 1}), ModelError);
+}
+
+TEST(Portfolio, ExpiredRequestDeadlineYieldsExplicitlyDegradedResult) {
+  const auto inst = instanceFor(workload::ExperimentKind::kE2BalancedHetComm, 10, 6, 21);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  PortfolioConfig config;
+  config.useExact = false;
+  Deadline expired = Deadline::in(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const PortfolioResult result =
+      runPortfolio(eval, SweepSpec{12, 3}, config, nullptr, nullptr, expired);
+  // Every member was cut before starting: the cut is flagged, never silent.
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.budgetExhausted);
+  for (const SolverContribution& c : result.solvers) {
+    EXPECT_FALSE(c.completed) << c.solver;
+    EXPECT_EQ(c.points, 0u) << c.solver;
+  }
+}
+
+TEST(Portfolio, UnboundedDeadlineChangesNothing) {
+  const auto inst = instanceFor(workload::ExperimentKind::kE4SmallComputations, 8, 5, 9);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  PortfolioConfig config;
+  config.useExact = false;
+  const PortfolioResult plain = runPortfolio(eval, SweepSpec{6, 2}, config);
+  const PortfolioResult withInactive =
+      runPortfolio(eval, SweepSpec{6, 2}, config, nullptr, nullptr, Deadline{});
+  EXPECT_FALSE(withInactive.degraded);
+  EXPECT_FALSE(withInactive.budgetExhausted);
+  expectSameFront(plain.front, withInactive.front);
+}
+
+TEST(Portfolio, MemberFaultIsContainedAndFlagsDegradation) {
+  const auto inst = instanceFor(workload::ExperimentKind::kE2BalancedHetComm, 10, 6, 33);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  PortfolioConfig config;
+  config.useExact = false;
+
+  const PortfolioResult healthy = runPortfolio(eval, SweepSpec{8, 3}, config);
+
+  fault::ScopedFaultSpec scope("member.H3");
+  const PortfolioResult wounded = runPortfolio(eval, SweepSpec{8, 3}, config);
+  EXPECT_TRUE(wounded.degraded);
+  EXPECT_FALSE(wounded.front.empty());  // the other members still delivered
+  bool sawFailure = false;
+  for (const SolverContribution& c : wounded.solvers) {
+    // Fault sites are keyed by member id ("H3"); contributions carry the
+    // descriptive solver name ("H3-...") — match on the prefix.
+    if (c.solver.rfind("H3", 0) == 0) {
+      EXPECT_TRUE(c.failed);
+      EXPECT_FALSE(c.completed);
+      sawFailure = true;
+    } else {
+      EXPECT_FALSE(c.failed) << c.solver;  // failure stays contained
+      EXPECT_TRUE(c.completed) << c.solver;
+    }
+  }
+  EXPECT_TRUE(sawFailure);
+  // Every wounded front point is covered by the healthy run: losing a member
+  // never invents better points.
+  for (const core::ParetoPoint& p : wounded.front) {
+    bool covered = false;
+    for (const core::ParetoPoint& q : healthy.front) {
+      if (lessOrNearlyEqual(q.period, p.period) && lessOrNearlyEqual(q.latency, p.latency)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "(" << p.period << ", " << p.latency << ")";
+  }
+}
+
+TEST(Portfolio, MemberFaultInPooledRunIsContainedToo) {
+  const auto inst = instanceFor(workload::ExperimentKind::kE2BalancedHetComm, 10, 6, 34);
+  const core::Evaluator eval(inst.pipeline, inst.platform);
+  PortfolioConfig config;
+  config.useExact = false;
+  ThreadPool pool(4);
+  fault::ScopedFaultSpec scope("member.H1");
+  const PortfolioResult result = runPortfolio(eval, SweepSpec{8, 3}, config, &pool);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.front.empty());
 }
 
 }  // namespace

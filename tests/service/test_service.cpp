@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/service/service.hpp"
 #include "pipesched/workload/generator.hpp"
 #include "pipesched/workload/scenarios.hpp"
@@ -209,6 +210,62 @@ TEST(Service, StatsBucketsArePartitionEvenWithFailedDuplicates) {
   EXPECT_EQ(batch.stats.solved + batch.stats.cacheHits + batch.stats.deduped +
                 batch.stats.failed,
             requests.size());
+}
+
+TEST(Service, DegradedResultsAreNeverCached) {
+  // A member fault degrades the first solve; once the fault clears, the same
+  // request must be re-solved fresh — serving a cached partial front to a
+  // healthy client would be a silent quality loss.
+  const std::vector<Request> requests = mixedRequests(1, 17);
+  ServiceConfig config;
+  config.threads = 2;
+  config.portfolio.useExact = false;
+  SchedulingService svc(config);
+
+  RequestOutcome degraded;
+  {
+    fault::ScopedFaultSpec scope("member.H2");
+    degraded = svc.solve(requests.front());
+  }
+  ASSERT_TRUE(degraded.ok);
+  EXPECT_TRUE(degraded.result.degraded);
+  EXPECT_FALSE(degraded.fromCache);
+
+  const RequestOutcome healthy = svc.solve(requests.front());
+  ASSERT_TRUE(healthy.ok);
+  EXPECT_FALSE(healthy.fromCache);  // the degraded result was not cached
+  EXPECT_FALSE(healthy.result.degraded);
+  // The healthy re-solve is at least as good: it was actually recomputed.
+  EXPECT_GE(healthy.result.front.size(), 1u);
+
+  // And a healthy result IS cached as usual.
+  EXPECT_TRUE(svc.solve(requests.front()).fromCache);
+}
+
+TEST(Service, CacheFaultSitesBypassTheCacheWithoutFailingRequests) {
+  const std::vector<Request> requests = mixedRequests(1, 19);
+  ServiceConfig config;
+  config.threads = 2;
+  config.portfolio.useExact = false;
+  SchedulingService svc(config);
+
+  {
+    // cache.put armed: the solve succeeds but nothing is stored.
+    fault::ScopedFaultSpec scope("cache.put");
+    const RequestOutcome outcome = svc.solve(requests.front());
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_FALSE(outcome.result.degraded);  // cache faults don't degrade results
+  }
+  {
+    // cache.get armed: the lookup is skipped, so this re-solves (no hit),
+    // and the put (disarmed now) stores it.
+    fault::ScopedFaultSpec scope("cache.get");
+    const RequestOutcome outcome = svc.solve(requests.front());
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_FALSE(outcome.fromCache);
+  }
+  // Fully disarmed: the entry stored on the previous solve now hits.
+  EXPECT_TRUE(svc.solve(requests.front()).fromCache);
 }
 
 TEST(Service, OverlappedModelProducesItsOwnFronts) {

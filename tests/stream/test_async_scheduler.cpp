@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "pipesched/core/types.hpp"
+#include "pipesched/fault/fault.hpp"
 #include "pipesched/stream/async_scheduler.hpp"
 #include "pipesched/workload/generator.hpp"
 
@@ -563,6 +565,124 @@ TEST(AsyncScheduler, SnapshotCountsParkedWaiters) {
   const SchedulerSnapshot done = scheduler.snapshot();
   EXPECT_EQ(done.parkedWaiters, 0u);
   EXPECT_EQ(done.inflightKeys, 0u);
+}
+
+// -- Deadlines and fault sites ----------------------------------------------
+
+TEST(AsyncScheduler, QueueExpiredRequestGetsFlaggedTimeoutNotAHang) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  StreamConfig config;
+  config.workers = 1;
+  config.queueCapacity = 4;
+  config.solveOverride = [&](const service::Request& request) -> service::RequestOutcome {
+    if (request.name == "blocker-100") {
+      std::unique_lock lock(mutex);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+  std::future<service::RequestOutcome> blocker =
+      scheduler.submit(makeRequest(100, 6, "blocker"));
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return entered; }));
+  }
+  // Queued behind the latched worker with a 30ms deadline it cannot make.
+  service::Request doomed = makeRequest(101);
+  doomed.deadline = service::Deadline::in(30);
+  std::future<service::RequestOutcome> future = scheduler.submit(doomed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_TRUE(blocker.get().ok);
+  const service::RequestOutcome outcome = future.get();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.timedOut);
+  EXPECT_NE(outcome.error.find("while queued"), std::string::npos);
+  scheduler.drain();
+  const StreamStats stats = scheduler.stats();
+  EXPECT_EQ(stats.failed, 1u);  // timeouts land in the failed bucket
+  expectInvariant(stats);
+}
+
+TEST(AsyncScheduler, CoalescedWaiterPastDeadlineGetsTimeoutNotLateResult) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  StreamConfig config;
+  config.workers = 2;
+  config.queueCapacity = 8;
+  config.solveOverride = [&](const service::Request&) -> service::RequestOutcome {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    service::RequestOutcome outcome;
+    outcome.ok = true;
+    return outcome;
+  };
+  AsyncScheduler scheduler(config);
+  std::future<service::RequestOutcome> owner = scheduler.submit(makeRequest(110));
+  // Identical request parks on the in-flight solve, but with a deadline that
+  // expires while the owner is still latched.
+  service::Request duplicate = makeRequest(110);
+  duplicate.deadline = service::Deadline::in(50);
+  std::future<service::RequestOutcome> parked = scheduler.submit(duplicate);
+  while (scheduler.stats().waitersAttached < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_TRUE(owner.get().ok);
+  const service::RequestOutcome expired = parked.get();
+  EXPECT_FALSE(expired.ok);
+  EXPECT_TRUE(expired.timedOut);
+  EXPECT_NE(expired.error.find("coalesced"), std::string::npos);
+  scheduler.drain();
+  expectInvariant(scheduler.stats());
+}
+
+TEST(AsyncScheduler, InlineModeChecksDeadlineBeforeSolving) {
+  StreamConfig config;
+  config.workers = 0;
+  AsyncScheduler scheduler(config);
+  service::Request request = makeRequest(120);
+  request.deadline = service::Deadline::in(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // guarantee expiry
+  const service::RequestOutcome outcome = scheduler.submit(request).get();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.timedOut);
+  EXPECT_NE(outcome.error.find("before solving"), std::string::npos);
+}
+
+TEST(AsyncScheduler, SubmitFaultSitePresentsAsAdmissionRefusal) {
+  StreamConfig config;
+  config.workers = 1;
+  AsyncScheduler scheduler(config);
+  {
+    fault::ScopedFaultSpec scope("sched.submit");
+    EXPECT_FALSE(scheduler.trySubmit(
+        makeRequest(130), [](const service::Request&, const service::RequestOutcome&) {}));
+    EXPECT_THROW((void)scheduler.submit(makeRequest(131)), ModelError);
+  }
+  // Disarmed, the same scheduler admits and solves normally.
+  EXPECT_TRUE(scheduler.submit(makeRequest(132)).get().ok);
+  scheduler.drain();
 }
 
 }  // namespace

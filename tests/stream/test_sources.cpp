@@ -232,6 +232,72 @@ TEST(JsonlSource, GeneratorOnlyFieldsAreRejectedOnFileAndTextLines) {
   EXPECT_NE(message.find("only applies to \"kind\" lines"), std::string::npos) << message;
 }
 
+TEST(JsonlSource, DeadlineMsStampsAnAbsoluteDeadline) {
+  std::istringstream in(
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3, \"deadline_ms\": 5000}\n"
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3}\n"
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3, \"deadline_ms\": 0}\n");
+  JsonlSource source(in);
+
+  const std::optional<service::Request> bounded = source.next();
+  ASSERT_TRUE(bounded.has_value());
+  EXPECT_TRUE(bounded->deadline.active);
+  EXPECT_FALSE(bounded->deadline.expired());
+  const double remaining = bounded->deadline.remainingMs();
+  EXPECT_GT(remaining, 1000.0);  // stamped ~5s out
+  EXPECT_LE(remaining, 5000.0);
+
+  const std::optional<service::Request> unbounded = source.next();
+  ASSERT_TRUE(unbounded.has_value());
+  EXPECT_FALSE(unbounded->deadline.active);  // no field, no default: inactive
+
+  const std::optional<service::Request> zero = source.next();
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero->deadline.active);  // explicit 0 disables
+}
+
+TEST(JsonlSource, DeadlineDefaultAppliesOnlyWhenLineHasNone) {
+  JsonlDefaults defaults;
+  defaults.deadlineMs = 2000;
+  std::istringstream in(
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3}\n"
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3, \"deadline_ms\": 60000}\n");
+  JsonlSource source(in, defaults);
+
+  const std::optional<service::Request> defaulted = source.next();
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_TRUE(defaulted->deadline.active);
+  EXPECT_LE(defaulted->deadline.remainingMs(), 2000.0);
+
+  const std::optional<service::Request> overridden = source.next();
+  ASSERT_TRUE(overridden.has_value());
+  EXPECT_GT(overridden->deadline.remainingMs(), 10000.0);  // line override wins
+}
+
+TEST(JsonlSource, NegativeDeadlineMsIsRejected) {
+  std::istringstream in(
+      "{\"kind\": \"E1\", \"stages\": 4, \"processors\": 3, \"deadline_ms\": -1}\n");
+  std::string message;
+  JsonlSource source(in, {}, [&](std::size_t, const std::string& m) { message = m; });
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_NE(message.find("deadline_ms"), std::string::npos) << message;
+}
+
+TEST(JsonlSource, DeadlineIsExcludedFromRequestIdentity) {
+  // The deadline is QoS, not identity: two requests differing only in
+  // deadline_ms must coalesce/cache as the same work.
+  std::istringstream in(
+      "{\"kind\": \"E2\", \"stages\": 5, \"processors\": 3, \"seed\": 4, \"deadline_ms\": 1000}\n"
+      "{\"kind\": \"E2\", \"stages\": 5, \"processors\": 3, \"seed\": 4}\n");
+  JsonlSource source(in);
+  const auto a = source.next();
+  const auto b = source.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(service::canonicalKey(*a), service::canonicalKey(*b));
+  EXPECT_EQ(service::fingerprint(*a).hex(), service::fingerprint(*b).hex());
+}
+
 TEST(JsonlSink, EmitsOneParseableLinePerOutcome) {
   std::ostringstream out;
   JsonlSink sink(out);

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Scripted client storm for the CI chaos smoke lane.
+
+Drives a `pipesched serve --listen` instance (already running under a
+committed fault-spec, see tools/ci/chaos.fault-spec) with a mix of
+adversarial clients for a bounded wall-clock window:
+
+  * valid multi-line POST /solve batches,
+  * batches with an X-Deadline-Ms header far below solve time (expect 504),
+  * syntactically broken requests (expect 400),
+  * half-request stalls that go silent (expect 408 from the slowloris guard),
+  * rude connects that disconnect without sending a byte.
+
+Every completed response must carry a documented status; a socket that
+times out while a full request is outstanding counts as a hang and fails
+the run. At the end the observed counts are checked against loose bands:
+some clean 200s, at least one degraded line (member faults), at least one
+504 (deadline), at least one 408 (stall). Exit 0 iff all bands hold.
+"""
+
+import argparse
+import socket
+import sys
+import threading
+import time
+
+ALLOWED_STATUSES = {200, 400, 404, 408, 503, 504}
+
+
+class Tally:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.statuses = {}
+        self.degraded_lines = 0
+        self.timed_out_lines = 0
+        self.dead_connections = 0
+        self.hangs = 0
+        self.undocumented = []
+
+    def record(self, status, body=b""):
+        with self.lock:
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status not in ALLOWED_STATUSES:
+                self.undocumented.append(status)
+            self.degraded_lines += body.count(b'"degraded":true')
+            self.timed_out_lines += body.count(b'"timed_out":true')
+
+    def record_dead(self):
+        with self.lock:
+            self.dead_connections += 1
+
+    def record_hang(self):
+        with self.lock:
+            self.hangs += 1
+
+
+def read_response(sock):
+    """Reads one full HTTP response; returns (status, body) or None on a
+    dead connection. Raises socket.timeout on a genuine hang."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return None
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return None
+        body += chunk
+    return status, body[:length]
+
+
+def request(endpoint, raw, tally, timeout=20.0):
+    try:
+        sock = socket.create_connection(endpoint, timeout=5.0)
+    except OSError:
+        tally.record_dead()
+        return
+    try:
+        sock.settimeout(timeout)
+        sock.sendall(raw)
+        response = read_response(sock)
+        if response is None:
+            tally.record_dead()  # injected net fault killed the connection
+        else:
+            tally.record(response[0], response[1])
+    except socket.timeout:
+        tally.record_hang()  # server neither answered nor closed: a hang
+    except OSError:
+        tally.record_dead()
+    finally:
+        sock.close()
+
+
+def render(method, target, body=b"", headers=()):
+    head = f"{method} {target} HTTP/1.1\r\nHost: chaos\r\n".encode()
+    if body or method == "POST":
+        head += f"Content-Length: {len(body)}\r\n".encode()
+    for h in headers:
+        head += h.encode() + b"\r\n"
+    return head + b"\r\n" + body
+
+
+def solve_body(seed, lines=3, stages=10, processors=6):
+    return b"".join(
+        b'{"kind":"E2","stages":%d,"processors":%d,"seed":%d}\n'
+        % (stages, processors, seed * 100 + i)
+        for i in range(lines)
+    )
+
+
+def storm(endpoint, deadline, tally, worker_id):
+    i = 0
+    while time.monotonic() < deadline:
+        i += 1
+        kind = (worker_id + i) % 5
+        if kind in (0, 1):  # valid batch (member faults degrade some lines)
+            raw = render("POST", "/solve", solve_body(worker_id * 1000 + i))
+        elif kind == 2:  # sub-solve deadline: the whole batch should 504
+            raw = render("POST", "/solve", solve_body(worker_id * 1000 + i),
+                         ("X-Deadline-Ms: 0.01",))
+        elif kind == 3:  # broken request line
+            raw = b"POST /solve HTTP/1.1\r\nHost: x\r\nbroken\x01header\r\n\r\n"
+        else:
+            raw = render("GET", "/healthz")
+        request(endpoint, raw, tally)
+
+
+def stall(endpoint, tally):
+    """Half a request, then silence: the request-timeout sweep must 408 us."""
+    request(endpoint, b"POST /solve HTTP/1.1\r\nHost: x\r\n", tally, timeout=15.0)
+
+
+def rude_disconnect(endpoint, tally):
+    try:
+        sock = socket.create_connection(endpoint, timeout=5.0)
+        sock.close()
+    except OSError:
+        tally.record_dead()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port-file", required=True,
+                        help="file with 'HOST PORT' written by serve --port-file")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="storm wall-clock seconds (default 30)")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent storm client threads (default 6)")
+    args = parser.parse_args()
+
+    host, port = open(args.port_file).read().split()
+    endpoint = (host, int(port))
+    deadline = time.monotonic() + args.duration
+    tally = Tally()
+
+    threads = [threading.Thread(target=storm, args=(endpoint, deadline, tally, c))
+               for c in range(args.clients)]
+    threads += [threading.Thread(target=stall, args=(endpoint, tally))
+                for _ in range(3)]
+    threads += [threading.Thread(target=rude_disconnect, args=(endpoint, tally))
+                for _ in range(5)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    print(f"statuses: {dict(sorted(tally.statuses.items()))}")
+    print(f"degraded_lines: {tally.degraded_lines}")
+    print(f"timed_out_lines: {tally.timed_out_lines}")
+    print(f"dead_connections: {tally.dead_connections}")
+    print(f"hangs: {tally.hangs}")
+
+    failures = []
+    if tally.hangs:
+        failures.append(f"{tally.hangs} connection(s) hung with a request outstanding")
+    if tally.undocumented:
+        failures.append(f"undocumented statuses observed: {sorted(set(tally.undocumented))}")
+    if tally.statuses.get(200, 0) < 5:
+        failures.append("fewer than 5 clean 200 responses — the storm starved real traffic")
+    if tally.degraded_lines < 1:
+        failures.append("no degraded line observed despite armed member faults")
+    if tally.statuses.get(504, 0) < 1:
+        failures.append("no 504 observed despite sub-solve deadlines")
+    if tally.statuses.get(408, 0) < 1:
+        failures.append("no 408 observed despite stalled connections")
+    for failure in failures:
+        print(f"BAND VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
